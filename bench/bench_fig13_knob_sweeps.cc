@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces Fig. 13: sweeping each customization knob (nd, nm, s) while
+ * holding the others fixed, report the four FPGA resource utilizations
+ * (left y) and the end-to-end window execution time (right y). The
+ * paper's observations to reproduce: every knob shows diminishing
+ * latency returns; s has the largest resource impact (+50% DSP across
+ * its range); DSP is the most-demanded resource.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace archytas;
+
+namespace {
+
+void
+sweep(const char *caption, const synth::Synthesizer &synth,
+      const slam::WindowWorkload &workload,
+      const std::function<hw::HwConfig(std::size_t)> &make_config,
+      const std::vector<std::size_t> &values)
+{
+    const synth::ResourceModel rm = synth::ResourceModel::calibrated();
+    Table table({"knob", "LUT%", "FF%", "BRAM%", "DSP%", "time (ms)"});
+    for (std::size_t v : values) {
+        const hw::HwConfig c = make_config(v);
+        const auto util = rm.utilization(c, synth.platform());
+        const hw::Accelerator accel(c);
+        const double ms = accel.windowTiming(workload, 6).totalMs();
+        table.addRow({std::to_string(v),
+                      Table::fmt(util[0] * 100.0, 1),
+                      Table::fmt(util[1] * 100.0, 1),
+                      Table::fmt(util[2] * 100.0, 1),
+                      Table::fmt(util[3] * 100.0, 1),
+                      Table::fmt(ms, 3)});
+    }
+    std::printf("%s\n", table.render(caption).c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto seq = dataset::makeKittiLikeSequence(bench::kittiConfig());
+    const auto run = bench::runTrace(seq);
+    const auto &w = run.mean_workload;
+    const auto synth = bench::makeSynthesizer(w);
+
+    std::printf("mean workload: a=%zu keyframes=%zu No=%.1f am=%zu\n\n",
+                w.features, w.keyframes, w.avg_obs_per_feature,
+                w.marginalized_features);
+
+    const std::vector<std::size_t> macs{1, 2, 4, 6, 8, 10, 12, 16, 20};
+    const std::vector<std::size_t> updates{1, 5, 10, 20, 30, 40, 60, 80};
+
+    sweep("Fig. 13a: sweeping nd (nm=8, s=34)", synth, w,
+          [](std::size_t v) { return hw::HwConfig{v, 8, 34}; }, macs);
+    sweep("Fig. 13b: sweeping nm (nd=8, s=34)", synth, w,
+          [](std::size_t v) { return hw::HwConfig{8, v, 34}; }, macs);
+    sweep("Fig. 13c: sweeping s (nd=8, nm=8)", synth, w,
+          [](std::size_t v) { return hw::HwConfig{8, 8, v}; }, updates);
+
+    // Quantify the two headline observations.
+    const synth::ResourceModel rm = synth::ResourceModel::calibrated();
+    const double dsp_s1 =
+        rm.utilization({8, 8, 1}, synth.platform())[3];
+    const double dsp_s80 =
+        rm.utilization({8, 8, 80}, synth.platform())[3];
+    std::printf("%s\n",
+                bench::paperVsMeasured(
+                    "DSP increase as s goes 1 -> 80",
+                    "~50% (Sec. 7.2)",
+                    Table::fmt((dsp_s80 - dsp_s1) * 100.0, 1) + "%")
+                    .c_str());
+
+    const double t1 =
+        hw::Accelerator({8, 8, 1}).windowTiming(w, 6).totalMs();
+    const double t80 =
+        hw::Accelerator({8, 8, 80}).windowTiming(w, 6).totalMs();
+    std::printf("%s\n",
+                bench::paperVsMeasured(
+                    "latency span across the s sweep",
+                    "~26x (10..260 ms axis of Fig. 13c)",
+                    Table::fmt(t1 / t80, 1) + "x")
+                    .c_str());
+    return 0;
+}

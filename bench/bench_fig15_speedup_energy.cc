@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Fig. 15: speedup (x) and energy reduction (y) of the
+ * power-optimized Pareto designs of Fig. 14 over the Intel and Arm
+ * baselines on a KITTI trace. The paper's observations: higher speedups
+ * buy higher energy reductions with an eventual taper; the speedup over
+ * Intel is lower than over Arm while the energy reduction is higher.
+ */
+
+#include <cstdio>
+
+#include "baseline/platform_model.hh"
+#include "bench_common.hh"
+
+using namespace archytas;
+
+int
+main()
+{
+    const auto seq = dataset::makeKittiLikeSequence(bench::kittiConfig());
+    const auto run = bench::runTrace(seq);
+    const auto &w = run.mean_workload;
+    const auto synth = bench::makeSynthesizer(w);
+    const synth::PowerModel pm = synth::PowerModel::calibrated();
+
+    const auto intel = baseline::intelCometLake();
+    const auto arm = baseline::armCortexA57();
+    const double intel_ms = intel.windowTimeMs(w, 6);
+    const double intel_mj = intel.windowEnergyMj(w, 6);
+    const double arm_ms = arm.windowTimeMs(w, 6);
+    const double arm_mj = arm.windowEnergyMj(w, 6);
+
+    const auto fastest = synth.minimizeLatency(6);
+    std::vector<double> bounds;
+    for (double b = fastest->latency_ms * 1.05;
+         b < fastest->latency_ms * 12.0; b *= 1.25)
+        bounds.push_back(b);
+    const auto frontier = synth.paretoFrontier(bounds, 6);
+
+    Table table({"design (ms)", "W", "speedup vs Intel", "energy red.",
+                 "speedup vs Arm", "energy red."});
+    double best_intel_speed = 0, best_intel_energy = 0;
+    double best_arm_speed = 0, best_arm_energy = 0;
+    for (const auto &p : frontier) {
+        const double mj = p.latency_ms * pm.watts(p.config);
+        const double si = intel_ms / p.latency_ms;
+        const double ei = intel_mj / mj;
+        const double sa = arm_ms / p.latency_ms;
+        const double ea = arm_mj / mj;
+        best_intel_speed = std::max(best_intel_speed, si);
+        best_intel_energy = std::max(best_intel_energy, ei);
+        best_arm_speed = std::max(best_arm_speed, sa);
+        best_arm_energy = std::max(best_arm_energy, ea);
+        table.addRow({Table::fmt(p.latency_ms, 3),
+                      Table::fmt(p.power_w, 2), Table::fmt(si, 1) + "x",
+                      Table::fmt(ei, 1) + "x", Table::fmt(sa, 1) + "x",
+                      Table::fmt(ea, 1) + "x"});
+    }
+    std::printf("%s", table.render(
+        "Fig. 15: Pareto designs vs CPU baselines (KITTI trace)")
+        .c_str());
+
+    std::printf(
+        "\n%s\n%s\n%s\n",
+        bench::paperVsMeasured("best vs Intel",
+                               "7.4x speedup, 83.1x energy (Sec. 7.4)",
+                               Table::fmt(best_intel_speed, 1) +
+                                   "x speedup, " +
+                                   Table::fmt(best_intel_energy, 1) +
+                                   "x energy")
+            .c_str(),
+        bench::paperVsMeasured("best vs Arm",
+                               "32.0x speedup, 12.9x energy (Sec. 7.4)",
+                               Table::fmt(best_arm_speed, 1) +
+                                   "x speedup, " +
+                                   Table::fmt(best_arm_energy, 1) +
+                                   "x energy")
+            .c_str(),
+        bench::paperVsMeasured(
+            "structure",
+            "speedup over Intel lower than over Arm; energy reduction "
+            "higher",
+            (best_intel_speed < best_arm_speed &&
+                     best_intel_energy > best_arm_energy
+                 ? "reproduced"
+                 : "NOT reproduced"))
+            .c_str());
+    return best_intel_speed < best_arm_speed &&
+                   best_intel_energy > best_arm_energy
+               ? 0
+               : 1;
+}

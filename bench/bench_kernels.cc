@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the computational kernels every
+ * experiment rests on: dense multiply, Cholesky, the D-type Schur
+ * elimination, the compacted S-matrix matvec, the full window solve,
+ * and the synthesizer search. These quantify the *host-side* costs of
+ * the framework (the accelerator itself is modelled in cycles).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "linalg/cholesky.hh"
+#include "linalg/schur.hh"
+#include "linalg/smatrix.hh"
+#include "mdfg/builder.hh"
+#include "slam/lm_solver.hh"
+#include "synth/optimizer.hh"
+
+using namespace archytas;
+
+namespace {
+
+linalg::Matrix
+randomSpd(std::size_t n, Rng &rng)
+{
+    linalg::Matrix a(n, n);
+    for (auto &x : a.data())
+        x = rng.uniform(-1, 1);
+    linalg::Matrix spd = a.transposed() * a;
+    for (std::size_t i = 0; i < n; ++i)
+        spd(i, i) += static_cast<double>(n);
+    return spd;
+}
+
+void
+BM_MatMul(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(1);
+    linalg::Matrix a(n, n), b(n, n);
+    for (auto &x : a.data())
+        x = rng.uniform(-1, 1);
+    for (auto &x : b.data())
+        x = rng.uniform(-1, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a * b);
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(150);
+
+void
+BM_Cholesky(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    Rng rng(2);
+    const linalg::Matrix spd = randomSpd(n, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(linalg::cholesky(spd));
+    }
+}
+BENCHMARK(BM_Cholesky)->Arg(30)->Arg(90)->Arg(150);
+
+void
+BM_DSchur(benchmark::State &state)
+{
+    const std::size_t p = static_cast<std::size_t>(state.range(0));
+    const std::size_t q = 150;
+    Rng rng(3);
+    linalg::Matrix u(p, p);
+    for (std::size_t i = 0; i < p; ++i)
+        u(i, i) = rng.uniform(1.0, 3.0);
+    linalg::Matrix w(q, p);
+    for (auto &x : w.data())
+        x = rng.uniform(-0.3, 0.3);
+    const linalg::Matrix v = randomSpd(q, rng);
+    linalg::Vector bx(p), by(q);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(linalg::dSchur(u, w, v, bx, by));
+    }
+}
+BENCHMARK(BM_DSchur)->Arg(50)->Arg(100)->Arg(200);
+
+void
+BM_CompactSMatVec(benchmark::State &state)
+{
+    const std::size_t b = static_cast<std::size_t>(state.range(0));
+    Rng rng(4);
+    linalg::CompactSMatrix s(15, b);
+    for (std::size_t i = 0; i < b; ++i) {
+        linalg::Matrix diag(15, 15);
+        for (auto &x : diag.data())
+            x = rng.uniform(-1, 1);
+        s.setImuDiagBlock(i, diag);
+    }
+    linalg::Vector x(s.dim());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = rng.uniform(-1, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s.apply(x));
+    }
+}
+BENCHMARK(BM_CompactSMatVec)->Arg(10)->Arg(15)->Arg(30);
+
+void
+BM_MdfgWindowGraphBuild(benchmark::State &state)
+{
+    mdfg::WorkloadDims dims;
+    dims.features = 100;
+    dims.keyframes = 10;
+    dims.marginalized = 12;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mdfg::buildWindowGraph(dims, static_cast<std::size_t>(
+                                             state.range(0))));
+    }
+}
+BENCHMARK(BM_MdfgWindowGraphBuild)->Arg(1)->Arg(6);
+
+void
+BM_SynthesizerMinPower(benchmark::State &state)
+{
+    slam::WindowWorkload w;
+    w.keyframes = 10;
+    w.features = 100;
+    w.avg_obs_per_feature = 4.0;
+    w.marginalized_features = 12;
+    const synth::Synthesizer synth(synth::LatencyModel(w),
+                                   synth::ResourceModel::calibrated(),
+                                   synth::PowerModel::calibrated(),
+                                   synth::zc706());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(synth.minimizePower(1.0, 6));
+    }
+}
+BENCHMARK(BM_SynthesizerMinPower);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces the Sec. 3.2.2 / 3.2.3 blocking study: the M-DFG builder's
+ * cost model as a function of the Schur split p. The paper's claim: the
+ * optimum "almost always blocks A in such a way that U is a diagonal
+ * matrix" — i.e. the full feature block — because a diagonal U turns
+ * the inversion from O(n^3) into O(n).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "mdfg/blocking.hh"
+
+using namespace archytas;
+
+int
+main()
+{
+    // Use workload statistics measured from the canonical trace.
+    const auto seq = dataset::makeKittiLikeSequence(bench::kittiConfig());
+    const auto run = bench::runTrace(seq);
+    const std::size_t m = run.mean_workload.features;
+    const std::size_t nk = run.mean_workload.keyframes * 15;
+    const double no = run.mean_workload.avg_obs_per_feature;
+
+    const auto curve = mdfg::schurSolveCostCurve(m, nk, no);
+    Table table({"split p", "cost (ops)", "vs direct"});
+    const double direct = curve[0];
+    for (std::size_t p = 0; p <= m + nk;
+         p += std::max<std::size_t>((m + nk) / 16, 1)) {
+        table.addRow({std::to_string(p), Table::fmt(curve[p], 0),
+                      Table::fmt(direct / curve[p], 2) + "x"});
+    }
+    // Always include the diagonal boundary itself.
+    table.addRow({std::to_string(m) + " (=m)", Table::fmt(curve[m], 0),
+                  Table::fmt(direct / curve[m], 2) + "x"});
+    std::printf("%s", table.render(
+        "Sec. 3.2.2: Schur-split cost model (m=" + std::to_string(m) +
+        " features, nk=" + std::to_string(nk) + ", No=" +
+        Table::fmt(no, 1) + ")").c_str());
+
+    const std::size_t opt = mdfg::optimalSchurSplit(m, nk, no);
+    std::printf(
+        "\n%s\n%s\n",
+        bench::paperVsMeasured("optimal blocking",
+                               "U = the diagonal (feature) block",
+                               "p* = " + std::to_string(opt) + " (m = " +
+                                   std::to_string(m) + ")")
+            .c_str(),
+        bench::paperVsMeasured(
+            "speedup of the chosen M-DFG over the direct solver",
+            "the transformation must pay for its overhead (Sec. 3.2.2)",
+            Table::fmt(direct / curve[opt], 1) + "x cheaper")
+            .c_str());
+
+    // Marginalization side (Sec. 3.2.3).
+    const std::size_t am = run.mean_workload.marginalized_features;
+    const std::size_t opt_m = mdfg::optimalInverseSplit(am, 15);
+    const double dense_inv = mdfg::blockedInverseCost(am, 15, 0);
+    const double blocked_inv = mdfg::blockedInverseCost(am, 15, opt_m);
+    std::printf("%s\n",
+                bench::paperVsMeasured(
+                    "marginalization blocking (M11 diagonal, Eq. 5)",
+                    "optimal solution blocks M so M11 is diagonal",
+                    "p* = " + std::to_string(opt_m) + " (am = " +
+                        std::to_string(am) + "), " +
+                        Table::fmt(dense_inv / blocked_inv, 1) +
+                        "x cheaper than the dense inverse")
+                    .c_str());
+    return opt == m ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces Sec. 7.5: comparisons against prior localization
+ * accelerators (pi-BA, BAX, Zhang et al., PISCES) on the published
+ * normalization bases, plus the HLS case study — an HLS Cholesky
+ * implementation (no Evaluate/Update pipelining, no parallel updates,
+ * 30% lower clock) against the hand-optimized unit (paper: 16.4x
+ * slower, ~2x the resources).
+ */
+
+#include <cstdio>
+
+#include "baseline/prior_accel.hh"
+#include "bench_common.hh"
+#include "hw/cholesky_unit.hh"
+
+using namespace archytas;
+
+int
+main()
+{
+    const auto seq = dataset::makeKittiLikeSequence(bench::kittiConfig());
+    const auto run = bench::runTrace(seq);
+    const auto &w = run.mean_workload;
+
+    // Archytas High-Perf measured numbers on this workload.
+    const hw::Accelerator accel(synth::highPerfConfig());
+    const synth::PowerModel pm = synth::PowerModel::calibrated();
+    const auto timing = accel.windowTiming(w, 6);
+    const double per_iter_ms = hw::cyclesToMs(timing.nls_cycles_per_iter);
+    const double window_ms = timing.totalMs();
+    const double watts = pm.watts(synth::highPerfConfig());
+    const double per_iter_mj = per_iter_ms * watts;
+    const double window_mj = window_ms * watts;
+
+    const auto derived = baseline::deriveComparisons(
+        per_iter_ms, per_iter_mj, window_ms, window_mj);
+
+    Table table({"accelerator", "basis", "paper speedup",
+                 "implied time (ms)", "paper energy ratio",
+                 "implied energy (mJ)", "scope"});
+    for (const auto &d : derived) {
+        table.addRow(
+            {d.accel.name,
+             d.accel.basis == baseline::ComparisonBasis::PerNlsIteration
+                 ? "per NLS iteration"
+                 : "end-to-end",
+             Table::fmt(d.accel.archytas_speedup, 1) + "x",
+             Table::fmt(d.implied_time_ms, 3),
+             Table::fmt(d.accel.archytas_energy_reduction, 2) + "x",
+             Table::fmt(d.implied_energy_mj, 3), d.accel.scope});
+    }
+    std::printf("%s", table.render(
+        "Sec. 7.5: prior accelerator comparison (Archytas High-Perf: " +
+        Table::fmt(per_iter_ms, 3) + " ms/iter, " +
+        Table::fmt(window_ms, 3) + " ms/window)").c_str());
+
+    // --- HLS comparison ---
+    const std::size_t m = w.keyframes * 15;
+    const hw::HlsCholeskyModel hls;
+    const hw::CholeskyUnit opt(synth::highPerfConfig().s);
+    const double hls_sec = hls.seconds(m);
+    const double opt_sec = hw::cyclesToSeconds(opt.analyticalCycles(m));
+    const double slowdown = hls_sec / opt_sec;
+    std::printf(
+        "\n%s\n%s\n%s\n",
+        bench::paperVsMeasured("HLS Cholesky slowdown", "16.4x",
+                               Table::fmt(slowdown, 1) + "x (same "
+                               "mechanism: serialized Evaluate/Update + "
+                               "0.7x clock; the gap grows with matrix "
+                               "size and s -- ours is a " +
+                               std::to_string(m) + "x" +
+                               std::to_string(m) + " system on s=97)")
+            .c_str(),
+        bench::paperVsMeasured("HLS resource overhead", "~2x",
+                               Table::fmt(
+                                   hw::HlsCholeskyModel::
+                                       kResourceMultiplier,
+                                   1) + "x (modelled)")
+            .c_str(),
+        bench::paperVsMeasured("HLS clock degradation", "30% lower",
+                               Table::fmt(
+                                   (1.0 - hw::HlsCholeskyModel::
+                                              kClockFactor) * 100.0,
+                                   0) + "% lower")
+            .c_str());
+    return slowdown > 5.0 ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Design-space exploration tool: sweeps the latency constraint of
+ * Eq. 11 across a workload to chart the latency/power/resource
+ * trade-off on a chosen FPGA, then writes the Verilog for a selected
+ * design to disk. This is the "designer-facing" entry point of the
+ * framework (Fig. 1's left-to-right flow driven interactively).
+ *
+ * Usage: design_space_explorer [zc706|kintex7|virtex7] [latency_ms]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "dataset/sequence.hh"
+#include "slam/estimator.hh"
+#include "synth/optimizer.hh"
+#include "synth/verilog.hh"
+
+using namespace archytas;
+
+int
+main(int argc, char **argv)
+{
+    synth::FpgaPlatform platform = synth::zc706();
+    if (argc > 1) {
+        if (std::strcmp(argv[1], "kintex7") == 0)
+            platform = synth::kintex7_160t();
+        else if (std::strcmp(argv[1], "virtex7") == 0)
+            platform = synth::virtex7_690t();
+    }
+    std::printf("target platform: %s (%.0f LUT, %.0f FF, %.0f BRAM, "
+                "%.0f DSP)\n\n",
+                platform.name.c_str(), platform.lut(), platform.ff(),
+                platform.bram(), platform.dsp());
+
+    // Profile a representative workload.
+    dataset::SequenceConfig cfg;
+    cfg.duration = 12.0;
+    cfg.landmarks = 1800;
+    cfg.seed = 3;
+    const auto seq = dataset::makeKittiLikeSequence(cfg);
+    slam::EstimatorOptions opts;
+    slam::SlidingWindowEstimator est(seq.camera(), opts);
+    slam::WindowWorkload mean{};
+    std::size_t n = 0;
+    for (const auto &frame : seq.frames()) {
+        const auto r = est.processFrame(frame);
+        if (r.optimized && r.workload.features > 0) {
+            mean.features += r.workload.features;
+            mean.keyframes += r.workload.keyframes;
+            mean.marginalized_features +=
+                r.workload.marginalized_features;
+            mean.avg_obs_per_feature += r.workload.avg_obs_per_feature;
+            ++n;
+        }
+    }
+    mean.features /= n;
+    mean.keyframes /= n;
+    mean.marginalized_features /= n;
+    mean.avg_obs_per_feature /= static_cast<double>(n);
+
+    const synth::Synthesizer synthesizer(
+        synth::LatencyModel(mean), synth::ResourceModel::calibrated(),
+        synth::PowerModel::calibrated(), platform);
+
+    // Chart the frontier.
+    const auto fastest = synthesizer.minimizeLatency(6);
+    if (!fastest) {
+        std::printf("nothing fits this platform\n");
+        return 1;
+    }
+    std::printf("%-12s %-9s %-6s %-6s %-6s %-8s %-8s %-8s %-8s\n",
+                "lat (ms)", "W", "nd", "nm", "s", "LUT%", "FF%",
+                "BRAM%", "DSP%");
+    for (double bound = fastest->latency_ms * 1.02;
+         bound < fastest->latency_ms * 10.0; bound *= 1.35) {
+        const auto p = synthesizer.minimizePower(bound, 6);
+        if (!p)
+            continue;
+        const auto util = synth::ResourceModel::calibrated().utilization(
+            p->config, platform);
+        std::printf("%-12.3f %-9.2f %-6zu %-6zu %-6zu %-8.1f %-8.1f "
+                    "%-8.1f %-8.1f\n",
+                    p->latency_ms, p->power_w, p->config.nd,
+                    p->config.nm, p->config.s, util[0] * 100.0,
+                    util[1] * 100.0, util[2] * 100.0, util[3] * 100.0);
+    }
+
+    // Concretize the design for the requested bound.
+    const double requested =
+        argc > 2 ? std::atof(argv[2]) : fastest->latency_ms * 2.0;
+    const auto chosen = synthesizer.minimizePower(requested, 6);
+    if (!chosen) {
+        std::printf("\nno design meets %.3f ms on this platform\n",
+                    requested);
+        return 1;
+    }
+    const std::string verilog = synth::emitVerilog(chosen->config);
+    const std::string path = "archytas_generated.v";
+    std::ofstream out(path);
+    out << verilog;
+    out.close();
+    std::printf("\nselected design for %.3f ms: nd=%zu nm=%zu s=%zu "
+                "(%.3f ms, %.2f W)\nwrote %zu bytes of Verilog to %s\n",
+                requested, chosen->config.nd, chosen->config.nm,
+                chosen->config.s, chosen->latency_ms, chosen->power_w,
+                verilog.size(), path.c_str());
+    return 0;
+}

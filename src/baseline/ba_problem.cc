@@ -1,0 +1,255 @@
+#include "baseline/ba_problem.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace archytas::baseline {
+
+void
+BaCamera::absorbBlock()
+{
+    const slam::Vec3 theta{block[0], block[1], block[2]};
+    const slam::Vec3 dp{block[3], block[4], block[5]};
+    pose.applyTangent(theta, dp);
+    for (double &x : block)
+        x = 0.0;
+}
+
+namespace {
+
+/**
+ * Reprojection residual of one observation. Parameters: the camera's
+ * 6-dim tangent block [theta, dp] around its base pose, and the point's
+ * world coordinates. The camera-frame point for a tangent theta is
+ *     p_cam = Exp(-theta) R0^T (X - p0 - dp),
+ * whose exact Jacobians use the SO(3) right Jacobian, so the block can
+ * wander away from zero during LM without losing correctness.
+ */
+class ReprojectionCost : public CostFunction
+{
+  public:
+    ReprojectionCost(const slam::PinholeCamera &intrinsics,
+                     const BaCamera *camera, slam::Vec2 pixel)
+        : intrinsics_(intrinsics), camera_(camera), pixel_(pixel),
+          sizes_{6, 3}
+    {
+    }
+
+    bool
+    evaluate(const double *const *params, double *residuals,
+             double **jacobians) const override
+    {
+        const slam::Vec3 theta{params[0][0], params[0][1], params[0][2]};
+        const slam::Vec3 dp{params[0][3], params[0][4], params[0][5]};
+        const slam::Vec3 point{params[1][0], params[1][1], params[1][2]};
+
+        const slam::Mat3 r0t =
+            camera_->pose.q.toRotationMatrix().transposed();
+        const slam::Vec3 y = r0t * (point - camera_->pose.p - dp);
+        const slam::Mat3 exp_neg = slam::so3Exp(-theta);
+        const slam::Vec3 p_cam = exp_neg * y;
+        if (p_cam.z < intrinsics_.min_depth)
+            return false;
+
+        const slam::Vec2 predicted = intrinsics_.projectUnchecked(p_cam);
+        residuals[0] = predicted.u - pixel_.u;
+        residuals[1] = predicted.v - pixel_.v;
+
+        if (!jacobians)
+            return true;
+        const linalg::Matrix j_proj =
+            intrinsics_.projectionJacobian(p_cam);
+
+        // d p_cam / d theta = Exp(-theta) skew(y) Jr(-theta).
+        const slam::Mat3 d_theta =
+            exp_neg * slam::skew(y) * slam::so3RightJacobian(-theta);
+        // d p_cam / d dp = -Exp(-theta) R0^T; d p_cam / d X = +that.
+        const slam::Mat3 d_dp = (exp_neg * r0t) * -1.0;
+
+        if (jacobians[0]) {
+            for (int r = 0; r < 2; ++r) {
+                for (int c = 0; c < 3; ++c) {
+                    double acc_t = 0.0, acc_p = 0.0;
+                    for (int k = 0; k < 3; ++k) {
+                        acc_t += j_proj(r, k) * d_theta(k, c);
+                        acc_p += j_proj(r, k) * d_dp(k, c);
+                    }
+                    jacobians[0][r * 6 + c] = acc_t;
+                    jacobians[0][r * 6 + 3 + c] = acc_p;
+                }
+            }
+        }
+        if (jacobians[1]) {
+            for (int r = 0; r < 2; ++r)
+                for (int c = 0; c < 3; ++c) {
+                    double acc = 0.0;
+                    for (int k = 0; k < 3; ++k)
+                        acc -= j_proj(r, k) * d_dp(k, c);
+                    jacobians[1][r * 3 + c] = acc;
+                }
+        }
+        return true;
+    }
+
+    int residualSize() const override { return 2; }
+    const std::vector<int> &parameterSizes() const override
+    {
+        return sizes_;
+    }
+
+  private:
+    const slam::PinholeCamera &intrinsics_;
+    const BaCamera *camera_;
+    slam::Vec2 pixel_;
+    std::vector<int> sizes_;
+};
+
+} // namespace
+
+BaProblem
+makeBaProblem(const BaConfig &config)
+{
+    ARCHYTAS_ASSERT(config.cameras >= 2 && config.points >= 8,
+                    "BA problem too small");
+    Rng rng(config.seed);
+    BaProblem problem;
+
+    // Cameras on a ring, optical axis pointing at the origin.
+    for (std::size_t i = 0; i < config.cameras; ++i) {
+        const double angle = 2.0 * M_PI * static_cast<double>(i) /
+                             static_cast<double>(config.cameras);
+        const slam::Vec3 position{config.ring_radius * std::cos(angle),
+                                  config.ring_radius * std::sin(angle),
+                                  rng.uniform(-0.5, 0.5)};
+        // Build a rotation whose +z (optical axis) points to the origin.
+        const slam::Vec3 z = (slam::Vec3{} - position).normalized();
+        slam::Vec3 up{0.0, 0.0, 1.0};
+        slam::Vec3 x = up.cross(z).normalized();
+        const slam::Vec3 y = z.cross(x);
+        slam::Mat3 r;
+        for (int k = 0; k < 3; ++k) {
+            r(k, 0) = x[k];
+            r(k, 1) = y[k];
+            r(k, 2) = z[k];
+        }
+        BaCamera cam;
+        cam.pose.q = slam::Quaternion::fromRotationMatrix(r);
+        cam.pose.p = position;
+        problem.true_poses.push_back(cam.pose);
+
+        // Perturb the initialization (cameras 0 and 1 stay exact: they
+        // anchor the gauge).
+        if (i >= 2) {
+            cam.pose.applyTangent(
+                {rng.gaussian(0, config.pose_perturbation),
+                 rng.gaussian(0, config.pose_perturbation),
+                 rng.gaussian(0, config.pose_perturbation)},
+                {rng.gaussian(0, 4 * config.pose_perturbation),
+                 rng.gaussian(0, 4 * config.pose_perturbation),
+                 rng.gaussian(0, 4 * config.pose_perturbation)});
+        }
+        problem.cameras.push_back(cam);
+    }
+
+    // Point cloud near the origin.
+    for (std::size_t j = 0; j < config.points; ++j) {
+        const slam::Vec3 p{rng.uniform(-config.cloud_radius,
+                                       config.cloud_radius),
+                           rng.uniform(-config.cloud_radius,
+                                       config.cloud_radius),
+                           rng.uniform(-config.cloud_radius / 2,
+                                       config.cloud_radius / 2)};
+        problem.true_points.push_back(p);
+        problem.points.push_back(
+            {p.x + rng.gaussian(0, config.point_perturbation),
+             p.y + rng.gaussian(0, config.point_perturbation),
+             p.z + rng.gaussian(0, config.point_perturbation)});
+    }
+
+    // Observations from the true geometry.
+    for (std::size_t i = 0; i < config.cameras; ++i) {
+        for (std::size_t j = 0; j < config.points; ++j) {
+            const slam::Vec3 pc = problem.true_poses[i].inverseTransform(
+                problem.true_points[j]);
+            const auto px = problem.intrinsics.project(pc);
+            if (!px)
+                continue;
+            problem.observations.push_back(
+                {i, j,
+                 {px->u + rng.gaussian(0, config.pixel_noise),
+                  px->v + rng.gaussian(0, config.pixel_noise)}});
+        }
+    }
+    return problem;
+}
+
+double
+reprojectionRms(const BaProblem &problem)
+{
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (const auto &obs : problem.observations) {
+        const BaCamera &cam = problem.cameras[obs.camera];
+        const slam::Vec3 theta{cam.block[0], cam.block[1], cam.block[2]};
+        const slam::Vec3 dp{cam.block[3], cam.block[4], cam.block[5]};
+        const slam::Vec3 point{problem.points[obs.point][0],
+                               problem.points[obs.point][1],
+                               problem.points[obs.point][2]};
+        const slam::Mat3 r0t =
+            cam.pose.q.toRotationMatrix().transposed();
+        const slam::Vec3 p_cam =
+            slam::so3Exp(-theta) * (r0t * (point - cam.pose.p - dp));
+        if (p_cam.z <= 0.0)
+            continue;
+        const slam::Vec2 predicted =
+            problem.intrinsics.projectUnchecked(p_cam);
+        const slam::Vec2 d = predicted - obs.pixel;
+        acc += d.u * d.u + d.v * d.v;
+        ++n;
+    }
+    return n ? std::sqrt(acc / static_cast<double>(n)) : 0.0;
+}
+
+BaSolveReport
+solveBaProblem(BaProblem &problem, const SolveOptions &options)
+{
+    BaSolveReport report;
+    report.initial_rms_px = reprojectionRms(problem);
+
+    Problem nls;
+    for (auto &cam : problem.cameras)
+        nls.addParameterBlock(cam.block, 6);
+    for (auto &pt : problem.points)
+        nls.addParameterBlock(pt.data(), 3);
+    // Gauge fixing: anchor the first two cameras.
+    nls.setParameterBlockConstant(problem.cameras[0].block);
+    nls.setParameterBlockConstant(problem.cameras[1].block);
+
+    for (const auto &obs : problem.observations) {
+        nls.addResidualBlock(
+            std::make_shared<ReprojectionCost>(
+                problem.intrinsics, &problem.cameras[obs.camera],
+                obs.pixel),
+            {problem.cameras[obs.camera].block,
+             problem.points[obs.point].data()});
+    }
+    report.summary = solve(nls, options);
+    report.final_rms_px = reprojectionRms(problem);
+
+    // Fold the solved tangents into the poses.
+    for (auto &cam : problem.cameras)
+        cam.absorbBlock();
+
+    double err = 0.0;
+    for (std::size_t j = 0; j < problem.points.size(); ++j) {
+        const slam::Vec3 p{problem.points[j][0], problem.points[j][1],
+                           problem.points[j][2]};
+        err += (p - problem.true_points[j]).norm();
+    }
+    report.mean_point_error =
+        err / static_cast<double>(problem.points.size());
+    return report;
+}
+
+} // namespace archytas::baseline

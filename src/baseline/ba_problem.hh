@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Offline bundle adjustment on the ceres-like solver: the "conventional
+ * BA" of which the paper's MAP estimation is the real-time incremental
+ * version (Sec. 2.2), and the workload class of the pi-BA / BAX
+ * comparators (both evaluated on the BAL dataset). This module provides
+ * a BAL-style synthetic problem generator (cameras on a ring observing
+ * a point cloud) and the reprojection cost function with analytic
+ * Jacobians for pose (6-DoF tangent) and point (3-DoF) blocks.
+ */
+
+#ifndef ARCHYTAS_BASELINE_BA_PROBLEM_HH
+#define ARCHYTAS_BASELINE_BA_PROBLEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "baseline/mini_solver.hh"
+#include "common/rng.hh"
+#include "slam/camera.hh"
+
+namespace archytas::baseline {
+
+/**
+ * Parameter layout of one camera block: [theta(3), p(3)] — an axis-angle
+ * increment composed onto a base rotation, plus a world translation.
+ * The base rotation is stored inside the cost functions' shared state
+ * (classic "local parameterization around the current estimate" is
+ * folded into the block by re-centering after solve()).
+ */
+struct BaCamera
+{
+    slam::Pose pose;          //!< Current estimate.
+    double block[6] = {0, 0, 0, 0, 0, 0};   //!< Tangent parameters.
+
+    /** Folds the solved tangent into the pose and re-zeros the block. */
+    void absorbBlock();
+};
+
+/** One observation: camera i sees point j at a pixel. */
+struct BaObservation
+{
+    std::size_t camera = 0;
+    std::size_t point = 0;
+    slam::Vec2 pixel;
+};
+
+/** A full BA problem instance. */
+struct BaProblem
+{
+    slam::PinholeCamera intrinsics;
+    std::vector<BaCamera> cameras;
+    std::vector<std::array<double, 3>> points;
+    std::vector<BaObservation> observations;
+    /** Ground truth for evaluation. */
+    std::vector<slam::Pose> true_poses;
+    std::vector<slam::Vec3> true_points;
+};
+
+/** Generator configuration (BAL-like ring scene). */
+struct BaConfig
+{
+    std::size_t cameras = 12;
+    std::size_t points = 300;
+    double ring_radius = 12.0;      //!< Cameras on a circle, looking in.
+    double cloud_radius = 4.0;      //!< Points near the origin.
+    double pixel_noise = 0.5;
+    double pose_perturbation = 0.05;   //!< Initialization error.
+    double point_perturbation = 0.10;
+    std::uint64_t seed = 1;
+};
+
+/** Generates a solvable synthetic BA instance with perturbed init. */
+BaProblem makeBaProblem(const BaConfig &config);
+
+/** Outcome of a BA solve. */
+struct BaSolveReport
+{
+    SolveSummary summary;
+    double initial_rms_px = 0.0;    //!< Reprojection RMS before.
+    double final_rms_px = 0.0;      //!< ... and after.
+    double mean_point_error = 0.0;  //!< vs ground truth (gauge-aligned
+                                    //!< by the two anchored cameras).
+};
+
+/**
+ * Solves the BA problem in place with LM (the first camera is held
+ * constant and the second camera's position fixes scale/gauge).
+ */
+BaSolveReport solveBaProblem(BaProblem &problem,
+                             const SolveOptions &options = {});
+
+/** Reprojection RMS (pixels) at the current estimates. */
+double reprojectionRms(const BaProblem &problem);
+
+} // namespace archytas::baseline
+
+#endif // ARCHYTAS_BASELINE_BA_PROBLEM_HH

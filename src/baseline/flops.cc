@@ -1,0 +1,80 @@
+#include "baseline/flops.hh"
+
+#include <algorithm>
+
+namespace archytas::baseline {
+
+namespace {
+
+double
+cube(double x)
+{
+    return x * x * x;
+}
+
+} // namespace
+
+double
+nlsIterationFlops(const slam::WindowWorkload &w)
+{
+    const double a = static_cast<double>(std::max<std::size_t>(
+        w.features, 1));
+    const double no = std::max(w.avg_obs_per_feature, 1.0);
+    const double obs = a * no;
+    const double nk = static_cast<double>(w.keyframes) * 15.0;
+
+    double flops = 0.0;
+    // Visual Jacobians: projection chain per observation.
+    flops += obs * 120.0;
+    // IMU Jacobians: 15x15 pair assembly + 15x15 information inverse.
+    flops += static_cast<double>(w.keyframes) *
+             (4000.0 + cube(15.0) / 3.0 + 2.0 * cube(15.0));
+    // Normal-equation assembly: per observation, fold 2x13 Jacobian rows
+    // into U/W/V (13^2 * 2 MACs each) and the rhs.
+    flops += obs * (2.0 * 13.0 * 13.0 * 2.0 + 2.0 * 13.0 * 2.0);
+    // IMU H assembly: two 15x15 blocks J^T Lambda J per factor.
+    flops += static_cast<double>(w.keyframes) * 4.0 * 2.0 * cube(15.0);
+    // D-type Schur elimination: rank-1 per feature on the 6No window
+    // plus the reduced rhs.
+    flops += a * (2.0 * 36.0 * no * no + 2.0 * 6.0 * no);
+    // Reduced-system Cholesky + substitutions.
+    flops += cube(nk) / 3.0 + 2.0 * nk * nk;
+    // Feature back-substitution.
+    flops += a * (2.0 * 6.0 * no + 2.0);
+    return flops;
+}
+
+double
+marginalizationFlops(const slam::WindowWorkload &w)
+{
+    const double am = static_cast<double>(std::max<std::size_t>(
+        w.marginalized_features, 1));
+    const double no = std::max(w.avg_obs_per_feature, 1.0);
+    const double rd = static_cast<double>(w.keyframes - 1) * 15.0;
+    const double md = am + 15.0;
+
+    double flops = 0.0;
+    // Jacobians of the departing factors.
+    flops += am * no * 120.0 + 4000.0;
+    // H assembly over the involved states.
+    flops += am * no * (2.0 * 13.0 * 13.0 * 2.0);
+    // Blocked inverse of M (Eq. 5) with diagonal M11.
+    flops += am + am * 15.0;                 // M11^{-1}, M11^{-1} M12.
+    flops += 2.0 * 15.0 * 15.0 * am;         // S' rank update.
+    flops += cube(15.0) / 3.0 + 2.0 * cube(15.0);   // S'^{-1}.
+    flops += 2.0 * am * 15.0 * 15.0 + 2.0 * am * am * 15.0;  // Eq. 5.
+    // M-type Schur: Lambda M^{-1} Lambda^T on the retained states.
+    flops += 2.0 * rd * md * md + 2.0 * rd * rd * md;
+    flops += 2.0 * rd * md;                  // rp.
+    return flops;
+}
+
+double
+windowFlops(const slam::WindowWorkload &w, std::size_t iterations)
+{
+    return static_cast<double>(std::max<std::size_t>(iterations, 1)) *
+               nlsIterationFlops(w) +
+           marginalizationFlops(w);
+}
+
+} // namespace archytas::baseline

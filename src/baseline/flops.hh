@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Analytical floating-point operation counts of the sliding-window MAP
+ * workload. The CPU baselines (Sec. 7.1) are modelled by scaling these
+ * counts with each platform's calibrated sustained throughput, so the
+ * accelerator comparison uses the *same* operation counts the real
+ * software solver executes (see DESIGN.md, substitution table).
+ */
+
+#ifndef ARCHYTAS_BASELINE_FLOPS_HH
+#define ARCHYTAS_BASELINE_FLOPS_HH
+
+#include "slam/state.hh"
+
+namespace archytas::baseline {
+
+/** FLOPs of one NLS solver iteration on the window workload. */
+double nlsIterationFlops(const slam::WindowWorkload &w);
+
+/** FLOPs of the marginalization phase. */
+double marginalizationFlops(const slam::WindowWorkload &w);
+
+/** FLOPs of a full window: Iter NLS iterations plus marginalization. */
+double windowFlops(const slam::WindowWorkload &w, std::size_t iterations);
+
+} // namespace archytas::baseline
+
+#endif // ARCHYTAS_BASELINE_FLOPS_HH

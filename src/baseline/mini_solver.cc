@@ -1,0 +1,314 @@
+#include "baseline/mini_solver.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "common/logging.hh"
+#include "linalg/cholesky.hh"
+
+namespace archytas::baseline {
+
+void
+Problem::addParameterBlock(double *values, int size)
+{
+    ARCHYTAS_ASSERT(values != nullptr && size > 0,
+                    "invalid parameter block");
+    for (const auto &b : blocks_)
+        ARCHYTAS_ASSERT(b.values != values,
+                        "parameter block registered twice");
+    blocks_.push_back({values, size, false, -1});
+}
+
+void
+Problem::setParameterBlockConstant(const double *values)
+{
+    for (auto &b : blocks_) {
+        if (b.values == values) {
+            b.constant = true;
+            return;
+        }
+    }
+    ARCHYTAS_FATAL("setParameterBlockConstant: unknown block");
+}
+
+void
+Problem::addResidualBlock(std::shared_ptr<CostFunction> cost,
+                          std::vector<double *> parameter_blocks)
+{
+    ARCHYTAS_ASSERT(cost != nullptr, "null cost function");
+    ARCHYTAS_ASSERT(cost->parameterSizes().size() ==
+                        parameter_blocks.size(),
+                    "parameter block arity mismatch");
+    ResidualBlock rb;
+    rb.cost = std::move(cost);
+    for (std::size_t i = 0; i < parameter_blocks.size(); ++i) {
+        bool found = false;
+        for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+            if (blocks_[bi].values == parameter_blocks[i]) {
+                ARCHYTAS_ASSERT(blocks_[bi].size ==
+                                    rb.cost->parameterSizes()[i],
+                                "parameter block size mismatch");
+                rb.block_indices.push_back(bi);
+                found = true;
+                break;
+            }
+        }
+        ARCHYTAS_ASSERT(found, "residual references unknown block");
+    }
+    residuals_.push_back(std::move(rb));
+}
+
+std::size_t
+Problem::activeDimension() const
+{
+    std::size_t dim = 0;
+    for (const auto &b : blocks_)
+        if (!b.constant)
+            dim += static_cast<std::size_t>(b.size);
+    return dim;
+}
+
+double
+Problem::cost() const
+{
+    double total = 0.0;
+    std::vector<const double *> params;
+    std::vector<double> res;
+    for (const auto &rb : residuals_) {
+        params.clear();
+        for (std::size_t bi : rb.block_indices)
+            params.push_back(blocks_[bi].values);
+        res.assign(static_cast<std::size_t>(rb.cost->residualSize()),
+                   0.0);
+        if (!rb.cost->evaluate(params.data(), res.data(), nullptr))
+            continue;
+        for (double r : res)
+            total += 0.5 * r * r;
+    }
+    return total;
+}
+
+/** Internal: shared scratch for the multithreaded accumulation. */
+struct SolverImpl
+{
+    /** Per-thread normal-equation accumulation. */
+    struct Accum
+    {
+        linalg::Matrix h;
+        linalg::Vector g;
+        double cost = 0.0;
+
+        explicit Accum(std::size_t dim) : h(dim, dim), g(dim) {}
+    };
+
+    static void
+    assignOffsets(Problem &p)
+    {
+        int offset = 0;
+        for (auto &b : p.blocks_) {
+            if (b.constant) {
+                b.offset = -1;
+            } else {
+                b.offset = offset;
+                offset += b.size;
+            }
+        }
+    }
+
+    /** Evaluates residual blocks [begin, end) into the accumulator. */
+    static void
+    accumulateRange(const Problem &p, std::size_t begin, std::size_t end,
+                    Accum &acc)
+    {
+        std::vector<const double *> params;
+        std::vector<double> residuals;
+        std::vector<std::vector<double>> jac_storage;
+        std::vector<double *> jacobians;
+
+        for (std::size_t r = begin; r < end; ++r) {
+            const auto &rb = p.residuals_[r];
+            const int res_size = rb.cost->residualSize();
+            const auto &sizes = rb.cost->parameterSizes();
+
+            params.clear();
+            jac_storage.resize(sizes.size());
+            jacobians.clear();
+            for (std::size_t i = 0; i < sizes.size(); ++i) {
+                params.push_back(p.blocks_[rb.block_indices[i]].values);
+                jac_storage[i].assign(
+                    static_cast<std::size_t>(res_size * sizes[i]), 0.0);
+                jacobians.push_back(jac_storage[i].data());
+            }
+            residuals.assign(static_cast<std::size_t>(res_size), 0.0);
+            if (!rb.cost->evaluate(params.data(), residuals.data(),
+                                   jacobians.data()))
+                continue;
+
+            for (double x : residuals)
+                acc.cost += 0.5 * x * x;
+
+            // Fold J^T J and -J^T r into the active coordinates.
+            for (std::size_t i = 0; i < sizes.size(); ++i) {
+                const auto &bi = p.blocks_[rb.block_indices[i]];
+                if (bi.constant)
+                    continue;
+                const double *ji = jac_storage[i].data();
+                // Gradient side.
+                for (int ci = 0; ci < bi.size; ++ci) {
+                    double dot = 0.0;
+                    for (int rr = 0; rr < res_size; ++rr)
+                        dot += ji[rr * bi.size + ci] * residuals[
+                            static_cast<std::size_t>(rr)];
+                    acc.g[static_cast<std::size_t>(bi.offset + ci)] -=
+                        dot;
+                }
+                // Hessian blocks (i, j).
+                for (std::size_t j = 0; j < sizes.size(); ++j) {
+                    const auto &bj = p.blocks_[rb.block_indices[j]];
+                    if (bj.constant)
+                        continue;
+                    const double *jj = jac_storage[j].data();
+                    for (int ci = 0; ci < bi.size; ++ci)
+                        for (int cj = 0; cj < bj.size; ++cj) {
+                            double dot = 0.0;
+                            for (int rr = 0; rr < res_size; ++rr)
+                                dot += ji[rr * bi.size + ci] *
+                                       jj[rr * bj.size + cj];
+                            acc.h(static_cast<std::size_t>(bi.offset +
+                                                           ci),
+                                  static_cast<std::size_t>(bj.offset +
+                                                           cj)) += dot;
+                        }
+                }
+            }
+        }
+    }
+
+    static Accum
+    buildNormalEquations(const Problem &p, std::size_t dim,
+                         std::size_t num_threads)
+    {
+        const std::size_t n = p.residuals_.size();
+        const std::size_t threads =
+            std::max<std::size_t>(1, std::min(num_threads, n));
+        std::vector<Accum> partials;
+        partials.reserve(threads);
+        for (std::size_t t = 0; t < threads; ++t)
+            partials.emplace_back(dim);
+
+        if (threads == 1) {
+            accumulateRange(p, 0, n, partials[0]);
+        } else {
+            std::vector<std::thread> workers;
+            const std::size_t chunk = (n + threads - 1) / threads;
+            for (std::size_t t = 0; t < threads; ++t) {
+                const std::size_t begin = t * chunk;
+                const std::size_t end = std::min(n, begin + chunk);
+                workers.emplace_back([&p, begin, end, &partials, t]() {
+                    accumulateRange(p, begin, end, partials[t]);
+                });
+            }
+            for (auto &w : workers)
+                w.join();
+        }
+        // Reduce.
+        for (std::size_t t = 1; t < partials.size(); ++t) {
+            partials[0].h += partials[t].h;
+            partials[0].g += partials[t].g;
+            partials[0].cost += partials[t].cost;
+        }
+        return std::move(partials[0]);
+    }
+
+    static void
+    applyStep(Problem &p, const linalg::Vector &dx)
+    {
+        for (auto &b : p.blocks_) {
+            if (b.constant)
+                continue;
+            for (int i = 0; i < b.size; ++i)
+                b.values[i] += dx[static_cast<std::size_t>(b.offset + i)];
+        }
+    }
+
+    static std::vector<double>
+    snapshot(const Problem &p)
+    {
+        std::vector<double> snap;
+        for (const auto &b : p.blocks_)
+            snap.insert(snap.end(), b.values, b.values + b.size);
+        return snap;
+    }
+
+    static void
+    restore(Problem &p, const std::vector<double> &snap)
+    {
+        std::size_t k = 0;
+        for (auto &b : p.blocks_)
+            for (int i = 0; i < b.size; ++i)
+                b.values[i] = snap[k++];
+    }
+};
+
+SolveSummary
+solve(Problem &problem, const SolveOptions &options)
+{
+    SolverImpl::assignOffsets(problem);
+    const std::size_t dim = problem.activeDimension();
+    ARCHYTAS_ASSERT(dim > 0, "no free parameters to optimize");
+
+    SolveSummary summary;
+    double lambda = options.initial_lambda;
+
+    auto eq = SolverImpl::buildNormalEquations(problem, dim,
+                                               options.num_threads);
+    summary.initial_cost = eq.cost;
+    double cost = eq.cost;
+
+    for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+        ++summary.iterations;
+        bool accepted = false;
+        for (int retry = 0; retry < 8; ++retry) {
+            linalg::Matrix damped = eq.h;
+            for (std::size_t i = 0; i < dim; ++i)
+                damped(i, i) += lambda * (eq.h(i, i) + 1e-12);
+            const auto l = linalg::cholesky(damped);
+            if (!l) {
+                lambda *= options.lambda_up;
+                continue;
+            }
+            const linalg::Vector dx = linalg::backwardSubstitute(
+                *l, linalg::forwardSubstitute(*l, eq.g));
+            const auto snap = SolverImpl::snapshot(problem);
+            SolverImpl::applyStep(problem, dx);
+            const double new_cost = problem.cost();
+            if (std::isfinite(new_cost) && new_cost < cost) {
+                const double rel =
+                    (cost - new_cost) / std::max(cost, 1e-300);
+                cost = new_cost;
+                lambda = std::max(lambda * options.lambda_down, 1e-15);
+                accepted = true;
+                if (rel < options.relative_cost_tol)
+                    summary.converged = true;
+                break;
+            }
+            SolverImpl::restore(problem, snap);
+            lambda *= options.lambda_up;
+        }
+        if (!accepted) {
+            summary.converged = true;
+            break;
+        }
+        if (summary.converged)
+            break;
+        eq = SolverImpl::buildNormalEquations(problem, dim,
+                                              options.num_threads);
+        cost = eq.cost;
+    }
+    summary.final_cost = cost;
+    return summary;
+}
+
+} // namespace archytas::baseline

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A self-contained nonlinear least-squares solver with a ceres-like API:
+ * parameter blocks, residual blocks with analytic Jacobians, and a
+ * multithreaded Levenberg-Marquardt loop over dense normal equations.
+ * This is the repository's stand-in for "Google's ceres solver", which
+ * the paper's software baseline builds on (Sec. 7.1); it also powers the
+ * Sec. 7.7 generality studies (curve fitting for planning, AR pose
+ * estimation).
+ */
+
+#ifndef ARCHYTAS_BASELINE_MINI_SOLVER_HH
+#define ARCHYTAS_BASELINE_MINI_SOLVER_HH
+
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace archytas::baseline {
+
+/**
+ * A residual block's cost function. Implementations fill the residual
+ * vector and, when requested, the dense Jacobian blocks w.r.t. each
+ * parameter block (row-major, residual_size x block_size).
+ */
+class CostFunction
+{
+  public:
+    virtual ~CostFunction() = default;
+
+    /**
+     * @param parameters One pointer per parameter block.
+     * @param residuals  Output array of residualSize() entries.
+     * @param jacobians  Null, or one (possibly null) row-major block per
+     *                   parameter block.
+     * @return false when the evaluation is invalid at this point.
+     */
+    virtual bool evaluate(const double *const *parameters,
+                          double *residuals, double **jacobians) const = 0;
+
+    virtual int residualSize() const = 0;
+    virtual const std::vector<int> &parameterSizes() const = 0;
+};
+
+/** An NLS problem: parameter blocks plus residual blocks. */
+class Problem
+{
+  public:
+    /** Registers a parameter block (owned by the caller). */
+    void addParameterBlock(double *values, int size);
+
+    /** Marks a registered block constant (gauge fixing). */
+    void setParameterBlockConstant(const double *values);
+
+    /**
+     * Adds a residual block; the cost function is shared so one function
+     * object can serve many blocks.
+     */
+    void addResidualBlock(std::shared_ptr<CostFunction> cost,
+                          std::vector<double *> parameter_blocks);
+
+    std::size_t parameterBlockCount() const { return blocks_.size(); }
+    std::size_t residualBlockCount() const { return residuals_.size(); }
+
+    /** Total tangent dimension of the non-constant blocks. */
+    std::size_t activeDimension() const;
+
+    /** Total cost 0.5 * sum of squared residuals at the current state. */
+    double cost() const;
+
+  private:
+    friend struct SolverImpl;
+
+    struct ParameterBlock
+    {
+        double *values = nullptr;
+        int size = 0;
+        bool constant = false;
+        int offset = -1;   //!< Column offset in the active Jacobian.
+    };
+    struct ResidualBlock
+    {
+        std::shared_ptr<CostFunction> cost;
+        std::vector<std::size_t> block_indices;
+    };
+
+    std::vector<ParameterBlock> blocks_;
+    std::vector<ResidualBlock> residuals_;
+};
+
+/** Solver configuration. */
+struct SolveOptions
+{
+    std::size_t max_iterations = 50;
+    std::size_t num_threads = 1;
+    double initial_lambda = 1e-4;
+    double lambda_up = 10.0;
+    double lambda_down = 0.1;
+    double relative_cost_tol = 1e-10;
+};
+
+/** Solve outcome. */
+struct SolveSummary
+{
+    std::size_t iterations = 0;
+    double initial_cost = 0.0;
+    double final_cost = 0.0;
+    bool converged = false;
+};
+
+/** Runs multithreaded LM, updating the parameter blocks in place. */
+SolveSummary solve(Problem &problem, const SolveOptions &options = {});
+
+} // namespace archytas::baseline
+
+#endif // ARCHYTAS_BASELINE_MINI_SOLVER_HH

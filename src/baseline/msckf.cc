@@ -1,0 +1,483 @@
+#include "baseline/msckf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "linalg/cholesky.hh"
+#include "slam/factors.hh"
+
+namespace archytas::baseline {
+
+namespace {
+
+using slam::Mat3;
+using slam::Quaternion;
+using slam::Vec3;
+
+void
+setBlock3(linalg::Matrix &m, std::size_t r0, std::size_t c0, const Mat3 &b)
+{
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 3; ++c)
+            m(r0 + r, c0 + c) = b(r, c);
+}
+
+/**
+ * Applies Householder reflections that triangularize hf (n x 3) to r
+ * (n) and hx (n x dim) in place, then returns the row range [3, n) —
+ * the left-null-space projection of the landmark Jacobian (the MSCKF
+ * trick removing the unknown feature position from the update).
+ */
+void
+projectLeftNull(linalg::Matrix &hf, linalg::Vector &r, linalg::Matrix &hx)
+{
+    const std::size_t n = hf.rows();
+    ARCHYTAS_ASSERT(hf.cols() == 3 && r.size() == n && hx.rows() == n,
+                    "null-space projection shape mismatch");
+    for (std::size_t k = 0; k < 3 && k + 1 < n; ++k) {
+        // Householder vector for column k below the diagonal.
+        double norm = 0.0;
+        for (std::size_t i = k; i < n; ++i)
+            norm += hf(i, k) * hf(i, k);
+        norm = std::sqrt(norm);
+        if (norm < 1e-12)
+            continue;
+        std::vector<double> v(n, 0.0);
+        const double alpha = hf(k, k) >= 0.0 ? -norm : norm;
+        v[k] = hf(k, k) - alpha;
+        for (std::size_t i = k + 1; i < n; ++i)
+            v[i] = hf(i, k);
+        double vtv = 0.0;
+        for (std::size_t i = k; i < n; ++i)
+            vtv += v[i] * v[i];
+        if (vtv < 1e-24)
+            continue;
+        const double beta = 2.0 / vtv;
+
+        const auto reflect_matrix = [&](linalg::Matrix &m) {
+            for (std::size_t c = 0; c < m.cols(); ++c) {
+                double dot = 0.0;
+                for (std::size_t i = k; i < n; ++i)
+                    dot += v[i] * m(i, c);
+                dot *= beta;
+                for (std::size_t i = k; i < n; ++i)
+                    m(i, c) -= dot * v[i];
+            }
+        };
+        reflect_matrix(hf);
+        reflect_matrix(hx);
+        double dot = 0.0;
+        for (std::size_t i = k; i < n; ++i)
+            dot += v[i] * r[i];
+        dot *= beta;
+        for (std::size_t i = k; i < n; ++i)
+            r[i] -= dot * v[i];
+    }
+}
+
+} // namespace
+
+MsckfEstimator::MsckfEstimator(const slam::PinholeCamera &camera,
+                               const MsckfOptions &options)
+    : camera_(camera), options_(options), cov_(15, 15)
+{
+    ARCHYTAS_ASSERT(options.max_clones >= 3, "window too small");
+}
+
+void
+MsckfEstimator::propagate(const std::vector<slam::ImuSample> &samples)
+{
+    const Vec3 g = slam::gravityVector();
+    const std::size_t dim = stateDim();
+
+    for (const auto &s : samples) {
+        const double dt = s.dt;
+        const double dt2 = dt * dt;
+        const Vec3 w = s.gyro - bias_gyro_;
+        const Vec3 a = s.accel - bias_accel_;
+        const Mat3 r = pose_.q.toRotationMatrix();
+        const Mat3 d_rot = slam::so3Exp(w * dt);
+        const Mat3 jr = slam::so3RightJacobian(w * dt);
+        const Mat3 a_hat = slam::skew(a);
+
+        // Error-state transition on [theta, p, v, bg, ba].
+        linalg::Matrix f = linalg::Matrix::identity(15);
+        setBlock3(f, 0, 0, d_rot.transposed());
+        setBlock3(f, 0, 9, jr * -dt);
+        setBlock3(f, 3, 6, Mat3::identity() * dt);
+        setBlock3(f, 3, 0, (r * a_hat) * (-0.5 * dt2));
+        setBlock3(f, 3, 12, r * (-0.5 * dt2));
+        setBlock3(f, 6, 0, (r * a_hat) * -dt);
+        setBlock3(f, 6, 12, r * -dt);
+
+        // Process noise (gyro, accel, bias walks).
+        const double sg2 =
+            options_.imu_noise.gyro_noise * options_.imu_noise.gyro_noise /
+            dt;
+        const double sa2 = options_.imu_noise.accel_noise *
+                           options_.imu_noise.accel_noise / dt;
+        const double swg2 = options_.imu_noise.gyro_walk *
+                            options_.imu_noise.gyro_walk * dt;
+        const double swa2 = options_.imu_noise.accel_walk *
+                            options_.imu_noise.accel_walk * dt;
+        linalg::Matrix q(15, 15);
+        for (int i = 0; i < 3; ++i) {
+            q(i, i) = sg2 * dt2;
+            q(3 + i, 3 + i) = sa2 * dt2 * dt2 / 4.0;
+            q(6 + i, 6 + i) = sa2 * dt2;
+            q(9 + i, 9 + i) = swg2;
+            q(12 + i, 12 + i) = swa2;
+        }
+
+        // Covariance: the IMU block and the IMU-clone cross terms.
+        const linalg::Matrix p_ii = cov_.block(0, 0, 15, 15);
+        cov_.setBlock(0, 0, f * p_ii * f.transposed() + q);
+        if (dim > 15) {
+            const linalg::Matrix p_ic =
+                cov_.block(0, 15, 15, dim - 15);
+            const linalg::Matrix fp = f * p_ic;
+            cov_.setBlock(0, 15, fp);
+            cov_.setBlock(15, 0, fp.transposed());
+        }
+
+        // Nominal state (pre-update R/v as in the preintegrator).
+        pose_.p += velocity_ * dt + g * (0.5 * dt2) + r * (a * (0.5 * dt2));
+        velocity_ += g * dt + r * (a * dt);
+        pose_.q = (pose_.q * Quaternion::fromRotationMatrix(d_rot))
+                      .normalized();
+    }
+}
+
+void
+MsckfEstimator::cloneState(std::uint64_t frame_id)
+{
+    const std::size_t dim = stateDim();
+    // Augment: the new clone's error is a copy of the IMU pose error.
+    linalg::Matrix bigger(dim + 6, dim + 6);
+    bigger.setBlock(0, 0, cov_);
+    // J selects rows [theta(0..2), p(3..5)].
+    linalg::Matrix jp(6, dim);
+    for (int i = 0; i < 6; ++i)
+        jp(i, i) = 1.0;
+    const linalg::Matrix cross = jp * cov_;
+    bigger.setBlock(dim, 0, cross);
+    bigger.setBlock(0, dim, cross.transposed());
+    bigger.setBlock(dim, dim, cross * jp.transposed());
+    cov_ = std::move(bigger);
+
+    clones_.push_back({pose_, frame_id});
+}
+
+void
+MsckfEstimator::dropOldestClone()
+{
+    const std::size_t dim = stateDim();
+    ARCHYTAS_ASSERT(!clones_.empty(), "no clone to drop");
+    // The oldest clone occupies error columns [15, 21).
+    linalg::Matrix smaller(dim - 6, dim - 6);
+    const auto map = [](std::size_t i) {
+        return i < 15 ? i : i + 6;
+    };
+    for (std::size_t r = 0; r < dim - 6; ++r)
+        for (std::size_t c = 0; c < dim - 6; ++c)
+            smaller(r, c) = cov_(map(r), map(c));
+    cov_ = std::move(smaller);
+    clones_.pop_front();
+
+    // Re-index the tracks; observations of the dropped clone vanish.
+    for (auto &[id, track] : tracks_) {
+        (void)id;
+        std::vector<std::size_t> idx;
+        std::vector<slam::Vec2> px;
+        for (std::size_t i = 0; i < track.clone_indices.size(); ++i) {
+            if (track.clone_indices[i] == 0)
+                continue;
+            idx.push_back(track.clone_indices[i] - 1);
+            px.push_back(track.pixels[i]);
+        }
+        track.clone_indices = std::move(idx);
+        track.pixels = std::move(px);
+    }
+}
+
+bool
+MsckfEstimator::triangulate(const Track &track, Vec3 *point) const
+{
+    if (track.clone_indices.size() < 2)
+        return false;
+    const Clone &a = clones_[track.clone_indices.front()];
+    const Clone &b = clones_[track.clone_indices.back()];
+    const Vec3 da = a.pose.q.rotate(camera_.bearing(track.pixels.front()));
+    const Vec3 db = b.pose.q.rotate(camera_.bearing(track.pixels.back()));
+    const Vec3 base = b.pose.p - a.pose.p;
+    if (base.norm() < 0.05)
+        return false;
+    const double a11 = da.dot(da), a12 = -da.dot(db);
+    const double a21 = da.dot(db), a22 = -db.dot(db);
+    const double b1 = da.dot(base), b2 = db.dot(base);
+    const double det = a11 * a22 - a12 * a21;
+    if (std::abs(det) < 1e-9)
+        return false;
+    const double s = (b1 * a22 - a12 * b2) / det;
+    if (s < 0.5 || s > 150.0)
+        return false;
+    *point = a.pose.p + da * s;
+    return true;
+}
+
+void
+MsckfEstimator::updateFromTracks(MsckfResult &result)
+{
+    const std::size_t dim = stateDim();
+
+    // Collect rows from every finished track.
+    std::vector<linalg::Vector> r_rows;
+    std::vector<linalg::Matrix> h_rows;
+    std::size_t total_rows = 0;
+    std::vector<std::uint64_t> consumed;
+
+    for (auto &[id, track] : tracks_) {
+        if (track.seen_this_frame)
+            continue;
+        consumed.push_back(id);
+        if (track.clone_indices.size() < 3)
+            continue;
+        Vec3 point;
+        if (!triangulate(track, &point))
+            continue;
+
+        const std::size_t m = track.clone_indices.size();
+        linalg::Vector r(2 * m);
+        linalg::Matrix hx(2 * m, dim);
+        linalg::Matrix hf(2 * m, 3);
+        bool valid = true;
+        for (std::size_t j = 0; j < m && valid; ++j) {
+            const Clone &clone = clones_[track.clone_indices[j]];
+            const Mat3 rt = clone.pose.q.toRotationMatrix().transposed();
+            const Vec3 p_cam = rt * (point - clone.pose.p);
+            if (p_cam.z < camera_.min_depth) {
+                valid = false;
+                break;
+            }
+            const slam::Vec2 predicted =
+                camera_.projectUnchecked(p_cam);
+            r[2 * j] = track.pixels[j].u - predicted.u;
+            r[2 * j + 1] = track.pixels[j].v - predicted.v;
+
+            const linalg::Matrix j_proj =
+                camera_.projectionJacobian(p_cam);
+            const Mat3 d_theta = slam::skew(p_cam);
+            const Mat3 d_p = rt * -1.0;
+            const std::size_t col =
+                15 + 6 * track.clone_indices[j];
+            for (int rr = 0; rr < 2; ++rr)
+                for (int cc = 0; cc < 3; ++cc) {
+                    double acc_t = 0.0, acc_p = 0.0, acc_f = 0.0;
+                    for (int k = 0; k < 3; ++k) {
+                        acc_t += j_proj(rr, k) * d_theta(k, cc);
+                        acc_p += j_proj(rr, k) * d_p(k, cc);
+                        acc_f -= j_proj(rr, k) * d_p(k, cc);
+                    }
+                    hx(2 * j + rr, col + cc) = acc_t;
+                    hx(2 * j + rr, col + 3 + cc) = acc_p;
+                    hf(2 * j + rr, cc) = acc_f;
+                }
+        }
+        if (!valid)
+            continue;
+        // Outlier gate: a grossly inconsistent track would poison the
+        // filter.
+        if (r.norm() / std::sqrt(static_cast<double>(2 * m)) >
+            10.0 * options_.pixel_sigma)
+            continue;
+
+        projectLeftNull(hf, r, hx);
+        // Keep rows [3, 2m).
+        const std::size_t rows = 2 * m - 3;
+        linalg::Vector rp(rows);
+        linalg::Matrix hp(rows, dim);
+        for (std::size_t i = 0; i < rows; ++i) {
+            rp[i] = r[3 + i];
+            for (std::size_t c = 0; c < dim; ++c)
+                hp(i, c) = hx(3 + i, c);
+        }
+        r_rows.push_back(std::move(rp));
+        h_rows.push_back(std::move(hp));
+        total_rows += rows;
+        ++result.updates_applied;
+    }
+    for (std::uint64_t id : consumed)
+        tracks_.erase(id);
+    if (total_rows == 0)
+        return;
+
+    // Apply the update track-batch by track-batch: sequential EKF
+    // updates with uncorrelated measurement noise are equivalent to the
+    // stacked update but keep the innovation system small and
+    // numerically tame.
+    const double sigma2 = options_.pixel_sigma * options_.pixel_sigma;
+    constexpr std::size_t kMaxBatchRows = 40;
+
+    std::size_t t = 0;
+    while (t < r_rows.size()) {
+        std::size_t rows = 0, end = t;
+        while (end < r_rows.size() &&
+               (rows == 0 || rows + r_rows[end].size() <= kMaxBatchRows)) {
+            rows += r_rows[end].size();
+            ++end;
+        }
+        linalg::Vector r_all(rows);
+        linalg::Matrix h_all(rows, dim);
+        std::size_t off = 0;
+        for (std::size_t b = t; b < end; ++b) {
+            for (std::size_t i = 0; i < r_rows[b].size(); ++i) {
+                r_all[off + i] = r_rows[b][i];
+                for (std::size_t c = 0; c < dim; ++c)
+                    h_all(off + i, c) = h_rows[b](i, c);
+            }
+            off += r_rows[b].size();
+        }
+        t = end;
+
+        const linalg::Matrix pht = cov_ * h_all.transposed();
+        linalg::Matrix s = h_all * pht;
+        for (std::size_t i = 0; i < rows; ++i)
+            s(i, i) += sigma2 + 1e-9;
+        // Symmetrize the innovation covariance before factoring.
+        for (std::size_t i = 0; i < rows; ++i)
+            for (std::size_t j = i + 1; j < rows; ++j) {
+                const double v = 0.5 * (s(i, j) + s(j, i));
+                s(i, j) = v;
+                s(j, i) = v;
+            }
+        const auto l = linalg::cholesky(s);
+        if (!l) {
+            ARCHYTAS_WARN("MSCKF innovation not PD; batch skipped");
+            continue;
+        }
+        const linalg::Matrix s_inv = linalg::choleskyInverse(s);
+        const linalg::Matrix k = pht * s_inv;
+        const linalg::Vector dx = k * r_all;
+
+        // Joseph-form covariance update, then symmetrize: round-off
+        // asymmetry is what eventually breaks positive definiteness.
+        linalg::Matrix ikh = linalg::Matrix::identity(dim) - k * h_all;
+        cov_ = ikh * cov_ * ikh.transposed() +
+               sigma2 * (k * k.transposed());
+        for (std::size_t i = 0; i < dim; ++i)
+            for (std::size_t j = i + 1; j < dim; ++j) {
+                const double v = 0.5 * (cov_(i, j) + cov_(j, i));
+                cov_(i, j) = v;
+                cov_(j, i) = v;
+            }
+
+        injectErrorState(dx);
+
+        result.update_flops +=
+            2.0 * static_cast<double>(rows) * dim * dim +      // P H^T.
+            static_cast<double>(rows * rows) *
+                (2.0 * dim + rows / 3.0) +                     // S, S^-1.
+            4.0 * static_cast<double>(dim) * dim *
+                (dim + static_cast<double>(rows));             // Joseph.
+    }
+}
+
+void
+MsckfEstimator::injectErrorState(const linalg::Vector &dx)
+{
+    ARCHYTAS_ASSERT(dx.size() == stateDim(), "error state shape");
+    pose_.q = (pose_.q * Quaternion::fromAxisAngle(
+                             {dx[0], dx[1], dx[2]}))
+                  .normalized();
+    pose_.p += Vec3{dx[3], dx[4], dx[5]};
+    velocity_ += Vec3{dx[6], dx[7], dx[8]};
+    bias_gyro_ += Vec3{dx[9], dx[10], dx[11]};
+    bias_accel_ += Vec3{dx[12], dx[13], dx[14]};
+    for (std::size_t i = 0; i < clones_.size(); ++i) {
+        const std::size_t off = 15 + 6 * i;
+        clones_[i].pose.q =
+            (clones_[i].pose.q *
+             Quaternion::fromAxisAngle(
+                 {dx[off], dx[off + 1], dx[off + 2]}))
+                .normalized();
+        clones_[i].pose.p +=
+            Vec3{dx[off + 3], dx[off + 4], dx[off + 5]};
+    }
+}
+
+MsckfResult
+MsckfEstimator::processFrame(const dataset::FrameData &frame)
+{
+    MsckfResult result;
+    result.timestamp = frame.timestamp;
+    result.ground_truth = frame.ground_truth.pose;
+
+    if (!bootstrapped_) {
+        pose_ = frame.ground_truth.pose;
+        velocity_ = frame.ground_truth.velocity;
+        bias_gyro_ = frame.ground_truth.bias_gyro +
+                     Vec3{options_.bootstrap_gyro_bias_error,
+                          -options_.bootstrap_gyro_bias_error,
+                          options_.bootstrap_gyro_bias_error};
+        bias_accel_ = frame.ground_truth.bias_accel +
+                      Vec3{options_.bootstrap_accel_bias_error,
+                           -options_.bootstrap_accel_bias_error,
+                           options_.bootstrap_accel_bias_error};
+        for (int i = 0; i < 3; ++i) {
+            cov_(i, i) = options_.init_orientation_sigma *
+                         options_.init_orientation_sigma;
+            cov_(3 + i, 3 + i) = options_.init_position_sigma *
+                                 options_.init_position_sigma;
+            cov_(6 + i, 6 + i) = options_.init_velocity_sigma *
+                                 options_.init_velocity_sigma;
+            cov_(9 + i, 9 + i) = options_.init_bias_gyro_sigma *
+                                 options_.init_bias_gyro_sigma;
+            cov_(12 + i, 12 + i) = options_.init_bias_accel_sigma *
+                                   options_.init_bias_accel_sigma;
+        }
+        bootstrapped_ = true;
+    } else {
+        propagate(frame.imu);
+        result.propagate_flops +=
+            static_cast<double>(frame.imu.size()) *
+            (4.0 * 15.0 * 15.0 * 15.0 +
+             4.0 * 15.0 * 15.0 * static_cast<double>(stateDim() - 15));
+    }
+
+    if (clones_.size() >= options_.max_clones)
+        dropOldestClone();
+    cloneState(frame.ground_truth.frame_id);
+
+    // Register observations on the newest clone.
+    for (auto &[id, track] : tracks_)
+        track.seen_this_frame = false;
+    const std::size_t newest = clones_.size() - 1;
+    for (const auto &obs : frame.observations) {
+        Track &track = tracks_[obs.track_id];
+        track.clone_indices.push_back(newest);
+        track.pixels.push_back(obs.pixel);
+        track.seen_this_frame = true;
+    }
+
+    updateFromTracks(result);
+
+    result.estimated = pose_;
+    result.position_error =
+        (pose_.p - frame.ground_truth.pose.p).norm();
+    result.rotation_error =
+        slam::rotationDistance(pose_.q, frame.ground_truth.pose.q);
+    return result;
+}
+
+std::vector<MsckfResult>
+MsckfEstimator::run(const dataset::Sequence &sequence)
+{
+    std::vector<MsckfResult> results;
+    results.reserve(sequence.frameCount());
+    for (const auto &frame : sequence.frames())
+        results.push_back(processFrame(frame));
+    return results;
+}
+
+} // namespace archytas::baseline

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * CPU platform cost models standing in for the paper's measured
+ * baselines (Sec. 7.1): a 12-core Intel Comet Lake at 2.9 GHz and the
+ * quad-core Arm Cortex-A57 of a Jetson TX1 at 1.9 GHz. Each platform is
+ * characterized by a sustained effective throughput on this workload
+ * (calibrated -- see DESIGN.md) and an average package power, from
+ * which window execution time and energy follow.
+ */
+
+#ifndef ARCHYTAS_BASELINE_PLATFORM_MODEL_HH
+#define ARCHYTAS_BASELINE_PLATFORM_MODEL_HH
+
+#include <string>
+
+#include "baseline/flops.hh"
+
+namespace archytas::baseline {
+
+/** A CPU platform's calibrated execution model. */
+struct CpuPlatform
+{
+    std::string name;
+    std::size_t cores = 1;
+    double frequency_hz = 1e9;
+    /**
+     * Sustained effective GFLOP/s on the sliding-window workload: the
+     * multithreaded vectorized software implementation does not reach
+     * peak throughput on these small, irregularly structured kernels.
+     */
+    double sustained_gflops = 1.0;
+    /** Average package power while running the workload (watts). */
+    double power_w = 10.0;
+
+    /** Window execution time in milliseconds. */
+    double windowTimeMs(const slam::WindowWorkload &w,
+                        std::size_t iterations) const;
+
+    /** Window energy in millijoules. */
+    double windowEnergyMj(const slam::WindowWorkload &w,
+                          std::size_t iterations) const;
+};
+
+/**
+ * Intel Comet Lake (12 C / 2.9 GHz). Sustained throughput is calibrated
+ * so the High-Perf accelerator's speedup on the KITTI-like workload
+ * lands at the paper's reported ~6.2x (Sec. 7.4).
+ */
+CpuPlatform intelCometLake();
+
+/** Arm Cortex-A57 (4 C / 1.9 GHz, Jetson TX1), calibrated to ~39.7x. */
+CpuPlatform armCortexA57();
+
+} // namespace archytas::baseline
+
+#endif // ARCHYTAS_BASELINE_PLATFORM_MODEL_HH

@@ -1,0 +1,51 @@
+#include "baseline/prior_accel.hh"
+
+namespace archytas::baseline {
+
+std::vector<PriorAccelerator>
+priorAccelerators()
+{
+    // Ratios as published in Sec. 7.5 of the paper.
+    return {
+        {"pi-BA", "IEEE TC 2020", ComparisonBasis::PerNlsIteration,
+         137.0, 132.0,
+         "Jacobian + Schur elimination only; no marginalization"},
+        {"BAX", "IEEE Access 2020", ComparisonBasis::PerNlsIteration,
+         9.0, 1.0 / (1.0 - 0.44),
+         "full BA accelerator with generic vector units; no "
+         "marginalization"},
+        {"Zhang et al.", "RSS 2017", ComparisonBasis::EndToEnd, 20.0,
+         1.0,
+         "algorithm/hardware co-design, on-manifold GN (2x fewer "
+         "resources than Archytas High-Perf)"},
+        {"PISCES", "DAC 2020", ComparisonBasis::EndToEnd, 5.4,
+         1.0 / 3.0,
+         "HLS-based full SLAM pipeline; BA stage compared (Archytas "
+         "spends ~3x the energy)"},
+    };
+}
+
+std::vector<DerivedComparison>
+deriveComparisons(double archytas_per_iter_ms, double archytas_per_iter_mj,
+                  double archytas_window_ms, double archytas_window_mj)
+{
+    std::vector<DerivedComparison> out;
+    for (const auto &accel : priorAccelerators()) {
+        DerivedComparison d;
+        d.accel = accel;
+        const double base_ms =
+            accel.basis == ComparisonBasis::PerNlsIteration
+                ? archytas_per_iter_ms
+                : archytas_window_ms;
+        const double base_mj =
+            accel.basis == ComparisonBasis::PerNlsIteration
+                ? archytas_per_iter_mj
+                : archytas_window_mj;
+        d.implied_time_ms = base_ms * accel.archytas_speedup;
+        d.implied_energy_mj = base_mj * accel.archytas_energy_reduction;
+        out.push_back(d);
+    }
+    return out;
+}
+
+} // namespace archytas::baseline

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Prior localization-accelerator comparators (Sec. 7.5). Each entry
+ * encodes a published accelerator's normalized standing relative to the
+ * paper's High-Perf design — per-NLS-iteration throughput and energy
+ * where the paper normalizes that way (pi-BA, BAX), end-to-end
+ * otherwise. The comparison harness re-derives the section's claims
+ * from these anchors and the measured Archytas numbers (see DESIGN.md:
+ * Sec. 7.5 is itself a normalization of published numbers, which is the
+ * closest reproducible equivalent without the original RTL).
+ */
+
+#ifndef ARCHYTAS_BASELINE_PRIOR_ACCEL_HH
+#define ARCHYTAS_BASELINE_PRIOR_ACCEL_HH
+
+#include <string>
+#include <vector>
+
+namespace archytas::baseline {
+
+/** How a comparison is normalized. */
+enum class ComparisonBasis
+{
+    PerNlsIteration,   //!< pi-BA / BAX (BAL dataset, per-iteration).
+    EndToEnd,          //!< Zhang et al. / PISCES (EuRoC sequences).
+};
+
+/** One prior accelerator's published relation to Archytas High-Perf. */
+struct PriorAccelerator
+{
+    std::string name;
+    std::string venue;
+    ComparisonBasis basis = ComparisonBasis::EndToEnd;
+    /** Paper-reported Archytas speedup over this accelerator. */
+    double archytas_speedup = 1.0;
+    /** Paper-reported Archytas energy ratio (>1 = Archytas cheaper). */
+    double archytas_energy_reduction = 1.0;
+    /** What the accelerator covers (marginalization support etc.). */
+    std::string scope;
+};
+
+/** The Sec. 7.5 comparator set with the paper's published ratios. */
+std::vector<PriorAccelerator> priorAccelerators();
+
+/**
+ * Given Archytas' measured per-iteration (or end-to-end) time and
+ * energy, derive each prior accelerator's implied time and energy on
+ * the same basis.
+ */
+struct DerivedComparison
+{
+    PriorAccelerator accel;
+    double implied_time_ms = 0.0;
+    double implied_energy_mj = 0.0;
+};
+
+std::vector<DerivedComparison> deriveComparisons(
+    double archytas_per_iter_ms, double archytas_per_iter_mj,
+    double archytas_window_ms, double archytas_window_mj);
+
+} // namespace archytas::baseline
+
+#endif // ARCHYTAS_BASELINE_PRIOR_ACCEL_HH

@@ -1,0 +1,45 @@
+#include "common/logging.hh"
+
+#include <stdexcept>
+
+namespace archytas {
+namespace detail {
+
+void
+emitMessage(std::string_view prefix, const std::string &message,
+            const char *file, int line)
+{
+    std::cerr << prefix << ": " << message << " (" << file << ":" << line
+              << ")\n";
+}
+
+void
+panicImpl(const std::string &message, const char *file, int line)
+{
+    emitMessage("panic", message, file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &message, const char *file, int line)
+{
+    emitMessage("fatal", message, file, line);
+    // Throw instead of exit(1) so that library consumers (and tests) can
+    // observe user-error conditions; uncaught it still terminates.
+    throw std::runtime_error(message);
+}
+
+void
+warnImpl(const std::string &message, const char *file, int line)
+{
+    emitMessage("warn", message, file, line);
+}
+
+void
+informImpl(const std::string &message)
+{
+    std::cerr << "info: " << message << "\n";
+}
+
+} // namespace detail
+} // namespace archytas

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Status-message and error-termination helpers, modelled on gem5's
+ * logging discipline: panic() for internal invariant violations (bugs),
+ * fatal() for user errors (bad configuration), warn()/inform() for
+ * non-fatal diagnostics.
+ */
+
+#ifndef ARCHYTAS_COMMON_LOGGING_HH
+#define ARCHYTAS_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace archytas {
+
+namespace detail {
+
+/** Formats "<prefix>: <message> (<file>:<line>)" onto stderr. */
+void emitMessage(std::string_view prefix, const std::string &message,
+                 const char *file, int line);
+
+/** Concatenates all arguments using operator<< into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const std::string &message, const char *file,
+                            int line);
+[[noreturn]] void fatalImpl(const std::string &message, const char *file,
+                            int line);
+void warnImpl(const std::string &message, const char *file, int line);
+void informImpl(const std::string &message);
+
+} // namespace detail
+
+} // namespace archytas
+
+/**
+ * Terminate because an internal invariant was violated; this indicates a
+ * bug in Archytas itself, never a user error.
+ */
+#define ARCHYTAS_PANIC(...)                                                  \
+    ::archytas::detail::panicImpl(::archytas::detail::concat(__VA_ARGS__),   \
+                                  __FILE__, __LINE__)
+
+/**
+ * Terminate because of an unrecoverable user error (invalid configuration,
+ * infeasible constraints, malformed input).
+ */
+#define ARCHYTAS_FATAL(...)                                                  \
+    ::archytas::detail::fatalImpl(::archytas::detail::concat(__VA_ARGS__),   \
+                                  __FILE__, __LINE__)
+
+/** Warn about suspicious but survivable conditions. */
+#define ARCHYTAS_WARN(...)                                                   \
+    ::archytas::detail::warnImpl(::archytas::detail::concat(__VA_ARGS__),    \
+                                 __FILE__, __LINE__)
+
+/** Informational status message. */
+#define ARCHYTAS_INFORM(...)                                                 \
+    ::archytas::detail::informImpl(::archytas::detail::concat(__VA_ARGS__))
+
+/** Assert that cond holds; panics (bug) otherwise. */
+#define ARCHYTAS_ASSERT(cond, ...)                                           \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ARCHYTAS_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__);   \
+        }                                                                    \
+    } while (0)
+
+#endif // ARCHYTAS_COMMON_LOGGING_HH

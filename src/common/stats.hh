@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small statistics helpers shared by the evaluation harness: mean, standard
+ * deviation, RMSE, percentiles, and a streaming accumulator.
+ */
+
+#ifndef ARCHYTAS_COMMON_STATS_HH
+#define ARCHYTAS_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace archytas {
+
+/** Arithmetic mean; 0 for an empty sequence. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n-1 denominator); 0 for fewer than 2 items. */
+double stddev(const std::vector<double> &xs);
+
+/** Root-mean-square of the elements; 0 for an empty sequence. */
+double rms(const std::vector<double> &xs);
+
+/** Root-mean-square error between two equal-length sequences. */
+double rmse(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Linear-interpolated percentile, p in [0, 100]. */
+double percentile(std::vector<double> xs, double p);
+
+/**
+ * Streaming accumulator of count/mean/min/max/variance using Welford's
+ * algorithm; cheap enough to keep per hardware block or per window.
+ */
+class RunningStats
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return mean_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    /** Sample variance; 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+} // namespace archytas
+
+#endif // ARCHYTAS_COMMON_STATS_HH

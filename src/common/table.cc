@@ -1,0 +1,64 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace archytas {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    ARCHYTAS_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    ARCHYTAS_ASSERT(cells.size() == headers_.size(),
+                    "row arity ", cells.size(), " != header arity ",
+                    headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::render(const std::string &caption) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    if (!caption.empty())
+        os << "== " << caption << " ==\n";
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+} // namespace archytas

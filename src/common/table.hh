@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fixed-width console table printer used by the benchmark harness so every
+ * reproduced table/figure prints in a uniform, diff-able format.
+ */
+
+#ifndef ARCHYTAS_COMMON_TABLE_HH
+#define ARCHYTAS_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace archytas {
+
+/**
+ * Accumulates rows of string cells and renders them with per-column
+ * auto-sizing, a header rule, and an optional caption.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends one row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: formats doubles with the given precision. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Renders the full table to a string. */
+    std::string render(const std::string &caption = "") const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace archytas
+
+#endif // ARCHYTAS_COMMON_TABLE_HH

@@ -1,0 +1,210 @@
+#include "dataset/sequence.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "slam/factors.hh"
+
+namespace archytas::dataset {
+
+Sequence::Sequence(const Trajectory &trajectory,
+                   const slam::PinholeCamera &camera,
+                   const SequenceConfig &config, SceneKind scene)
+    : camera_(camera), config_(config)
+{
+    ARCHYTAS_ASSERT(config.camera_rate > 0.0 && config.imu_rate > 0.0,
+                    "bad sensor rates");
+    ARCHYTAS_ASSERT(config.imu_rate >= 2.0 * config.camera_rate,
+                    "IMU must run faster than the camera");
+    Rng rng(config.seed);
+    generateLandmarks(trajectory, scene, rng);
+    generateFrames(trajectory, rng);
+}
+
+void
+Sequence::generateLandmarks(const Trajectory &trajectory, SceneKind scene,
+                            Rng &rng)
+{
+    landmarks_.reserve(config_.landmarks);
+    const double dur = trajectory.duration();
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = config_.landmarks * 50;
+    // Extend the field past the trajectory end so a forward-looking
+    // camera is not starved of features in the final seconds.
+    const double t_margin = scene == SceneKind::Roadside ? 8.0 : 0.0;
+    while (landmarks_.size() < config_.landmarks &&
+           attempts++ < max_attempts) {
+        const double t = rng.uniform(0.0, dur + t_margin);
+
+        // Density modulation: carve feature-poor stretches so the
+        // per-window workload varies like a real route (Fig. 11).
+        if (config_.density_modulation > 0.0) {
+            const double phase = 2.0 * M_PI * t / dur;
+            const double density =
+                1.0 - config_.density_modulation *
+                          (0.5 + 0.5 * std::sin(3.0 * phase) *
+                                     std::sin(7.0 * phase + 1.3));
+            if (!rng.bernoulli(std::clamp(density, 0.05, 1.0)))
+                continue;
+        }
+
+        const Pose ref = trajectory.pose(t);
+        Vec3 p;
+        if (scene == SceneKind::Roadside) {
+            // Structure in corridors beside the path: lateral offset,
+            // modest height, longitudinal jitter.
+            const double side = rng.bernoulli(0.5) ? 1.0 : -1.0;
+            const double lateral = side * rng.uniform(4.0, 28.0);
+            const double height = rng.uniform(-1.0, 7.0);
+            const double forward = rng.uniform(-4.0, 4.0);
+            // Offsets are applied in a gravity-aligned frame at the path
+            // point so the corridor of structure stays vertical.
+            const Vec3 fwd_w = ref.q.rotate(Vec3{0.0, 0.0, 1.0});
+            const Vec3 up_w{0.0, 0.0, 1.0};
+            const Vec3 left_w = up_w.cross(fwd_w).normalized();
+            p = ref.p + fwd_w * forward + left_w * lateral +
+                up_w * height;
+        } else {
+            // Points on the shell of a room enclosing the flight volume.
+            const double hx = 6.5, hy = 5.5, hz = 2.8;
+            const int face = rng.uniformInt(0, 5);
+            const double u = rng.uniform(-1.0, 1.0);
+            const double v = rng.uniform(-1.0, 1.0);
+            switch (face) {
+              case 0: p = {+hx, u * hy, hz * (0.5 + 0.5 * v) }; break;
+              case 1: p = {-hx, u * hy, hz * (0.5 + 0.5 * v) }; break;
+              case 2: p = {u * hx, +hy, hz * (0.5 + 0.5 * v) }; break;
+              case 3: p = {u * hx, -hy, hz * (0.5 + 0.5 * v) }; break;
+              case 4: p = {u * hx, v * hy, 0.0};                break;
+              default: p = {u * hx, v * hy, 2.0 * hz};          break;
+            }
+        }
+        landmarks_.push_back(p);
+    }
+}
+
+void
+Sequence::generateFrames(const Trajectory &trajectory, Rng &rng)
+{
+    const double dur = trajectory.duration();
+    const double frame_dt = 1.0 / config_.camera_rate;
+    const double imu_dt = 1.0 / config_.imu_rate;
+    const std::size_t n_frames =
+        static_cast<std::size_t>(std::floor(dur / frame_dt));
+
+    const double gyro_sigma = config_.imu_noise.gyro_noise /
+                              std::sqrt(imu_dt);
+    const double accel_sigma = config_.imu_noise.accel_noise /
+                               std::sqrt(imu_dt);
+    const Vec3 g = slam::gravityVector();
+
+    frames_.reserve(n_frames);
+    double prev_t = 0.0;
+    for (std::size_t i = 0; i < n_frames; ++i) {
+        // Keep a margin for the trajectory's finite differences.
+        const double t = std::max(2.0 * 1e-3, i * frame_dt);
+        FrameData frame;
+        frame.timestamp = t;
+
+        // Ground truth.
+        frame.ground_truth.pose = trajectory.pose(t);
+        frame.ground_truth.velocity = trajectory.velocity(t);
+        frame.ground_truth.bias_gyro = config_.bias_gyro;
+        frame.ground_truth.bias_accel = config_.bias_accel;
+        frame.ground_truth.timestamp = t;
+        frame.ground_truth.frame_id = i;
+
+        // IMU samples covering (prev_t, t].
+        if (i > 0) {
+            double s = prev_t;
+            while (s + imu_dt <= t + 1e-9) {
+                const double mid = s + imu_dt / 2.0;
+                slam::ImuSample sample;
+                sample.dt = imu_dt;
+                const Vec3 w_true = trajectory.angularVelocity(mid);
+                const Vec3 a_world = trajectory.acceleration(mid);
+                const Mat3 r_t =
+                    trajectory.pose(mid).q.toRotationMatrix().transposed();
+                const Vec3 f_body = r_t * (a_world - g);
+                sample.gyro =
+                    w_true + config_.bias_gyro +
+                    Vec3{rng.gaussian(0.0, gyro_sigma),
+                         rng.gaussian(0.0, gyro_sigma),
+                         rng.gaussian(0.0, gyro_sigma)};
+                sample.accel =
+                    f_body + config_.bias_accel +
+                    Vec3{rng.gaussian(0.0, accel_sigma),
+                         rng.gaussian(0.0, accel_sigma),
+                         rng.gaussian(0.0, accel_sigma)};
+                frame.imu.push_back(sample);
+                s += imu_dt;
+            }
+        }
+
+        // Visible landmarks -> observations.
+        const Pose cam_pose = frame.ground_truth.pose;
+        std::vector<std::pair<double, std::size_t>> visible;
+        for (std::size_t l = 0; l < landmarks_.size(); ++l) {
+            const Vec3 pc = cam_pose.inverseTransform(landmarks_[l]);
+            if (pc.z < camera_.min_depth || pc.norm() > config_.max_range)
+                continue;
+            const auto px = camera_.project(pc);
+            if (!px)
+                continue;
+            // Prefer close features (they are the best constrained),
+            // which also makes selection deterministic.
+            visible.emplace_back(pc.z, l);
+        }
+        std::sort(visible.begin(), visible.end());
+        const std::size_t take =
+            std::min(visible.size(), config_.max_features_per_frame);
+        for (std::size_t k = 0; k < take; ++k) {
+            const std::size_t l = visible[k].second;
+            const Vec3 pc = cam_pose.inverseTransform(landmarks_[l]);
+            const slam::Vec2 px = camera_.projectUnchecked(pc);
+            TrackObservation obs;
+            obs.track_id = l;
+            if (config_.outlier_fraction > 0.0 &&
+                rng.bernoulli(config_.outlier_fraction)) {
+                // Wrong correspondence: an arbitrary in-image pixel.
+                obs.pixel = {rng.uniform(0.0, camera_.width),
+                             rng.uniform(0.0, camera_.height)};
+            } else {
+                obs.pixel = {px.u + rng.gaussian(0.0,
+                                                 config_.pixel_noise),
+                             px.v + rng.gaussian(0.0,
+                                                 config_.pixel_noise)};
+            }
+            frame.observations.push_back(obs);
+        }
+
+        prev_t = t;
+        frames_.push_back(std::move(frame));
+    }
+}
+
+const Vec3 &
+Sequence::landmark(std::uint64_t track_id) const
+{
+    ARCHYTAS_ASSERT(track_id < landmarks_.size(), "unknown track id");
+    return landmarks_[track_id];
+}
+
+Sequence
+makeKittiLikeSequence(const SequenceConfig &config,
+                      const slam::PinholeCamera &camera)
+{
+    VehicleTrajectory traj(config.duration, 10.0);
+    return Sequence(traj, camera, config, SceneKind::Roadside);
+}
+
+Sequence
+makeEurocLikeSequence(const SequenceConfig &config,
+                      const slam::PinholeCamera &camera)
+{
+    DroneTrajectory traj(config.duration, 1.0);
+    return Sequence(traj, camera, config, SceneKind::Room);
+}
+
+} // namespace archytas::dataset

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Synthetic sensor-sequence generator. Given a ground-truth trajectory it
+ * produces, per camera frame: the true keyframe state, the IMU samples
+ * since the previous frame (bias + noise corrupted), and the visible
+ * feature observations (pixel-noise corrupted, identified by persistent
+ * track ids). Landmark density is modulated along the route so that the
+ * feature count per sliding window varies, which is the workload dynamism
+ * the paper's run-time optimizer exploits (Sec. 6.1, Fig. 11).
+ */
+
+#ifndef ARCHYTAS_DATASET_SEQUENCE_HH
+#define ARCHYTAS_DATASET_SEQUENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "slam/camera.hh"
+#include "slam/imu.hh"
+#include "slam/state.hh"
+#include "dataset/trajectory.hh"
+
+namespace archytas::dataset {
+
+/** One feature observation in a frame. */
+struct TrackObservation
+{
+    std::uint64_t track_id = 0;
+    slam::Vec2 pixel;
+};
+
+/** Everything the estimator receives for one camera frame. */
+struct FrameData
+{
+    double timestamp = 0.0;
+    slam::KeyframeState ground_truth;
+    /** IMU samples covering (previous frame, this frame]. */
+    std::vector<slam::ImuSample> imu;
+    std::vector<TrackObservation> observations;
+};
+
+/** Generator configuration. */
+struct SequenceConfig
+{
+    double duration = 60.0;          //!< Seconds.
+    double camera_rate = 10.0;       //!< Frames per second.
+    double imu_rate = 200.0;         //!< Samples per second.
+    std::size_t landmarks = 4000;    //!< Landmark budget.
+    double pixel_noise = 0.5;        //!< Std-dev of pixel noise.
+    double max_range = 60.0;         //!< Visibility range (m).
+    std::size_t max_features_per_frame = 120;
+    slam::ImuNoise imu_noise;
+    Vec3 bias_gyro{0.004, -0.003, 0.002};
+    Vec3 bias_accel{0.05, 0.03, -0.04};
+    /**
+     * Depth (0..1) of the landmark-density modulation along the route;
+     * 0 keeps density uniform, larger values carve feature-poor zones.
+     */
+    double density_modulation = 0.6;
+    /**
+     * Fraction of observations replaced by wrong correspondences
+     * (uniform random in-image pixels), emulating front-end matching
+     * failures. 0 disables outliers.
+     */
+    double outlier_fraction = 0.0;
+    std::uint64_t seed = 42;
+};
+
+/** Kind of environment the landmarks are laid out for. */
+enum class SceneKind
+{
+    Roadside,   //!< KITTI-like: corridors of structure beside the path.
+    Room,       //!< EuRoC-like: points on the walls of a closed volume.
+};
+
+/** A fully generated sequence of frames. */
+class Sequence
+{
+  public:
+    /**
+     * Generates the whole sequence eagerly (deterministic in the seed).
+     */
+    Sequence(const Trajectory &trajectory, const slam::PinholeCamera &camera,
+             const SequenceConfig &config, SceneKind scene);
+
+    std::size_t frameCount() const { return frames_.size(); }
+    const FrameData &frame(std::size_t i) const { return frames_.at(i); }
+    const std::vector<FrameData> &frames() const { return frames_; }
+
+    const slam::PinholeCamera &camera() const { return camera_; }
+    const SequenceConfig &config() const { return config_; }
+
+    /** True landmark position by track id (for tests/diagnostics). */
+    const Vec3 &landmark(std::uint64_t track_id) const;
+    std::size_t landmarkCount() const { return landmarks_.size(); }
+
+  private:
+    void generateLandmarks(const Trajectory &trajectory, SceneKind scene,
+                           Rng &rng);
+    void generateFrames(const Trajectory &trajectory, Rng &rng);
+
+    slam::PinholeCamera camera_;
+    SequenceConfig config_;
+    std::vector<Vec3> landmarks_;
+    std::vector<FrameData> frames_;
+};
+
+/** Convenience factories for the two benchmark scenes. */
+Sequence makeKittiLikeSequence(const SequenceConfig &config,
+                               const slam::PinholeCamera &camera = {});
+Sequence makeEurocLikeSequence(const SequenceConfig &config,
+                               const slam::PinholeCamera &camera = {});
+
+} // namespace archytas::dataset
+
+#endif // ARCHYTAS_DATASET_SEQUENCE_HH

@@ -1,0 +1,122 @@
+#include "dataset/trajectory.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "slam/factors.hh"
+
+namespace archytas::dataset {
+
+namespace {
+
+/**
+ * Fixed vehicle/drone-to-camera convention: the estimator treats the body
+ * frame as the camera frame (z forward, x right, y down). This rotation
+ * maps camera axes to world axes when heading along world +x with world z
+ * up: columns are the camera axes expressed in world coordinates.
+ */
+Quaternion
+cameraBaseRotation()
+{
+    Mat3 r;
+    // x_cam = -y_world (image right), y_cam = -z_world (image down),
+    // z_cam = +x_world (optical axis forward).
+    r(0, 0) = 0.0;  r(0, 1) = 0.0;  r(0, 2) = 1.0;
+    r(1, 0) = -1.0; r(1, 1) = 0.0;  r(1, 2) = 0.0;
+    r(2, 0) = 0.0;  r(2, 1) = -1.0; r(2, 2) = 0.0;
+    return Quaternion::fromRotationMatrix(r);
+}
+
+const Quaternion kCameraBase = cameraBaseRotation();
+
+} // namespace
+
+Vec3
+Trajectory::velocity(double t) const
+{
+    const double h = kDiffStep;
+    const Vec3 p0 = pose(t - h).p;
+    const Vec3 p1 = pose(t + h).p;
+    return (p1 - p0) * (1.0 / (2.0 * h));
+}
+
+Vec3
+Trajectory::acceleration(double t) const
+{
+    const double h = kDiffStep;
+    const Vec3 pm = pose(t - h).p;
+    const Vec3 p0 = pose(t).p;
+    const Vec3 pp = pose(t + h).p;
+    return (pp - p0 - p0 + pm) * (1.0 / (h * h));
+}
+
+Vec3
+Trajectory::angularVelocity(double t) const
+{
+    const double h = kDiffStep;
+    const Mat3 r0 = pose(t - h / 2.0).q.toRotationMatrix();
+    const Mat3 r1 = pose(t + h / 2.0).q.toRotationMatrix();
+    return slam::so3Log(r0.transposed() * r1) * (1.0 / h);
+}
+
+VehicleTrajectory::VehicleTrajectory(double duration, double speed)
+    : duration_(duration), speed_(speed)
+{
+    ARCHYTAS_ASSERT(duration > 0.0 && speed > 0.0,
+                    "bad vehicle trajectory parameters");
+}
+
+Pose
+VehicleTrajectory::pose(double t) const
+{
+    // Forward progress with superimposed long-wavelength lateral curves,
+    // like a road with sweeping bends; small vertical undulation.
+    const double x = speed_ * t;
+    const double y = 18.0 * std::sin(0.035 * speed_ * t) +
+                     7.0 * std::sin(0.011 * speed_ * t + 0.8);
+    const double z = 0.4 * std::sin(0.02 * speed_ * t);
+
+    // Heading follows the velocity direction (analytic derivative of the
+    // path above); small body roll in curves.
+    const double dx = speed_;
+    const double dy = 18.0 * 0.035 * speed_ * std::cos(0.035 * speed_ * t) +
+                      7.0 * 0.011 * speed_ * std::cos(0.011 * speed_ * t +
+                                                      0.8);
+    const double yaw = std::atan2(dy, dx);
+    const double roll = 0.02 * std::sin(0.035 * speed_ * t);
+
+    const Quaternion qz =
+        Quaternion::fromAxisAngle(Vec3{0.0, 0.0, yaw});
+    const Quaternion qx =
+        Quaternion::fromAxisAngle(Vec3{roll, 0.0, 0.0});
+    return Pose((qz * qx * kCameraBase).normalized(), Vec3{x, y, z});
+}
+
+DroneTrajectory::DroneTrajectory(double duration, double aggressiveness)
+    : duration_(duration), aggr_(aggressiveness)
+{
+    ARCHYTAS_ASSERT(duration > 0.0 && aggressiveness > 0.0,
+                    "bad drone trajectory parameters");
+}
+
+Pose
+DroneTrajectory::pose(double t) const
+{
+    // Lissajous sweep of a machine-hall-sized volume.
+    const double w = 0.35 * aggr_;
+    const double x = 4.0 * std::sin(w * t);
+    const double y = 3.0 * std::sin(2.0 * w * t + 0.4);
+    const double z = 1.6 + 0.8 * std::sin(0.7 * w * t + 1.1);
+
+    const double yaw = 0.6 * std::sin(0.5 * w * t);
+    const double pitch = 0.18 * aggr_ * std::sin(1.3 * w * t + 0.3);
+    const double roll = 0.18 * aggr_ * std::cos(1.1 * w * t);
+
+    const Quaternion q =
+        Quaternion::fromAxisAngle(Vec3{0.0, 0.0, yaw}) *
+        Quaternion::fromAxisAngle(Vec3{0.0, pitch, 0.0}) *
+        Quaternion::fromAxisAngle(Vec3{roll, 0.0, 0.0}) * kCameraBase;
+    return Pose(q.normalized(), Vec3{x, y, z});
+}
+
+} // namespace archytas::dataset

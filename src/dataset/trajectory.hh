@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Analytic ground-truth trajectories standing in for the KITTI Odometry
+ * and EuRoC MAV datasets (see DESIGN.md, hardware-substitution table).
+ * A trajectory provides the 6-DoF pose as a smooth function of time;
+ * velocities, accelerations and body rates are derived by high-accuracy
+ * central differences so that synthesized IMU data is exactly consistent
+ * with the ground truth.
+ */
+
+#ifndef ARCHYTAS_DATASET_TRAJECTORY_HH
+#define ARCHYTAS_DATASET_TRAJECTORY_HH
+
+#include <memory>
+
+#include "slam/geometry.hh"
+
+namespace archytas::dataset {
+
+using slam::Mat3;
+using slam::Pose;
+using slam::Quaternion;
+using slam::Vec3;
+
+/** Smooth 6-DoF trajectory over [0, duration]. */
+class Trajectory
+{
+  public:
+    virtual ~Trajectory() = default;
+
+    /** Body-to-world pose at time t. */
+    virtual Pose pose(double t) const = 0;
+
+    /** Total duration in seconds. */
+    virtual double duration() const = 0;
+
+    /** World-frame linear velocity (central difference). */
+    Vec3 velocity(double t) const;
+
+    /** World-frame linear acceleration, gravity excluded. */
+    Vec3 acceleration(double t) const;
+
+    /** Body-frame angular velocity. */
+    Vec3 angularVelocity(double t) const;
+
+  protected:
+    /** Differencing step; small enough for ~1e-6 relative accuracy. */
+    static constexpr double kDiffStep = 1e-4;
+};
+
+/**
+ * KITTI-like ground vehicle: mostly planar, ~10 m/s, long gentle curves,
+ * heading following the velocity direction.
+ */
+class VehicleTrajectory : public Trajectory
+{
+  public:
+    /**
+     * @param duration Seconds of driving.
+     * @param speed    Nominal forward speed (m/s).
+     */
+    explicit VehicleTrajectory(double duration = 120.0, double speed = 10.0);
+
+    Pose pose(double t) const override;
+    double duration() const override { return duration_; }
+
+  private:
+    double duration_;
+    double speed_;
+};
+
+/**
+ * EuRoC-like micro aerial vehicle: aggressive 3D figure-eight inside a
+ * machine-hall-sized volume with oscillating roll/pitch.
+ */
+class DroneTrajectory : public Trajectory
+{
+  public:
+    explicit DroneTrajectory(double duration = 120.0,
+                             double aggressiveness = 1.0);
+
+    Pose pose(double t) const override;
+    double duration() const override { return duration_; }
+
+  private:
+    double duration_;
+    double aggr_;
+};
+
+} // namespace archytas::dataset
+
+#endif // ARCHYTAS_DATASET_TRAJECTORY_HH

@@ -1,0 +1,145 @@
+#include "hw/accelerator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "linalg/cholesky.hh"
+
+namespace archytas::hw {
+
+Accelerator::Accelerator(const HwConfig &config, const HwConstants &env)
+    : config_(config), env_(env), jacobian_(env),
+      cholesky_(config.s, env), dschur_(config.nd), mschur_(config.nm)
+{
+}
+
+double
+Accelerator::backSubstitutionCycles(std::size_t dim) const
+{
+    // Fixed-function forward+backward substitution: 2 n^2 operations at
+    // the block's fixed issue width; independent of nd, nm, s (Sec. 5).
+    const double n = static_cast<double>(dim);
+    return 2.0 * n * n / env_.bsub_ops_per_cycle;
+}
+
+WindowTiming
+Accelerator::windowTiming(const slam::WindowWorkload &w,
+                          std::size_t iterations) const
+{
+    WindowTiming t;
+    t.iterations = iterations ? iterations
+                              : std::max<std::size_t>(w.nls_iterations, 1);
+
+    const double a = static_cast<double>(std::max<std::size_t>(
+        w.features, 1));
+    const double no = std::max(w.avg_obs_per_feature, 1.0);
+    const std::size_t reduced_dim = w.keyframes * slam::kKeyframeDof;
+
+    // Eq. 14: the Jacobian and D-type Schur blocks pipeline across
+    // feature points, so each feature costs the max of the two beats.
+    const double jac_beat = jacobian_.perFeatureCycles(no);
+    const double dschur_beat = dschur_.perFeatureCycles(no);
+    const double pipeline = a * std::max(jac_beat, dschur_beat);
+    const double chol = cholesky_.analyticalCycles(reduced_dim);
+    const double bsub = backSubstitutionCycles(reduced_dim);
+    t.nls_cycles_per_iter = pipeline + chol + bsub;
+
+    // Eq. 15: marginalization is the cumulative latency (no feature
+    // pipelining: the M-type Schur mixes all features).
+    const double am = static_cast<double>(std::max<std::size_t>(
+        w.marginalized_features, 1));
+    const double marg_jac = am * jac_beat;
+    const double marg_dschur = dschur_beat;
+    // Marginalization's Cholesky factors S' (the departing keyframe's
+    // 15 x 15 D-type Schur complement) on the shared Cholesky block.
+    const double marg_chol =
+        cholesky_.analyticalCycles(slam::kKeyframeDof);
+    const double marg_mschur =
+        mschur_.cycles(w.marginalized_features, w.keyframes);
+    t.marg_cycles = marg_jac + marg_dschur + marg_chol + marg_mschur;
+
+    t.total_cycles = static_cast<double>(t.iterations) *
+                         t.nls_cycles_per_iter +
+                     t.marg_cycles;
+
+    // Busy-cycle accounting for utilization and clock gating.
+    const double iters = static_cast<double>(t.iterations);
+    t.jacobian_busy = iters * a * jac_beat + marg_jac;
+    t.dschur_busy = iters * a * dschur_beat + marg_dschur;
+    t.cholesky_busy = iters * chol + marg_chol;
+    t.bsub_busy = iters * bsub;
+    t.mschur_busy = marg_mschur;
+    return t;
+}
+
+bool
+Accelerator::executeSolve(const slam::NormalEquations &eq, double lambda,
+                          linalg::Vector &dy, linalg::Vector &dx,
+                          WindowTiming *timing) const
+{
+    const std::size_t m = eq.u_diag.size();
+    const std::size_t nk = eq.v.rows();
+
+    // --- D-type Schur block: fold each feature into the reduced system.
+    // Damped diagonal pivots, exactly as the software path.
+    std::vector<double> u(m);
+    for (std::size_t f = 0; f < m; ++f)
+        u[f] = eq.u_diag[f] * (1.0 + lambda) + 1e-12;
+
+    linalg::Matrix reduced = eq.v;
+    for (std::size_t i = 0; i < nk; ++i)
+        reduced(i, i) += lambda * eq.v(i, i) + 1e-12;
+    linalg::Vector rhs = eq.by;
+
+    linalg::Matrix wui = eq.w;
+    for (std::size_t f = 0; f < m; ++f) {
+        const double inv = 1.0 / u[f];
+        for (std::size_t r = 0; r < nk; ++r)
+            wui(r, f) *= inv;
+    }
+    for (std::size_t i = 0; i < nk; ++i) {
+        for (std::size_t j = i; j < nk; ++j) {
+            double acc = 0.0;
+            for (std::size_t f = 0; f < m; ++f)
+                acc += wui(i, f) * eq.w(j, f);
+            reduced(i, j) -= acc;
+            if (j != i)
+                reduced(j, i) -= acc;
+        }
+        double acc = 0.0;
+        for (std::size_t f = 0; f < m; ++f)
+            acc += wui(i, f) * eq.bx[f];
+        rhs[i] -= acc;
+    }
+
+    // --- Cholesky block.
+    const auto chol = cholesky_.run(reduced);
+    if (!chol)
+        return false;
+
+    // --- Back-substitution block.
+    dy = linalg::backwardSubstitute(
+        chol->l, linalg::forwardSubstitute(chol->l, rhs));
+
+    // --- Feature recovery on the D-type Schur datapath.
+    dx = linalg::Vector(m);
+    for (std::size_t f = 0; f < m; ++f) {
+        double acc = eq.bx[f];
+        for (std::size_t r = 0; r < nk; ++r)
+            acc -= eq.w(r, f) * dy[r];
+        dx[f] = acc / u[f];
+    }
+
+    if (timing) {
+        WindowTiming t;
+        const double no = m ? static_cast<double>(nk) : 1.0;
+        (void)no;
+        t.cholesky_busy = chol->cycles;
+        t.bsub_busy = backSubstitutionCycles(nk);
+        t.total_cycles = t.cholesky_busy + t.bsub_busy;
+        *timing = t;
+    }
+    return true;
+}
+
+} // namespace archytas::hw

@@ -1,0 +1,93 @@
+#include "hw/buffers.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "linalg/smatrix.hh"
+
+namespace archytas::hw {
+
+std::size_t
+BufferPlan::totalWords() const
+{
+    return input_buffer_words + lsp_buffer_words + coupling_buffer_words +
+           marg_buffer_words + output_buffer_words +
+           jacobian_fifo_words + rotation_store_words;
+}
+
+double
+bramTilesFor(std::size_t words, std::size_t word_bits)
+{
+    ARCHYTAS_ASSERT(word_bits > 0, "zero word width");
+    const double bits = static_cast<double>(words) *
+                        static_cast<double>(word_bits);
+    constexpr double kTileBits = 36.0 * 1024.0;
+    if (bits < kTileBits / 2.0)
+        return 0.0;   // Distributed RAM territory.
+    // Half-tile granularity, as the 7-series fabric allows 18 Kb halves.
+    return std::ceil(bits / (kTileBits / 2.0)) / 2.0;
+}
+
+double
+BufferPlan::bramTiles(std::size_t word_bits) const
+{
+    return bramTilesFor(input_buffer_words, word_bits) +
+           bramTilesFor(lsp_buffer_words, word_bits) +
+           bramTilesFor(coupling_buffer_words, word_bits) +
+           bramTilesFor(marg_buffer_words, word_bits) +
+           bramTilesFor(output_buffer_words, word_bits) +
+           bramTilesFor(jacobian_fifo_words, word_bits) +
+           bramTilesFor(rotation_store_words, word_bits);
+}
+
+BufferPlan
+planBuffers(const BufferDimensioning &dims)
+{
+    ARCHYTAS_ASSERT(dims.max_keyframes >= 2 && dims.max_features >= 1,
+                    "degenerate dimensioning");
+    const std::size_t k = 15;
+    const std::size_t b = dims.max_keyframes;
+    const std::size_t a = dims.max_features;
+    const std::size_t obs = dims.max_observations;
+
+    BufferPlan plan;
+    // Input: per feature its anchor bearing (3) + inverse depth (1);
+    // per observation a pixel (2) + indices (1 packed word).
+    plan.input_buffer_words = a * 4 + obs * 3;
+    // Linear System Parameter buffer: the compacted S layout.
+    plan.lsp_buffer_words =
+        linalg::CompactSMatrix::paperModelDoubles(k, b);
+    // Coupling block W: 6 No columns per feature; provision at the
+    // observation cap (6 words per observation) plus the rhs.
+    plan.coupling_buffer_words = 6 * obs + a + k * b;
+    // Marginalization side: M (am + 15 square at the feature cap is too
+    // pessimistic; M couples marginalized features to one keyframe), a
+    // diagonal of up to a entries, the 15x15 dense block, Lambda of
+    // retained x marginalized, and the prior H_p (15(b-1) square).
+    const std::size_t rd = k * (b - 1);
+    plan.marg_buffer_words = a + k * k + rd * (a / 4 + k) + rd * rd + rd;
+    // Output: state increments (15 b + a) double-buffered.
+    plan.output_buffer_words = 2 * (k * b + a);
+    // Jacobian unit internals (Sec. 4.2): the Feature->Observation FIFO
+    // holds a few features in flight; rotations live per keyframe.
+    plan.jacobian_fifo_words = 64 * 3;
+    plan.rotation_store_words = b * 9;
+    return plan;
+}
+
+std::string
+BufferPlan::toString() const
+{
+    std::ostringstream os;
+    os << "input=" << input_buffer_words
+       << "w lsp=" << lsp_buffer_words
+       << "w coupling=" << coupling_buffer_words
+       << "w marg=" << marg_buffer_words
+       << "w output=" << output_buffer_words
+       << "w fifo=" << jacobian_fifo_words
+       << "w rot=" << rotation_store_words << "w";
+    return os.str();
+}
+
+} // namespace archytas::hw

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * On-chip buffer provisioning (Fig. 5's Input/Output, Linear System
+ * Parameter, and Marginalization Parameter buffers). The synthesizer
+ * sizes these from the sliding window's dimensioning (Sec. 5 "the
+ * synthesizer will also automatically customize the on-chip memory
+ * sizes"), with the Linear System Parameter buffer laid out in the
+ * compacted S format of Sec. 3.3. The model maps word counts to 36 Kb
+ * BRAM tiles, which is what the resource model's BRAM column ultimately
+ * provisions.
+ */
+
+#ifndef ARCHYTAS_HW_BUFFERS_HH
+#define ARCHYTAS_HW_BUFFERS_HH
+
+#include <cstddef>
+#include <string>
+
+namespace archytas::hw {
+
+/** Maximum workload the buffers are dimensioned for. */
+struct BufferDimensioning
+{
+    std::size_t max_features = 256;       //!< a cap.
+    std::size_t max_keyframes = 12;       //!< b cap.
+    std::size_t max_observations = 1024;  //!< total observation cap.
+    std::size_t word_bits = 32;           //!< Datapath word width.
+};
+
+/** Word counts of every template buffer. */
+struct BufferPlan
+{
+    std::size_t input_buffer_words = 0;     //!< Features + observations.
+    std::size_t lsp_buffer_words = 0;       //!< Compacted S (Sec. 3.3).
+    std::size_t coupling_buffer_words = 0;  //!< W block (6No per feature).
+    std::size_t marg_buffer_words = 0;      //!< M, Lambda, priors.
+    std::size_t output_buffer_words = 0;    //!< State increments.
+    std::size_t jacobian_fifo_words = 0;    //!< Feature->Observation FIFO.
+    std::size_t rotation_store_words = 0;   //!< Keyframe rotations.
+
+    std::size_t totalWords() const;
+
+    /** 36 Kb BRAM tiles needed (per-buffer rounding, as on a fabric). */
+    double bramTiles(std::size_t word_bits) const;
+
+    std::string toString() const;
+};
+
+/** Dimensions every buffer for the given workload caps. */
+BufferPlan planBuffers(const BufferDimensioning &dims);
+
+/**
+ * BRAM tiles for a single buffer of the given size: ceil over 36 Kb
+ * tiles; buffers below half a tile map to distributed RAM (0 tiles).
+ */
+double bramTilesFor(std::size_t words, std::size_t word_bits);
+
+} // namespace archytas::hw
+
+#endif // ARCHYTAS_HW_BUFFERS_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Hardware configuration of the Archytas template (Fig. 5): the three
+ * customization parameters the synthesizer optimizes (Sec. 5), plus the
+ * fixed micro-architectural constants of the non-customizable blocks.
+ */
+
+#ifndef ARCHYTAS_HW_CONFIG_HH
+#define ARCHYTAS_HW_CONFIG_HH
+
+#include <cstddef>
+
+namespace archytas::hw {
+
+/** The three customizable parameters (Sec. 4.1 / Sec. 5). */
+struct HwConfig
+{
+    std::size_t nd = 8;   //!< MAC units in the D-type Schur block.
+    std::size_t nm = 8;   //!< MAC units in the M-type Schur block.
+    std::size_t s = 16;   //!< Update units in the Cholesky block.
+
+    bool operator==(const HwConfig &) const = default;
+};
+
+/** Fixed micro-architectural constants of the template. */
+struct HwConstants
+{
+    double clock_hz = 143e6;      //!< Paper's fixed FPGA clock.
+    /** Per-stage latency of the Observation block (Co in Eq. 6). */
+    double co_cycles = 4.0;
+    /** Fixed latency of the (unpipelined) Feature block (Lf, Sec. 4.2). */
+    double lf_cycles = 64.0;
+    /** Evaluate-unit latency in the Cholesky block (E in Eq. 7). */
+    double evaluate_cycles = 16.0;
+    /** Back-substitution throughput (ops per cycle, fixed logic). */
+    double bsub_ops_per_cycle = 8.0;
+};
+
+/** Cycles-to-seconds conversion at the template clock. */
+inline double
+cyclesToSeconds(double cycles, const HwConstants &c = {})
+{
+    return cycles / c.clock_hz;
+}
+
+/** Cycles-to-milliseconds conversion. */
+inline double
+cyclesToMs(double cycles, const HwConstants &c = {})
+{
+    return cycles * 1e3 / c.clock_hz;
+}
+
+} // namespace archytas::hw
+
+#endif // ARCHYTAS_HW_CONFIG_HH

@@ -1,0 +1,47 @@
+#include "hw/host_interface.hh"
+
+#include "common/logging.hh"
+
+namespace archytas::hw {
+
+HostInterface::HostInterface(const HostLink &link) : link_(link)
+{
+    ARCHYTAS_ASSERT(link.bandwidth_bytes_per_s > 0.0 &&
+                        link.word_bytes > 0,
+                    "bad host link parameters");
+}
+
+HostTransaction
+HostInterface::windowTransaction(const slam::WindowWorkload &workload,
+                                 bool config_changed) const
+{
+    HostTransaction t;
+    // Per feature: anchor bearing (3) + inverse depth (1); per
+    // observation: pixel (2) + packed indices (1).
+    t.input_words = workload.features * 4 + workload.observations * 3;
+    t.config_words = config_changed ? 3 : 0;
+    // Out: the state increments (15 per keyframe + 1 per feature).
+    t.output_words =
+        workload.keyframes * slam::kKeyframeDof + workload.features;
+
+    const double bytes =
+        static_cast<double>(t.input_words + t.config_words +
+                            t.output_words) *
+        static_cast<double>(link_.word_bytes);
+    // Input and output are two transactions; the config rides the
+    // trigger word (no extra transaction).
+    t.total_seconds = bytes / link_.bandwidth_bytes_per_s +
+                      2.0 * link_.transaction_overhead_s;
+    return t;
+}
+
+double
+HostInterface::reconfigurationSeconds() const
+{
+    // Three words riding the existing trigger transaction: pure
+    // serialization cost.
+    return 3.0 * static_cast<double>(link_.word_bytes) /
+           link_.bandwidth_bytes_per_s;
+}
+
+} // namespace archytas::hw

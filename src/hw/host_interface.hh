@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Host-FPGA interface model (Sec. 6.2 / Sec. 7.1): "The FPGA is
+ * triggered by the host for each sliding window. The host passes to the
+ * FPGA the visual features from the sensing front-end as well as the
+ * three customization parameters if they are different from the
+ * previous sliding window." This module models that per-window
+ * transaction — input DMA, the three-word gating configuration, the
+ * trigger, and the result DMA — so the end-to-end latency can include
+ * the transfer cost and the run-time system's claim of "effectively no
+ * overhead" is checkable rather than assumed.
+ */
+
+#ifndef ARCHYTAS_HW_HOST_INTERFACE_HH
+#define ARCHYTAS_HW_HOST_INTERFACE_HH
+
+#include "hw/config.hh"
+#include "slam/state.hh"
+
+namespace archytas::hw {
+
+/** Bus/link characteristics between host and fabric. */
+struct HostLink
+{
+    /** Sustained DMA bandwidth (bytes per second); AXI HP-port class. */
+    double bandwidth_bytes_per_s = 1.2e9;
+    /** Fixed per-transaction latency (s): driver + interrupt. */
+    double transaction_overhead_s = 4e-6;
+    /** Word size on the link (bytes). */
+    std::size_t word_bytes = 4;
+};
+
+/** One window's transfer accounting. */
+struct HostTransaction
+{
+    std::size_t input_words = 0;    //!< Features + observations in.
+    std::size_t config_words = 0;   //!< 0 or 3 (nd, nm, s).
+    std::size_t output_words = 0;   //!< State increments out.
+    double total_seconds = 0.0;
+
+    double
+    totalMs() const
+    {
+        return total_seconds * 1e3;
+    }
+};
+
+/** Models the per-window host-FPGA exchange. */
+class HostInterface
+{
+  public:
+    explicit HostInterface(const HostLink &link = {});
+
+    /**
+     * Accounts one window's transaction.
+     *
+     * @param workload      The window's feature/observation counts.
+     * @param config_changed True when the gated (nd, nm, s) differs
+     *                      from the previous window (Sec. 6.2: the
+     *                      triple is only sent on change).
+     */
+    HostTransaction windowTransaction(const slam::WindowWorkload &workload,
+                                      bool config_changed) const;
+
+    /**
+     * The reconfiguration cost in isolation: what the run-time system
+     * adds to a window when it changes the configuration. The paper's
+     * "little to none overhead" claim equals this being negligible next
+     * to the window's compute latency.
+     */
+    double reconfigurationSeconds() const;
+
+  private:
+    HostLink link_;
+};
+
+} // namespace archytas::hw
+
+#endif // ARCHYTAS_HW_HOST_INTERFACE_HH

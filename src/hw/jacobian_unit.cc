@@ -1,0 +1,87 @@
+#include "hw/jacobian_unit.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace archytas::hw {
+
+JacobianUnit::JacobianUnit(const HwConstants &env, const MemoryEnergy &mem)
+    : env_(env), mem_(mem)
+{
+}
+
+double
+JacobianUnit::perFeatureCycles(double avg_observations) const
+{
+    ARCHYTAS_ASSERT(avg_observations >= 0.0, "negative observation count");
+    return avg_observations * env_.co_cycles;   // Eq. 6.
+}
+
+double
+JacobianUnit::totalCycles(std::size_t features,
+                          double avg_observations) const
+{
+    // Features stream back-to-back through the statistically balanced
+    // pipeline; start-up delay is ignored as in the paper.
+    return static_cast<double>(features) *
+           perFeatureCycles(avg_observations);
+}
+
+std::size_t
+JacobianUnit::featureBlockStages(double avg_observations) const
+{
+    const double beat = perFeatureCycles(avg_observations);
+    if (beat <= 0.0)
+        return 1;
+    return static_cast<std::size_t>(
+        std::max(1.0, std::ceil(env_.lf_cycles / beat)));
+}
+
+double
+JacobianUnit::accessEnergyPj(std::size_t features, std::size_t keyframes,
+                             std::size_t observations,
+                             JacobianDataflow dataflow) const
+{
+    constexpr double kFeatureWords = 3.0;   // <x, y, z> coordinates.
+    constexpr double kRotationWords = 9.0;  // 3x3 rotation matrix.
+    // Stores up to this many words fit in distributed registers/LUT-RAM
+    // whose access energy is FIFO-like; anything larger must go to BRAM
+    // (the paper's "power-hungry RAM").
+    constexpr double kRegisterFileWords = 128.0;
+
+    const double a = static_cast<double>(features);
+    const double b = static_cast<double>(keyframes);
+    const double o = static_cast<double>(observations);
+
+    // Energy per word read from a store of the given capacity.
+    const auto store_pj = [&](double capacity_words) {
+        return capacity_words <= kRegisterFileWords
+                   ? mem_.fifo_pj_per_word
+                   : mem_.ram_pj_per_word;
+    };
+
+    if (dataflow == JacobianDataflow::FeatureStationary) {
+        // Row-major (the paper's design): features stream once through
+        // the FIFO and stay registered in the Observation block; every
+        // observation reads its keyframe's rotation matrix from a store
+        // holding only b matrices -- small enough to stay register-based.
+        const double fifo_energy =
+            a * kFeatureWords * mem_.fifo_pj_per_word;
+        const double rot_store_capacity = b * kRotationWords;
+        const double rot_energy =
+            o * kRotationWords * store_pj(rot_store_capacity);
+        return fifo_energy + rot_energy;
+    }
+    // Column-major: the few rotation matrices stream via FIFO, but every
+    // observation must fetch its feature point from a store that has to
+    // hold the entire window's features -- necessarily a power-hungry
+    // BRAM.
+    const double fifo_energy = b * kRotationWords * mem_.fifo_pj_per_word;
+    const double feat_store_capacity = a * kFeatureWords;
+    const double feat_energy =
+        o * kFeatureWords * store_pj(feat_store_capacity);
+    return fifo_energy + feat_energy;
+}
+
+} // namespace archytas::hw

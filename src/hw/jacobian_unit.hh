@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The Jacobian matrix block (Sec. 4.2, Fig. 7): Feature, Observation and
+ * Keyframe blocks wired in the "feature-stationary" dataflow — each
+ * feature point stays in the Observation block until its entire Jacobian
+ * row is done, so the high-volume feature stream moves through a cheap
+ * FIFO while only the few keyframe rotation matrices live in RAM.
+ * Provides the Eq. 6 latency model, the statistically-balanced pipeline
+ * sizing rule, and the access-energy accounting used by the dataflow
+ * ablation (feature-stationary vs. keyframe-stationary).
+ */
+
+#ifndef ARCHYTAS_HW_JACOBIAN_UNIT_HH
+#define ARCHYTAS_HW_JACOBIAN_UNIT_HH
+
+#include <cstddef>
+
+#include "hw/config.hh"
+
+namespace archytas::hw {
+
+/** Which operand stays resident in the Observation block. */
+enum class JacobianDataflow
+{
+    FeatureStationary,    //!< The paper's design (row-major).
+    KeyframeStationary,   //!< The rejected alternative (column-major).
+};
+
+/** Access-energy constants for the dataflow study (pJ per word). */
+struct MemoryEnergy
+{
+    double fifo_pj_per_word = 0.6;
+    double ram_pj_per_word = 6.0;   //!< ~10x a FIFO access (Sec. 4.2).
+};
+
+/** Latency and energy model of the Jacobian unit. */
+class JacobianUnit
+{
+  public:
+    explicit JacobianUnit(const HwConstants &env = {},
+                          const MemoryEnergy &mem = {});
+
+    /**
+     * Per-feature latency in cycles (Eq. 6): L_Jac = No * Co, the
+     * observation-dominated pipeline beat.
+     *
+     * @param avg_observations No, the mean observations per feature.
+     */
+    double perFeatureCycles(double avg_observations) const;
+
+    /** Total cycles to stream a window's features through the unit. */
+    double totalCycles(std::size_t features, double avg_observations)
+        const;
+
+    /**
+     * The statistically-balanced pipeline rule (Sec. 4.2): number of
+     * stages the Feature block is pipelined into, ceil(Lf / (No Co)).
+     */
+    std::size_t featureBlockStages(double avg_observations) const;
+
+    /**
+     * Memory-access energy (pJ) of computing a window's Jacobian under a
+     * given dataflow.
+     *
+     * Word counts per access: a feature point is 3 words, a keyframe
+     * rotation matrix 9 words. Under feature-stationary, features stream
+     * once through the FIFO and every observation reads a rotation
+     * matrix from RAM. Under keyframe-stationary, keyframes stream
+     * through the FIFO but every observation must fetch its feature
+     * point from RAM.
+     */
+    double accessEnergyPj(std::size_t features, std::size_t keyframes,
+                          std::size_t observations,
+                          JacobianDataflow dataflow) const;
+
+  private:
+    HwConstants env_;
+    MemoryEnergy mem_;
+};
+
+} // namespace archytas::hw
+
+#endif // ARCHYTAS_HW_JACOBIAN_UNIT_HH

@@ -1,0 +1,136 @@
+#include "hw/quantize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "linalg/cholesky.hh"
+#include "slam/lm_solver.hh"
+
+namespace archytas::hw {
+
+double
+quantize(double x, const FixedPointFormat &fmt)
+{
+    ARCHYTAS_ASSERT(fmt.fractional_bits >= 0 && fmt.integer_bits >= 2,
+                    "bad fixed-point format");
+    const double res = fmt.resolution();
+    const double limit = fmt.maxValue();
+    const double q = std::round(x / res) * res;
+    return std::clamp(q, -limit, limit);
+}
+
+linalg::Matrix
+quantize(const linalg::Matrix &m, const FixedPointFormat &fmt)
+{
+    linalg::Matrix out = m;
+    for (double &x : out.data())
+        x = quantize(x, fmt);
+    return out;
+}
+
+linalg::Vector
+quantize(const linalg::Vector &v, const FixedPointFormat &fmt)
+{
+    linalg::Vector out = v;
+    for (double &x : out.data())
+        x = quantize(x, fmt);
+    return out;
+}
+
+QuantizedSolveResult
+quantizedSolve(const slam::NormalEquations &eq, double lambda,
+               const FixedPointFormat &fmt)
+{
+    QuantizedSolveResult result;
+
+    // Double-precision reference.
+    linalg::Vector ref_dy, ref_dx;
+    if (!slam::solveBlockedSystem(eq, lambda, ref_dy, ref_dx))
+        return result;
+
+    const std::size_t m = eq.u_diag.size();
+    const std::size_t nk = eq.v.rows();
+
+    // Quantize the inputs, then re-run the same elimination with every
+    // intermediate snapped to the grid (mimicking a truncating
+    // fixed-point datapath between every hardware block).
+    linalg::Vector u(m);
+    for (std::size_t f = 0; f < m; ++f)
+        u[f] = quantize(eq.u_diag[f] * (1.0 + lambda) + 1e-12, fmt);
+
+    linalg::Matrix reduced = quantize(eq.v, fmt);
+    for (std::size_t i = 0; i < nk; ++i)
+        reduced(i, i) =
+            quantize(reduced(i, i) * (1.0 + lambda) + 1e-9, fmt);
+    linalg::Vector rhs = quantize(eq.by, fmt);
+    const linalg::Matrix w = quantize(eq.w, fmt);
+    const linalg::Vector bx = quantize(eq.bx, fmt);
+
+    linalg::Matrix wui = w;
+    for (std::size_t f = 0; f < m; ++f) {
+        if (u[f] == 0.0)
+            return result;   // Saturated pivot: format too narrow.
+        const double inv = quantize(1.0 / u[f], fmt);
+        for (std::size_t r = 0; r < nk; ++r)
+            wui(r, f) = quantize(wui(r, f) * inv, fmt);
+    }
+    for (std::size_t i = 0; i < nk; ++i) {
+        for (std::size_t j = i; j < nk; ++j) {
+            double acc = 0.0;
+            for (std::size_t f = 0; f < m; ++f)
+                acc += wui(i, f) * w(j, f);
+            acc = quantize(acc, fmt);
+            reduced(i, j) = quantize(reduced(i, j) - acc, fmt);
+            if (j != i)
+                reduced(j, i) = reduced(i, j);
+        }
+        double acc = 0.0;
+        for (std::size_t f = 0; f < m; ++f)
+            acc += wui(i, f) * bx[f];
+        rhs[i] = quantize(rhs[i] - quantize(acc, fmt), fmt);
+    }
+
+    const auto l_opt = linalg::cholesky(reduced);
+    if (!l_opt)
+        return result;   // Quantization destroyed positive definiteness.
+    const linalg::Matrix l = quantize(*l_opt, fmt);
+    // Triangular solves on the quantized factor.
+    linalg::Vector y(nk), dy(nk);
+    for (std::size_t i = 0; i < nk; ++i) {
+        double acc = rhs[i];
+        for (std::size_t k = 0; k < i; ++k)
+            acc -= l(i, k) * y[k];
+        if (l(i, i) == 0.0)
+            return result;
+        y[i] = quantize(acc / l(i, i), fmt);
+    }
+    for (std::size_t ii = 0; ii < nk; ++ii) {
+        const std::size_t i = nk - 1 - ii;
+        double acc = y[i];
+        for (std::size_t k = i + 1; k < nk; ++k)
+            acc -= l(k, i) * dy[k];
+        dy[i] = quantize(acc / l(i, i), fmt);
+    }
+
+    linalg::Vector dx(m);
+    for (std::size_t f = 0; f < m; ++f) {
+        double acc = bx[f];
+        for (std::size_t r = 0; r < nk; ++r)
+            acc -= w(r, f) * dy[r];
+        dx[f] = quantize(quantize(acc, fmt) / u[f], fmt);
+    }
+
+    result.ok = true;
+    result.dy = dy;
+    result.dx = dx;
+    result.max_error = std::max(dy.maxAbsDiff(ref_dy),
+                                dx.maxAbsDiff(ref_dx));
+    const double ref_norm = std::sqrt(ref_dy.dot(ref_dy) +
+                                      ref_dx.dot(ref_dx));
+    result.relative_error =
+        result.max_error / std::max(ref_norm, 1e-12);
+    return result;
+}
+
+} // namespace archytas::hw

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-point datapath study. The FPGA template computes in fixed-point
+ * (the emitted Verilog's DW-bit words); this repository's simulator
+ * computes in double precision (DESIGN.md §4). To justify that
+ * substitution quantitatively, this module emulates a Qm.n fixed-point
+ * representation by quantizing every intermediate of the blocked solve
+ * and measuring the solution error as a function of fractional bits —
+ * the ablation behind the choice of datapath width.
+ */
+
+#ifndef ARCHYTAS_HW_QUANTIZE_HH
+#define ARCHYTAS_HW_QUANTIZE_HH
+
+#include "linalg/matrix.hh"
+#include "slam/window_problem.hh"
+
+namespace archytas::hw {
+
+/** A Qm.n fixed-point format emulated on doubles. */
+struct FixedPointFormat
+{
+    int integer_bits = 16;      //!< Including sign.
+    int fractional_bits = 16;
+
+    double resolution() const { return std::ldexp(1.0, -fractional_bits); }
+    double maxValue() const
+    {
+        return std::ldexp(1.0, integer_bits - 1) - resolution();
+    }
+};
+
+/** Quantizes one value: round-to-nearest, saturate at the range. */
+double quantize(double x, const FixedPointFormat &fmt);
+
+/** Element-wise quantization. */
+linalg::Matrix quantize(const linalg::Matrix &m,
+                        const FixedPointFormat &fmt);
+linalg::Vector quantize(const linalg::Vector &v,
+                        const FixedPointFormat &fmt);
+
+/** Outcome of a quantized blocked solve. */
+struct QuantizedSolveResult
+{
+    bool ok = false;
+    linalg::Vector dy;
+    linalg::Vector dx;
+    /** Max |quantized - double| over both increments. */
+    double max_error = 0.0;
+    /** Relative error vs the double-precision increment norm. */
+    double relative_error = 0.0;
+};
+
+/**
+ * Runs the D-type-Schur blocked solve with every intermediate operand
+ * quantized to the format (inputs, the reduced system, the Cholesky
+ * factor, the substitutions), then compares against the
+ * double-precision result.
+ */
+QuantizedSolveResult quantizedSolve(const slam::NormalEquations &eq,
+                                    double lambda,
+                                    const FixedPointFormat &fmt);
+
+} // namespace archytas::hw
+
+#endif // ARCHYTAS_HW_QUANTIZE_HH

@@ -1,0 +1,49 @@
+#include "hw/schur_units.hh"
+
+#include "common/logging.hh"
+
+namespace archytas::hw {
+
+DSchurUnit::DSchurUnit(std::size_t nd) : nd_(nd)
+{
+    ARCHYTAS_ASSERT(nd >= 1, "need at least one MAC unit");
+}
+
+double
+DSchurUnit::perFeatureCycles(double avg_observations) const
+{
+    // Eq. 9: the unit multiplies the feature's 6No x 1 column (W U^{-1})
+    // by its 1 x 6No row (W^T), a rank-1 update of (6 No)^2 MACs spread
+    // over nd units.
+    const double width = 6.0 * avg_observations;
+    return width * width / static_cast<double>(nd_);
+}
+
+double
+DSchurUnit::totalCycles(std::size_t features, double avg_observations)
+    const
+{
+    return static_cast<double>(features) *
+           perFeatureCycles(avg_observations);
+}
+
+MSchurUnit::MSchurUnit(std::size_t nm) : nm_(nm)
+{
+    ARCHYTAS_ASSERT(nm >= 1, "need at least one MAC unit");
+}
+
+double
+MSchurUnit::cycles(std::size_t marginalized_features,
+                   std::size_t keyframes) const
+{
+    // Eq. 10 verbatim. am: marginalized features; b: keyframes; the
+    // retained-state width is 6(b-1) + 9 (poses of the surviving frames
+    // plus the departing frame's velocity/bias states).
+    const double am = static_cast<double>(marginalized_features);
+    const double b = static_cast<double>(keyframes);
+    const double bk = (15.0 + am) / static_cast<double>(nm_);
+    const double w = 6.0 * (b - 1.0) + 9.0;
+    return 15.0 * am + am * am + bk * (15.0 + am) * w + bk * w * w;
+}
+
+} // namespace archytas::hw

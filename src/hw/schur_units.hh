@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The two customizable Schur-complement blocks (Sec. 4.4). Both are
+ * parameterized by their MAC count, which bounds the throughput of the
+ * MatMul at the heart of the complement:
+ *
+ *  - D-type (NLS solver): V - W U^{-1} W^T with diagonal U; per feature
+ *    the unit multiplies a 6No x 1 by a 1 x 6No vector, Eq. 9;
+ *  - M-type (marginalization): A - Lambda M^{-1} Lambda^T with M
+ *    inverted via Eq. 5; the latency follows Eq. 10.
+ */
+
+#ifndef ARCHYTAS_HW_SCHUR_UNITS_HH
+#define ARCHYTAS_HW_SCHUR_UNITS_HH
+
+#include <cstddef>
+
+#include "hw/config.hh"
+
+namespace archytas::hw {
+
+/** D-type Schur complement block with nd MAC units. */
+class DSchurUnit
+{
+  public:
+    explicit DSchurUnit(std::size_t nd);
+
+    std::size_t macUnits() const { return nd_; }
+
+    /**
+     * Cycles to fold one feature's contribution into the reduced system
+     * (Eq. 9): (6 No)^2 / nd.
+     */
+    double perFeatureCycles(double avg_observations) const;
+
+    /** Cycles to process a whole window's features sequentially. */
+    double totalCycles(std::size_t features, double avg_observations)
+        const;
+
+  private:
+    std::size_t nd_;
+};
+
+/** M-type Schur complement block with nm MAC units. */
+class MSchurUnit
+{
+  public:
+    explicit MSchurUnit(std::size_t nm);
+
+    std::size_t macUnits() const { return nm_; }
+
+    /**
+     * Cycles for the marginalization Schur complement (Eq. 10), with am
+     * marginalized features and b keyframes in the window.
+     */
+    double cycles(std::size_t marginalized_features,
+                  std::size_t keyframes) const;
+
+  private:
+    std::size_t nm_;
+};
+
+} // namespace archytas::hw
+
+#endif // ARCHYTAS_HW_SCHUR_UNITS_HH

@@ -1,0 +1,109 @@
+#include "linalg/cholesky.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace archytas::linalg {
+
+std::optional<Matrix>
+cholesky(const Matrix &s)
+{
+    ARCHYTAS_ASSERT(s.rows() == s.cols(), "cholesky needs a square matrix");
+    const std::size_t n = s.rows();
+    Matrix l(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = s(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            diag -= l(j, k) * l(j, k);
+        if (diag <= 0.0)
+            return std::nullopt;
+        const double ljj = std::sqrt(diag);
+        l(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double acc = s(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                acc -= l(i, k) * l(j, k);
+            l(i, j) = acc / ljj;
+        }
+    }
+    return l;
+}
+
+Vector
+forwardSubstitute(const Matrix &l, const Vector &b)
+{
+    ARCHYTAS_ASSERT(l.rows() == l.cols() && l.rows() == b.size(),
+                    "forwardSubstitute shape mismatch");
+    const std::size_t n = b.size();
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            acc -= l(i, k) * y[k];
+        ARCHYTAS_ASSERT(l(i, i) != 0.0, "singular triangular matrix");
+        y[i] = acc / l(i, i);
+    }
+    return y;
+}
+
+Vector
+backwardSubstitute(const Matrix &l, const Vector &y)
+{
+    ARCHYTAS_ASSERT(l.rows() == l.cols() && l.rows() == y.size(),
+                    "backwardSubstitute shape mismatch");
+    const std::size_t n = y.size();
+    Vector x(n);
+    for (std::size_t ii = 0; ii < n; ++ii) {
+        const std::size_t i = n - 1 - ii;
+        double acc = y[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            acc -= l(k, i) * x[k];
+        ARCHYTAS_ASSERT(l(i, i) != 0.0, "singular triangular matrix");
+        x[i] = acc / l(i, i);
+    }
+    return x;
+}
+
+Vector
+choleskySolve(const Matrix &s, const Vector &b)
+{
+    auto l = cholesky(s);
+    if (!l)
+        ARCHYTAS_FATAL("choleskySolve: matrix is not positive definite");
+    return backwardSubstitute(*l, forwardSubstitute(*l, b));
+}
+
+Matrix
+choleskyInverse(const Matrix &s)
+{
+    auto l = cholesky(s);
+    if (!l)
+        ARCHYTAS_FATAL("choleskyInverse: matrix is not positive definite");
+    const std::size_t n = s.rows();
+    Matrix inv(n, n);
+    for (std::size_t c = 0; c < n; ++c) {
+        Vector e(n);
+        e[c] = 1.0;
+        const Vector col = backwardSubstitute(*l, forwardSubstitute(*l, e));
+        for (std::size_t r = 0; r < n; ++r)
+            inv(r, c) = col[r];
+    }
+    return inv;
+}
+
+Matrix
+diagonalInverse(const Matrix &d)
+{
+    ARCHYTAS_ASSERT(d.rows() == d.cols(), "diagonalInverse: square needed");
+    const std::size_t n = d.rows();
+    Matrix inv(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (d(i, i) == 0.0)
+            ARCHYTAS_FATAL("diagonalInverse: zero diagonal entry at ", i);
+        inv(i, i) = 1.0 / d(i, i);
+    }
+    return inv;
+}
+
+} // namespace archytas::linalg

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Cholesky decomposition and triangular solves. These are the reference
+ * (software) implementations of the CD and FBSub primitive M-DFG nodes
+ * (Table 1 of the paper); the hardware simulator's Cholesky unit is
+ * bit-checked against this code.
+ */
+
+#ifndef ARCHYTAS_LINALG_CHOLESKY_HH
+#define ARCHYTAS_LINALG_CHOLESKY_HH
+
+#include <optional>
+
+#include "linalg/matrix.hh"
+
+namespace archytas::linalg {
+
+/**
+ * Computes the lower-triangular L with S = L L^T.
+ *
+ * @param s Symmetric positive-definite input.
+ * @return L, or std::nullopt when a non-positive pivot is met (S not PD).
+ */
+std::optional<Matrix> cholesky(const Matrix &s);
+
+/** Solves L y = b for lower-triangular L (forward substitution). */
+Vector forwardSubstitute(const Matrix &l, const Vector &b);
+
+/** Solves L^T x = y for lower-triangular L (backward substitution). */
+Vector backwardSubstitute(const Matrix &l, const Vector &y);
+
+/**
+ * Solves the SPD system S x = b via Cholesky + forward/backward
+ * substitution. Fatal (user error) when S is not positive definite.
+ */
+Vector choleskySolve(const Matrix &s, const Vector &b);
+
+/** Inverse of an SPD matrix via Cholesky. */
+Matrix choleskyInverse(const Matrix &s);
+
+/**
+ * Inverse of a diagonal matrix: the DMatInv primitive node. Fatal when a
+ * diagonal entry is zero.
+ */
+Matrix diagonalInverse(const Matrix &d);
+
+} // namespace archytas::linalg
+
+#endif // ARCHYTAS_LINALG_CHOLESKY_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Dense row-major matrix/vector types used throughout the SLAM substrate,
+ * the M-DFG executor, and the hardware simulator. The class is deliberately
+ * small and explicit: the repository's goal is to model how localization
+ * kernels map onto hardware, so every compound operation (multiply, Schur,
+ * Cholesky) is implemented in named free functions whose arithmetic cost is
+ * easy to account for.
+ */
+
+#ifndef ARCHYTAS_LINALG_MATRIX_HH
+#define ARCHYTAS_LINALG_MATRIX_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace archytas::linalg {
+
+/** Dense, heap-allocated, row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Creates an empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** Creates a rows x cols matrix, zero-initialized. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Creates from a nested initializer list (rows of equal length). */
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    static Matrix identity(std::size_t n);
+    /** Diagonal matrix from the given entries. */
+    static Matrix diagonal(const std::vector<double> &entries);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+    double &operator()(std::size_t r, std::size_t c);
+    double operator()(std::size_t r, std::size_t c) const;
+
+    /** Raw storage access for kernels that stream the matrix. */
+    const std::vector<double> &data() const { return data_; }
+    std::vector<double> &data() { return data_; }
+
+    void setZero();
+    void setIdentity();
+
+    /** Extracts the block [r0, r0+nr) x [c0, c0+nc). */
+    Matrix block(std::size_t r0, std::size_t c0, std::size_t nr,
+                 std::size_t nc) const;
+    /** Writes b into this matrix at offset (r0, c0). */
+    void setBlock(std::size_t r0, std::size_t c0, const Matrix &b);
+
+    Matrix transposed() const;
+
+    Matrix &operator+=(const Matrix &rhs);
+    Matrix &operator-=(const Matrix &rhs);
+    Matrix &operator*=(double s);
+
+    /** Frobenius norm. */
+    double norm() const;
+    /** Largest |a_ij - b_ij|; matrices must be the same shape. */
+    double maxAbsDiff(const Matrix &other) const;
+    /** True when symmetric to within tol. */
+    bool isSymmetric(double tol = 1e-9) const;
+
+    std::string toString(int precision = 4) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix &rhs);
+Matrix operator-(Matrix lhs, const Matrix &rhs);
+Matrix operator*(const Matrix &lhs, const Matrix &rhs);
+Matrix operator*(double s, Matrix m);
+
+/** Column vector as an nx1 matrix alias with helpers. */
+class Vector
+{
+  public:
+    Vector() = default;
+    explicit Vector(std::size_t n) : data_(n, 0.0) {}
+    Vector(std::initializer_list<double> xs) : data_(xs) {}
+
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    double &operator[](std::size_t i) { return data_[i]; }
+    double operator[](std::size_t i) const { return data_[i]; }
+
+    const std::vector<double> &data() const { return data_; }
+    std::vector<double> &data() { return data_; }
+
+    void setZero();
+
+    Vector segment(std::size_t start, std::size_t n) const;
+    void setSegment(std::size_t start, const Vector &v);
+
+    Vector &operator+=(const Vector &rhs);
+    Vector &operator-=(const Vector &rhs);
+    Vector &operator*=(double s);
+
+    double dot(const Vector &other) const;
+    double norm() const;
+    double maxAbsDiff(const Vector &other) const;
+
+    /** Interprets the vector as an nx1 matrix. */
+    Matrix asMatrix() const;
+
+    std::string toString(int precision = 4) const;
+
+  private:
+    std::vector<double> data_;
+};
+
+Vector operator+(Vector lhs, const Vector &rhs);
+Vector operator-(Vector lhs, const Vector &rhs);
+Vector operator*(double s, Vector v);
+
+/** y = A x. */
+Vector operator*(const Matrix &a, const Vector &x);
+
+/** A^T A, exploiting symmetry of the result (rank-k update). */
+Matrix gramian(const Matrix &a);
+
+/** A^T x. */
+Vector transposeApply(const Matrix &a, const Vector &x);
+
+/** Outer product x y^T. */
+Matrix outer(const Vector &x, const Vector &y);
+
+} // namespace archytas::linalg
+
+#endif // ARCHYTAS_LINALG_MATRIX_HH

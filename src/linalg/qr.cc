@@ -1,0 +1,124 @@
+#include "linalg/qr.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace archytas::linalg {
+
+QrFactorization::QrFactorization(const Matrix &a)
+    : m_(a.rows()), n_(a.cols()), qr_(a)
+{
+    if (m_ < n_)
+        ARCHYTAS_FATAL("QR requires m >= n, got ", m_, "x", n_);
+    beta_.assign(n_, 0.0);
+
+    for (std::size_t k = 0; k < n_; ++k) {
+        // Householder vector for column k.
+        double norm = 0.0;
+        for (std::size_t i = k; i < m_; ++i)
+            norm += qr_(i, k) * qr_(i, k);
+        norm = std::sqrt(norm);
+        if (norm == 0.0)
+            continue;   // Zero column: skip (rank deficiency).
+        const double alpha = qr_(k, k) >= 0.0 ? -norm : norm;
+        const double vk = qr_(k, k) - alpha;
+        // v = [vk, qr(k+1..m, k)]; store v below the diagonal scaled so
+        // v[k] = vk, and R's diagonal entry becomes alpha.
+        double vtv = vk * vk;
+        for (std::size_t i = k + 1; i < m_; ++i)
+            vtv += qr_(i, k) * qr_(i, k);
+        if (vtv == 0.0)
+            continue;
+        beta_[k] = 2.0 / vtv;
+
+        // Apply the reflection to the trailing columns.
+        for (std::size_t c = k + 1; c < n_; ++c) {
+            double dot = vk * qr_(k, c);
+            for (std::size_t i = k + 1; i < m_; ++i)
+                dot += qr_(i, k) * qr_(i, c);
+            dot *= beta_[k];
+            qr_(k, c) -= dot * vk;
+            for (std::size_t i = k + 1; i < m_; ++i)
+                qr_(i, c) -= dot * qr_(i, k);
+        }
+        qr_(k, k) = alpha;
+        // Keep v's tail below the diagonal (qr_(k+1.., k) already holds
+        // it); v[k] = vk is recomputable from alpha and the original
+        // column, so store it in a side array... we instead fold vk into
+        // beta by normalizing: store v with v[k] implicit. To keep the
+        // implementation simple we stash vk in a parallel vector.
+        vk_.push_back(vk);
+        vk_index_.push_back(k);
+    }
+}
+
+Matrix
+QrFactorization::r() const
+{
+    Matrix out(n_, n_);
+    for (std::size_t i = 0; i < n_; ++i)
+        for (std::size_t j = i; j < n_; ++j)
+            out(i, j) = qr_(i, j);
+    return out;
+}
+
+Vector
+QrFactorization::applyQt(const Vector &b) const
+{
+    ARCHYTAS_ASSERT(b.size() == m_, "applyQt shape mismatch");
+    Vector y = b;
+    std::size_t stash = 0;
+    for (std::size_t k = 0; k < n_; ++k) {
+        if (beta_[k] == 0.0)
+            continue;
+        const double vk = vk_[stash];
+        ARCHYTAS_ASSERT(vk_index_[stash] == k, "stash misaligned");
+        ++stash;
+        double dot = vk * y[k];
+        for (std::size_t i = k + 1; i < m_; ++i)
+            dot += qr_(i, k) * y[i];
+        dot *= beta_[k];
+        y[k] -= dot * vk;
+        for (std::size_t i = k + 1; i < m_; ++i)
+            y[i] -= dot * qr_(i, k);
+    }
+    return y;
+}
+
+std::optional<Vector>
+QrFactorization::solve(const Vector &b) const
+{
+    const Vector y = applyQt(b);
+    Vector x(n_);
+    for (std::size_t ii = 0; ii < n_; ++ii) {
+        const std::size_t i = n_ - 1 - ii;
+        double acc = y[i];
+        for (std::size_t j = i + 1; j < n_; ++j)
+            acc -= qr_(i, j) * x[j];
+        const double rii = qr_(i, i);
+        if (std::abs(rii) < 1e-12)
+            return std::nullopt;
+        x[i] = acc / rii;
+    }
+    return x;
+}
+
+double
+QrFactorization::residualNorm(const Vector &b) const
+{
+    const Vector y = applyQt(b);
+    double acc = 0.0;
+    for (std::size_t i = n_; i < m_; ++i)
+        acc += y[i] * y[i];
+    return std::sqrt(acc);
+}
+
+std::optional<Vector>
+leastSquares(const Matrix &a, const Vector &b)
+{
+    ARCHYTAS_ASSERT(a.rows() == b.size(), "leastSquares shape mismatch");
+    return QrFactorization(a).solve(b);
+}
+
+} // namespace archytas::linalg

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Householder QR decomposition and least-squares solving. Used by the
+ * MSCKF baseline's null-space projection and generally useful for
+ * tall-skinny systems (e.g. triangulation refinement); provided as a
+ * first-class linalg kernel with the same explicit-cost philosophy as
+ * the rest of the library.
+ */
+
+#ifndef ARCHYTAS_LINALG_QR_HH
+#define ARCHYTAS_LINALG_QR_HH
+
+#include <optional>
+
+#include "linalg/matrix.hh"
+
+namespace archytas::linalg {
+
+/** Compact QR factorization of an m x n matrix (m >= n). */
+class QrFactorization
+{
+  public:
+    /**
+     * Factors a. Fatal (user error) when m < n; rank deficiency is
+     * detected lazily at solve time.
+     */
+    explicit QrFactorization(const Matrix &a);
+
+    std::size_t rows() const { return m_; }
+    std::size_t cols() const { return n_; }
+
+    /** The upper-triangular R (n x n). */
+    Matrix r() const;
+
+    /** Applies Q^T to a vector (length m). */
+    Vector applyQt(const Vector &b) const;
+
+    /**
+     * Least-squares solve: x minimizing |a x - b|_2. nullopt when R is
+     * numerically singular.
+     */
+    std::optional<Vector> solve(const Vector &b) const;
+
+    /** Residual norm of the least squares fit: |Q2^T b|. */
+    double residualNorm(const Vector &b) const;
+
+  private:
+    std::size_t m_ = 0;
+    std::size_t n_ = 0;
+    /** Packed factorization: R in the upper triangle, Householder
+     *  vectors below the diagonal. */
+    Matrix qr_;
+    std::vector<double> beta_;   //!< 2 / v^T v per reflection.
+    std::vector<double> vk_;     //!< Pivot component of each v.
+    std::vector<std::size_t> vk_index_;
+};
+
+/** Convenience: least-squares solve of a x ~= b. */
+std::optional<Vector> leastSquares(const Matrix &a, const Vector &b);
+
+} // namespace archytas::linalg
+
+#endif // ARCHYTAS_LINALG_QR_HH

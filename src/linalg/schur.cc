@@ -1,0 +1,103 @@
+#include "linalg/schur.hh"
+
+#include "common/logging.hh"
+#include "linalg/cholesky.hh"
+
+namespace archytas::linalg {
+
+DSchurResult
+dSchur(const Matrix &u, const Matrix &w, const Matrix &v, const Vector &bx,
+       const Vector &by)
+{
+    const std::size_t p = u.rows();
+    const std::size_t q = v.rows();
+    ARCHYTAS_ASSERT(u.cols() == p && v.cols() == q, "dSchur: square blocks");
+    ARCHYTAS_ASSERT(w.rows() == q && w.cols() == p, "dSchur: W shape");
+    ARCHYTAS_ASSERT(bx.size() == p && by.size() == q, "dSchur: rhs shape");
+
+    // W U^{-1}: scale the columns of W by 1/u_ii -- O(pq) instead of O(p^2 q).
+    Matrix wui(q, p);
+    for (std::size_t c = 0; c < p; ++c) {
+        const double uii = u(c, c);
+        if (uii == 0.0)
+            ARCHYTAS_FATAL("dSchur: singular diagonal U at ", c);
+        const double inv = 1.0 / uii;
+        for (std::size_t r = 0; r < q; ++r)
+            wui(r, c) = w(r, c) * inv;
+    }
+
+    DSchurResult out;
+    out.reduced = v - wui * w.transposed();
+    out.reducedRhs = by - wui * bx;
+    return out;
+}
+
+Vector
+dSchurBackSubstitute(const Matrix &u, const Matrix &w, const Vector &bx,
+                     const Vector &y)
+{
+    const std::size_t p = u.rows();
+    ARCHYTAS_ASSERT(w.cols() == p && bx.size() == p && w.rows() == y.size(),
+                    "dSchurBackSubstitute shape mismatch");
+    const Vector rhs = bx - transposeApply(w, y);
+    Vector x(p);
+    for (std::size_t i = 0; i < p; ++i) {
+        ARCHYTAS_ASSERT(u(i, i) != 0.0, "singular diagonal U");
+        x[i] = rhs[i] / u(i, i);
+    }
+    return x;
+}
+
+MSchurResult
+mSchur(const Matrix &m, const Matrix &lambda, const Matrix &a,
+       const Vector &bm, const Vector &br, std::size_t diag_m11)
+{
+    const std::size_t pm = m.rows();
+    const std::size_t pr = a.rows();
+    ARCHYTAS_ASSERT(m.cols() == pm && a.cols() == pr, "mSchur: square blocks");
+    ARCHYTAS_ASSERT(lambda.rows() == pr && lambda.cols() == pm,
+                    "mSchur: Lambda shape");
+    ARCHYTAS_ASSERT(bm.size() == pm && br.size() == pr, "mSchur: rhs shape");
+
+    const Matrix minv = diag_m11 > 0 ? blockedInverseDiagonalM11(m, diag_m11)
+                                     : choleskyInverse(m);
+    const Matrix lm = lambda * minv;
+    MSchurResult out;
+    out.prior = a - lm * lambda.transposed();
+    out.priorRhs = br - lm * bm;
+    return out;
+}
+
+Matrix
+blockedInverseDiagonalM11(const Matrix &m, std::size_t p)
+{
+    const std::size_t n = m.rows();
+    ARCHYTAS_ASSERT(m.cols() == n, "blockedInverse: square needed");
+    ARCHYTAS_ASSERT(p > 0 && p <= n, "blockedInverse: bad split ", p);
+    const std::size_t q = n - p;
+    if (q == 0)
+        return diagonalInverse(m);
+
+    const Matrix m11 = m.block(0, 0, p, p);
+    const Matrix m12 = m.block(0, p, p, q);
+    const Matrix m21 = m.block(p, 0, q, p);
+    const Matrix m22 = m.block(p, p, q, q);
+
+    const Matrix m11_inv = diagonalInverse(m11);
+    // S' = M22 - M21 M11^{-1} M12 is itself a D-type Schur complement.
+    const Matrix sprime = m22 - m21 * (m11_inv * m12);
+    const Matrix sprime_inv = choleskyInverse(sprime);
+
+    // Eq. 5 of the paper.
+    const Matrix t = m11_inv * m12;              // M11^{-1} M12
+    const Matrix bl = sprime_inv * m21 * m11_inv;
+
+    Matrix inv(n, n);
+    inv.setBlock(0, 0, m11_inv + t * sprime_inv * (m21 * m11_inv));
+    inv.setBlock(0, p, -1.0 * (t * sprime_inv));
+    inv.setBlock(p, 0, -1.0 * bl);
+    inv.setBlock(p, p, sprime_inv);
+    return inv;
+}
+
+} // namespace archytas::linalg

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Schur-complement kernels. The paper distinguishes two flavours
+ * (Sec. 3.2.2 / 3.2.3):
+ *
+ *  - D-type: V - W U^{-1} W^T where U is diagonal; used by the NLS solver's
+ *    Schur elimination, where the point (landmark) block of the normal
+ *    equations is (block-)diagonal.
+ *  - M-type: A - Lambda M^{-1} Lambda^T where M is a general symmetric
+ *    matrix; used by marginalization, where M is inverted via the blocked
+ *    identity of Eq. 5 with a diagonal M11 block.
+ */
+
+#ifndef ARCHYTAS_LINALG_SCHUR_HH
+#define ARCHYTAS_LINALG_SCHUR_HH
+
+#include "linalg/matrix.hh"
+
+namespace archytas::linalg {
+
+/** Result of a D-type Schur elimination on [[U, W^T], [W, V]] x = [bx, by]. */
+struct DSchurResult
+{
+    Matrix reduced;      //!< V - W U^{-1} W^T (the q x q reduced system).
+    Vector reducedRhs;   //!< by - W U^{-1} bx.
+};
+
+/**
+ * D-type Schur complement with diagonal U (Eq. 4 of the paper).
+ *
+ * @param u Diagonal p x p matrix (only the diagonal is read).
+ * @param w q x p coupling block (the paper's W; X = W^T by symmetry).
+ * @param v q x q block.
+ * @param bx p-dimensional rhs segment.
+ * @param by q-dimensional rhs segment.
+ */
+DSchurResult dSchur(const Matrix &u, const Matrix &w, const Matrix &v,
+                    const Vector &bx, const Vector &by);
+
+/**
+ * Recovers the eliminated unknowns: x = U^{-1} (bx - W^T y) given the
+ * solution y of the reduced system.
+ */
+Vector dSchurBackSubstitute(const Matrix &u, const Matrix &w,
+                            const Vector &bx, const Vector &y);
+
+/** Result of M-type Schur (marginalization prior, Sec. 3.1 step 3). */
+struct MSchurResult
+{
+    Matrix prior;      //!< Hp = A - Lambda M^{-1} Lambda^T.
+    Vector priorRhs;   //!< rp = br - Lambda M^{-1} bm.
+};
+
+/**
+ * M-type Schur complement: marginalizes the M block of
+ * H = [[M, Lambda^T], [Lambda, A]], b = [bm, br].
+ *
+ * @param m            Symmetric positive-definite block to marginalize.
+ * @param lambda       Coupling block (rows match A, cols match M).
+ * @param a            Retained block.
+ * @param bm           rhs segment of the marginalized states.
+ * @param br           rhs segment of the retained states.
+ * @param diag_m11     Dimension of the leading diagonal sub-block of M
+ *                     used for the blocked inverse of Eq. 5; 0 selects a
+ *                     plain Cholesky inverse.
+ */
+MSchurResult mSchur(const Matrix &m, const Matrix &lambda, const Matrix &a,
+                    const Vector &bm, const Vector &br,
+                    std::size_t diag_m11 = 0);
+
+/**
+ * Blocked inverse of Eq. 5: inverts M = [[M11, M12], [M21, M22]] where the
+ * leading p x p block M11 is diagonal. Used to show the cost advantage the
+ * paper's M-DFG builder exploits.
+ */
+Matrix blockedInverseDiagonalM11(const Matrix &m, std::size_t p);
+
+} // namespace archytas::linalg
+
+#endif // ARCHYTAS_LINALG_SCHUR_HH

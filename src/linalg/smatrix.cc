@@ -1,0 +1,205 @@
+#include "linalg/smatrix.hh"
+
+#include "common/logging.hh"
+
+namespace archytas::linalg {
+
+namespace {
+
+/** Pose DoF per keyframe occupying the leading slice of each k-block. */
+constexpr std::size_t kPoseDof = 6;
+
+} // namespace
+
+CompactSMatrix::CompactSMatrix(std::size_t k, std::size_t b) : k_(k), b_(b)
+{
+    ARCHYTAS_ASSERT(k >= kPoseDof, "k must cover the 6 pose DoF, got ", k);
+    ARCHYTAS_ASSERT(b >= 1, "need at least one keyframe");
+    imu_diag_.assign(b, Matrix(k, k));
+    if (b > 1)
+        imu_offdiag_.assign(b - 1, Matrix(k, k));
+    const std::size_t n = kPoseDof * b;
+    cam_packed_.assign(n * (n + 1) / 2, 0.0);
+}
+
+void
+CompactSMatrix::setImuDiagBlock(std::size_t i, const Matrix &block)
+{
+    ARCHYTAS_ASSERT(i < b_, "diag block index out of range");
+    ARCHYTAS_ASSERT(block.rows() == k_ && block.cols() == k_,
+                    "diag block must be k x k");
+    Matrix sym(k_, k_);
+    for (std::size_t r = 0; r < k_; ++r)
+        for (std::size_t c = 0; c <= r; ++c) {
+            sym(r, c) = block(r, c);
+            sym(c, r) = block(r, c);
+        }
+    imu_diag_[i] = std::move(sym);
+}
+
+void
+CompactSMatrix::setImuOffDiagBlock(std::size_t i, const Matrix &block)
+{
+    ARCHYTAS_ASSERT(i + 1 < b_, "offdiag block index out of range");
+    ARCHYTAS_ASSERT(block.rows() == k_ && block.cols() == k_,
+                    "offdiag block must be k x k");
+    imu_offdiag_[i] = block;
+}
+
+std::size_t
+CompactSMatrix::scIndex(std::size_t r, std::size_t c) const
+{
+    // Packed lower triangle: row r holds r+1 entries.
+    ARCHYTAS_ASSERT(c <= r, "scIndex expects lower-triangle coordinates");
+    return r * (r + 1) / 2 + c;
+}
+
+void
+CompactSMatrix::setCameraBlock(std::size_t i, std::size_t j,
+                               const Matrix &block)
+{
+    ARCHYTAS_ASSERT(i <= j && j < b_, "camera block indices out of range");
+    ARCHYTAS_ASSERT(block.rows() == kPoseDof && block.cols() == kPoseDof,
+                    "camera block must be 6 x 6");
+    for (std::size_t r = 0; r < kPoseDof; ++r) {
+        for (std::size_t c = 0; c < kPoseDof; ++c) {
+            const std::size_t gr = j * kPoseDof + r;
+            const std::size_t gc = i * kPoseDof + c;
+            if (gc <= gr)
+                cam_packed_[scIndex(gr, gc)] = block(r, c);
+        }
+    }
+    if (i == j) {
+        // Enforce symmetry of the diagonal block from its lower triangle.
+        for (std::size_t r = 0; r < kPoseDof; ++r)
+            for (std::size_t c = r + 1; c < kPoseDof; ++c)
+                cam_packed_[scIndex(i * kPoseDof + c, i * kPoseDof + r)] =
+                    block(c, r);
+    }
+}
+
+void
+CompactSMatrix::addCameraBlock(std::size_t i, std::size_t j,
+                               const Matrix &block)
+{
+    ARCHYTAS_ASSERT(i <= j && j < b_, "camera block indices out of range");
+    ARCHYTAS_ASSERT(block.rows() == kPoseDof && block.cols() == kPoseDof,
+                    "camera block must be 6 x 6");
+    for (std::size_t r = 0; r < kPoseDof; ++r) {
+        for (std::size_t c = 0; c < kPoseDof; ++c) {
+            const std::size_t gr = j * kPoseDof + r;
+            const std::size_t gc = i * kPoseDof + c;
+            if (gc <= gr)
+                cam_packed_[scIndex(gr, gc)] += block(r, c);
+        }
+    }
+}
+
+double
+CompactSMatrix::at(std::size_t r, std::size_t c) const
+{
+    ARCHYTAS_ASSERT(r < dim() && c < dim(), "index out of range");
+    double v = 0.0;
+
+    // IMU contribution: block-tridiagonal.
+    const std::size_t br = r / k_, bc = c / k_;
+    const std::size_t lr = r % k_, lc = c % k_;
+    if (br == bc) {
+        v += imu_diag_[br](lr, lc);
+    } else if (bc == br + 1) {
+        v += imu_offdiag_[br](lr, lc);
+    } else if (br == bc + 1) {
+        v += imu_offdiag_[bc](lc, lr);
+    }
+
+    // Camera contribution: only within the leading 6 DoF of each block.
+    if (lr < kPoseDof && lc < kPoseDof) {
+        std::size_t gr = br * kPoseDof + lr;
+        std::size_t gc = bc * kPoseDof + lc;
+        if (gc > gr)
+            std::swap(gr, gc);
+        v += cam_packed_[scIndex(gr, gc)];
+    }
+    return v;
+}
+
+Matrix
+CompactSMatrix::toDense() const
+{
+    Matrix s(dim(), dim());
+    for (std::size_t r = 0; r < dim(); ++r)
+        for (std::size_t c = 0; c < dim(); ++c)
+            s(r, c) = at(r, c);
+    return s;
+}
+
+Vector
+CompactSMatrix::apply(const Vector &x) const
+{
+    ARCHYTAS_ASSERT(x.size() == dim(), "apply shape mismatch");
+    Vector y(dim());
+
+    // IMU block-tridiagonal contribution.
+    for (std::size_t i = 0; i < b_; ++i) {
+        for (std::size_t r = 0; r < k_; ++r) {
+            double acc = 0.0;
+            for (std::size_t c = 0; c < k_; ++c)
+                acc += imu_diag_[i](r, c) * x[i * k_ + c];
+            if (i + 1 < b_)
+                for (std::size_t c = 0; c < k_; ++c)
+                    acc += imu_offdiag_[i](r, c) * x[(i + 1) * k_ + c];
+            if (i > 0)
+                for (std::size_t c = 0; c < k_; ++c)
+                    acc += imu_offdiag_[i - 1](c, r) * x[(i - 1) * k_ + c];
+            y[i * k_ + r] += acc;
+        }
+    }
+
+    // Camera contribution over the pose DoF slices.
+    const std::size_t n = kPoseDof * b_;
+    for (std::size_t gr = 0; gr < n; ++gr) {
+        const std::size_t br = gr / kPoseDof, lr = gr % kPoseDof;
+        double acc = 0.0;
+        for (std::size_t gc = 0; gc < n; ++gc) {
+            const std::size_t bc = gc / kPoseDof, lc = gc % kPoseDof;
+            const double v = gc <= gr ? cam_packed_[scIndex(gr, gc)]
+                                      : cam_packed_[scIndex(gc, gr)];
+            acc += v * x[bc * k_ + lc];
+        }
+        y[br * k_ + lr] += acc;
+    }
+    return y;
+}
+
+std::size_t
+CompactSMatrix::storageDoubles() const
+{
+    std::size_t n = 0;
+    for (const auto &blk : imu_diag_)
+        n += blk.rows() * blk.cols();
+    for (const auto &blk : imu_offdiag_)
+        n += blk.rows() * blk.cols();
+    n += cam_packed_.size();
+    return n;
+}
+
+std::size_t
+CompactSMatrix::paperModelDoubles(std::size_t k, std::size_t b)
+{
+    return 18 * b * b + 2 * b * k * k;
+}
+
+std::size_t
+CompactSMatrix::denseDoubles(std::size_t k, std::size_t b)
+{
+    return k * b * k * b;
+}
+
+std::size_t
+CompactSMatrix::symmetricDenseDoubles(std::size_t k, std::size_t b)
+{
+    const std::size_t n = k * b;
+    return n * (n + 1) / 2;
+}
+
+} // namespace archytas::linalg

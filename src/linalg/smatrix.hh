@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The paper's domain-specific compacted layout for the S matrix
+ * (Sec. 3.3). S is the kb x kb symmetric linear-system parameter matrix of
+ * a sliding window with b IMU observations (keyframes) and k states per
+ * observation. S = Sc + Si, where:
+ *
+ *  - Si (IMU contribution) is symmetric block-tridiagonal: non-zeros only
+ *    in the diagonal and sub/super-diagonal k x k blocks, because an IMU
+ *    observation relates only adjacent keyframes.
+ *  - Sc (camera contribution) is non-zero only in a 6 x 6 sub-block of
+ *    every k x k block (the 6 pose DoF), and is symmetric.
+ *
+ * Archytas therefore stores Si's diagonal + super-diagonal blocks and a
+ * symmetry-packed compaction of Sc, cutting storage from k^2 b^2 doubles
+ * to about 18 b^2 + 2 b k^2 (78% saving at k = b = 15, and 17.8% below a
+ * CSR encoding of the same matrix).
+ */
+
+#ifndef ARCHYTAS_LINALG_SMATRIX_HH
+#define ARCHYTAS_LINALG_SMATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace archytas::linalg {
+
+/** Compacted storage for S = Sc + Si. */
+class CompactSMatrix
+{
+  public:
+    /**
+     * @param k States per IMU observation (15 in the paper's setup).
+     * @param b Number of IMU observations in the sliding window.
+     */
+    CompactSMatrix(std::size_t k, std::size_t b);
+
+    std::size_t k() const { return k_; }
+    std::size_t b() const { return b_; }
+    /** Full (uncompacted) dimension k*b. */
+    std::size_t dim() const { return k_ * b_; }
+
+    /**
+     * Sets the IMU diagonal block i (a symmetric k x k matrix); only the
+     * lower triangle is read, symmetry is enforced.
+     */
+    void setImuDiagBlock(std::size_t i, const Matrix &block);
+
+    /** Sets the IMU super-diagonal block coupling keyframes i and i+1. */
+    void setImuOffDiagBlock(std::size_t i, const Matrix &block);
+
+    /**
+     * Sets the camera 6 x 6 contribution coupling the pose DoF of
+     * keyframes i and j (i <= j; the mirrored block follows by symmetry).
+     */
+    void setCameraBlock(std::size_t i, std::size_t j, const Matrix &block);
+
+    /** Adds into the camera block instead of overwriting. */
+    void addCameraBlock(std::size_t i, std::size_t j, const Matrix &block);
+
+    /** Element access on the logical full matrix. */
+    double at(std::size_t r, std::size_t c) const;
+
+    /** Reconstructs the dense kb x kb S. */
+    Matrix toDense() const;
+
+    /** y = S x computed directly on the compact layout. */
+    Vector apply(const Vector &x) const;
+
+    /** Doubles actually stored by this layout. */
+    std::size_t storageDoubles() const;
+
+    /** The paper's closed-form approximation 18 b^2 + 2 b k^2. */
+    static std::size_t paperModelDoubles(std::size_t k, std::size_t b);
+
+    /** Dense storage: (kb)^2 doubles. */
+    static std::size_t denseDoubles(std::size_t k, std::size_t b);
+
+    /** Symmetric-half dense storage: kb (kb + 1) / 2 doubles. */
+    static std::size_t symmetricDenseDoubles(std::size_t k, std::size_t b);
+
+  private:
+    /** Index into the packed lower triangle of the 6b x 6b Sc. */
+    std::size_t scIndex(std::size_t r, std::size_t c) const;
+
+    std::size_t k_;
+    std::size_t b_;
+    /** b diagonal k x k blocks of Si, stored dense. */
+    std::vector<Matrix> imu_diag_;
+    /** b-1 super-diagonal k x k blocks of Si. */
+    std::vector<Matrix> imu_offdiag_;
+    /** Packed lower triangle of the compacted 6b x 6b Sc. */
+    std::vector<double> cam_packed_;
+};
+
+} // namespace archytas::linalg
+
+#endif // ARCHYTAS_LINALG_SMATRIX_HH

@@ -1,0 +1,62 @@
+#include "linalg/sparse.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace archytas::linalg {
+
+CsrMatrix
+CsrMatrix::fromDense(const Matrix &dense, double tol)
+{
+    CsrMatrix m;
+    m.rows_ = dense.rows();
+    m.cols_ = dense.cols();
+    m.row_ptr_.reserve(m.rows_ + 1);
+    m.row_ptr_.push_back(0);
+    for (std::size_t r = 0; r < m.rows_; ++r) {
+        for (std::size_t c = 0; c < m.cols_; ++c) {
+            const double v = dense(r, c);
+            if (std::abs(v) > tol) {
+                m.values_.push_back(v);
+                m.col_idx_.push_back(static_cast<std::uint32_t>(c));
+            }
+        }
+        m.row_ptr_.push_back(static_cast<std::uint32_t>(m.values_.size()));
+    }
+    return m;
+}
+
+Vector
+CsrMatrix::apply(const Vector &x) const
+{
+    ARCHYTAS_ASSERT(x.size() == cols_, "CSR apply shape mismatch");
+    Vector y(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+            acc += values_[k] * x[col_idx_[k]];
+        y[r] = acc;
+    }
+    return y;
+}
+
+Matrix
+CsrMatrix::toDense() const
+{
+    Matrix d(rows_, cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+            d(r, col_idx_[k]) = values_[k];
+    return d;
+}
+
+std::size_t
+CsrMatrix::storageBytes() const
+{
+    return values_.size() * sizeof(double) +
+           col_idx_.size() * sizeof(std::uint32_t) +
+           row_ptr_.size() * sizeof(std::uint32_t);
+}
+
+} // namespace archytas::linalg

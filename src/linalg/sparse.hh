@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Compressed sparse row (CSR) matrix. Archytas' data-layout study
+ * (Sec. 3.3) compares its domain-specific compacted S-matrix layout
+ * against a generic CSR compression; this is that comparator.
+ */
+
+#ifndef ARCHYTAS_LINALG_SPARSE_HH
+#define ARCHYTAS_LINALG_SPARSE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace archytas::linalg {
+
+/** CSR matrix of doubles with 32-bit indices. */
+class CsrMatrix
+{
+  public:
+    /** Compresses a dense matrix, dropping entries with |x| <= tol. */
+    static CsrMatrix fromDense(const Matrix &dense, double tol = 0.0);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t nnz() const { return values_.size(); }
+
+    /** y = A x. */
+    Vector apply(const Vector &x) const;
+
+    Matrix toDense() const;
+
+    /**
+     * Storage footprint in bytes: 8 B per value, 4 B per column index,
+     * 4 B per row-pointer entry.
+     */
+    std::size_t storageBytes() const;
+
+    const std::vector<double> &values() const { return values_; }
+    const std::vector<std::uint32_t> &colIndices() const { return col_idx_; }
+    const std::vector<std::uint32_t> &rowPointers() const { return row_ptr_; }
+
+  private:
+    CsrMatrix() = default;
+
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> values_;
+    std::vector<std::uint32_t> col_idx_;
+    std::vector<std::uint32_t> row_ptr_;
+};
+
+} // namespace archytas::linalg
+
+#endif // ARCHYTAS_LINALG_SPARSE_HH

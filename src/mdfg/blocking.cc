@@ -1,0 +1,169 @@
+#include "mdfg/blocking.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace archytas::mdfg {
+
+namespace {
+
+double
+cube(double x)
+{
+    return x * x * x;
+}
+
+double
+sq(double x)
+{
+    return x * x;
+}
+
+/** Cholesky-based SPD solve: factor + two triangular solves. */
+double
+spdSolveCost(double n)
+{
+    return cube(n) / 3.0 + 2.0 * sq(n);
+}
+
+/** Cholesky-based SPD inverse. */
+double
+spdInverseCost(double n)
+{
+    // Factorization + n triangular solve pairs.
+    return cube(n) / 3.0 + 2.0 * cube(n);
+}
+
+} // namespace
+
+double
+directSolveCost(std::size_t m, std::size_t nk)
+{
+    return spdSolveCost(static_cast<double>(m + nk));
+}
+
+double
+schurSolveCost(std::size_t m, std::size_t nk, std::size_t p, double no)
+{
+    const double n = static_cast<double>(m + nk);
+    ARCHYTAS_ASSERT(p <= m + nk, "split larger than the system");
+    ARCHYTAS_ASSERT(no >= 1.0, "need at least one observation");
+    if (p == 0)
+        return directSolveCost(m, nk);
+
+    const double pd = static_cast<double>(p);
+    const double q = n - pd;
+    // A feature's row of W is non-zero only in the pose columns of the
+    // keyframes observing it: width 6 No, not the full q. This is the
+    // structured sparsity the paper's cost model exploits (Sec. 3.2.2 /
+    // Eq. 9) and the reason feature elimination wins so decisively.
+    const double w_width = std::min(6.0 * no, q);
+
+    double cost = 0.0;
+    if (p <= m) {
+        // U is diagonal: invert in O(p); W U^{-1} scales the structured
+        // rows.
+        cost += pd;                      // DMatInv.
+        cost += pd * w_width;            // DMatMul (row scaling).
+        // Rank update: per eliminated feature a w_width^2 outer product.
+        cost += 2.0 * pd * sq(w_width);  // MatMul (structured).
+        // Reduced rhs.
+        cost += 2.0 * pd * w_width + q;
+        // Recovery of the eliminated unknowns.
+        cost += 2.0 * pd * w_width + pd;
+        cost += pd;                      // Diagonal back-scale.
+    } else {
+        // U swallows part of the dense keyframe block: the dense part
+        // requires a generic SPD inverse and full-width products.
+        const double dense = pd - static_cast<double>(m);
+        const double md = static_cast<double>(m);
+        // Structured feature part.
+        cost += md + md * w_width + 2.0 * md * sq(w_width) +
+                4.0 * md * w_width + 2.0 * md;
+        // Dense part.
+        cost += spdInverseCost(dense);
+        cost += 2.0 * q * dense * dense;   // W U^{-1} dense product.
+        cost += 2.0 * q * q * dense;       // Dense rank update.
+        cost += 2.0 * q * dense + 2.0 * sq(dense);
+    }
+    // Schur-complement subtraction and the reduced q x q solve.
+    cost += q * q;
+    cost += spdSolveCost(q);
+    return cost;
+}
+
+std::size_t
+optimalSchurSplit(std::size_t m, std::size_t nk, double no)
+{
+    std::size_t best_p = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p <= m + nk; ++p) {
+        const double c = schurSolveCost(m, nk, p, no);
+        if (c < best) {
+            best = c;
+            best_p = p;
+        }
+    }
+    return best_p;
+}
+
+std::vector<double>
+schurSolveCostCurve(std::size_t m, std::size_t nk, double no)
+{
+    std::vector<double> curve;
+    curve.reserve(m + nk + 1);
+    for (std::size_t p = 0; p <= m + nk; ++p)
+        curve.push_back(schurSolveCost(m, nk, p, no));
+    return curve;
+}
+
+double
+blockedInverseCost(std::size_t am, std::size_t nk_m, std::size_t p)
+{
+    const double n = static_cast<double>(am + nk_m);
+    ARCHYTAS_ASSERT(p <= am + nk_m, "split larger than M");
+    if (p == 0)
+        return spdInverseCost(n);
+
+    const double pd = static_cast<double>(p);
+    const double q = n - pd;
+
+    double cost = 0.0;
+    if (p <= am) {
+        // M12 couples each feature only to the departing keyframe's
+        // states (width nk_m), so the blocked path stays structured.
+        cost += pd;                 // Diagonal M11 inverse.
+        cost += pd * q;             // M11^{-1} M12 column scaling.
+        cost += 2.0 * q * q * pd;   // S' rank update.
+    } else {
+        cost += spdInverseCost(pd);
+        cost += 2.0 * pd * pd * q;
+        cost += 2.0 * q * q * pd;
+    }
+    cost += q * q;                  // S' subtraction.
+    cost += spdInverseCost(q);      // S'^{-1}.
+    // Assemble the four blocks of Eq. 5.
+    cost += 2.0 * pd * q * q;       // M11^{-1} M12 S'^{-1}.
+    cost += 2.0 * pd * pd * q;      // ... times M21 M11^{-1}.
+    cost += pd * pd;                // Top-left addition.
+    return cost;
+}
+
+std::size_t
+optimalInverseSplit(std::size_t am, std::size_t nk_m)
+{
+    std::size_t best_p = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p <= am + nk_m; ++p) {
+        const double c = blockedInverseCost(am, nk_m, p);
+        if (c < best) {
+            best = c;
+            best_p = p;
+        }
+    }
+    return best_p;
+}
+
+} // namespace archytas::mdfg

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Blocking-strategy cost models (Sec. 3.2.2 / 3.2.3). The M-DFG builder
+ * must turn "solve the linear system" and "invert M" into concrete
+ * primitive-node combinations; the free parameter is the blocking split
+ * p. These models count the arithmetic of each candidate implementation,
+ * and their minimization shows the paper's central observation: the
+ * optimal split always makes the eliminated block diagonal (all m
+ * inverse-depth entries for the NLS solver; all am feature entries for
+ * marginalization), turning an O(n^3) inversion into O(n).
+ */
+
+#ifndef ARCHYTAS_MDFG_BLOCKING_HH
+#define ARCHYTAS_MDFG_BLOCKING_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace archytas::mdfg {
+
+/**
+ * Arithmetic cost of solving the SLAM normal equations A dp = b, where A
+ * is (m + nk) square with a leading m x m diagonal (inverse-depth) block
+ * and a dense nk x nk keyframe block, via Schur elimination of the first
+ * p unknowns.
+ *
+ * @param m  Number of diagonal (feature) unknowns.
+ * @param nk Dense keyframe dimension (15 b).
+ * @param p  Unknowns eliminated by the Schur step (0 = direct solve).
+ * @param no Average observations per feature: the structured width of a
+ *           feature's W row (6 No), which the model exploits as long as
+ *           the eliminated block stays inside the diagonal region.
+ */
+double schurSolveCost(std::size_t m, std::size_t nk, std::size_t p,
+                      double no = 4.0);
+
+/** Cost of solving the full system directly (p = 0). */
+double directSolveCost(std::size_t m, std::size_t nk);
+
+/** The split minimizing schurSolveCost, searched over p in [0, m+nk]. */
+std::size_t optimalSchurSplit(std::size_t m, std::size_t nk,
+                              double no = 4.0);
+
+/** Full cost curve over p (for the Sec. 3.2.2 reproduction bench). */
+std::vector<double> schurSolveCostCurve(std::size_t m, std::size_t nk,
+                                        double no = 4.0);
+
+/**
+ * Arithmetic cost of inverting the marginalization block
+ * M = [[M11, M12], [M21, M22]] of size (am + nk_m) -- am diagonal feature
+ * entries plus a dense keyframe part -- using the blocked identity of
+ * Eq. 5 with a leading p x p block treated as M11.
+ *
+ * @param am    Diagonal (feature) entries in M.
+ * @param nk_m  Dense keyframe entries in M (15 for one keyframe).
+ * @param p     Size of the leading block inverted first.
+ */
+double blockedInverseCost(std::size_t am, std::size_t nk_m, std::size_t p);
+
+/** The p minimizing blockedInverseCost. */
+std::size_t optimalInverseSplit(std::size_t am, std::size_t nk_m);
+
+} // namespace archytas::mdfg
+
+#endif // ARCHYTAS_MDFG_BLOCKING_HH

@@ -1,0 +1,277 @@
+#include "mdfg/builder.hh"
+
+#include "common/logging.hh"
+#include "mdfg/blocking.hh"
+
+namespace archytas::mdfg {
+
+WorkloadDims
+WorkloadDims::fromWorkload(const slam::WindowWorkload &w)
+{
+    WorkloadDims d;
+    d.features = std::max<std::size_t>(w.features, 1);
+    d.keyframes = std::max<std::size_t>(w.keyframes, 2);
+    d.marginalized = std::max<std::size_t>(w.marginalized_features, 1);
+    d.avg_observations = std::max(w.avg_obs_per_feature, 1.0);
+    return d;
+}
+
+namespace {
+
+/**
+ * Emits the D-type Schur solve into an existing graph given the operand
+ * source nodes. Returns (dy, dx).
+ */
+std::pair<NodeId, NodeId>
+emitDSchurSolve(Graph &g, std::size_t p, std::size_t q, NodeId in_u,
+                NodeId in_w, NodeId in_v, NodeId in_bx, NodeId in_by)
+{
+    const Shape su{p, p}, swt{p, q}, sv{q, q};
+    (void)su;
+
+    const NodeId uinv = g.addNode(NodeType::DMatInv, "U^-1", {p, p},
+                                  {in_u});
+    const NodeId wt = g.addNode(NodeType::MatTp, "W^T", swt, {in_w});
+    // (W U^{-1})^T = U^{-1} W^T: diagonal-times-dense.
+    const NodeId uiwt = g.addNode(NodeType::DMatMul, "U^-1 W^T", swt,
+                                  {uinv, wt});
+    // W (U^{-1} W^T): the rank update of the Schur complement.
+    const NodeId wuwt = g.addNode(NodeType::MatMul, "W U^-1 W^T", sv,
+                                  {in_w, uiwt});
+    const NodeId reduced = g.addNode(NodeType::MatSub, "V - W U^-1 W^T",
+                                     sv, {in_v, wuwt});
+    // Reduced rhs: by - W (U^{-1} bx).
+    const NodeId uibx = g.addNode(NodeType::DMatMul, "U^-1 bx", {p, 1},
+                                  {uinv, in_bx});
+    const NodeId wuibx = g.addNode(NodeType::MatMul, "W U^-1 bx", {q, 1},
+                                   {in_w, uibx});
+    const NodeId rhs = g.addNode(NodeType::MatSub, "by - W U^-1 bx",
+                                 {q, 1}, {in_by, wuibx});
+    // Solve the reduced system.
+    const NodeId chol = g.addNode(NodeType::CD, "chol(reduced)", sv,
+                                  {reduced});
+    const NodeId dy = g.addNode(NodeType::FBSub, "dy", {q, 1},
+                                {chol, rhs});
+    // Recover the eliminated unknowns: dx = U^{-1} (bx - W^T dy).
+    const NodeId wtdy = g.addNode(NodeType::MatMul, "W^T dy", {p, 1},
+                                  {wt, dy});
+    const NodeId bxr = g.addNode(NodeType::MatSub, "bx - W^T dy", {p, 1},
+                                 {in_bx, wtdy});
+    const NodeId dx = g.addNode(NodeType::DMatMul, "dx", {p, 1},
+                                {uinv, bxr});
+    return {dy, dx};
+}
+
+} // namespace
+
+Graph
+buildDSchurSolveGraph(std::size_t p, std::size_t q, NodeId *out_dy,
+                      NodeId *out_dx)
+{
+    ARCHYTAS_ASSERT(p >= 1 && q >= 1, "degenerate blocked system");
+    Graph g;
+    const NodeId in_u = g.addInput("U (diag)", {p, p});
+    const NodeId in_w = g.addInput("W", {q, p});
+    const NodeId in_v = g.addInput("V", {q, q});
+    const NodeId in_bx = g.addInput("bx", {p, 1});
+    const NodeId in_by = g.addInput("by", {q, 1});
+    const auto [dy, dx] =
+        emitDSchurSolve(g, p, q, in_u, in_w, in_v, in_bx, in_by);
+    if (out_dy)
+        *out_dy = dy;
+    if (out_dx)
+        *out_dx = dx;
+    return g;
+}
+
+Graph
+buildNlsIterationGraph(const WorkloadDims &dims)
+{
+    // The builder consults the blocking cost model; for SLAM it always
+    // selects "eliminate every diagonal (feature) unknown".
+    const std::size_t m = dims.features;
+    const std::size_t nk = dims.keyframeDim();
+    const std::size_t split = optimalSchurSplit(m, nk);
+    ARCHYTAS_ASSERT(split == m,
+                    "unexpected blocking: cost model chose ", split,
+                    " but the diagonal block has ", m, " entries");
+
+    Graph g;
+    const NodeId in_state = g.addInput("p (state)", {nk + m, 1});
+    const NodeId in_prior_h = g.addInput("Hp", {nk, nk});
+    const NodeId in_prior_r = g.addInput("rp", {nk, 1});
+
+    // Jacobians. VJac covers all feature observations; IJac covers the
+    // b-1 preintegrated factors. Output shapes reflect the stacked
+    // Jacobian blocks.
+    const std::size_t n_obs = static_cast<std::size_t>(
+        dims.avg_observations * static_cast<double>(m));
+    const NodeId vjac = g.addNode(NodeType::VJac, "visual Jacobian",
+                                  {2 * n_obs, 7}, {in_state});
+    const NodeId ijac = g.addNode(NodeType::IJac, "IMU Jacobian",
+                                  {15 * (dims.keyframes - 1), 30},
+                                  {in_state});
+
+    // Prepare A and b: accumulate J^T J and J^T e into the blocked form.
+    const NodeId vjt = g.addNode(NodeType::MatTp, "Jv^T", {7, 2 * n_obs},
+                                 {vjac});
+    const NodeId h_cam = g.addNode(NodeType::MatMul, "Jv^T Jv (U, W, Sc)",
+                                   {nk + m, nk + m}, {vjt, vjac});
+    const NodeId ijt = g.addNode(NodeType::MatTp, "Ji^T",
+                                 {30, 15 * (dims.keyframes - 1)}, {ijac});
+    const NodeId h_imu = g.addNode(NodeType::MatMul, "Ji^T Ji (Si)",
+                                   {nk, nk}, {ijt, ijac});
+    const NodeId h_sum = g.addNode(NodeType::MatSub, "H = Hc + Hi",
+                                   {nk + m, nk + m}, {h_cam, h_imu});
+    const NodeId h_full = g.addNode(NodeType::MatSub, "A = H (+) Hp",
+                                    {nk + m, nk + m},
+                                    {h_sum, in_prior_h});
+
+    // Blocked operands (pure views; transposes are data movement).
+    const NodeId u = g.addNode(NodeType::MatTp, "U view", {m, m},
+                               {h_full});
+    const NodeId w = g.addNode(NodeType::MatTp, "W view", {nk, m},
+                               {h_full});
+    const NodeId v = g.addNode(NodeType::MatTp, "V view (S)", {nk, nk},
+                               {h_full});
+    const NodeId bx = g.addNode(NodeType::MatTp, "bx view", {m, 1},
+                                {h_full});
+    const NodeId by = g.addNode(NodeType::MatSub, "by (+) rp", {nk, 1},
+                                {h_full, in_prior_r});
+
+    const auto [dy, dx] = emitDSchurSolve(g, m, nk, u, w, v, bx, by);
+
+    // State update p += dp.
+    g.addNode(NodeType::MatSub, "p += dp", {nk + m, 1},
+              {in_state, dy, dx});
+    return g;
+}
+
+Graph
+buildMarginalizationGraph(const WorkloadDims &dims)
+{
+    const std::size_t am = dims.marginalized;
+    const std::size_t nk_m = 15;   // One departing keyframe.
+    const std::size_t rd = (dims.keyframes - 1) * 15;
+
+    // Blocking choice for inverting M (Eq. 5): the cost model never
+    // splits the diagonal feature block; the builder emits the diagonal
+    // M11 = all am feature entries (the paper's choice, Sec. 3.2.3).
+    const std::size_t split = optimalInverseSplit(am, nk_m);
+    ARCHYTAS_ASSERT(split >= am,
+                    "unexpected marginalization blocking: ", split);
+
+    Graph g;
+    const NodeId in_state = g.addInput("p+ (state)",
+                                       {dims.keyframeDim() + am, 1});
+    const std::size_t n_obs = static_cast<std::size_t>(
+        dims.avg_observations * static_cast<double>(am));
+
+    // Jacobian and residual of the factors touching the departing states.
+    const NodeId vjac = g.addNode(NodeType::VJac, "visual Jacobian",
+                                  {2 * n_obs, 7}, {in_state});
+    const NodeId ijac = g.addNode(NodeType::IJac, "IMU Jacobian",
+                                  {15, 30}, {in_state});
+    const NodeId jt = g.addNode(NodeType::MatTp, "J^T",
+                                {7, 2 * n_obs}, {vjac});
+    const NodeId h = g.addNode(NodeType::MatMul, "H = J^T J",
+                               {am + nk_m + rd, am + nk_m + rd},
+                               {jt, vjac, ijac});
+    const NodeId b = g.addNode(NodeType::MatMul, "b = J^T e",
+                               {am + nk_m + rd, 1}, {jt, vjac});
+
+    // Blocked views of H and b.
+    const std::size_t md = am + nk_m;
+    const NodeId m11 = g.addNode(NodeType::MatTp, "M11 view (diag)",
+                                 {am, am}, {h});
+    const NodeId m12 = g.addNode(NodeType::MatTp, "M12 view", {am, nk_m},
+                                 {h});
+    const NodeId m22 = g.addNode(NodeType::MatTp, "M22 view",
+                                 {nk_m, nk_m}, {h});
+    const NodeId lam = g.addNode(NodeType::MatTp, "Lambda view", {rd, md},
+                                 {h});
+    const NodeId a = g.addNode(NodeType::MatTp, "A view", {rd, rd}, {h});
+    const NodeId bm = g.addNode(NodeType::MatTp, "bm view", {md, 1}, {b});
+    const NodeId br = g.addNode(NodeType::MatTp, "br view", {rd, 1}, {b});
+
+    // Blocked inverse of M (Eq. 5). S' = M22 - M21 M11^{-1} M12 is a
+    // D-type Schur complement: same subgraph pattern as the NLS solver's,
+    // which is what lets the scheduler share the hardware block.
+    const NodeId m11i = g.addNode(NodeType::DMatInv, "M11^-1", {am, am},
+                                  {m11});
+    const NodeId m11i_m12 = g.addNode(NodeType::DMatMul, "M11^-1 M12",
+                                      {am, nk_m}, {m11i, m12});
+    const NodeId m21 = g.addNode(NodeType::MatTp, "M21 = M12^T",
+                                 {nk_m, am}, {m12});
+    const NodeId m21_m11i_m12 = g.addNode(NodeType::MatMul,
+                                          "M21 M11^-1 M12", {nk_m, nk_m},
+                                          {m21, m11i_m12});
+    const NodeId sprime = g.addNode(NodeType::MatSub, "S' (D-type Schur)",
+                                    {nk_m, nk_m}, {m22, m21_m11i_m12});
+    // S'^{-1} via Cholesky.
+    const NodeId chol_s = g.addNode(NodeType::CD, "chol(S')",
+                                    {nk_m, nk_m}, {sprime});
+    const NodeId sprime_inv = g.addNode(NodeType::FBSub, "S'^-1",
+                                        {nk_m, nk_m}, {chol_s});
+    // Assemble M^{-1} blocks (Eq. 5).
+    const NodeId tl_corr = g.addNode(
+        NodeType::MatMul, "M11^-1 M12 S'^-1 M21 M11^-1", {am, am},
+        {m11i_m12, sprime_inv});
+    const NodeId minv = g.addNode(NodeType::MatSub, "M^-1 assembled",
+                                  {md, md}, {m11i, tl_corr, sprime_inv});
+
+    // Priors: Hp = A - Lambda M^{-1} Lambda^T (the M-type Schur),
+    // rp = br - Lambda M^{-1} bm.
+    const NodeId lam_minv = g.addNode(NodeType::MatMul, "Lambda M^-1",
+                                      {rd, md}, {lam, minv});
+    const NodeId lam_t = g.addNode(NodeType::MatTp, "Lambda^T", {md, rd},
+                                   {lam});
+    const NodeId lml = g.addNode(NodeType::MatMul,
+                                 "Lambda M^-1 Lambda^T", {rd, rd},
+                                 {lam_minv, lam_t});
+    g.addNode(NodeType::MatSub, "Hp", {rd, rd}, {a, lml});
+    const NodeId lmb = g.addNode(NodeType::MatMul, "Lambda M^-1 bm",
+                                 {rd, 1}, {lam_minv, bm});
+    g.addNode(NodeType::MatSub, "rp", {rd, 1}, {br, lmb});
+    return g;
+}
+
+Graph
+buildWindowGraph(const WorkloadDims &dims, std::size_t iterations)
+{
+    ARCHYTAS_ASSERT(iterations >= 1, "need at least one NLS iteration");
+    // The per-window M-DFG is the serial composition of Iter NLS
+    // iteration graphs and one marginalization graph. Rather than
+    // duplicating nodes per iteration (the hardware executes the same
+    // sub-graph repeatedly), we splice one iteration graph and one
+    // marginalization graph and record the iteration count separately;
+    // cost/latency consumers multiply accordingly. Here we emit the
+    // unrolled graph to make sharing analysis explicit.
+    Graph g;
+    const WorkloadDims d = dims;
+    // Unroll: append iteration graphs then the marginalization graph,
+    // re-emitting nodes with fresh ids.
+    const auto splice = [&g](const Graph &src, const std::string &prefix) {
+        std::vector<NodeId> remap(src.size());
+        for (const Node &n : src.nodes()) {
+            if (src.isInput(n.id)) {
+                remap[n.id] = g.addInput(prefix + n.label, n.output);
+            } else {
+                std::vector<NodeId> ins;
+                ins.reserve(n.inputs.size());
+                for (NodeId in : n.inputs)
+                    ins.push_back(remap[in]);
+                remap[n.id] = g.addNode(n.type, prefix + n.label,
+                                        n.output, std::move(ins));
+            }
+        }
+        return remap;
+    };
+    const Graph iter_graph = buildNlsIterationGraph(d);
+    for (std::size_t i = 0; i < iterations; ++i)
+        splice(iter_graph, "it" + std::to_string(i) + ": ");
+    splice(buildMarginalizationGraph(d), "marg: ");
+    return g;
+}
+
+} // namespace archytas::mdfg

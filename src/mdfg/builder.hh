@@ -1,0 +1,59 @@
+/**
+ * @file
+ * M-DFG builder (Sec. 3.2): turns the abstract MAP algorithm description
+ * (Fig. 2) into a concrete graph of primitive nodes. The two non-trivial
+ * translations — the linear-system solver and the marginalization prior
+ * — are resolved with the blocking cost models (blocking.hh), which
+ * always select a diagonal eliminated block; the builder then emits the
+ * corresponding D-type Schur / blocked-inverse subgraphs (Fig. 3b).
+ */
+
+#ifndef ARCHYTAS_MDFG_BUILDER_HH
+#define ARCHYTAS_MDFG_BUILDER_HH
+
+#include "mdfg/graph.hh"
+#include "slam/state.hh"
+
+namespace archytas::mdfg {
+
+/** Workload dimensions the builder instantiates the graph for. */
+struct WorkloadDims
+{
+    std::size_t features = 100;      //!< a: features in the window (m).
+    std::size_t keyframes = 10;      //!< b.
+    std::size_t marginalized = 10;   //!< am.
+    double avg_observations = 4.0;   //!< No: observations per feature.
+
+    static WorkloadDims fromWorkload(const slam::WindowWorkload &w);
+
+    /** Dense keyframe dimension 15 b. */
+    std::size_t keyframeDim() const { return keyframes * 15; }
+};
+
+/**
+ * Builds the D-type Schur linear-system solver subgraph of Fig. 3b for a
+ * blocked system with a p x p diagonal U and a q x q dense V, including
+ * the reduced-system Cholesky solve and the recovery of the eliminated
+ * unknowns. Returns the graph; out ids are the final outputs
+ * (dy then dx) when non-null.
+ */
+Graph buildDSchurSolveGraph(std::size_t p, std::size_t q,
+                            NodeId *out_dy = nullptr,
+                            NodeId *out_dx = nullptr);
+
+/** Builds the M-DFG of one NLS solver iteration (left half of Fig. 2). */
+Graph buildNlsIterationGraph(const WorkloadDims &dims);
+
+/** Builds the marginalization M-DFG (right half of Fig. 2), with the
+ *  blocked M inverse of Eq. 5 expanded into primitive nodes. */
+Graph buildMarginalizationGraph(const WorkloadDims &dims);
+
+/**
+ * Builds the complete per-window M-DFG: Iter NLS iterations followed by
+ * marginalization (the phases are sequential, Sec. 3.1).
+ */
+Graph buildWindowGraph(const WorkloadDims &dims, std::size_t iterations);
+
+} // namespace archytas::mdfg
+
+#endif // ARCHYTAS_MDFG_BUILDER_HH

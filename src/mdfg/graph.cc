@@ -1,0 +1,182 @@
+#include "mdfg/graph.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace archytas::mdfg {
+
+NodeId
+Graph::addNode(NodeType type, std::string label, Shape output,
+               std::vector<NodeId> inputs)
+{
+    for (NodeId in : inputs)
+        ARCHYTAS_ASSERT(in < nodes_.size(),
+                        "node input ", in, " does not exist yet");
+    Node n;
+    n.id = static_cast<NodeId>(nodes_.size());
+    n.type = type;
+    n.label = std::move(label);
+    n.output = output;
+    n.inputs = std::move(inputs);
+    nodes_.push_back(std::move(n));
+    is_input_.push_back(false);
+    return nodes_.back().id;
+}
+
+NodeId
+Graph::addInput(std::string label, Shape shape)
+{
+    // Represent inputs as zero-cost MatTp-typed sources with no inputs;
+    // the is_input_ flag excludes them from cost and scheduling.
+    Node n;
+    n.id = static_cast<NodeId>(nodes_.size());
+    n.type = NodeType::MatTp;
+    n.label = std::move(label);
+    n.output = shape;
+    nodes_.push_back(std::move(n));
+    is_input_.push_back(true);
+    return nodes_.back().id;
+}
+
+const Node &
+Graph::node(NodeId id) const
+{
+    ARCHYTAS_ASSERT(id < nodes_.size(), "unknown node ", id);
+    return nodes_[id];
+}
+
+bool
+Graph::isInput(NodeId id) const
+{
+    ARCHYTAS_ASSERT(id < nodes_.size(), "unknown node ", id);
+    return is_input_[id];
+}
+
+std::vector<NodeId>
+Graph::topologicalOrder() const
+{
+    // Construction enforces inputs-before-users, so insertion order is a
+    // topological order.
+    std::vector<NodeId> order(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        order[i] = static_cast<NodeId>(i);
+    return order;
+}
+
+double
+Graph::flopsOf(NodeId id) const
+{
+    const Node &n = node(id);
+    if (is_input_[id])
+        return 0.0;
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(n.inputs.size());
+    for (NodeId in : n.inputs)
+        in_shapes.push_back(node(in).output);
+    return nodeFlops(n.type, in_shapes);
+}
+
+double
+Graph::totalFlops() const
+{
+    double total = 0.0;
+    for (const Node &n : nodes_)
+        total += flopsOf(n.id);
+    return total;
+}
+
+double
+Graph::criticalPath(
+    const std::function<double(const Node &)> &latency) const
+{
+    std::vector<double> finish(nodes_.size(), 0.0);
+    double worst = 0.0;
+    for (const Node &n : nodes_) {
+        double ready = 0.0;
+        for (NodeId in : n.inputs)
+            ready = std::max(ready, finish[in]);
+        const double lat = is_input_[n.id] ? 0.0 : latency(n);
+        finish[n.id] = ready + lat;
+        worst = std::max(worst, finish[n.id]);
+    }
+    return worst;
+}
+
+std::uint64_t
+Graph::subgraphHash(NodeId root, bool include_shapes) const
+{
+    // Iterative memoized structural hash.
+    std::vector<std::uint64_t> memo(nodes_.size(), 0);
+    const auto combine = [](std::uint64_t h, std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        return h;
+    };
+    // Nodes only reference earlier ids, so a forward pass suffices.
+    for (NodeId id = 0; id <= root; ++id) {
+        const Node &n = nodes_[id];
+        std::uint64_t h = is_input_[id] ? 0x1234567ull
+                                        : static_cast<std::uint64_t>(
+                                              n.type) * 0x100000001b3ull;
+        if (include_shapes)
+            h = combine(h, n.output.rows * 1000003ull + n.output.cols);
+        for (NodeId in : n.inputs)
+            h = combine(h, memo[in]);
+        memo[id] = h;
+    }
+    return memo[root];
+}
+
+std::vector<std::vector<NodeId>>
+Graph::identicalSubgraphs(bool include_shapes) const
+{
+    std::unordered_map<std::uint64_t, std::vector<NodeId>> by_hash;
+    for (const Node &n : nodes_) {
+        if (is_input_[n.id])
+            continue;
+        by_hash[subgraphHash(n.id, include_shapes)].push_back(n.id);
+    }
+    std::vector<std::vector<NodeId>> groups;
+    for (auto &[hash, ids] : by_hash) {
+        (void)hash;
+        if (ids.size() >= 2) {
+            std::sort(ids.begin(), ids.end());
+            groups.push_back(std::move(ids));
+        }
+    }
+    std::sort(groups.begin(), groups.end());
+    return groups;
+}
+
+std::unordered_map<NodeType, std::size_t>
+Graph::typeHistogram() const
+{
+    std::unordered_map<NodeType, std::size_t> hist;
+    for (const Node &n : nodes_)
+        if (!is_input_[n.id])
+            ++hist[n.type];
+    return hist;
+}
+
+std::string
+Graph::toDot(const std::string &graph_name) const
+{
+    std::ostringstream os;
+    os << "digraph " << graph_name << " {\n";
+    for (const Node &n : nodes_) {
+        os << "  n" << n.id << " [label=\""
+           << (is_input_[n.id] ? "in" : nodeTypeName(n.type)) << "\\n"
+           << n.label << "\\n" << n.output.rows << "x" << n.output.cols
+           << "\"";
+        if (is_input_[n.id])
+            os << " shape=box";
+        os << "];\n";
+        for (NodeId in : n.inputs)
+            os << "  n" << in << " -> n" << n.id << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace archytas::mdfg

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The macro data-flow graph IR: a DAG of primitive nodes with shape
+ * checking, topological ordering, per-node cost accounting, critical-path
+ * analysis, structural subgraph hashing (used by the static scheduler to
+ * share hardware blocks between identical subgraphs, Sec. 4.1), and a
+ * Graphviz export for inspection.
+ */
+
+#ifndef ARCHYTAS_MDFG_GRAPH_HH
+#define ARCHYTAS_MDFG_GRAPH_HH
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mdfg/node.hh"
+
+namespace archytas::mdfg {
+
+/** A directed acyclic graph of primitive M-DFG nodes. */
+class Graph
+{
+  public:
+    /**
+     * Adds a node; inputs must already exist (construction is therefore
+     * topological by design). Returns the node id.
+     */
+    NodeId addNode(NodeType type, std::string label, Shape output,
+                   std::vector<NodeId> inputs = {});
+
+    /** Adds an external input (source) node carrying an operand. */
+    NodeId addInput(std::string label, Shape shape);
+
+    std::size_t size() const { return nodes_.size(); }
+    const Node &node(NodeId id) const;
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+    /** True when the node is an external input (no compute). */
+    bool isInput(NodeId id) const;
+
+    /** Ids in a valid topological order (insertion order by invariant). */
+    std::vector<NodeId> topologicalOrder() const;
+
+    /** Total arithmetic cost of the graph (inputs cost nothing). */
+    double totalFlops() const;
+
+    /** Arithmetic cost of one node, derived from its input shapes. */
+    double flopsOf(NodeId id) const;
+
+    /**
+     * Critical-path length under a per-node latency function; inputs have
+     * zero latency.
+     */
+    double criticalPath(
+        const std::function<double(const Node &)> &latency) const;
+
+    /**
+     * Structural hash of the subgraph rooted at a node: equal hashes =>
+     * identical node types and input structure (and shapes, when
+     * include_shapes). The static scheduler uses the shape-agnostic form
+     * to map same-pattern subgraphs (e.g. the NLS solver's and
+     * marginalization's D-type Schur) onto the same hardware block.
+     */
+    std::uint64_t subgraphHash(NodeId root, bool include_shapes = true)
+        const;
+
+    /**
+     * Groups of (non-input) nodes whose rooted subgraphs are structurally
+     * identical; only groups with two or more members are returned.
+     */
+    std::vector<std::vector<NodeId>> identicalSubgraphs(
+        bool include_shapes = true) const;
+
+    /** Count of nodes per type (inputs excluded). */
+    std::unordered_map<NodeType, std::size_t> typeHistogram() const;
+
+    /** Graphviz dot rendering. */
+    std::string toDot(const std::string &graph_name = "mdfg") const;
+
+  private:
+    std::vector<Node> nodes_;
+    std::vector<bool> is_input_;
+};
+
+} // namespace archytas::mdfg
+
+#endif // ARCHYTAS_MDFG_GRAPH_HH

@@ -1,0 +1,141 @@
+#include "mdfg/interpreter.hh"
+
+#include "common/logging.hh"
+#include "linalg/cholesky.hh"
+
+namespace archytas::mdfg {
+
+Interpreter::Interpreter(const Graph &graph) : graph_(graph)
+{
+}
+
+void
+Interpreter::bindInput(NodeId input, linalg::Matrix value)
+{
+    ARCHYTAS_ASSERT(graph_.isInput(input),
+                    "node ", input, " is not an input");
+    const Shape expect = graph_.node(input).output;
+    if (value.rows() != expect.rows || value.cols() != expect.cols)
+        ARCHYTAS_FATAL("binding shape ", value.rows(), "x", value.cols(),
+                       " does not match input '",
+                       graph_.node(input).label, "' (", expect.rows, "x",
+                       expect.cols, ")");
+    values_[input] = std::move(value);
+}
+
+linalg::Matrix
+Interpreter::evaluateNode(const Node &node)
+{
+    const auto in = [&](std::size_t i) -> const linalg::Matrix & {
+        ARCHYTAS_ASSERT(i < node.inputs.size(), "operand index");
+        return values_.at(node.inputs[i]);
+    };
+    const auto need = [&](std::size_t n) {
+        if (node.inputs.size() != n)
+            ARCHYTAS_FATAL("node '", node.label, "' (",
+                           nodeTypeName(node.type), ") expects ", n,
+                           " operands, has ", node.inputs.size(),
+                           " -- graph not interpretable");
+    };
+
+    switch (node.type) {
+      case NodeType::DMatInv: {
+        need(1);
+        return linalg::diagonalInverse(in(0));
+      }
+      case NodeType::DMatMul: {
+        need(2);
+        const linalg::Matrix &d = in(0);
+        const linalg::Matrix &a = in(1);
+        if (d.cols() != a.rows())
+            ARCHYTAS_FATAL("DMatMul shape mismatch at '", node.label,
+                           "'");
+        linalg::Matrix out(a.rows(), a.cols());
+        for (std::size_t r = 0; r < a.rows(); ++r)
+            for (std::size_t c = 0; c < a.cols(); ++c)
+                out(r, c) = d(r, r) * a(r, c);
+        return out;
+      }
+      case NodeType::MatMul: {
+        need(2);
+        if (in(0).cols() != in(1).rows())
+            ARCHYTAS_FATAL("MatMul shape mismatch at '", node.label,
+                           "' -- graph not interpretable");
+        return in(0) * in(1);
+      }
+      case NodeType::MatSub: {
+        need(2);
+        if (in(0).rows() != in(1).rows() || in(0).cols() != in(1).cols())
+            ARCHYTAS_FATAL("MatSub shape mismatch at '", node.label,
+                           "'");
+        return in(0) - in(1);
+      }
+      case NodeType::MatTp: {
+        need(1);
+        return in(0).transposed();
+      }
+      case NodeType::CD: {
+        need(1);
+        auto l = linalg::cholesky(in(0));
+        if (!l)
+            ARCHYTAS_FATAL("CD input not positive definite at '",
+                           node.label, "'");
+        return *l;
+      }
+      case NodeType::FBSub: {
+        need(2);
+        const linalg::Matrix &l = in(0);
+        const linalg::Matrix &rhs = in(1);
+        if (l.rows() != rhs.rows())
+            ARCHYTAS_FATAL("FBSub shape mismatch at '", node.label, "'");
+        linalg::Matrix out(rhs.rows(), rhs.cols());
+        for (std::size_t c = 0; c < rhs.cols(); ++c) {
+            linalg::Vector b(rhs.rows());
+            for (std::size_t r = 0; r < rhs.rows(); ++r)
+                b[r] = rhs(r, c);
+            const linalg::Vector x = linalg::backwardSubstitute(
+                l, linalg::forwardSubstitute(l, b));
+            for (std::size_t r = 0; r < rhs.rows(); ++r)
+                out(r, c) = x[r];
+        }
+        return out;
+      }
+      case NodeType::VJac:
+      case NodeType::IJac:
+        ARCHYTAS_FATAL("Jacobian nodes are workload-bound and not "
+                       "interpretable standalone ('", node.label, "')");
+    }
+    ARCHYTAS_PANIC("unknown node type");
+}
+
+void
+Interpreter::run()
+{
+    for (const NodeId id : graph_.topologicalOrder()) {
+        if (graph_.isInput(id)) {
+            if (!values_.count(id))
+                ARCHYTAS_FATAL("input '", graph_.node(id).label,
+                               "' is unbound");
+            continue;
+        }
+        values_[id] = evaluateNode(graph_.node(id));
+    }
+    ran_ = true;
+}
+
+const linalg::Matrix &
+Interpreter::value(NodeId node) const
+{
+    ARCHYTAS_ASSERT(ran_, "run() the interpreter first");
+    const auto it = values_.find(node);
+    ARCHYTAS_ASSERT(it != values_.end(), "no value for node ", node);
+    return it->second;
+}
+
+bool
+Interpreter::hasValue(NodeId node) const
+{
+    return values_.count(node) > 0;
+}
+
+} // namespace archytas::mdfg

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * M-DFG interpreter: executes a graph numerically given bindings for
+ * its input nodes. This is the framework's functional-verification
+ * path — the graphs the builder emits (e.g. the Fig. 3b D-type Schur
+ * solver) are run through the interpreter and checked against the
+ * direct linear-algebra implementation, proving that the lowering
+ * preserved semantics before any hardware mapping happens.
+ *
+ * Operand conventions per node type:
+ *  - DMatInv(D): diagonal inverse of a square matrix (diagonal read);
+ *  - DMatMul(D, A): diagonal-times-dense product;
+ *  - MatMul(A, B): dense product;
+ *  - MatSub(A, B): A - B (exactly two operands);
+ *  - MatTp(A): transpose;
+ *  - CD(S): lower-triangular Cholesky factor;
+ *  - FBSub(L, b): forward+backward substitution solving L L^T x = b.
+ *
+ * Graphs using view/aggregation pseudo-nodes (the window-level graphs,
+ * where MatTp doubles as a zero-cost "view" of a larger operand) are
+ * not interpretable; the interpreter rejects shape-inconsistent uses
+ * loudly rather than guessing.
+ */
+
+#ifndef ARCHYTAS_MDFG_INTERPRETER_HH
+#define ARCHYTAS_MDFG_INTERPRETER_HH
+
+#include <unordered_map>
+
+#include "linalg/matrix.hh"
+#include "mdfg/graph.hh"
+
+namespace archytas::mdfg {
+
+/** Input bindings and result store of one interpretation. */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Graph &graph);
+
+    /** Binds an input node to its operand value. */
+    void bindInput(NodeId input, linalg::Matrix value);
+
+    /**
+     * Executes the graph in topological order. Fatal (user error) when
+     * an input is unbound, an operand shape mismatches a node's
+     * expectation, or a CD input is not positive definite.
+     */
+    void run();
+
+    /** The computed value of any node (after run()). */
+    const linalg::Matrix &value(NodeId node) const;
+
+    bool hasValue(NodeId node) const;
+
+  private:
+    linalg::Matrix evaluateNode(const Node &node);
+
+    const Graph &graph_;
+    std::unordered_map<NodeId, linalg::Matrix> values_;
+    bool ran_ = false;
+};
+
+} // namespace archytas::mdfg
+
+#endif // ARCHYTAS_MDFG_INTERPRETER_HH

@@ -1,0 +1,74 @@
+#include "mdfg/node.hh"
+
+#include "common/logging.hh"
+
+namespace archytas::mdfg {
+
+const char *
+nodeTypeName(NodeType type)
+{
+    switch (type) {
+      case NodeType::DMatInv: return "DMatInv";
+      case NodeType::MatMul:  return "MatMul";
+      case NodeType::DMatMul: return "DMatMul";
+      case NodeType::MatSub:  return "MatSub";
+      case NodeType::MatTp:   return "MatTp";
+      case NodeType::CD:      return "CD";
+      case NodeType::FBSub:   return "FBSub";
+      case NodeType::VJac:    return "VJac";
+      case NodeType::IJac:    return "IJac";
+    }
+    ARCHYTAS_PANIC("unknown node type");
+}
+
+double
+nodeFlops(NodeType type, const std::vector<Shape> &in)
+{
+    auto need = [&](std::size_t n) {
+        ARCHYTAS_ASSERT(in.size() >= n, nodeTypeName(type),
+                        " needs at least ", n, " input shapes, got ",
+                        in.size());
+    };
+    switch (type) {
+      case NodeType::MatMul:
+        need(2);
+        ARCHYTAS_ASSERT(in[0].cols == in[1].rows, "MatMul shape mismatch");
+        return 2.0 * static_cast<double>(in[0].rows) *
+               static_cast<double>(in[0].cols) *
+               static_cast<double>(in[1].cols);
+      case NodeType::DMatMul:
+        need(2);
+        return static_cast<double>(in[1].rows) *
+               static_cast<double>(in[1].cols);
+      case NodeType::DMatInv:
+        need(1);
+        return static_cast<double>(in[0].rows);
+      case NodeType::MatSub:
+        need(1);
+        return static_cast<double>(in[0].rows) *
+               static_cast<double>(in[0].cols);
+      case NodeType::MatTp:
+        return 0.0;
+      case NodeType::CD: {
+        need(1);
+        const double n = static_cast<double>(in[0].rows);
+        return n * n * n / 3.0;
+      }
+      case NodeType::FBSub: {
+        need(1);
+        const double n = static_cast<double>(in[0].rows);
+        return 2.0 * n * n;
+      }
+      case NodeType::VJac:
+        // Projection Jacobian chain per observation: ~2x(3x3) matrix
+        // products on the 2x3 projection Jacobian plus the point
+        // transform; ~120 ops per <feature, observation> pair.
+        return 120.0;
+      case NodeType::IJac:
+        // 15x15 Jacobian pair assembly with rotation compositions.
+        return 4000.0;
+    }
+    ARCHYTAS_PANIC("unknown node type");
+}
+
+} // namespace archytas::mdfg

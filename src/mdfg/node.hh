@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Primitive macro data-flow-graph (M-DFG) node taxonomy — Table 1 of the
+ * paper. Each node is a coarse-grained function (dense matrix multiply,
+ * Cholesky decomposition, Jacobian evaluation, ...) that maps onto one
+ * well-optimized hardware block, rather than a single scalar operation.
+ * The coarse granularity is the paper's key abstraction: it keeps the
+ * graph small enough to schedule statically while exposing exactly the
+ * units the hardware template provides.
+ */
+
+#ifndef ARCHYTAS_MDFG_NODE_HH
+#define ARCHYTAS_MDFG_NODE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace archytas::mdfg {
+
+/** Primitive node types (Table 1). */
+enum class NodeType
+{
+    DMatInv,   //!< Diagonal matrix inversion.
+    MatMul,    //!< Dense matrix multiplication.
+    DMatMul,   //!< Diagonal (left) times dense matrix multiplication.
+    MatSub,    //!< Matrix subtraction (addition).
+    MatTp,     //!< Matrix transpose.
+    CD,        //!< Cholesky decomposition.
+    FBSub,     //!< Forward+backward substitution (triangular solves).
+    VJac,      //!< Visual Jacobian evaluation.
+    IJac,      //!< IMU Jacobian evaluation.
+};
+
+/** Printable name of a node type. */
+const char *nodeTypeName(NodeType type);
+
+/** Shape of a node's output operand. */
+struct Shape
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+
+    bool operator==(const Shape &) const = default;
+};
+
+using NodeId = std::uint32_t;
+
+/** One node of the M-DFG. */
+struct Node
+{
+    NodeId id = 0;
+    NodeType type = NodeType::MatMul;
+    std::string label;            //!< Human-readable role, e.g. "WU^-1".
+    Shape output;
+    std::vector<NodeId> inputs;   //!< Producer node ids, operand order.
+};
+
+/**
+ * Arithmetic-operation count of one node execution — the cost model the
+ * M-DFG builder minimizes over (Sec. 3.2.2). Shapes are the *input*
+ * operand shapes in operand order; conventions:
+ *  - MatMul(a x k, k x b): 2 a k b ops (multiply + add);
+ *  - DMatMul(diag n, n x m): n m ops;
+ *  - DMatInv(diag n): n ops;
+ *  - MatSub(a x b): a b ops;
+ *  - MatTp(a x b): 0 arithmetic (pure data movement);
+ *  - CD(n x n): n^3 / 3 ops;
+ *  - FBSub(n x n): 2 n^2 ops;
+ *  - VJac / IJac: fixed per-evaluation costs (see implementation).
+ */
+double nodeFlops(NodeType type, const std::vector<Shape> &input_shapes);
+
+} // namespace archytas::mdfg
+
+#endif // ARCHYTAS_MDFG_NODE_HH

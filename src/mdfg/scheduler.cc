@@ -1,0 +1,177 @@
+#include "mdfg/scheduler.hh"
+
+#include <map>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace archytas::mdfg {
+
+const char *
+hwBlockName(HwBlock block)
+{
+    switch (block) {
+      case HwBlock::VisualJacobianUnit:   return "VisualJacobianUnit";
+      case HwBlock::ImuJacobianUnit:      return "ImuJacobianUnit";
+      case HwBlock::PrepareAbLogic:       return "PrepareAbLogic";
+      case HwBlock::DSchurUnit:           return "DSchurUnit";
+      case HwBlock::MSchurUnit:           return "MSchurUnit";
+      case HwBlock::CholeskyUnit:         return "CholeskyUnit";
+      case HwBlock::BackSubstitutionUnit: return "BackSubstitutionUnit";
+      case HwBlock::DataMovement:         return "DataMovement";
+    }
+    ARCHYTAS_PANIC("unknown hardware block");
+}
+
+HwBlock
+blockFor(NodeType type)
+{
+    switch (type) {
+      case NodeType::VJac:    return HwBlock::VisualJacobianUnit;
+      case NodeType::IJac:    return HwBlock::ImuJacobianUnit;
+      case NodeType::CD:      return HwBlock::CholeskyUnit;
+      case NodeType::FBSub:   return HwBlock::BackSubstitutionUnit;
+      case NodeType::MatTp:   return HwBlock::DataMovement;
+      case NodeType::DMatInv:
+      case NodeType::DMatMul:
+      case NodeType::MatMul:
+      case NodeType::MatSub:  return HwBlock::PrepareAbLogic;
+    }
+    ARCHYTAS_PANIC("unknown node type");
+}
+
+namespace {
+
+/**
+ * Detects the D-type Schur pattern rooted at a MatSub node:
+ * MatSub(V, MatMul(W, DMatMul(DMatInv(U), .))) — the signature the
+ * builder emits for both the NLS reduced system and marginalization's
+ * S'. Nodes inside a detected pattern are assigned to the DSchurUnit.
+ */
+bool
+isDSchurRoot(const Graph &g, NodeId id,
+             std::vector<NodeId> *members)
+{
+    const Node &sub = g.node(id);
+    if (sub.type != NodeType::MatSub || sub.inputs.size() != 2)
+        return false;
+    const Node &mul = g.node(sub.inputs[1]);
+    if (mul.type != NodeType::MatMul || mul.inputs.size() != 2)
+        return false;
+    const Node &dmm = g.node(mul.inputs[1]);
+    if (dmm.type != NodeType::DMatMul || dmm.inputs.empty())
+        return false;
+    const Node &dinv = g.node(dmm.inputs[0]);
+    if (dinv.type != NodeType::DMatInv)
+        return false;
+    if (members) {
+        members->push_back(sub.id);
+        members->push_back(mul.id);
+        members->push_back(dmm.id);
+        members->push_back(dinv.id);
+    }
+    return true;
+}
+
+/**
+ * Detects the M-type Schur tail: MatSub(A, MatMul(LambdaM^-1, .)) where
+ * the multiply chain passes through the assembled blocked inverse.
+ */
+bool
+isMSchurRoot(const Graph &g, NodeId id)
+{
+    const Node &sub = g.node(id);
+    if (sub.type != NodeType::MatSub || sub.inputs.size() != 2)
+        return false;
+    const Node &mul = g.node(sub.inputs[1]);
+    if (mul.type != NodeType::MatMul)
+        return false;
+    // The blocked inverse assembly is a MatSub with three inputs in the
+    // builder's emission; look one step deeper on either operand.
+    for (NodeId in : mul.inputs) {
+        const Node &cand = g.node(in);
+        if (cand.type == NodeType::MatMul) {
+            for (NodeId in2 : cand.inputs) {
+                const Node &asm_node = g.node(in2);
+                if (asm_node.type == NodeType::MatSub &&
+                    asm_node.inputs.size() == 3)
+                    return true;
+            }
+        }
+        if (cand.type == NodeType::MatSub && cand.inputs.size() == 3)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Schedule
+scheduleGraph(const Graph &g)
+{
+    Schedule sched;
+
+    // Pass 1: pattern detection.
+    std::unordered_set<NodeId> dschur_members;
+    std::unordered_set<NodeId> mschur_roots;
+    for (const Node &n : g.nodes()) {
+        if (g.isInput(n.id))
+            continue;
+        std::vector<NodeId> members;
+        if (isDSchurRoot(g, n.id, &members)) {
+            for (NodeId m : members)
+                dschur_members.insert(m);
+        }
+        if (isMSchurRoot(g, n.id))
+            mschur_roots.insert(n.id);
+    }
+
+    // Sharing: shape-agnostic identical subgraphs (the NLS D-type Schur
+    // and marginalization's S' D-type Schur hash identically modulo
+    // shapes).
+    sched.shared_groups = g.identicalSubgraphs(/*include_shapes=*/false);
+    std::unordered_set<NodeId> shared_nodes;
+    for (const auto &group : sched.shared_groups)
+        for (NodeId id : group)
+            shared_nodes.insert(id);
+
+    // Pass 2: assignment.
+    std::map<HwBlock, std::size_t> load;
+    for (const Node &n : g.nodes()) {
+        if (g.isInput(n.id))
+            continue;
+        ScheduleEntry e;
+        e.node = n.id;
+        if (dschur_members.count(n.id)) {
+            e.block = HwBlock::DSchurUnit;
+        } else if (mschur_roots.count(n.id)) {
+            e.block = HwBlock::MSchurUnit;
+        } else {
+            e.block = blockFor(n.type);
+        }
+        e.shared = shared_nodes.count(n.id) > 0;
+        ++load[e.block];
+        sched.entries.push_back(e);
+    }
+    for (const auto &[block, count] : load)
+        sched.block_load.emplace_back(block, count);
+    return sched;
+}
+
+std::string
+Schedule::toString(const Graph &g) const
+{
+    std::ostringstream os;
+    os << "schedule (" << entries.size() << " nodes, "
+       << shared_groups.size() << " shared groups)\n";
+    for (const auto &e : entries) {
+        const Node &n = g.node(e.node);
+        os << "  n" << e.node << " " << nodeTypeName(n.type) << " '"
+           << n.label << "' -> " << hwBlockName(e.block)
+           << (e.shared ? " [shared]" : "") << "\n";
+    }
+    return os.str();
+}
+
+} // namespace archytas::mdfg

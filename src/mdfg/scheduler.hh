@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Static M-DFG scheduler (Sec. 4.1). The M-DFG is known offline, so the
+ * schedule is computed once: every node is assigned to one of the
+ * template's hardware blocks (Fig. 5), identical subgraphs from the two
+ * serialized phases (NLS and marginalization) are mapped onto the same
+ * physical block, and nodes that may overlap (Jacobian vs. D-type Schur
+ * across feature points) are marked pipelineable.
+ */
+
+#ifndef ARCHYTAS_MDFG_SCHEDULER_HH
+#define ARCHYTAS_MDFG_SCHEDULER_HH
+
+#include <string>
+#include <vector>
+
+#include "mdfg/graph.hh"
+
+namespace archytas::mdfg {
+
+/** Hardware blocks of the template (Fig. 5). */
+enum class HwBlock
+{
+    VisualJacobianUnit,
+    ImuJacobianUnit,
+    PrepareAbLogic,      //!< "Logics to prepare A, b" / form H and b.
+    DSchurUnit,          //!< D-type Schur complement block.
+    MSchurUnit,          //!< M-type Schur complement block.
+    CholeskyUnit,
+    BackSubstitutionUnit,
+    DataMovement,        //!< Transposes/views: buffers, no compute block.
+};
+
+const char *hwBlockName(HwBlock block);
+
+/** One scheduled node. */
+struct ScheduleEntry
+{
+    NodeId node;
+    HwBlock block;
+    /** Index of the physical instance (after sharing, always 0 here:
+     *  the template holds one instance of each block). */
+    std::size_t instance = 0;
+    /** True when this node belongs to a subgraph that the scheduler
+     *  proved shareable with another phase's subgraph. */
+    bool shared = false;
+};
+
+/** The static schedule of a window graph. */
+struct Schedule
+{
+    std::vector<ScheduleEntry> entries;    //!< Topological order.
+    /** Shape-agnostic identical-subgraph groups found (node id roots). */
+    std::vector<std::vector<NodeId>> shared_groups;
+    /** Per-block assigned-node counts. */
+    std::vector<std::pair<HwBlock, std::size_t>> block_load;
+
+    std::string toString(const Graph &g) const;
+};
+
+/**
+ * Assigns every node of the graph to a hardware block and detects
+ * sharing opportunities between the NLS and marginalization phases.
+ */
+Schedule scheduleGraph(const Graph &g);
+
+/** The block class a single node type maps to (context-free mapping). */
+HwBlock blockFor(NodeType type);
+
+} // namespace archytas::mdfg
+
+#endif // ARCHYTAS_MDFG_SCHEDULER_HH

@@ -1,0 +1,73 @@
+#include "runtime/controller.hh"
+
+#include "common/logging.hh"
+
+namespace archytas::runtime {
+
+TwoBitSaturatingCounter::TwoBitSaturatingCounter(bool initially_high)
+    : state_(initially_high ? 3 : 0)
+{
+}
+
+bool
+TwoBitSaturatingCounter::update(bool high)
+{
+    if (high) {
+        if (state_ < 3)
+            ++state_;
+    } else {
+        if (state_ > 0)
+            --state_;
+    }
+    return decision();
+}
+
+RuntimeController::RuntimeController(
+    IterTable table, std::array<hw::HwConfig, kMaxIterations> configs,
+    hw::HwConfig built)
+    : table_(std::move(table)), configs_(configs), built_(built)
+{
+    for (const auto &c : configs_) {
+        ARCHYTAS_ASSERT(c.nd >= 1 && c.nm >= 1 && c.s >= 1,
+                        "invalid memoized configuration");
+        ARCHYTAS_ASSERT(c.nd <= built.nd && c.nm <= built.nm &&
+                            c.s <= built.s,
+                        "memoized configuration exceeds the built design");
+    }
+}
+
+ControllerDecision
+RuntimeController::onWindow(std::size_t feature_count)
+{
+    const std::size_t proposal = table_.lookup(feature_count);
+
+    // Debounce (Sec. 6.2): Iter is adjusted only when the proposal maps
+    // to a different value in two consecutive sliding windows.
+    int direction = 0;
+    if (proposal > current_iter_)
+        direction = 1;
+    else if (proposal < current_iter_)
+        direction = -1;
+
+    ControllerDecision decision;
+    if (direction != 0 && direction == pending_direction_) {
+        ++pending_count_;
+        if (pending_count_ >= 2) {
+            current_iter_ = static_cast<std::size_t>(
+                static_cast<int>(current_iter_) + direction);
+            pending_count_ = 0;
+            pending_direction_ = 0;
+            decision.reconfigured = true;
+            ++reconfigurations_;
+        }
+    } else {
+        pending_direction_ = direction;
+        pending_count_ = direction != 0 ? 1 : 0;
+    }
+
+    decision.iterations = current_iter_;
+    decision.gated = configs_[current_iter_ - 1];
+    return decision;
+}
+
+} // namespace archytas::runtime

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The run-time re-optimization system (Sec. 6.2). Per sliding window the
+ * sensing front-end reports the feature count; the controller maps it to
+ * an NLS iteration cap through the offline lookup table, debounced by a
+ * 2-bit saturating counter so a single outlier window does not thrash
+ * the hardware configuration. Because Iter has only 6 values, the
+ * corresponding power-minimal gated configurations (Eq. 18) are solved
+ * offline and memoized; at run time a change of Iter is a table lookup
+ * plus three numbers sent to the FPGA's clock-gating controller —
+ * effectively zero overhead.
+ */
+
+#ifndef ARCHYTAS_RUNTIME_CONTROLLER_HH
+#define ARCHYTAS_RUNTIME_CONTROLLER_HH
+
+#include <array>
+#include <cstddef>
+
+#include "hw/config.hh"
+#include "runtime/iter_table.hh"
+
+namespace archytas::runtime {
+
+/**
+ * 2-bit saturating counter in the classic taken/not-taken arrangement:
+ * the decision changes only after two consecutive agreeing inputs.
+ */
+class TwoBitSaturatingCounter
+{
+  public:
+    /** @param initially_high Starting decision. */
+    explicit TwoBitSaturatingCounter(bool initially_high = true);
+
+    /** Feeds one observation; returns the (possibly updated) decision. */
+    bool update(bool high);
+
+    bool decision() const { return state_ >= 2; }
+    int state() const { return state_; }
+
+  private:
+    int state_;   //!< 0..3; >= 2 means "high".
+};
+
+/** Outcome of one controller step. */
+struct ControllerDecision
+{
+    std::size_t iterations = kMaxIterations;  //!< Iter for this window.
+    hw::HwConfig gated;                       //!< Gated configuration.
+    bool reconfigured = false;  //!< Config differs from last window.
+};
+
+/**
+ * The on-host run-time controller driving the FPGA's gating plane.
+ */
+class RuntimeController
+{
+  public:
+    /**
+     * @param table    Offline-profiled feature-count -> Iter table.
+     * @param configs  Memoized gated configuration per Iter value
+     *                 (index 0 holds Iter = 1), each solved offline via
+     *                 Eq. 18 and capped by the built design.
+     * @param built    The statically synthesized configuration.
+     */
+    RuntimeController(IterTable table,
+                      std::array<hw::HwConfig, kMaxIterations> configs,
+                      hw::HwConfig built);
+
+    /**
+     * Processes one window's front-end report.
+     *
+     * The Iter proposal from the lookup table is debounced: Iter moves
+     * one step toward the proposal only when two consecutive windows
+     * propose a change in the same direction (the 2-bit counter of
+     * Sec. 6.2).
+     */
+    ControllerDecision onWindow(std::size_t feature_count);
+
+    std::size_t currentIterations() const { return current_iter_; }
+    const hw::HwConfig &currentConfig() const
+    {
+        return configs_[current_iter_ - 1];
+    }
+    std::size_t reconfigurations() const { return reconfigurations_; }
+
+  private:
+    IterTable table_;
+    std::array<hw::HwConfig, kMaxIterations> configs_;
+    hw::HwConfig built_;
+    std::size_t current_iter_ = kMaxIterations;
+    int pending_direction_ = 0;   //!< -1, 0, +1.
+    std::size_t pending_count_ = 0;
+    std::size_t reconfigurations_ = 0;
+};
+
+} // namespace archytas::runtime
+
+#endif // ARCHYTAS_RUNTIME_CONTROLLER_HH

@@ -1,0 +1,39 @@
+#include "runtime/energy.hh"
+
+namespace archytas::runtime {
+
+EnergyAccountant::EnergyAccountant(const hw::HwConfig &built,
+                                   const synth::PowerModel &power)
+    : built_(built), built_accel_(built), power_(power)
+{
+}
+
+void
+EnergyAccountant::chargeStatic(const slam::WindowWorkload &workload,
+                               std::size_t full_iterations)
+{
+    static_mj_ +=
+        built_accel_.windowTiming(workload, full_iterations).totalMs() *
+        power_.watts(built_);
+    ++windows_;
+}
+
+void
+EnergyAccountant::chargeDynamic(const slam::WindowWorkload &workload,
+                                const ControllerDecision &decision)
+{
+    const hw::Accelerator gated(decision.gated);
+    dynamic_mj_ +=
+        gated.windowTiming(workload, decision.iterations).totalMs() *
+        power_.gatedWatts(built_, decision.gated);
+}
+
+double
+EnergyAccountant::saving() const
+{
+    if (static_mj_ <= 0.0)
+        return 0.0;
+    return 1.0 - dynamic_mj_ / static_mj_;
+}
+
+} // namespace archytas::runtime

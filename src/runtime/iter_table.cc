@@ -1,0 +1,96 @@
+#include "runtime/iter_table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace archytas::runtime {
+
+IterTable::IterTable(std::vector<std::size_t> bucket_bounds,
+                     std::vector<std::size_t> iters)
+    : bounds_(std::move(bucket_bounds)), iters_(std::move(iters))
+{
+    ARCHYTAS_ASSERT(!bounds_.empty() && bounds_.size() == iters_.size(),
+                    "table shape mismatch");
+    ARCHYTAS_ASSERT(std::is_sorted(bounds_.begin(), bounds_.end()),
+                    "bucket bounds must ascend");
+    for (std::size_t it : iters_)
+        ARCHYTAS_ASSERT(it >= 1 && it <= kMaxIterations,
+                        "Iter out of [1, 6]: ", it);
+}
+
+IterTable
+IterTable::alwaysMax()
+{
+    return IterTable({SIZE_MAX}, {kMaxIterations});
+}
+
+std::size_t
+IterTable::lookup(std::size_t feature_count) const
+{
+    for (std::size_t i = 0; i < bounds_.size(); ++i)
+        if (feature_count <= bounds_[i])
+            return iters_[i];
+    return iters_.back();
+}
+
+std::string
+IterTable::toString() const
+{
+    std::ostringstream os;
+    std::size_t lo = 0;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        os << "[" << lo << ", "
+           << (bounds_[i] == SIZE_MAX ? std::string("inf")
+                                      : std::to_string(bounds_[i]))
+           << "] -> Iter " << iters_[i] << "\n";
+        lo = bounds_[i] + 1;
+    }
+    return os.str();
+}
+
+IterTable
+buildIterTable(const std::vector<ProfileSample> &samples,
+               std::vector<std::size_t> bucket_bounds, double tolerance,
+               double absolute_guard)
+{
+    ARCHYTAS_ASSERT(!bucket_bounds.empty(), "need at least one bucket");
+    ARCHYTAS_ASSERT(tolerance >= 0.0 && absolute_guard >= 0.0,
+                    "negative tolerance");
+
+    std::vector<std::size_t> iters(bucket_bounds.size(), kMaxIterations);
+
+    for (std::size_t b = 0; b < bucket_bounds.size(); ++b) {
+        const std::size_t lo = b == 0 ? 0 : bucket_bounds[b - 1] + 1;
+        const std::size_t hi = bucket_bounds[b];
+
+        // Per-Iter error populations over the samples in this bucket.
+        std::vector<std::vector<double>> errs(kMaxIterations);
+        for (const auto &s : samples) {
+            if (s.feature_count < lo || s.feature_count > hi)
+                continue;
+            ARCHYTAS_ASSERT(s.error_by_iter.size() >= kMaxIterations,
+                            "profile sample missing iteration errors");
+            for (std::size_t i = 0; i < kMaxIterations; ++i)
+                errs[i].push_back(s.error_by_iter[i]);
+        }
+        if (errs[0].empty())
+            continue;   // Unobserved bucket: stay conservative.
+
+        const double full_effort =
+            percentile(errs[kMaxIterations - 1], 90.0);
+        for (std::size_t i = 0; i < kMaxIterations; ++i) {
+            const double tail = percentile(errs[i], 90.0);
+            if (tail <= full_effort * (1.0 + tolerance) +
+                            absolute_guard + 1e-12) {
+                iters[b] = i + 1;
+                break;
+            }
+        }
+    }
+    return IterTable(std::move(bucket_bounds), std::move(iters));
+}
+
+} // namespace archytas::runtime

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The offline-profiled feature-count -> Iter lookup table (Sec. 6.2).
+ * The run-time knob is the NLS iteration count: windows with plenty of
+ * feature points converge in few iterations, while feature-poor windows
+ * need more iterations to hold accuracy (Fig. 11 / Fig. 12). The table
+ * is built offline by profiling a dataset: for each feature-count
+ * bucket, the smallest Iter whose RMSE stays within a tolerance of the
+ * full-effort (Iter = 6) RMSE is recorded.
+ */
+
+#ifndef ARCHYTAS_RUNTIME_ITER_TABLE_HH
+#define ARCHYTAS_RUNTIME_ITER_TABLE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace archytas::runtime {
+
+/** The paper caps Iter at 6 (Sec. 6.2). */
+constexpr std::size_t kMaxIterations = 6;
+
+/** Feature-count -> Iter lookup table. */
+class IterTable
+{
+  public:
+    /**
+     * @param bucket_bounds Ascending feature-count upper bounds; bucket
+     *                      i covers counts <= bucket_bounds[i]; counts
+     *                      beyond the last bound use the final entry.
+     * @param iters         Iteration cap per bucket (same length).
+     */
+    IterTable(std::vector<std::size_t> bucket_bounds,
+              std::vector<std::size_t> iters);
+
+    /** A conservative default: always run the full 6 iterations. */
+    static IterTable alwaysMax();
+
+    /** Iter for a window with the given feature count. */
+    std::size_t lookup(std::size_t feature_count) const;
+
+    std::size_t buckets() const { return bounds_.size(); }
+    const std::vector<std::size_t> &bounds() const { return bounds_; }
+    const std::vector<std::size_t> &iters() const { return iters_; }
+    std::string toString() const;
+
+  private:
+    std::vector<std::size_t> bounds_;
+    std::vector<std::size_t> iters_;
+};
+
+/** One profiling sample: a window's feature count and per-Iter errors. */
+struct ProfileSample
+{
+    std::size_t feature_count = 0;
+    /** Position error (m) when run with Iter = index + 1. */
+    std::vector<double> error_by_iter;
+};
+
+/**
+ * Builds the table from profiling samples: per bucket, the smallest
+ * Iter whose *tail* (90th-percentile) error stays within
+ * (1 + tolerance) of the full-effort tail error, and within an absolute
+ * guard of it. The tail statistic matters: low-iteration divergence is
+ * episodic, and a mean-based rule would accept an Iter level whose rare
+ * bad windows destabilize the estimator on deployment traces the
+ * profiling run never saw. More feature-rich buckets still settle at
+ * fewer iterations.
+ *
+ * @param samples        Offline profiling results.
+ * @param bucket_bounds  Feature-count bucket upper bounds (ascending).
+ * @param tolerance      Allowed relative tail-error increase.
+ * @param absolute_guard Allowed absolute tail-error increase (m).
+ */
+IterTable buildIterTable(const std::vector<ProfileSample> &samples,
+                         std::vector<std::size_t> bucket_bounds,
+                         double tolerance,
+                         double absolute_guard = 0.05);
+
+} // namespace archytas::runtime
+
+#endif // ARCHYTAS_RUNTIME_ITER_TABLE_HH

@@ -1,0 +1,87 @@
+#include "runtime/offline.hh"
+
+#include "common/logging.hh"
+
+namespace archytas::runtime {
+
+std::vector<ProfileSample>
+profileSequence(const dataset::Sequence &sequence,
+                const slam::EstimatorOptions &options)
+{
+    // One estimator run per Iter value; samples are aligned by frame.
+    std::vector<std::vector<slam::FrameResult>> runs;
+    runs.reserve(kMaxIterations);
+    for (std::size_t iter = 1; iter <= kMaxIterations; ++iter) {
+        slam::EstimatorOptions opts = options;
+        opts.forced_iterations = iter;
+        slam::SlidingWindowEstimator est(sequence.camera(), opts);
+        runs.push_back(est.run(sequence));
+    }
+
+    std::vector<ProfileSample> samples;
+    const std::size_t frames = runs.front().size();
+    for (std::size_t f = 0; f < frames; ++f) {
+        if (!runs.front()[f].optimized)
+            continue;
+        ProfileSample s;
+        s.feature_count = runs.front()[f].workload.features;
+        s.error_by_iter.reserve(kMaxIterations);
+        for (std::size_t i = 0; i < kMaxIterations; ++i)
+            s.error_by_iter.push_back(runs[i][f].position_error);
+        samples.push_back(std::move(s));
+    }
+    return samples;
+}
+
+RuntimePreparation
+prepareRuntime(const dataset::Sequence &sequence,
+               const slam::EstimatorOptions &estimator_opts,
+               const synth::Synthesizer &synthesizer,
+               const hw::HwConfig &built, double latency_bound_ms,
+               double tolerance)
+{
+    return prepareRuntimeFromSamples(
+        profileSequence(sequence, estimator_opts), synthesizer, built,
+        latency_bound_ms, tolerance);
+}
+
+RuntimePreparation
+prepareRuntimeFromSamples(std::vector<ProfileSample> samples,
+                          const synth::Synthesizer &synthesizer,
+                          const hw::HwConfig &built,
+                          double latency_bound_ms, double tolerance)
+{
+    RuntimePreparation prep;
+    prep.samples = std::move(samples);
+
+    // Feature-count buckets spanning the observed workloads.
+    std::size_t max_count = 0;
+    for (const auto &s : prep.samples)
+        max_count = std::max(max_count, s.feature_count);
+    std::vector<std::size_t> bounds;
+    const std::size_t buckets = 6;
+    for (std::size_t b = 1; b < buckets; ++b)
+        bounds.push_back(b * std::max<std::size_t>(max_count, buckets) /
+                         buckets);
+    bounds.push_back(SIZE_MAX);
+
+    prep.table = buildIterTable(prep.samples, std::move(bounds),
+                                tolerance);
+
+    // Eq. 18, solved exhaustively for every Iter value and memoized.
+    for (std::size_t iter = 1; iter <= kMaxIterations; ++iter) {
+        const auto point = synthesizer.minimizePowerCapped(
+            latency_bound_ms, iter, built);
+        if (point) {
+            prep.gated_configs[iter - 1] = point->config;
+        } else {
+            // Infeasible under the cap: fall back to the full design.
+            ARCHYTAS_WARN("Eq. 18 infeasible for Iter ", iter,
+                          "; gating disabled for that level");
+            prep.gated_configs[iter - 1] = built;
+        }
+    }
+    return prep;
+}
+
+} // namespace archytas::runtime

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Offline preparation of the run-time system (Sec. 6.2): profile a
+ * dataset at every Iter value to build the feature-count -> Iter lookup
+ * table, and solve the capped power minimization (Eq. 18) once per Iter
+ * to memoize the gated hardware configurations. Both artifacts are pure
+ * tables, which is what makes the on-line controller overhead-free.
+ */
+
+#ifndef ARCHYTAS_RUNTIME_OFFLINE_HH
+#define ARCHYTAS_RUNTIME_OFFLINE_HH
+
+#include <array>
+
+#include "dataset/sequence.hh"
+#include "runtime/controller.hh"
+#include "slam/estimator.hh"
+#include "synth/optimizer.hh"
+
+namespace archytas::runtime {
+
+/** Result of the offline preparation. */
+struct RuntimePreparation
+{
+    IterTable table = IterTable::alwaysMax();
+    std::array<hw::HwConfig, kMaxIterations> gated_configs{};
+    std::vector<ProfileSample> samples;
+};
+
+/**
+ * Profiles the sequence with the estimator forced to each Iter in
+ * [1, 6] and collects per-window (feature count, error) samples.
+ */
+std::vector<ProfileSample> profileSequence(
+    const dataset::Sequence &sequence,
+    const slam::EstimatorOptions &options);
+
+/**
+ * Full offline preparation: profiling, table construction, and the
+ * per-Iter capped re-optimization against the built design.
+ *
+ * @param sequence        Profiling dataset (from "the environment").
+ * @param estimator_opts  Estimator configuration to profile with.
+ * @param synthesizer     Models + platform used for Eq. 18.
+ * @param built           The statically synthesized configuration.
+ * @param latency_bound_ms The deployment latency constraint L*.
+ * @param tolerance       Allowed relative accuracy loss per bucket.
+ */
+RuntimePreparation prepareRuntime(const dataset::Sequence &sequence,
+                                  const slam::EstimatorOptions
+                                      &estimator_opts,
+                                  const synth::Synthesizer &synthesizer,
+                                  const hw::HwConfig &built,
+                                  double latency_bound_ms,
+                                  double tolerance = 0.05);
+
+/**
+ * Variant reusing previously collected profiling samples (profiling is
+ * by far the most expensive step; the samples are independent of the
+ * built design, so several designs can share one profiling pass).
+ */
+RuntimePreparation prepareRuntimeFromSamples(
+    std::vector<ProfileSample> samples,
+    const synth::Synthesizer &synthesizer, const hw::HwConfig &built,
+    double latency_bound_ms, double tolerance = 0.05);
+
+} // namespace archytas::runtime
+
+#endif // ARCHYTAS_RUNTIME_OFFLINE_HH

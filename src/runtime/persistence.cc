@@ -1,0 +1,131 @@
+#include "runtime/persistence.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace archytas::runtime {
+
+namespace {
+
+constexpr const char *kMagic = "archytas-runtime-v1";
+
+std::string
+boundToken(std::size_t bound)
+{
+    return bound == SIZE_MAX ? std::string("inf")
+                             : std::to_string(bound);
+}
+
+std::size_t
+parseBound(const std::string &token)
+{
+    if (token == "inf")
+        return SIZE_MAX;
+    try {
+        return static_cast<std::size_t>(std::stoull(token));
+    } catch (const std::exception &) {
+        ARCHYTAS_FATAL("bad bucket bound '", token, "'");
+    }
+}
+
+/** Next non-comment, non-empty line; fatal at EOF. */
+std::string
+nextLine(std::istringstream &in, const char *what)
+{
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        // Trim.
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos)
+            continue;
+        const auto last = line.find_last_not_of(" \t\r");
+        return line.substr(first, last - first + 1);
+    }
+    ARCHYTAS_FATAL("unexpected end of runtime file while reading ", what);
+}
+
+} // namespace
+
+std::string
+serializeRuntime(const RuntimePreparation &prep)
+{
+    std::ostringstream os;
+    os << kMagic << "\n";
+    os << "table " << prep.table.buckets() << "\n";
+    for (std::size_t i = 0; i < prep.table.buckets(); ++i)
+        os << boundToken(prep.table.bounds()[i]) << " "
+           << prep.table.iters()[i] << "\n";
+    os << "configs\n";
+    for (const auto &c : prep.gated_configs)
+        os << c.nd << " " << c.nm << " " << c.s << "\n";
+    return os.str();
+}
+
+RuntimePreparation
+deserializeRuntime(const std::string &text)
+{
+    std::istringstream in(text);
+    if (nextLine(in, "magic") != kMagic)
+        ARCHYTAS_FATAL("not an archytas runtime file");
+
+    std::istringstream header(nextLine(in, "table header"));
+    std::string keyword;
+    std::size_t buckets = 0;
+    header >> keyword >> buckets;
+    if (keyword != "table" || buckets == 0)
+        ARCHYTAS_FATAL("malformed table header");
+
+    std::vector<std::size_t> bounds, iters;
+    for (std::size_t i = 0; i < buckets; ++i) {
+        std::istringstream row(nextLine(in, "table row"));
+        std::string bound_token;
+        std::size_t iter = 0;
+        row >> bound_token >> iter;
+        if (iter == 0)
+            ARCHYTAS_FATAL("malformed table row ", i);
+        bounds.push_back(parseBound(bound_token));
+        iters.push_back(iter);
+    }
+
+    if (nextLine(in, "configs header") != "configs")
+        ARCHYTAS_FATAL("missing configs section");
+
+    RuntimePreparation prep;
+    prep.table = IterTable(std::move(bounds), std::move(iters));
+    for (std::size_t i = 0; i < kMaxIterations; ++i) {
+        std::istringstream row(nextLine(in, "config row"));
+        hw::HwConfig c{0, 0, 0};
+        row >> c.nd >> c.nm >> c.s;
+        if (c.nd == 0 || c.nm == 0 || c.s == 0)
+            ARCHYTAS_FATAL("malformed config row ", i);
+        prep.gated_configs[i] = c;
+    }
+    return prep;
+}
+
+void
+saveRuntime(const RuntimePreparation &prep, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        ARCHYTAS_FATAL("cannot open '", path, "' for writing");
+    out << serializeRuntime(prep);
+}
+
+RuntimePreparation
+loadRuntime(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        ARCHYTAS_FATAL("cannot open '", path, "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return deserializeRuntime(buf.str());
+}
+
+} // namespace archytas::runtime

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Persistence of the run-time system's offline artifacts. The paper's
+ * deployment story (Sec. 6.2): data collected in a new environment is
+ * profiled offline, and the resulting Iter table + memoized gated
+ * configurations "can then be used later when the system enters the
+ * same environment". This module serializes those artifacts to a small
+ * line-oriented text format so a vehicle can carry one file per
+ * environment.
+ */
+
+#ifndef ARCHYTAS_RUNTIME_PERSISTENCE_HH
+#define ARCHYTAS_RUNTIME_PERSISTENCE_HH
+
+#include <string>
+
+#include "runtime/offline.hh"
+
+namespace archytas::runtime {
+
+/**
+ * Serializes the table and gated configurations (profiling samples are
+ * not persisted; they are raw material, not a deployment artifact).
+ *
+ * Format (line oriented, '#' comments):
+ *   archytas-runtime-v1
+ *   table <buckets>
+ *   <bound> <iter>          (one line per bucket; "inf" allowed)
+ *   configs
+ *   <nd> <nm> <s>           (six lines, Iter = 1..6)
+ */
+std::string serializeRuntime(const RuntimePreparation &prep);
+
+/**
+ * Parses a serialized runtime preparation. Fatal (user error) on
+ * malformed input.
+ */
+RuntimePreparation deserializeRuntime(const std::string &text);
+
+/** File convenience wrappers. */
+void saveRuntime(const RuntimePreparation &prep, const std::string &path);
+RuntimePreparation loadRuntime(const std::string &path);
+
+} // namespace archytas::runtime
+
+#endif // ARCHYTAS_RUNTIME_PERSISTENCE_HH

@@ -1,0 +1,45 @@
+#include "slam/camera.hh"
+
+#include "common/logging.hh"
+
+namespace archytas::slam {
+
+std::optional<Vec2>
+PinholeCamera::project(const Vec3 &pc) const
+{
+    if (pc.z < min_depth)
+        return std::nullopt;
+    const Vec2 px = projectUnchecked(pc);
+    if (px.u < 0.0 || px.u >= width || px.v < 0.0 || px.v >= height)
+        return std::nullopt;
+    return px;
+}
+
+Vec2
+PinholeCamera::projectUnchecked(const Vec3 &pc) const
+{
+    ARCHYTAS_ASSERT(pc.z != 0.0, "projecting a zero-depth point");
+    return {fx * pc.x / pc.z + cx, fy * pc.y / pc.z + cy};
+}
+
+linalg::Matrix
+PinholeCamera::projectionJacobian(const Vec3 &pc) const
+{
+    ARCHYTAS_ASSERT(pc.z != 0.0, "Jacobian of a zero-depth point");
+    const double iz = 1.0 / pc.z;
+    const double iz2 = iz * iz;
+    linalg::Matrix j(2, 3);
+    j(0, 0) = fx * iz;
+    j(0, 2) = -fx * pc.x * iz2;
+    j(1, 1) = fy * iz;
+    j(1, 2) = -fy * pc.y * iz2;
+    return j;
+}
+
+Vec3
+PinholeCamera::bearing(const Vec2 &px) const
+{
+    return {(px.u - cx) / fx, (px.v - cy) / fy, 1.0};
+}
+
+} // namespace archytas::slam

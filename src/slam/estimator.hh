@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The end-to-end sliding-window visual-inertial MAP estimator: the
+ * "software implementation of SLAM" whose per-window work the Archytas
+ * accelerator executes. It consumes dataset frames, maintains the window
+ * of keyframe states / features / IMU preintegrations, runs the LM NLS
+ * solver, marginalizes the oldest keyframe when the window slides, and
+ * reports per-window accuracy and workload statistics.
+ */
+
+#ifndef ARCHYTAS_SLAM_ESTIMATOR_HH
+#define ARCHYTAS_SLAM_ESTIMATOR_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/sequence.hh"
+#include "slam/lm_solver.hh"
+#include "slam/marginalization.hh"
+
+namespace archytas::slam {
+
+/** Estimator configuration. */
+struct EstimatorOptions
+{
+    std::size_t window_size = 10;    //!< Keyframes kept (b).
+    double pixel_sigma = 1.0;        //!< Visual noise used for weighting.
+    /**
+     * Deweighting factor applied to the marginalization prior's
+     * information. Marginalization linearizes at the current (possibly
+     * half-converged) estimate, so at low NLS iteration counts an
+     * unscaled prior lets linearization errors compound window over
+     * window. A factor < 1 is the standard FEJ-inconsistency
+     * mitigation -- but it also decays the gauge anchor that propagates
+     * through the prior chain, so it trades global-frame stability for
+     * local consistency. Default 1.0 (anchored); see the Sec. 7.6 bench
+     * for where the trade-off bites.
+     */
+    double prior_scale = 1.0;
+    /**
+     * Huber robust-kernel threshold (pixels) for the visual residuals;
+     * 0 disables it. Enable when the front-end can produce outlier
+     * correspondences.
+     */
+    double huber_delta = 0.0;
+    ImuNoise imu_noise;              //!< Densities used for preintegration.
+    LmOptions lm;
+    /** Std-dev of the pose noise injected into the bootstrap state. */
+    double bootstrap_noise = 0.01;
+    /**
+     * Bias error injected at bootstrap (per-axis). VIO systems estimate
+     * the biases during a static/slow initialization phase before the
+     * sliding-window backend starts, so the backend begins near -- not
+     * at -- the true biases.
+     */
+    double bootstrap_gyro_bias_error = 5e-4;
+    double bootstrap_accel_bias_error = 5e-3;
+    /** Origin-prior weights pinning the bootstrap keyframe (gauge). */
+    double origin_prior_pose_weight = 1e8;
+    double origin_prior_velocity_weight = 1e6;
+    double origin_prior_bias_weight = 1e6;
+    /** Fix Iter per window externally (the run-time knob); 0 = use lm. */
+    std::size_t forced_iterations = 0;
+};
+
+/** Per-frame output of the estimator. */
+struct FrameResult
+{
+    double timestamp = 0.0;
+    Pose estimated;                //!< Newest keyframe pose after NLS.
+    Pose ground_truth;
+    double position_error = 0.0;   //!< |p_est - p_gt| (m).
+    double rotation_error = 0.0;   //!< Geodesic rotation error (rad).
+    WindowWorkload workload;
+    LmReport lm_report;
+    bool optimized = false;        //!< False during bootstrap.
+};
+
+/** Sliding-window visual-inertial estimator. */
+class SlidingWindowEstimator
+{
+  public:
+    SlidingWindowEstimator(const PinholeCamera &camera,
+                           const EstimatorOptions &options);
+
+    /** Processes one frame; returns the estimate and workload stats. */
+    FrameResult processFrame(const dataset::FrameData &frame);
+
+    /** Runs a whole sequence through the estimator. */
+    std::vector<FrameResult> run(const dataset::Sequence &sequence);
+
+    /**
+     * Optional per-window iteration controller: called before each
+     * optimization with the feature count, returns the iteration cap to
+     * use for this window (the paper's run-time knob). Overrides
+     * forced_iterations when set.
+     */
+    using IterationController = std::function<std::size_t(std::size_t)>;
+    void setIterationController(IterationController controller);
+
+    const std::vector<KeyframeState> &window() const { return keyframes_; }
+    const PriorFactor &prior() const { return prior_; }
+
+  private:
+    void addFrame(const dataset::FrameData &frame);
+    void slideWindow();
+    /** Triangulates and initializes the inverse depth of new features. */
+    void initializeFeatureDepths();
+    void pruneLostFeatures();
+
+    PinholeCamera camera_;
+    EstimatorOptions options_;
+    IterationController controller_;
+
+    std::vector<KeyframeState> keyframes_;
+    std::vector<std::shared_ptr<ImuPreintegration>> preints_;
+    std::vector<Feature> features_;
+    std::unordered_map<std::uint64_t, std::size_t> feature_index_;
+    PriorFactor prior_;
+    bool bootstrapped_ = false;
+    std::size_t last_marginalized_features_ = 0;
+};
+
+} // namespace archytas::slam
+
+#endif // ARCHYTAS_SLAM_ESTIMATOR_HH

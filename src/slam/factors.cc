@@ -1,0 +1,194 @@
+#include "slam/factors.hh"
+
+#include "common/logging.hh"
+#include "linalg/cholesky.hh"
+
+namespace archytas::slam {
+
+namespace {
+
+void
+setBlock3(linalg::Matrix &m, std::size_t r0, std::size_t c0, const Mat3 &b)
+{
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 3; ++c)
+            m(r0 + r, c0 + c) = b(r, c);
+}
+
+void
+setVec3(linalg::Vector &v, std::size_t off, const Vec3 &x)
+{
+    v[off] = x.x;
+    v[off + 1] = x.y;
+    v[off + 2] = x.z;
+}
+
+/** out = j_proj(2x3) * m(3x3) written into a 2x6 block at column c0. */
+void
+composeInto(linalg::Matrix &out, std::size_t c0,
+            const linalg::Matrix &j_proj, const Mat3 &m)
+{
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 3; ++c) {
+            double acc = 0.0;
+            for (int k = 0; k < 3; ++k)
+                acc += j_proj(r, k) * m(k, c);
+            out(r, c0 + c) = acc;
+        }
+}
+
+} // namespace
+
+VisualFactorEval
+evaluateVisualFactor(const PinholeCamera &camera, const Pose &anchor,
+                     const Pose &target, const Vec3 &bearing,
+                     double inv_depth, const Vec2 &measurement)
+{
+    VisualFactorEval eval;
+    if (inv_depth <= 1e-6)
+        return eval;   // Behind or at infinity: uninformative.
+
+    // Point in the anchor camera, the world, then the target camera.
+    const Vec3 p_anchor = bearing * (1.0 / inv_depth);
+    const Vec3 p_world = anchor.transform(p_anchor);
+    const Vec3 p_target = target.inverseTransform(p_world);
+    if (p_target.z < camera.min_depth)
+        return eval;
+
+    const Vec2 predicted = camera.projectUnchecked(p_target);
+    eval.residual = predicted - measurement;
+
+    const linalg::Matrix j_proj = camera.projectionJacobian(p_target);
+    const Mat3 r_a = anchor.q.toRotationMatrix();
+    const Mat3 r_t_inv = target.q.toRotationMatrix().transposed();
+    const Mat3 r_ta = r_t_inv * r_a;
+
+    // Pose tangent ordering is [d_theta(3), d_p(3)], rotation
+    // right-perturbed, translation additive (see Pose::applyTangent).
+    eval.j_anchor = linalg::Matrix(2, 6);
+    composeInto(eval.j_anchor, 0, j_proj, (r_ta * skew(p_anchor)) * -1.0);
+    composeInto(eval.j_anchor, 3, j_proj, r_t_inv);
+
+    eval.j_target = linalg::Matrix(2, 6);
+    composeInto(eval.j_target, 0, j_proj, skew(p_target));
+    composeInto(eval.j_target, 3, j_proj, r_t_inv * -1.0);
+
+    // d p_anchor / d inv_depth = -bearing / inv_depth^2.
+    const Vec3 dp = r_ta * (bearing * (-1.0 / (inv_depth * inv_depth)));
+    eval.j_depth = linalg::Matrix(2, 1);
+    eval.j_depth(0, 0) = j_proj(0, 0)*dp.x + j_proj(0, 1)*dp.y +
+                         j_proj(0, 2)*dp.z;
+    eval.j_depth(1, 0) = j_proj(1, 0)*dp.x + j_proj(1, 1)*dp.y +
+                         j_proj(1, 2)*dp.z;
+
+    eval.valid = true;
+    return eval;
+}
+
+ImuFactorEval
+evaluateImuFactor(const ImuPreintegration &preint, const KeyframeState &si,
+                  const KeyframeState &sj)
+{
+    const double dt = preint.dt();
+    ARCHYTAS_ASSERT(dt > 0.0, "IMU factor with zero integration time");
+
+    const Mat3 ri = si.pose.q.toRotationMatrix();
+    const Mat3 ri_t = ri.transposed();
+    const Mat3 rj = sj.pose.q.toRotationMatrix();
+    const Vec3 g = gravityVector();
+
+    const Vec3 dbg = si.bias_gyro - preint.biasGyroLin();
+    const Vec3 dba = si.bias_accel - preint.biasAccelLin();
+
+    // Bias-corrected preintegrated measurements.
+    const Mat3 delta_r = preint.correctedDeltaR(dbg);
+    const Vec3 delta_v = preint.correctedDeltaV(dbg, dba);
+    const Vec3 delta_p = preint.correctedDeltaP(dbg, dba);
+
+    // Residuals.
+    const Mat3 r_err_mat = delta_r.transposed() * (ri_t * rj);
+    const Vec3 r_theta = so3Log(r_err_mat);
+    const Vec3 v_term = ri_t * (sj.velocity - si.velocity - g * dt);
+    const Vec3 r_v = v_term - delta_v;
+    const Vec3 p_term = ri_t * (sj.pose.p - si.pose.p -
+                                si.velocity * dt - g * (0.5 * dt * dt));
+    const Vec3 r_p = p_term - delta_p;
+    const Vec3 r_bg = sj.bias_gyro - si.bias_gyro;
+    const Vec3 r_ba = sj.bias_accel - si.bias_accel;
+
+    ImuFactorEval eval;
+    eval.residual = linalg::Vector(15);
+    setVec3(eval.residual, 0, r_theta);
+    setVec3(eval.residual, 3, r_p);
+    setVec3(eval.residual, 6, r_v);
+    setVec3(eval.residual, 9, r_bg);
+    setVec3(eval.residual, 12, r_ba);
+
+    // Jacobians; tangent ordering [d_theta, d_p, d_v, d_bg, d_ba].
+    const Mat3 jr_inv = so3RightJacobianInverse(r_theta);
+    const Mat3 rj_t_ri = rj.transposed() * ri;
+
+    eval.j_i = linalg::Matrix(15, 15);
+    eval.j_j = linalg::Matrix(15, 15);
+
+    // r_theta rows.
+    setBlock3(eval.j_i, 0, 0, (jr_inv * rj_t_ri) * -1.0);
+    {
+        // d r_theta / d bg_i through the bias-corrected deltaR.
+        const Vec3 corr = preint.dRdBg() * dbg;
+        const Mat3 d = ((jr_inv * so3Exp(r_theta).transposed()) *
+                        so3RightJacobian(corr)) * preint.dRdBg() * -1.0;
+        setBlock3(eval.j_i, 0, 9, d);
+    }
+    setBlock3(eval.j_j, 0, 0, jr_inv);
+
+    // r_p rows.
+    setBlock3(eval.j_i, 3, 0, skew(p_term));
+    setBlock3(eval.j_i, 3, 3, ri_t * -1.0);
+    setBlock3(eval.j_i, 3, 6, ri_t * -dt);
+    setBlock3(eval.j_i, 3, 9, preint.dPdBg() * -1.0);
+    setBlock3(eval.j_i, 3, 12, preint.dPdBa() * -1.0);
+    setBlock3(eval.j_j, 3, 3, ri_t);
+
+    // r_v rows.
+    setBlock3(eval.j_i, 6, 0, skew(v_term));
+    setBlock3(eval.j_i, 6, 6, ri_t * -1.0);
+    setBlock3(eval.j_i, 6, 9, preint.dVdBg() * -1.0);
+    setBlock3(eval.j_i, 6, 12, preint.dVdBa() * -1.0);
+    setBlock3(eval.j_j, 6, 6, ri_t);
+
+    // Bias random-walk rows.
+    setBlock3(eval.j_i, 9, 9, Mat3::identity() * -1.0);
+    setBlock3(eval.j_j, 9, 9, Mat3::identity());
+    setBlock3(eval.j_i, 12, 12, Mat3::identity() * -1.0);
+    setBlock3(eval.j_j, 12, 12, Mat3::identity());
+
+    // Information: invert blkdiag(cov9 permuted to [theta, p, v], bias RW).
+    const linalg::Matrix &cov9 = preint.covariance();  // [theta, v, p].
+    linalg::Matrix cov15(15, 15);
+    // Permutation map from residual row -> cov9 row.
+    const std::size_t perm[9] = {0, 1, 2, 6, 7, 8, 3, 4, 5};
+    for (int r = 0; r < 9; ++r)
+        for (int c = 0; c < 9; ++c)
+            cov15(r, c) = cov9(perm[r], perm[c]);
+    const linalg::Matrix bias_cov = preint.biasWalkCovariance();
+    for (int r = 0; r < 6; ++r)
+        for (int c = 0; c < 6; ++c)
+            cov15(9 + r, 9 + c) = bias_cov(r, c);
+    // Regularize so short integrations stay invertible.
+    for (int i = 0; i < 15; ++i)
+        cov15(i, i) += 1e-12;
+    eval.information = linalg::choleskyInverse(cov15);
+    // Symmetrize: the inverse is symmetric analytically but accumulates
+    // round-off that would otherwise leak into the normal equations.
+    for (int r = 0; r < 15; ++r)
+        for (int c = r + 1; c < 15; ++c) {
+            const double s =
+                0.5 * (eval.information(r, c) + eval.information(c, r));
+            eval.information(r, c) = s;
+            eval.information(c, r) = s;
+        }
+    return eval;
+}
+
+} // namespace archytas::slam

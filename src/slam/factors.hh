@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Measurement factors of the MAP objective (Eq. 2): the visual
+ * (reprojection) factor over inverse-depth features and the preintegrated
+ * IMU factor between consecutive keyframes. Their analytic Jacobians are
+ * the software reference for the VJac and IJac primitive M-DFG nodes;
+ * tests validate them against numeric differentiation.
+ */
+
+#ifndef ARCHYTAS_SLAM_FACTORS_HH
+#define ARCHYTAS_SLAM_FACTORS_HH
+
+#include "linalg/matrix.hh"
+#include "slam/camera.hh"
+#include "slam/imu.hh"
+#include "slam/state.hh"
+
+namespace archytas::slam {
+
+/** World gravity used by every IMU factor. */
+inline constexpr double kGravity = 9.81;
+inline Vec3 gravityVector() { return {0.0, 0.0, -kGravity}; }
+
+/** Evaluation of one visual observation. */
+struct VisualFactorEval
+{
+    bool valid = false;          //!< False when the point projects badly.
+    Vec2 residual;               //!< Predicted pixel minus measurement.
+    linalg::Matrix j_anchor;     //!< 2 x 6, w.r.t. anchor pose tangent.
+    linalg::Matrix j_target;     //!< 2 x 6, w.r.t. target pose tangent.
+    linalg::Matrix j_depth;      //!< 2 x 1, w.r.t. inverse depth.
+};
+
+/**
+ * Evaluates the reprojection residual and Jacobians of a feature seen in a
+ * target keyframe, with the feature anchored (by bearing + inverse depth)
+ * in its anchor keyframe.
+ *
+ * @param camera     Pinhole intrinsics.
+ * @param anchor     Anchor keyframe pose (body == camera frame).
+ * @param target     Observing keyframe pose.
+ * @param bearing    Unit-depth bearing in the anchor camera.
+ * @param inv_depth  Inverse depth along the bearing.
+ * @param measurement Observed pixel in the target frame.
+ */
+VisualFactorEval evaluateVisualFactor(const PinholeCamera &camera,
+                                      const Pose &anchor, const Pose &target,
+                                      const Vec3 &bearing, double inv_depth,
+                                      const Vec2 &measurement);
+
+/** Evaluation of one IMU factor between keyframes i and j. */
+struct ImuFactorEval
+{
+    linalg::Vector residual;    //!< 15: [r_theta, r_p, r_v, r_bg, r_ba].
+    linalg::Matrix j_i;         //!< 15 x 15 w.r.t. state i tangent.
+    linalg::Matrix j_j;         //!< 15 x 15 w.r.t. state j tangent.
+    linalg::Matrix information; //!< 15 x 15 weight (inverse covariance).
+};
+
+/**
+ * Evaluates the preintegrated IMU residual between keyframe states i and j
+ * and its Jacobians w.r.t. both states' 15-dim tangents
+ * ([d_theta, d_p, d_v, d_bg, d_ba] ordering).
+ */
+ImuFactorEval evaluateImuFactor(const ImuPreintegration &preint,
+                                const KeyframeState &si,
+                                const KeyframeState &sj);
+
+} // namespace archytas::slam
+
+#endif // ARCHYTAS_SLAM_FACTORS_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Minimal fixed-size 3D geometry: vectors, rotation matrices, quaternions,
+ * the SO(3) exponential/logarithm maps, and rigid-body poses. This is the
+ * mathematical bedrock of the MAP estimation substrate; everything is
+ * implemented from scratch (no external geometry library) and unit-tested
+ * against first principles.
+ */
+
+#ifndef ARCHYTAS_SLAM_GEOMETRY_HH
+#define ARCHYTAS_SLAM_GEOMETRY_HH
+
+#include <array>
+#include <cmath>
+
+#include "linalg/matrix.hh"
+
+namespace archytas::slam {
+
+/** Fixed-size 3-vector. */
+struct Vec3
+{
+    double x = 0.0, y = 0.0, z = 0.0;
+
+    Vec3() = default;
+    Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+    double operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+    double &operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+
+    Vec3 operator+(const Vec3 &o) const { return {x+o.x, y+o.y, z+o.z}; }
+    Vec3 operator-(const Vec3 &o) const { return {x-o.x, y-o.y, z-o.z}; }
+    Vec3 operator*(double s) const { return {x*s, y*s, z*s}; }
+    Vec3 operator-() const { return {-x, -y, -z}; }
+    Vec3 &operator+=(const Vec3 &o) { x+=o.x; y+=o.y; z+=o.z; return *this; }
+    Vec3 &operator-=(const Vec3 &o) { x-=o.x; y-=o.y; z-=o.z; return *this; }
+
+    double dot(const Vec3 &o) const { return x*o.x + y*o.y + z*o.z; }
+    Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y*o.z - z*o.y, z*o.x - x*o.z, x*o.y - y*o.x};
+    }
+    double norm() const { return std::sqrt(dot(*this)); }
+    Vec3 normalized() const;
+};
+
+inline Vec3 operator*(double s, const Vec3 &v) { return v * s; }
+
+/** Fixed-size 3x3 matrix (row-major). */
+struct Mat3
+{
+    std::array<double, 9> m{};
+
+    static Mat3 identity();
+    static Mat3 zero() { return Mat3{}; }
+
+    double operator()(int r, int c) const { return m[r * 3 + c]; }
+    double &operator()(int r, int c) { return m[r * 3 + c]; }
+
+    Mat3 operator+(const Mat3 &o) const;
+    Mat3 operator-(const Mat3 &o) const;
+    Mat3 operator*(const Mat3 &o) const;
+    Vec3 operator*(const Vec3 &v) const;
+    Mat3 operator*(double s) const;
+    Mat3 transposed() const;
+
+    /** Frobenius-norm distance to another matrix. */
+    double maxAbsDiff(const Mat3 &o) const;
+
+    /** Copies into a general linalg::Matrix. */
+    linalg::Matrix toMatrix() const;
+};
+
+/** Skew-symmetric (hat) operator: skew(v) w == v x w. */
+Mat3 skew(const Vec3 &v);
+
+/** SO(3) exponential map: rotation matrix from an axis-angle vector. */
+Mat3 so3Exp(const Vec3 &omega);
+
+/** SO(3) logarithm map: axis-angle vector of a rotation matrix. */
+Vec3 so3Log(const Mat3 &r);
+
+/**
+ * Right Jacobian of SO(3): relates additive perturbations of the axis-angle
+ * parameter to multiplicative perturbations of the rotation. Used by the
+ * IMU preintegration Jacobians.
+ */
+Mat3 so3RightJacobian(const Vec3 &omega);
+
+/** Inverse of the right Jacobian. */
+Mat3 so3RightJacobianInverse(const Vec3 &omega);
+
+/** Unit quaternion (w, x, y, z). */
+struct Quaternion
+{
+    double w = 1.0, x = 0.0, y = 0.0, z = 0.0;
+
+    Quaternion() = default;
+    Quaternion(double w_, double x_, double y_, double z_)
+        : w(w_), x(x_), y(y_), z(z_) {}
+
+    static Quaternion fromAxisAngle(const Vec3 &omega);
+
+    Quaternion operator*(const Quaternion &o) const;
+    Quaternion conjugate() const { return {w, -x, -y, -z}; }
+    double norm() const { return std::sqrt(w*w + x*x + y*y + z*z); }
+    Quaternion normalized() const;
+
+    Vec3 rotate(const Vec3 &v) const;
+    Mat3 toRotationMatrix() const;
+    static Quaternion fromRotationMatrix(const Mat3 &r);
+};
+
+/** Rigid-body pose: rotation (body->world) and translation (in world). */
+struct Pose
+{
+    Quaternion q;   //!< Rotation body -> world.
+    Vec3 p;         //!< Position of the body origin in world.
+
+    Pose() = default;
+    Pose(const Quaternion &q_, const Vec3 &p_) : q(q_), p(p_) {}
+
+    /** Composition: this * other (apply other in this' body frame). */
+    Pose operator*(const Pose &o) const;
+    Pose inverse() const;
+
+    /** Maps a point from body frame to world frame. */
+    Vec3 transform(const Vec3 &pt) const { return q.rotate(pt) + p; }
+    /** Maps a point from world frame to body frame. */
+    Vec3 inverseTransform(const Vec3 &pt) const;
+
+    /**
+     * Applies a 6-DoF tangent update [d_theta(3), d_p(3)]: rotation is
+     * right-perturbed (q <- q * exp(d_theta)), translation is additive.
+     */
+    void applyTangent(const Vec3 &d_theta, const Vec3 &d_p);
+};
+
+/** Geodesic rotation distance in radians. */
+double rotationDistance(const Quaternion &a, const Quaternion &b);
+
+} // namespace archytas::slam
+
+#endif // ARCHYTAS_SLAM_GEOMETRY_HH

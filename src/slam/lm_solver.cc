@@ -1,0 +1,125 @@
+#include "slam/lm_solver.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "linalg/cholesky.hh"
+
+namespace archytas::slam {
+
+bool
+solveBlockedSystem(const NormalEquations &eq, double lambda,
+                   linalg::Vector &dy, linalg::Vector &dx)
+{
+    const std::size_t m = eq.u_diag.size();
+    const std::size_t nk = eq.v.rows();
+
+    // Damped diagonal feature block. Features with no informative
+    // observations (u == 0) get a pure-damping pivot so the elimination
+    // stays well-defined and their increment is zero.
+    std::vector<double> u(m);
+    for (std::size_t f = 0; f < m; ++f)
+        u[f] = eq.u_diag[f] * (1.0 + lambda) + 1e-12;
+
+    // Reduced system: (V_damped - W U^{-1} W^T) dy = by - W U^{-1} bx.
+    linalg::Matrix reduced = eq.v;
+    for (std::size_t i = 0; i < nk; ++i)
+        reduced(i, i) += lambda * eq.v(i, i) + 1e-12;
+
+    // W U^{-1}: scale columns.
+    linalg::Matrix wui = eq.w;
+    for (std::size_t f = 0; f < m; ++f) {
+        const double inv = 1.0 / u[f];
+        for (std::size_t r = 0; r < nk; ++r)
+            wui(r, f) *= inv;
+    }
+    // reduced -= wui * W^T (exploit symmetry).
+    for (std::size_t i = 0; i < nk; ++i)
+        for (std::size_t j = i; j < nk; ++j) {
+            double acc = 0.0;
+            for (std::size_t f = 0; f < m; ++f)
+                acc += wui(i, f) * eq.w(j, f);
+            reduced(i, j) -= acc;
+            if (j != i)
+                reduced(j, i) -= acc;
+        }
+
+    linalg::Vector rhs = eq.by;
+    for (std::size_t i = 0; i < nk; ++i) {
+        double acc = 0.0;
+        for (std::size_t f = 0; f < m; ++f)
+            acc += wui(i, f) * eq.bx[f];
+        rhs[i] -= acc;
+    }
+
+    const auto l = linalg::cholesky(reduced);
+    if (!l)
+        return false;
+    dy = linalg::backwardSubstitute(*l, linalg::forwardSubstitute(*l, rhs));
+
+    // Back-substitute features: dx = U^{-1} (bx - W^T dy).
+    dx = linalg::Vector(m);
+    for (std::size_t f = 0; f < m; ++f) {
+        double acc = eq.bx[f];
+        for (std::size_t r = 0; r < nk; ++r)
+            acc -= eq.w(r, f) * dy[r];
+        dx[f] = acc / u[f];
+    }
+    return true;
+}
+
+LmReport
+solveWindow(WindowProblem &problem, const LmOptions &options)
+{
+    LmReport report;
+    double lambda = options.lambda_init;
+
+    NormalEquations eq = problem.build();
+    report.initial_cost = eq.cost;
+    double cost = eq.cost;
+
+    for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+        ++report.iterations;
+        bool accepted = false;
+
+        for (std::size_t retry = 0; retry < options.max_retries; ++retry) {
+            linalg::Vector dy, dx;
+            if (!solveBlockedSystem(eq, lambda, dy, dx)) {
+                lambda *= options.lambda_up;
+                continue;
+            }
+            const auto snap = problem.snapshot();
+            problem.applyDelta(dy, dx);
+            const double new_cost = problem.evaluateCost();
+            if (std::isfinite(new_cost) && new_cost < cost) {
+                const double rel = (cost - new_cost) / std::max(cost, 1e-12);
+                cost = new_cost;
+                lambda = std::max(lambda * options.lambda_down, 1e-12);
+                accepted = true;
+                report.cost_history.push_back(cost);
+                if (rel < options.rel_cost_tol) {
+                    report.converged = true;
+                }
+                break;
+            }
+            problem.restore(snap);
+            lambda *= options.lambda_up;
+        }
+
+        if (!accepted) {
+            // Damping exhausted: the current estimate is a local minimum
+            // for this linearization.
+            report.converged = true;
+            break;
+        }
+        if (report.converged)
+            break;
+        eq = problem.build();
+        cost = eq.cost;
+    }
+
+    report.final_cost = cost;
+    return report;
+}
+
+} // namespace archytas::slam

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Levenberg-Marquardt solver for the sliding-window MAP problem
+ * (Sec. 3.1). Each iteration linearizes the factors, forms the blocked
+ * normal equations, eliminates the diagonal inverse-depth block with a
+ * D-type Schur complement, solves the reduced keyframe system with
+ * Cholesky + forward/backward substitution, and recovers the feature
+ * increments -- exactly the M-DFG of Fig. 3b.
+ */
+
+#ifndef ARCHYTAS_SLAM_LM_SOLVER_HH
+#define ARCHYTAS_SLAM_LM_SOLVER_HH
+
+#include <vector>
+
+#include "slam/window_problem.hh"
+
+namespace archytas::slam {
+
+/** Tuning knobs of the LM solver. */
+struct LmOptions
+{
+    /** Iteration cap: the paper's run-time knob Iter (capped at 6). */
+    std::size_t max_iterations = 6;
+    /** Initial damping factor. */
+    double lambda_init = 1e-4;
+    /** Damping growth on a rejected step. */
+    double lambda_up = 10.0;
+    /** Damping decay on an accepted step. */
+    double lambda_down = 0.1;
+    /** Convergence: stop when the relative cost decrease falls below. */
+    double rel_cost_tol = 1e-6;
+    /** Max damping retries within one iteration before giving up. */
+    std::size_t max_retries = 8;
+};
+
+/** Outcome of one LM solve. */
+struct LmReport
+{
+    std::size_t iterations = 0;       //!< Linearizations performed.
+    double initial_cost = 0.0;
+    double final_cost = 0.0;
+    bool converged = false;           //!< Hit the tolerance before the cap.
+    std::vector<double> cost_history; //!< Cost after every iteration.
+};
+
+/** Runs LM on the window problem, mutating its states in place. */
+LmReport solveWindow(WindowProblem &problem, const LmOptions &options);
+
+/**
+ * One damped Schur-eliminated solve of the blocked system; exposed so the
+ * hardware executor can be validated against the exact same arithmetic.
+ *
+ * @param eq      Normal equations from WindowProblem::build().
+ * @param lambda  LM damping added as lambda * diag(H).
+ * @param dy      Output keyframe increment (15 b).
+ * @param dx      Output feature increment (m).
+ * @return false when the reduced system is not positive definite.
+ */
+bool solveBlockedSystem(const NormalEquations &eq, double lambda,
+                        linalg::Vector &dy, linalg::Vector &dx);
+
+} // namespace archytas::slam
+
+#endif // ARCHYTAS_SLAM_LM_SOLVER_HH

@@ -1,0 +1,160 @@
+#include "slam/marginalization.hh"
+
+#include "common/logging.hh"
+#include "linalg/schur.hh"
+
+namespace archytas::slam {
+
+namespace {
+
+void
+accumulateBlock(linalg::Matrix &h, std::size_t r0, std::size_t c0,
+                const linalg::Matrix &a, const linalg::Matrix &b, double wt)
+{
+    for (std::size_t i = 0; i < a.cols(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.rows(); ++k)
+                acc += a(k, i) * b(k, j);
+            h(r0 + i, c0 + j) += wt * acc;
+        }
+}
+
+void
+accumulateRhs(linalg::Vector &g, std::size_t r0, const linalg::Matrix &a,
+              const double *res, double wt)
+{
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < a.rows(); ++k)
+            acc += a(k, i) * res[k];
+        g[r0 + i] -= wt * acc;
+    }
+}
+
+} // namespace
+
+MarginalizationResult
+marginalizeOldestKeyframe(const PinholeCamera &camera,
+                          const std::vector<KeyframeState> &keyframes,
+                          const std::vector<Feature> &features,
+                          const std::shared_ptr<ImuPreintegration> &preint01,
+                          const PriorFactor &old_prior, double pixel_sigma)
+{
+    const std::size_t b = keyframes.size();
+    ARCHYTAS_ASSERT(b >= 2, "marginalization needs at least two keyframes");
+    const double visual_weight = 1.0 / (pixel_sigma * pixel_sigma);
+
+    // Features anchored in keyframe 0 with at least one informative
+    // observation get marginalized along with the keyframe.
+    std::vector<const Feature *> marg_features;
+    for (const Feature &f : features)
+        if (f.anchor_index == 0 && f.informativeObservations() > 0)
+            marg_features.push_back(&f);
+
+    const std::size_t am = marg_features.size();
+    // State ordering: [lambda_0..lambda_{am-1} | kf0 | kf1 | ... ].
+    const std::size_t dim = am + b * kKeyframeDof;
+    const auto kfOffset = [am](std::size_t kf) {
+        return am + kf * kKeyframeDof;
+    };
+
+    linalg::Matrix h(dim, dim);
+    linalg::Vector g(dim);
+
+    // Visual factors of the marginalized features.
+    for (std::size_t fi = 0; fi < am; ++fi) {
+        const Feature &feat = *marg_features[fi];
+        for (const auto &obs : feat.observations) {
+            if (obs.keyframe_index == feat.anchor_index)
+                continue;
+            const VisualFactorEval ev = evaluateVisualFactor(
+                camera, keyframes[0].pose, keyframes[obs.keyframe_index].pose,
+                feat.anchor_bearing, feat.inverse_depth, obs.pixel);
+            if (!ev.valid)
+                continue;
+            const double res[2] = {ev.residual.u, ev.residual.v};
+            const std::size_t ra = kfOffset(0);
+            const std::size_t rt = kfOffset(obs.keyframe_index);
+
+            accumulateBlock(h, fi, fi, ev.j_depth, ev.j_depth, visual_weight);
+            accumulateBlock(h, fi, ra, ev.j_depth, ev.j_anchor,
+                            visual_weight);
+            accumulateBlock(h, ra, fi, ev.j_anchor, ev.j_depth,
+                            visual_weight);
+            accumulateBlock(h, fi, rt, ev.j_depth, ev.j_target,
+                            visual_weight);
+            accumulateBlock(h, rt, fi, ev.j_target, ev.j_depth,
+                            visual_weight);
+            accumulateBlock(h, ra, ra, ev.j_anchor, ev.j_anchor,
+                            visual_weight);
+            accumulateBlock(h, ra, rt, ev.j_anchor, ev.j_target,
+                            visual_weight);
+            accumulateBlock(h, rt, ra, ev.j_target, ev.j_anchor,
+                            visual_weight);
+            accumulateBlock(h, rt, rt, ev.j_target, ev.j_target,
+                            visual_weight);
+
+            accumulateRhs(g, fi, ev.j_depth, res, visual_weight);
+            accumulateRhs(g, ra, ev.j_anchor, res, visual_weight);
+            accumulateRhs(g, rt, ev.j_target, res, visual_weight);
+        }
+    }
+
+    // IMU factor between keyframes 0 and 1.
+    if (preint01 && preint01->sampleCount() > 0) {
+        const ImuFactorEval ev =
+            evaluateImuFactor(*preint01, keyframes[0], keyframes[1]);
+        const linalg::Vector lr = ev.information * ev.residual;
+        const linalg::Matrix li = ev.information * ev.j_i;
+        const linalg::Matrix lj = ev.information * ev.j_j;
+        const std::size_t r0 = kfOffset(0);
+        const std::size_t r1 = kfOffset(1);
+        accumulateBlock(h, r0, r0, ev.j_i, li, 1.0);
+        accumulateBlock(h, r0, r1, ev.j_i, lj, 1.0);
+        accumulateBlock(h, r1, r0, ev.j_j, li, 1.0);
+        accumulateBlock(h, r1, r1, ev.j_j, lj, 1.0);
+        accumulateRhs(g, r0, ev.j_i, lr.data().data(), 1.0);
+        accumulateRhs(g, r1, ev.j_j, lr.data().data(), 1.0);
+    }
+
+    // Old prior (covers keyframes [0, old_prior.keyframes())).
+    if (!old_prior.empty()) {
+        const linalg::Vector dx = old_prior.boxMinus(keyframes);
+        const linalg::Vector grad_side =
+            old_prior.informationVector() - old_prior.information() * dx;
+        const std::size_t pd = old_prior.dim();
+        for (std::size_t r = 0; r < pd; ++r) {
+            g[am + r] += grad_side[r];
+            for (std::size_t c = 0; c < pd; ++c)
+                h(am + r, am + c) += old_prior.information()(r, c);
+        }
+    }
+
+    // Split into marginalized (lambda block + kf0) and retained blocks.
+    const std::size_t md = am + kKeyframeDof;
+    const std::size_t rd = (b - 1) * kKeyframeDof;
+    linalg::Matrix m = h.block(0, 0, md, md);
+    const linalg::Matrix lambda = h.block(md, 0, rd, md);
+    const linalg::Matrix a = h.block(md, md, rd, rd);
+    const linalg::Vector bm = g.segment(0, md);
+    const linalg::Vector br = g.segment(md, rd);
+
+    // Light Tikhonov regularization keeps M invertible when the departing
+    // keyframe is weakly constrained.
+    for (std::size_t i = 0; i < md; ++i)
+        m(i, i) += 1e-9;
+
+    const linalg::MSchurResult schur =
+        linalg::mSchur(m, lambda, a, bm, br, /*diag_m11=*/am);
+
+    std::vector<KeyframeState> lin(keyframes.begin() + 1, keyframes.end());
+
+    MarginalizationResult out;
+    out.prior = PriorFactor(schur.prior, schur.priorRhs, std::move(lin));
+    out.marginalized_features = am;
+    out.marginalized_dim = md;
+    return out;
+}
+
+} // namespace archytas::slam

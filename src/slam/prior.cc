@@ -1,0 +1,92 @@
+#include "slam/prior.hh"
+
+#include "common/logging.hh"
+
+namespace archytas::slam {
+
+PriorFactor::PriorFactor(linalg::Matrix h, linalg::Vector r,
+                         std::vector<KeyframeState> lin)
+    : h_(std::move(h)), r_(std::move(r)), lin_(std::move(lin))
+{
+    ARCHYTAS_ASSERT(h_.rows() == dim() && h_.cols() == dim(),
+                    "prior H dimension mismatch");
+    ARCHYTAS_ASSERT(r_.size() == dim(), "prior r dimension mismatch");
+}
+
+linalg::Vector
+keyframeBoxMinus(const KeyframeState &current, const KeyframeState &lin)
+{
+    linalg::Vector dx(kKeyframeDof);
+    const Mat3 r0t = lin.pose.q.toRotationMatrix().transposed();
+    const Vec3 d_theta = so3Log(r0t * current.pose.q.toRotationMatrix());
+    const Vec3 d_p = current.pose.p - lin.pose.p;
+    const Vec3 d_v = current.velocity - lin.velocity;
+    const Vec3 d_bg = current.bias_gyro - lin.bias_gyro;
+    const Vec3 d_ba = current.bias_accel - lin.bias_accel;
+    for (int i = 0; i < 3; ++i) {
+        dx[i] = d_theta[i];
+        dx[3 + i] = d_p[i];
+        dx[6 + i] = d_v[i];
+        dx[9 + i] = d_bg[i];
+        dx[12 + i] = d_ba[i];
+    }
+    return dx;
+}
+
+linalg::Vector
+PriorFactor::boxMinus(const std::vector<KeyframeState> &current) const
+{
+    ARCHYTAS_ASSERT(current.size() >= lin_.size(),
+                    "prior covers more keyframes than the window holds");
+    linalg::Vector dx(dim());
+    for (std::size_t i = 0; i < lin_.size(); ++i)
+        dx.setSegment(i * kKeyframeDof,
+                      keyframeBoxMinus(current[i], lin_[i]));
+    return dx;
+}
+
+double
+PriorFactor::cost(const std::vector<KeyframeState> &current) const
+{
+    if (empty())
+        return 0.0;
+    const linalg::Vector dx = boxMinus(current);
+    const linalg::Vector hdx = h_ * dx;
+    return 0.5 * dx.dot(hdx) - r_.dot(dx);
+}
+
+void
+PriorFactor::accumulate(const std::vector<KeyframeState> &current,
+                        linalg::Matrix &h_out, linalg::Vector &b_out) const
+{
+    if (empty())
+        return;
+    ARCHYTAS_ASSERT(h_out.rows() >= dim() && b_out.size() >= dim(),
+                    "prior accumulate target too small");
+    const linalg::Vector dx = boxMinus(current);
+    const linalg::Vector grad_side = r_ - h_ * dx;
+    for (std::size_t r = 0; r < dim(); ++r) {
+        b_out[r] += grad_side[r];
+        for (std::size_t c = 0; c < dim(); ++c)
+            h_out(r, c) += h_(r, c);
+    }
+}
+
+PriorFactor
+PriorFactor::shifted() const
+{
+    if (lin_.size() <= 1)
+        return PriorFactor();
+    const std::size_t nd = dim() - kKeyframeDof;
+    linalg::Matrix h(nd, nd);
+    linalg::Vector r(nd);
+    for (std::size_t i = 0; i < nd; ++i) {
+        r[i] = r_[kKeyframeDof + i];
+        for (std::size_t j = 0; j < nd; ++j)
+            h(i, j) = h_(kKeyframeDof + i, kKeyframeDof + j);
+    }
+    std::vector<KeyframeState> lin(lin_.begin() + 1, lin_.end());
+    return PriorFactor(std::move(h), std::move(r), std::move(lin));
+}
+
+} // namespace archytas::slam

@@ -1,0 +1,33 @@
+#include "slam/state.hh"
+
+#include "common/logging.hh"
+
+namespace archytas::slam {
+
+void
+KeyframeState::applyDelta(const linalg::Vector &delta, std::size_t offset)
+{
+    ARCHYTAS_ASSERT(offset + kKeyframeDof <= delta.size(),
+                    "keyframe delta out of range");
+    const Vec3 d_theta{delta[offset + 0], delta[offset + 1],
+                       delta[offset + 2]};
+    const Vec3 d_p{delta[offset + 3], delta[offset + 4], delta[offset + 5]};
+    pose.applyTangent(d_theta, d_p);
+    velocity += Vec3{delta[offset + 6], delta[offset + 7], delta[offset + 8]};
+    bias_gyro += Vec3{delta[offset + 9], delta[offset + 10],
+                      delta[offset + 11]};
+    bias_accel += Vec3{delta[offset + 12], delta[offset + 13],
+                       delta[offset + 14]};
+}
+
+std::size_t
+Feature::informativeObservations() const
+{
+    std::size_t n = 0;
+    for (const auto &obs : observations)
+        if (obs.keyframe_index != anchor_index)
+            ++n;
+    return n;
+}
+
+} // namespace archytas::slam

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * State containers for the sliding-window MAP estimator (Eq. 1 of the
+ * paper): per-keyframe 15-dimensional states (6-DoF pose, velocity, gyro
+ * and accel biases) plus one inverse-depth scalar per tracked feature.
+ * The 6 pose DoF lead each keyframe's state slice, which is what gives the
+ * S matrix its camera-block structure (Sec. 3.3).
+ */
+
+#ifndef ARCHYTAS_SLAM_STATE_HH
+#define ARCHYTAS_SLAM_STATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "slam/camera.hh"
+#include "slam/geometry.hh"
+
+namespace archytas::slam {
+
+/** Dimensions of the state parameterization. */
+constexpr std::size_t kPoseDof = 6;       //!< theta(3) + p(3).
+constexpr std::size_t kKeyframeDof = 15;  //!< pose(6) + v(3) + bg(3) + ba(3).
+
+/** Full state of one keyframe. */
+struct KeyframeState
+{
+    Pose pose;        //!< Body-to-world transform.
+    Vec3 velocity;    //!< World-frame velocity.
+    Vec3 bias_gyro;
+    Vec3 bias_accel;
+    double timestamp = 0.0;
+    std::uint64_t frame_id = 0;
+
+    /**
+     * Applies a 15-dim tangent update ordered
+     * [d_theta, d_p, d_v, d_bg, d_ba].
+     */
+    void applyDelta(const linalg::Vector &delta, std::size_t offset);
+};
+
+/** One image observation of a feature. */
+struct FeatureObservation
+{
+    std::size_t keyframe_index = 0;   //!< Index within the window.
+    Vec2 pixel;
+};
+
+/** A tracked feature parameterized by inverse depth in its anchor frame. */
+struct Feature
+{
+    std::uint64_t track_id = 0;
+    std::size_t anchor_index = 0;     //!< Window index of the anchor frame.
+    Vec3 anchor_bearing{0.0, 0.0, 1.0};  //!< Unit-depth bearing in anchor.
+    double inverse_depth = 0.1;       //!< 1 / depth along the bearing.
+    bool depth_initialized = false;   //!< Set once triangulation succeeds.
+    std::vector<FeatureObservation> observations;
+
+    /** Observations excluding the anchor frame (those carry information). */
+    std::size_t informativeObservations() const;
+};
+
+/** Per-window workload statistics consumed by the hardware models. */
+struct WindowWorkload
+{
+    std::size_t keyframes = 0;            //!< b in the paper's notation.
+    std::size_t features = 0;             //!< a in the paper's notation.
+    std::size_t observations = 0;         //!< total informative obs.
+    double avg_obs_per_feature = 0.0;     //!< No in the paper's notation.
+    std::size_t marginalized_features = 0;//!< am in the paper's notation.
+    std::size_t nls_iterations = 0;       //!< Iter actually executed.
+};
+
+} // namespace archytas::slam
+
+#endif // ARCHYTAS_SLAM_STATE_HH

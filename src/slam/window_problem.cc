@@ -1,0 +1,250 @@
+#include "slam/window_problem.hh"
+
+#include "common/logging.hh"
+
+namespace archytas::slam {
+
+namespace {
+
+/** Adds wt * a^T b into the (r0, c0) block of h. */
+void
+accumulateBlock(linalg::Matrix &h, std::size_t r0, std::size_t c0,
+                const linalg::Matrix &a, const linalg::Matrix &b, double wt)
+{
+    ARCHYTAS_ASSERT(a.rows() == b.rows(), "accumulateBlock shape");
+    for (std::size_t i = 0; i < a.cols(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.rows(); ++k)
+                acc += a(k, i) * b(k, j);
+            h(r0 + i, c0 + j) += wt * acc;
+        }
+}
+
+/** Adds -wt * a^T r into segment r0 of g (gradient-side rhs b = -grad). */
+void
+accumulateRhs(linalg::Vector &g, std::size_t r0, const linalg::Matrix &a,
+              const double *res, double wt)
+{
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < a.rows(); ++k)
+            acc += a(k, i) * res[k];
+        g[r0 + i] -= wt * acc;
+    }
+}
+
+} // namespace
+
+WindowProblem::WindowProblem(
+    const PinholeCamera &camera, std::vector<KeyframeState> &keyframes,
+    std::vector<Feature> &features,
+    const std::vector<std::shared_ptr<ImuPreintegration>> &preints,
+    const PriorFactor &prior, double pixel_sigma, double huber_delta)
+    : camera_(camera), keyframes_(keyframes), features_(features),
+      preints_(preints), prior_(prior),
+      visual_weight_(1.0 / (pixel_sigma * pixel_sigma)),
+      huber_delta_(huber_delta)
+{
+    ARCHYTAS_ASSERT(!keyframes_.empty(), "empty window");
+    ARCHYTAS_ASSERT(preints_.size() + 1 == keyframes_.size(),
+                    "need one preintegration per consecutive pair: ",
+                    preints_.size(), " preints for ", keyframes_.size(),
+                    " keyframes");
+    ARCHYTAS_ASSERT(prior_.keyframes() <= keyframes_.size(),
+                    "prior covers keyframes outside the window");
+}
+
+NormalEquations
+WindowProblem::build() const
+{
+    const std::size_t m = features_.size();
+    const std::size_t nk = keyframeDim();
+
+    NormalEquations eq;
+    eq.u_diag = linalg::Vector(m);
+    eq.w = linalg::Matrix(nk, m);
+    eq.v = linalg::Matrix(nk, nk);
+    eq.bx = linalg::Vector(m);
+    eq.by = linalg::Vector(nk);
+    eq.v_camera = linalg::Matrix(nk, nk);
+    eq.v_imu = linalg::Matrix(nk, nk);
+    double cost = 0.0;
+
+    // --- Visual factors ---
+    for (std::size_t f = 0; f < m; ++f) {
+        const Feature &feat = features_[f];
+        const std::size_t a_idx = feat.anchor_index;
+        ARCHYTAS_ASSERT(a_idx < keyframes_.size(),
+                        "feature anchored outside window");
+        for (const auto &obs : feat.observations) {
+            if (obs.keyframe_index == a_idx)
+                continue;   // Anchor observation carries no information.
+            ARCHYTAS_ASSERT(obs.keyframe_index < keyframes_.size(),
+                            "observation outside window");
+            const VisualFactorEval ev = evaluateVisualFactor(
+                camera_, keyframes_[a_idx].pose,
+                keyframes_[obs.keyframe_index].pose, feat.anchor_bearing,
+                feat.inverse_depth, obs.pixel);
+            if (!ev.valid)
+                continue;
+
+            const double res[2] = {ev.residual.u, ev.residual.v};
+            // Huber IRLS weight: quadratic inside delta, linear beyond.
+            double wt = visual_weight_;
+            if (huber_delta_ > 0.0) {
+                const double norm = ev.residual.norm();
+                if (norm > huber_delta_)
+                    wt *= huber_delta_ / norm;
+            }
+            cost += 0.5 * wt * (res[0] * res[0] + res[1] * res[1]);
+
+            const std::size_t ra = a_idx * kKeyframeDof;
+            const std::size_t rt = obs.keyframe_index * kKeyframeDof;
+
+            // U (diagonal): j_depth^T j_depth.
+            eq.u_diag[f] += wt *
+                            (ev.j_depth(0, 0) * ev.j_depth(0, 0) +
+                             ev.j_depth(1, 0) * ev.j_depth(1, 0));
+            // bx.
+            eq.bx[f] -= wt * (ev.j_depth(0, 0) * res[0] +
+                              ev.j_depth(1, 0) * res[1]);
+
+            // W rows: anchor and target pose blocks (6 each).
+            accumulateBlock(eq.w, ra, f, ev.j_anchor, ev.j_depth, wt);
+            accumulateBlock(eq.w, rt, f, ev.j_target, ev.j_depth, wt);
+
+            // V camera contributions: (a,a), (a,t), (t,a), (t,t).
+            accumulateBlock(eq.v, ra, ra, ev.j_anchor, ev.j_anchor, wt);
+            accumulateBlock(eq.v, ra, rt, ev.j_anchor, ev.j_target, wt);
+            accumulateBlock(eq.v, rt, ra, ev.j_target, ev.j_anchor, wt);
+            accumulateBlock(eq.v, rt, rt, ev.j_target, ev.j_target, wt);
+            accumulateBlock(eq.v_camera, ra, ra, ev.j_anchor,
+                            ev.j_anchor, wt);
+            accumulateBlock(eq.v_camera, ra, rt, ev.j_anchor,
+                            ev.j_target, wt);
+            accumulateBlock(eq.v_camera, rt, ra, ev.j_target,
+                            ev.j_anchor, wt);
+            accumulateBlock(eq.v_camera, rt, rt, ev.j_target,
+                            ev.j_target, wt);
+
+            // by.
+            accumulateRhs(eq.by, ra, ev.j_anchor, res, wt);
+            accumulateRhs(eq.by, rt, ev.j_target, res, wt);
+        }
+    }
+
+    // --- IMU factors (adjacent keyframes only) ---
+    for (std::size_t i = 0; i + 1 < keyframes_.size(); ++i) {
+        if (!preints_[i] || preints_[i]->sampleCount() == 0)
+            continue;
+        const ImuFactorEval ev =
+            evaluateImuFactor(*preints_[i], keyframes_[i], keyframes_[i+1]);
+        const linalg::Vector lr = ev.information * ev.residual;
+        cost += 0.5 * ev.residual.dot(lr);
+
+        const std::size_t ri = i * kKeyframeDof;
+        const std::size_t rj = (i + 1) * kKeyframeDof;
+
+        // H += J^T Lambda J for both state blocks.
+        const linalg::Matrix li = ev.information * ev.j_i;
+        const linalg::Matrix lj = ev.information * ev.j_j;
+        accumulateBlock(eq.v, ri, ri, ev.j_i, li, 1.0);
+        accumulateBlock(eq.v, ri, rj, ev.j_i, lj, 1.0);
+        accumulateBlock(eq.v, rj, ri, ev.j_j, li, 1.0);
+        accumulateBlock(eq.v, rj, rj, ev.j_j, lj, 1.0);
+        accumulateBlock(eq.v_imu, ri, ri, ev.j_i, li, 1.0);
+        accumulateBlock(eq.v_imu, ri, rj, ev.j_i, lj, 1.0);
+        accumulateBlock(eq.v_imu, rj, ri, ev.j_j, li, 1.0);
+        accumulateBlock(eq.v_imu, rj, rj, ev.j_j, lj, 1.0);
+
+        accumulateRhs(eq.by, ri, ev.j_i, lr.data().data(), 1.0);
+        accumulateRhs(eq.by, rj, ev.j_j, lr.data().data(), 1.0);
+    }
+
+    // --- Marginalization prior ---
+    prior_.accumulate(keyframes_, eq.v, eq.by);
+    cost += prior_.cost(keyframes_);
+
+    eq.cost = cost;
+    return eq;
+}
+
+double
+WindowProblem::evaluateCost() const
+{
+    double cost = 0.0;
+    for (const Feature &feat : features_) {
+        for (const auto &obs : feat.observations) {
+            if (obs.keyframe_index == feat.anchor_index)
+                continue;
+            const VisualFactorEval ev = evaluateVisualFactor(
+                camera_, keyframes_[feat.anchor_index].pose,
+                keyframes_[obs.keyframe_index].pose, feat.anchor_bearing,
+                feat.inverse_depth, obs.pixel);
+            if (!ev.valid)
+                continue;
+            double wt = visual_weight_;
+            if (huber_delta_ > 0.0) {
+                const double norm = ev.residual.norm();
+                if (norm > huber_delta_)
+                    wt *= huber_delta_ / norm;
+            }
+            cost += 0.5 * wt * (ev.residual.u * ev.residual.u +
+                                ev.residual.v * ev.residual.v);
+        }
+    }
+    for (std::size_t i = 0; i + 1 < keyframes_.size(); ++i) {
+        if (!preints_[i] || preints_[i]->sampleCount() == 0)
+            continue;
+        const ImuFactorEval ev =
+            evaluateImuFactor(*preints_[i], keyframes_[i], keyframes_[i+1]);
+        cost += 0.5 * ev.residual.dot(ev.information * ev.residual);
+    }
+    cost += prior_.cost(keyframes_);
+    return cost;
+}
+
+void
+WindowProblem::applyDelta(const linalg::Vector &dy, const linalg::Vector &dx)
+{
+    ARCHYTAS_ASSERT(dy.size() == keyframeDim(), "dy dimension mismatch");
+    ARCHYTAS_ASSERT(dx.size() == features_.size(), "dx dimension mismatch");
+    for (std::size_t i = 0; i < keyframes_.size(); ++i)
+        keyframes_[i].applyDelta(dy, i * kKeyframeDof);
+    for (std::size_t f = 0; f < features_.size(); ++f)
+        features_[f].inverse_depth += dx[f];
+}
+
+WindowProblem::Snapshot
+WindowProblem::snapshot() const
+{
+    Snapshot snap;
+    snap.keyframes = keyframes_;
+    snap.inverse_depths.reserve(features_.size());
+    for (const Feature &f : features_)
+        snap.inverse_depths.push_back(f.inverse_depth);
+    return snap;
+}
+
+void
+WindowProblem::restore(const Snapshot &snap)
+{
+    ARCHYTAS_ASSERT(snap.keyframes.size() == keyframes_.size() &&
+                        snap.inverse_depths.size() == features_.size(),
+                    "snapshot shape mismatch");
+    keyframes_ = snap.keyframes;
+    for (std::size_t f = 0; f < features_.size(); ++f)
+        features_[f].inverse_depth = snap.inverse_depths[f];
+}
+
+std::size_t
+WindowProblem::observationCount() const
+{
+    std::size_t n = 0;
+    for (const Feature &f : features_)
+        n += f.informativeObservations();
+    return n;
+}
+
+} // namespace archytas::slam

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Assembles one sliding window's MAP problem (Eq. 2) into the blocked
+ * Gauss-Newton normal equations A dp = b that the paper's accelerator
+ * solves (Sec. 3.2.2):
+ *
+ *     A = [ U    W^T ]      b = [ bx ]
+ *         [ W    V   ]          [ by ]
+ *
+ * with U the m x m *diagonal* inverse-depth block (one scalar per
+ * feature), V the kb x kb keyframe block (the "S matrix" of Sec. 3.3 plus
+ * the marginalization prior), and W the coupling block. Keeping U
+ * strictly diagonal is what makes the D-type Schur elimination O(n)
+ * instead of O(n^3) -- the observation at the heart of the paper's M-DFG
+ * cost model.
+ */
+
+#ifndef ARCHYTAS_SLAM_WINDOW_PROBLEM_HH
+#define ARCHYTAS_SLAM_WINDOW_PROBLEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.hh"
+#include "linalg/smatrix.hh"
+#include "slam/factors.hh"
+#include "slam/prior.hh"
+
+namespace archytas::slam {
+
+/** Blocked normal equations of one Gauss-Newton iteration. */
+struct NormalEquations
+{
+    /** Diagonal of U (one inverse-depth entry per feature). */
+    linalg::Vector u_diag;
+    /** W: keyframe rows (15 b) x feature columns (m). */
+    linalg::Matrix w;
+    /** V: keyframe block (15 b square), prior included. */
+    linalg::Matrix v;
+    /** Feature-side right-hand side (m). */
+    linalg::Vector bx;
+    /** Keyframe-side right-hand side (15 b). */
+    linalg::Vector by;
+    /** Total cost (0.5 sum of squared weighted residuals + prior). */
+    double cost = 0.0;
+
+    /** Camera-only and IMU-only keyframe-block contributions (for the
+     *  Sec. 3.3 storage study; prior and damping excluded). */
+    linalg::Matrix v_camera;
+    linalg::Matrix v_imu;
+};
+
+/**
+ * A sliding window's states plus the factors connecting them. The problem
+ * owns nothing: it references the estimator's containers so that delta
+ * application mutates the live states.
+ */
+class WindowProblem
+{
+  public:
+    /**
+     * @param camera      Shared camera intrinsics.
+     * @param keyframes   Window keyframe states, oldest first.
+     * @param features    Active features with window-indexed observations.
+     * @param preints     preints[i] integrates keyframes i -> i+1; size
+     *                    must be keyframes.size() - 1.
+     * @param prior       Marginalization prior (may be empty).
+     * @param pixel_sigma Visual measurement noise (pixels).
+     * @param huber_delta Huber robust-kernel threshold in pixels for the
+     *                    visual residuals (0 disables the kernel). With
+     *                    the kernel on, observations whose residual
+     *                    exceeds delta are IRLS-downweighted by
+     *                    delta / |r|, which is how VINS-class systems
+     *                    survive front-end outliers.
+     */
+    WindowProblem(const PinholeCamera &camera,
+                  std::vector<KeyframeState> &keyframes,
+                  std::vector<Feature> &features,
+                  const std::vector<std::shared_ptr<ImuPreintegration>>
+                      &preints,
+                  const PriorFactor &prior, double pixel_sigma,
+                  double huber_delta = 0.0);
+
+    std::size_t keyframeCount() const { return keyframes_.size(); }
+    std::size_t featureCount() const { return features_.size(); }
+    /** Keyframe-side dimension 15 b. */
+    std::size_t keyframeDim() const
+    {
+        return keyframes_.size() * kKeyframeDof;
+    }
+
+    /** Builds the blocked normal equations at the current states. */
+    NormalEquations build() const;
+
+    /** Evaluates the cost only (used for LM step acceptance). */
+    double evaluateCost() const;
+
+    /**
+     * Applies the solved increments: dy over keyframe states (15 b),
+     * dx over feature inverse depths (m).
+     */
+    void applyDelta(const linalg::Vector &dy, const linalg::Vector &dx);
+
+    /** Snapshot/restore for LM step rejection. */
+    struct Snapshot
+    {
+        std::vector<KeyframeState> keyframes;
+        std::vector<double> inverse_depths;
+    };
+    Snapshot snapshot() const;
+    void restore(const Snapshot &snap);
+
+    /** Total informative visual observations in the window. */
+    std::size_t observationCount() const;
+
+    const std::vector<KeyframeState> &keyframes() const
+    {
+        return keyframes_;
+    }
+    const std::vector<Feature> &features() const { return features_; }
+
+  private:
+    const PinholeCamera &camera_;
+    std::vector<KeyframeState> &keyframes_;
+    std::vector<Feature> &features_;
+    const std::vector<std::shared_ptr<ImuPreintegration>> &preints_;
+    const PriorFactor &prior_;
+    double visual_weight_;   //!< 1 / sigma^2.
+    double huber_delta_;     //!< Robust threshold (px); 0 = disabled.
+};
+
+} // namespace archytas::slam
+
+#endif // ARCHYTAS_SLAM_WINDOW_PROBLEM_HH

@@ -1,0 +1,159 @@
+#include "synth/models.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace archytas::synth {
+
+hw::HwConfig
+highPerfConfig()
+{
+    return {28, 19, 97};
+}
+
+hw::HwConfig
+lowPowerConfig()
+{
+    return {21, 8, 34};
+}
+
+LinearKnobModel
+calibrateLinearModel(const hw::HwConfig &a, double va,
+                     const hw::HwConfig &b, double vb,
+                     double per_update_anchor)
+{
+    // With per_mac applied to nd + nm, the anchors give:
+    //   base + ma * per_mac + sa * per_update = va
+    //   base + mb * per_mac + sb * per_update = vb
+    const double ma = static_cast<double>(a.nd + a.nm);
+    const double mb = static_cast<double>(b.nd + b.nm);
+    const double sa = static_cast<double>(a.s);
+    const double sb = static_cast<double>(b.s);
+    ARCHYTAS_ASSERT(ma != mb || sa != sb, "degenerate anchors");
+
+    LinearKnobModel m;
+    if (per_update_anchor >= 0.0) {
+        // per_update fixed (e.g. from the paper's Fig. 13c sensitivity);
+        // solve the remaining 2x2 system exactly.
+        m.per_update = per_update_anchor;
+        const double ra = va - sa * m.per_update;
+        const double rb = vb - sb * m.per_update;
+        m.per_mac = (ra - rb) / (ma - mb);
+        m.base = ra - ma * m.per_mac;
+    } else {
+        // Close the third degree of freedom by centering the base in the
+        // interval keeping both coefficients non-negative:
+        //   per_update >= 0  <=>  base >= (ma*vb - mb*va) / (ma - mb)
+        //   per_mac    >= 0  <=>  base <= (sa*vb - sb*va) / (sa - sb)
+        // (assuming ma > mb and sa > sb, true for the Table 2 anchors).
+        ARCHYTAS_ASSERT(ma > mb && sa > sb,
+                        "anchor ordering assumption violated");
+        const double lo =
+            std::max(0.0, (ma * vb - mb * va) / (ma - mb));
+        const double hi =
+            std::min(std::min(va, vb), (sa * vb - sb * va) / (sa - sb));
+        ARCHYTAS_ASSERT(lo <= hi, "infeasible calibration interval [",
+                        lo, ", ", hi, "]");
+        m.base = 0.5 * (lo + hi);
+        // Solve the 2x2 system for the two slopes.
+        const double det = ma * sb - mb * sa;
+        ARCHYTAS_ASSERT(det != 0.0, "singular calibration system");
+        const double ra = va - m.base;
+        const double rb = vb - m.base;
+        m.per_mac = (ra * sb - rb * sa) / det;
+        m.per_update = (ma * rb - mb * ra) / det;
+    }
+    ARCHYTAS_ASSERT(m.base >= 0.0 && m.per_mac >= 0.0 &&
+                        m.per_update >= 0.0,
+                    "negative calibrated coefficient");
+    // Both anchors must be reproduced exactly.
+    ARCHYTAS_ASSERT(std::abs(m.eval(a) - va) < 1e-6 * std::max(1.0, va),
+                    "anchor A not reproduced");
+    ARCHYTAS_ASSERT(std::abs(m.eval(b) - vb) < 1e-6 * std::max(1.0, vb),
+                    "anchor B not reproduced");
+    return m;
+}
+
+ResourceModel
+ResourceModel::calibrated()
+{
+    const hw::HwConfig hp = highPerfConfig();
+    const hw::HwConfig lp = lowPowerConfig();
+
+    // Table 2 absolute numbers (ZC706).
+    ResourceModel rm;
+    rm.models_[static_cast<std::size_t>(Resource::LUT)] =
+        calibrateLinearModel(hp, 136432.0, lp, 95777.0);
+    rm.models_[static_cast<std::size_t>(Resource::FF)] =
+        calibrateLinearModel(hp, 163006.0, lp, 126670.0);
+    rm.models_[static_cast<std::size_t>(Resource::BRAM)] =
+        calibrateLinearModel(hp, 255.5, lp, 146.0);
+    // DSP: Sec. 7.2 reports a 50% utilization increase (of 900 DSPs) as
+    // s sweeps 1 -> 80, anchoring the per-Update slope at 450 / 79.
+    rm.models_[static_cast<std::size_t>(Resource::DSP)] =
+        calibrateLinearModel(hp, 849.0, lp, 442.0, 450.0 / 79.0);
+    return rm;
+}
+
+ResourceVector
+ResourceModel::usage(const hw::HwConfig &c) const
+{
+    ResourceVector out;
+    for (std::size_t i = 0; i < kResourceCount; ++i)
+        out[i] = models_[i].eval(c);
+    return out;
+}
+
+ResourceVector
+ResourceModel::utilization(const hw::HwConfig &c,
+                           const FpgaPlatform &platform) const
+{
+    ResourceVector u = usage(c);
+    for (std::size_t i = 0; i < kResourceCount; ++i)
+        u[i] /= platform.capacity[i];
+    return u;
+}
+
+bool
+ResourceModel::fits(const hw::HwConfig &c,
+                    const FpgaPlatform &platform) const
+{
+    const ResourceVector u = usage(c);
+    for (std::size_t i = 0; i < kResourceCount; ++i) {
+        // Exceeding even one resource type means the design cannot be
+        // instantiated (Sec. 5).
+        if (u[i] > platform.capacity[i])
+            return false;
+    }
+    return true;
+}
+
+PowerModel
+PowerModel::calibrated()
+{
+    // Anchors: the High-Perf design draws ~2 W more than Low-Power
+    // (Sec. 7.4); the absolute level is set to match the Fig. 14 Pareto
+    // range (~2.5 W to ~5 W).
+    PowerModel pm;
+    pm.model_ = calibrateLinearModel(highPerfConfig(), 5.0,
+                                     lowPowerConfig(), 3.0);
+    return pm;
+}
+
+LatencyModel::LatencyModel(slam::WindowWorkload workload,
+                           hw::HwConstants env)
+    : workload_(workload), env_(env)
+{
+}
+
+double
+LatencyModel::latencyMs(const hw::HwConfig &c,
+                        std::size_t iterations) const
+{
+    const hw::Accelerator accel(c, env_);
+    const hw::WindowTiming t = accel.windowTiming(workload_, iterations);
+    return t.totalMs(env_);
+}
+
+} // namespace archytas::synth

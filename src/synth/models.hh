@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The synthesizer's analytical models (Sec. 5):
+ *
+ *  - Res(nd, nm, s) = R0 + nd Rd + nm Rm + s Rs per resource type
+ *    (Eq. 16), calibrated so that the two published design points of
+ *    Table 2 are reproduced exactly;
+ *  - Power(nd, nm, s) = P0 + nd Pd + nm Pm + s Ps (Eq. 17), calibrated
+ *    to the paper's reported ~2 W gap between the High-Perf and
+ *    Low-Power designs;
+ *  - Lat(nd, nm, s) (Eq. 13-15), delegated to the hardware block models.
+ *
+ * Calibration method (no FPGA toolchain available -- see DESIGN.md):
+ * with Rd = Rm (the two Schur blocks instantiate the same MAC design),
+ * each resource has three unknowns (base R0, per-MAC Rmac, per-Update
+ * Rs) and Table 2 provides two equations. The third degree of freedom is
+ * closed either by a paper-text anchor (the DSP utilization rises 50%
+ * as s goes 1 -> 80, Sec. 7.2) or by centering R0 inside the interval
+ * that keeps all coefficients non-negative.
+ */
+
+#ifndef ARCHYTAS_SYNTH_MODELS_HH
+#define ARCHYTAS_SYNTH_MODELS_HH
+
+#include "common/logging.hh"
+#include "hw/accelerator.hh"
+#include "hw/config.hh"
+#include "synth/platform.hh"
+
+namespace archytas::synth {
+
+/** Linear per-knob cost model: base + nd*mac + nm*mac + s*update. */
+struct LinearKnobModel
+{
+    double base = 0.0;
+    double per_mac = 0.0;      //!< Applied to both nd and nm.
+    double per_update = 0.0;   //!< Applied to s.
+
+    double
+    eval(const hw::HwConfig &c) const
+    {
+        return base +
+               per_mac * static_cast<double>(c.nd + c.nm) +
+               per_update * static_cast<double>(c.s);
+    }
+};
+
+/**
+ * Calibrates a LinearKnobModel from two (config, value) anchors.
+ *
+ * @param a, va  First anchor configuration and its metric value.
+ * @param b, vb  Second anchor.
+ * @param per_update_anchor  Optional fixed per_update coefficient
+ *        (negative = unset); when unset the base is centered in the
+ *        non-negativity interval.
+ */
+LinearKnobModel calibrateLinearModel(const hw::HwConfig &a, double va,
+                                     const hw::HwConfig &b, double vb,
+                                     double per_update_anchor = -1.0);
+
+/** Table 2's two published design points (the calibration anchors). */
+hw::HwConfig highPerfConfig();   //!< nd=28, nm=19, s=97.
+hw::HwConfig lowPowerConfig();   //!< nd=21, nm=8,  s=34.
+
+/** Eq. 16: the four per-resource models. */
+class ResourceModel
+{
+  public:
+    /** Calibrated against Table 2 on the ZC706 (the default). */
+    static ResourceModel calibrated();
+
+    /** Absolute resource usage of a configuration. */
+    ResourceVector usage(const hw::HwConfig &c) const;
+
+    /** Utilization fractions on a platform (1.0 = full). */
+    ResourceVector utilization(const hw::HwConfig &c,
+                               const FpgaPlatform &platform) const;
+
+    /** True when the configuration fits the platform. */
+    bool fits(const hw::HwConfig &c, const FpgaPlatform &platform) const;
+
+    const LinearKnobModel &model(Resource r) const
+    {
+        return models_[static_cast<std::size_t>(r)];
+    }
+
+  private:
+    std::array<LinearKnobModel, kResourceCount> models_;
+};
+
+/** Eq. 17: total accelerator power in watts. */
+class PowerModel
+{
+  public:
+    /** Calibrated to the published High-Perf/Low-Power power gap. */
+    static PowerModel calibrated();
+
+    double watts(const hw::HwConfig &c) const { return model_.eval(c); }
+
+    /**
+     * Power with run-time clock gating (Sec. 6.2): the customizable
+     * blocks run at the gated configuration's provision while the base
+     * power is unchanged.
+     */
+    double
+    gatedWatts(const hw::HwConfig &built, const hw::HwConfig &gated) const
+    {
+        ARCHYTAS_ASSERT(gated.nd <= built.nd && gated.nm <= built.nm &&
+                            gated.s <= built.s,
+                        "gated configuration exceeds the built design");
+        return model_.eval(gated);
+    }
+
+    const LinearKnobModel &model() const { return model_; }
+
+  private:
+    LinearKnobModel model_;
+};
+
+/** Eq. 13-15 wrapper: latency of a window workload in milliseconds. */
+class LatencyModel
+{
+  public:
+    explicit LatencyModel(slam::WindowWorkload workload,
+                          hw::HwConstants env = {});
+
+    /** End-to-end window latency in ms for Iter NLS iterations. */
+    double latencyMs(const hw::HwConfig &c, std::size_t iterations) const;
+
+    const slam::WindowWorkload &workload() const { return workload_; }
+
+  private:
+    slam::WindowWorkload workload_;
+    hw::HwConstants env_;
+};
+
+} // namespace archytas::synth
+
+#endif // ARCHYTAS_SYNTH_MODELS_HH

@@ -1,0 +1,173 @@
+#include "synth/optimizer.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace archytas::synth {
+
+Synthesizer::Synthesizer(LatencyModel latency, ResourceModel resources,
+                         PowerModel power, FpgaPlatform platform,
+                         SearchSpace space)
+    : latency_(std::move(latency)), resources_(resources), power_(power),
+      platform_(std::move(platform)), space_(space)
+{
+    ARCHYTAS_ASSERT(space_.nd_max >= 1 && space_.nm_max >= 1 &&
+                        space_.s_max >= 1,
+                    "empty search space");
+}
+
+DesignPoint
+Synthesizer::evaluate(const hw::HwConfig &c, std::size_t iterations) const
+{
+    DesignPoint p;
+    p.config = c;
+    p.latency_ms = latency_.latencyMs(c, iterations);
+    p.power_w = power_.watts(c);
+    p.usage = resources_.usage(c);
+    return p;
+}
+
+std::optional<DesignPoint>
+Synthesizer::searchMinPower(double latency_bound_ms,
+                            std::size_t iterations,
+                            const hw::HwConfig &cap) const
+{
+    // Pruned scan. Power is strictly increasing in every knob, so once a
+    // feasible design is found at power P, any configuration with power
+    // >= P can be skipped without evaluating its latency. Latency is
+    // non-increasing in every knob, so within one (nd, nm) column we
+    // binary-search the smallest s meeting the bound instead of walking
+    // all s values.
+    last_evals_ = 0;
+    std::optional<DesignPoint> best;
+
+    const std::size_t nd_hi = std::min(space_.nd_max, cap.nd);
+    const std::size_t nm_hi = std::min(space_.nm_max, cap.nm);
+    const std::size_t s_hi = std::min(space_.s_max, cap.s);
+
+    for (std::size_t nd = 1; nd <= nd_hi; ++nd) {
+        for (std::size_t nm = 1; nm <= nm_hi; ++nm) {
+            // Binary search the smallest s whose latency meets the
+            // bound (latency is non-increasing in s).
+            std::size_t lo = 1, hi = s_hi;
+            // Quick feasibility check at the largest s.
+            {
+                const hw::HwConfig c{nd, nm, s_hi};
+                ++last_evals_;
+                if (latency_.latencyMs(c, iterations) > latency_bound_ms)
+                    continue;   // No s helps for this (nd, nm).
+            }
+            while (lo < hi) {
+                const std::size_t mid = lo + (hi - lo) / 2;
+                const hw::HwConfig c{nd, nm, mid};
+                ++last_evals_;
+                if (latency_.latencyMs(c, iterations) <= latency_bound_ms)
+                    hi = mid;
+                else
+                    lo = mid + 1;
+            }
+            const hw::HwConfig c{nd, nm, lo};
+            if (!resources_.fits(c, platform_))
+                continue;
+            const double power = power_.watts(c);
+            if (!best || power < best->power_w)
+                best = evaluate(c, iterations);
+        }
+    }
+    return best;
+}
+
+std::optional<DesignPoint>
+Synthesizer::minimizePower(double latency_bound_ms,
+                           std::size_t iterations) const
+{
+    return searchMinPower(latency_bound_ms, iterations,
+                          {space_.nd_max, space_.nm_max, space_.s_max});
+}
+
+std::optional<DesignPoint>
+Synthesizer::minimizePowerCapped(double latency_bound_ms,
+                                 std::size_t iterations,
+                                 const hw::HwConfig &cap) const
+{
+    return searchMinPower(latency_bound_ms, iterations, cap);
+}
+
+std::optional<DesignPoint>
+Synthesizer::minimizeLatency(std::size_t iterations) const
+{
+    last_evals_ = 0;
+    std::optional<DesignPoint> best;
+    for (std::size_t nd = 1; nd <= space_.nd_max; ++nd) {
+        for (std::size_t nm = 1; nm <= space_.nm_max; ++nm) {
+            // Latency is non-increasing in s: the best s for this column
+            // is the largest one still fitting the resource envelope.
+            // Resources increase with s, so binary-search the largest
+            // fitting s.
+            std::size_t lo = 1, hi = space_.s_max;
+            if (!resources_.fits({nd, nm, 1}, platform_))
+                continue;
+            while (lo < hi) {
+                const std::size_t mid = lo + (hi - lo + 1) / 2;
+                if (resources_.fits({nd, nm, mid}, platform_))
+                    lo = mid;
+                else
+                    hi = mid - 1;
+            }
+            const hw::HwConfig c{nd, nm, lo};
+            ++last_evals_;
+            const double lat = latency_.latencyMs(c, iterations);
+            if (!best || lat < best->latency_ms)
+                best = evaluate(c, iterations);
+        }
+    }
+    return best;
+}
+
+std::vector<DesignPoint>
+Synthesizer::paretoFrontier(const std::vector<double> &latency_bounds_ms,
+                            std::size_t iterations) const
+{
+    std::vector<DesignPoint> frontier;
+    for (double bound : latency_bounds_ms) {
+        auto p = minimizePower(bound, iterations);
+        if (!p)
+            continue;
+        // Keep only non-dominated points.
+        const bool dominated =
+            std::any_of(frontier.begin(), frontier.end(),
+                        [&](const DesignPoint &q) {
+                            return q.latency_ms <= p->latency_ms &&
+                                   q.power_w <= p->power_w;
+                        });
+        if (!dominated)
+            frontier.push_back(*p);
+    }
+    return frontier;
+}
+
+std::optional<DesignPoint>
+Synthesizer::minimizePowerExhaustive(double latency_bound_ms,
+                                     std::size_t iterations) const
+{
+    last_evals_ = 0;
+    std::optional<DesignPoint> best;
+    for (std::size_t nd = 1; nd <= space_.nd_max; ++nd)
+        for (std::size_t nm = 1; nm <= space_.nm_max; ++nm)
+            for (std::size_t s = 1; s <= space_.s_max; ++s) {
+                const hw::HwConfig c{nd, nm, s};
+                ++last_evals_;
+                if (!resources_.fits(c, platform_))
+                    continue;
+                if (latency_.latencyMs(c, iterations) > latency_bound_ms)
+                    continue;
+                const double power = power_.watts(c);
+                if (!best || power < best->power_w)
+                    best = evaluate(c, iterations);
+            }
+    return best;
+}
+
+} // namespace archytas::synth

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The hardware synthesizer's constrained optimizer (Sec. 5). The paper
+ * solves a 3-variable mixed-integer convex program (Eq. 11/12) with
+ * YALMIP in ~3 seconds; the same space (~90,000 lattice points) is
+ * solved here exactly in milliseconds with a pruned scan that exploits
+ * the monotonic structure: power and resources increase with each knob
+ * while latency decreases.
+ */
+
+#ifndef ARCHYTAS_SYNTH_OPTIMIZER_HH
+#define ARCHYTAS_SYNTH_OPTIMIZER_HH
+
+#include <optional>
+#include <vector>
+
+#include "synth/models.hh"
+
+namespace archytas::synth {
+
+/** Search-space bounds; defaults give the paper's ~90k-design space. */
+struct SearchSpace
+{
+    std::size_t nd_max = 30;
+    std::size_t nm_max = 30;
+    std::size_t s_max = 100;
+
+    std::size_t
+    size() const
+    {
+        return nd_max * nm_max * s_max;
+    }
+};
+
+/** A fully evaluated design point. */
+struct DesignPoint
+{
+    hw::HwConfig config;
+    double latency_ms = 0.0;
+    double power_w = 0.0;
+    ResourceVector usage{};
+};
+
+/** The synthesizer: models + platform + workload. */
+class Synthesizer
+{
+  public:
+    Synthesizer(LatencyModel latency, ResourceModel resources,
+                PowerModel power, FpgaPlatform platform,
+                SearchSpace space = {});
+
+    /**
+     * Eq. 11: minimize power subject to a latency bound (ms) and the
+     * platform's resource envelope. nullopt when infeasible.
+     */
+    std::optional<DesignPoint> minimizePower(double latency_bound_ms,
+                                             std::size_t iterations) const;
+
+    /** Eq. 12: minimize latency subject to resources only. */
+    std::optional<DesignPoint> minimizeLatency(std::size_t iterations)
+        const;
+
+    /**
+     * Eq. 18 (run-time re-optimization): minimize power subject to the
+     * latency bound with every knob capped by the built design.
+     */
+    std::optional<DesignPoint> minimizePowerCapped(
+        double latency_bound_ms, std::size_t iterations,
+        const hw::HwConfig &cap) const;
+
+    /**
+     * The latency-vs-power Pareto frontier (Fig. 14): power-optimal
+     * designs for a sweep of latency bounds.
+     */
+    std::vector<DesignPoint> paretoFrontier(
+        const std::vector<double> &latency_bounds_ms,
+        std::size_t iterations) const;
+
+    /** Evaluates one configuration under all three models. */
+    DesignPoint evaluate(const hw::HwConfig &c, std::size_t iterations)
+        const;
+
+    /**
+     * Reference implementation: unpruned exhaustive scan, used by tests
+     * to prove the pruned search exact.
+     */
+    std::optional<DesignPoint> minimizePowerExhaustive(
+        double latency_bound_ms, std::size_t iterations) const;
+
+    /** Number of model evaluations spent by the last search. */
+    std::size_t lastEvaluations() const { return last_evals_; }
+
+    const SearchSpace &space() const { return space_; }
+    const FpgaPlatform &platform() const { return platform_; }
+
+  private:
+    std::optional<DesignPoint> searchMinPower(double latency_bound_ms,
+                                              std::size_t iterations,
+                                              const hw::HwConfig &cap)
+        const;
+
+    LatencyModel latency_;
+    ResourceModel resources_;
+    PowerModel power_;
+    FpgaPlatform platform_;
+    SearchSpace space_;
+    mutable std::size_t last_evals_ = 0;
+};
+
+} // namespace archytas::synth
+
+#endif // ARCHYTAS_SYNTH_OPTIMIZER_HH

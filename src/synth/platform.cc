@@ -1,0 +1,43 @@
+#include "synth/platform.hh"
+
+#include "common/logging.hh"
+
+namespace archytas::synth {
+
+const char *
+resourceName(Resource r)
+{
+    switch (r) {
+      case Resource::LUT:  return "LUT";
+      case Resource::FF:   return "FF";
+      case Resource::BRAM: return "BRAM";
+      case Resource::DSP:  return "DSP";
+    }
+    ARCHYTAS_PANIC("unknown resource");
+}
+
+FpgaPlatform
+zc706()
+{
+    // XC7Z045: 218,600 LUTs, 437,200 FFs, 545 36Kb BRAMs, 900 DSP48s.
+    // These denominators reproduce Table 2's utilization percentages
+    // exactly (e.g. 136,432 / 218,600 = 62.41%).
+    return {"ZC706 (XC7Z045)", {218600.0, 437200.0, 545.0, 900.0}};
+}
+
+FpgaPlatform
+kintex7_160t()
+{
+    // XC7K160T: 101,400 LUTs, 202,800 FFs, 325 36Kb BRAMs, 600 DSP48s.
+    return {"Kintex-7 XC7K160T", {101400.0, 202800.0, 325.0, 600.0}};
+}
+
+FpgaPlatform
+virtex7_690t()
+{
+    // XC7VX690T: 433,200 LUTs, 866,400 FFs, 1,470 36Kb BRAMs, 3,600
+    // DSP48s.
+    return {"Virtex-7 XC7VX690T", {433200.0, 866400.0, 1470.0, 3600.0}};
+}
+
+} // namespace archytas::synth

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * FPGA platform descriptions: the resource envelopes (R* in Eq. 11) of
+ * the three Xilinx parts the paper evaluates — the primary Zynq-7000
+ * ZC706 (Sec. 7.1) plus the Kintex-7 and Virtex-7 parts of Sec. 7.7.
+ */
+
+#ifndef ARCHYTAS_SYNTH_PLATFORM_HH
+#define ARCHYTAS_SYNTH_PLATFORM_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace archytas::synth {
+
+/** The four FPGA resource types the synthesizer constrains (Sec. 5). */
+enum class Resource
+{
+    LUT = 0,
+    FF = 1,
+    BRAM = 2,   //!< 36 Kb block count (half blocks count 0.5).
+    DSP = 3,
+};
+constexpr std::size_t kResourceCount = 4;
+
+const char *resourceName(Resource r);
+
+/** Per-resource vector type. */
+using ResourceVector = std::array<double, kResourceCount>;
+
+/** One FPGA part. */
+struct FpgaPlatform
+{
+    std::string name;
+    ResourceVector capacity;   //!< Absolute available resources.
+
+    double lut() const { return capacity[0]; }
+    double ff() const { return capacity[1]; }
+    double bram() const { return capacity[2]; }
+    double dsp() const { return capacity[3]; }
+};
+
+/** Xilinx Zynq-7000 SoC ZC706 (XC7Z045): the paper's primary target. */
+FpgaPlatform zc706();
+
+/** Xilinx Kintex-7 XC7K160T (Sec. 7.7). */
+FpgaPlatform kintex7_160t();
+
+/** Xilinx Virtex-7 XC7VX690T (Sec. 7.7). */
+FpgaPlatform virtex7_690t();
+
+} // namespace archytas::synth
+
+#endif // ARCHYTAS_SYNTH_PLATFORM_HH

@@ -1,0 +1,360 @@
+#include "synth/verilog.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace archytas::synth {
+
+namespace {
+
+/** Emits the MAC array used by both Schur units. */
+void
+emitMacArray(std::ostringstream &os, std::size_t width)
+{
+    os << R"(
+// One multiply-accumulate lane of a Schur unit's MAC array.
+module mac_lane #(
+    parameter DW = )" << width << R"(
+) (
+    input  wire          clk,
+    input  wire          rst_n,
+    input  wire          en,
+    input  wire          clr,
+    input  wire [DW-1:0] a,
+    input  wire [DW-1:0] b,
+    output reg  [2*DW-1:0] acc
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)      acc <= {2*DW{1'b0}};
+        else if (clr)    acc <= {2*DW{1'b0}};
+        else if (en)     acc <= acc + a * b;
+    end
+endmodule
+)";
+}
+
+void
+emitCholesky(std::ostringstream &os, std::size_t width)
+{
+    os << R"(
+// Evaluate stage of the Cholesky unit: reciprocal square root of the
+// pivot followed by the column scaling (Fig. 8, left).
+module cholesky_evaluate #(
+    parameter DW = )" << width << R"(
+) (
+    input  wire          clk,
+    input  wire          rst_n,
+    input  wire          in_valid,
+    input  wire [DW-1:0] pivot,
+    input  wire [DW-1:0] column_in,
+    output reg           out_valid,
+    output reg  [DW-1:0] l_out
+);
+    // Iterative non-restoring square root, pipelined; the division is
+    // folded into the same pipeline.
+    reg [DW-1:0] sqrt_stage;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            out_valid  <= 1'b0;
+            sqrt_stage <= {DW{1'b0}};
+            l_out      <= {DW{1'b0}};
+        end else begin
+            sqrt_stage <= pivot;   // sqrt pipeline head
+            l_out      <= column_in; // / sqrt_stage in later stages
+            out_valid  <= in_valid;
+        end
+    end
+endmodule
+
+// Update stage: rank-1 trailing-submatrix update (Fig. 8, right). One
+// instance per Update unit; instances are time-multiplexed (Fig. 9).
+module cholesky_update #(
+    parameter DW = )" << width << R"(
+) (
+    input  wire          clk,
+    input  wire          rst_n,
+    input  wire          in_valid,
+    input  wire [DW-1:0] l_i,
+    input  wire [DW-1:0] l_j,
+    input  wire [DW-1:0] s_in,
+    output reg           out_valid,
+    output reg  [DW-1:0] s_out
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            out_valid <= 1'b0;
+            s_out     <= {DW{1'b0}};
+        end else begin
+            s_out     <= s_in - l_i * l_j;
+            out_valid <= in_valid;
+        end
+    end
+endmodule
+)";
+}
+
+void
+emitJacobian(std::ostringstream &os, std::size_t width)
+{
+    os << R"(
+// Feature block -> FIFO -> Observation block ("feature-stationary"
+// dataflow, Fig. 7). The keyframe rotation matrices live in a small
+// dual-port RAM addressed per observation.
+module jacobian_unit #(
+    parameter DW = )" << width << R"(,
+    parameter FIFO_DEPTH = 64,
+    parameter KF_SLOTS = 16
+) (
+    input  wire          clk,
+    input  wire          rst_n,
+    input  wire          feat_valid,
+    input  wire [DW-1:0] feat_data,
+    input  wire [3:0]    kf_index,
+    output wire          jrow_valid,
+    output wire [DW-1:0] jrow_data
+);
+    // Producer-consumer FIFO between the Feature and Observation blocks.
+    reg [DW-1:0] fifo_mem [0:FIFO_DEPTH-1];
+    reg [$clog2(FIFO_DEPTH):0] wr_ptr, rd_ptr;
+    // Keyframe rotation-matrix store (9 words per keyframe).
+    reg [DW-1:0] rot_ram [0:KF_SLOTS*9-1];
+
+    reg          obs_valid;
+    reg [DW-1:0] obs_data;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            wr_ptr    <= 0;
+            rd_ptr    <= 0;
+            obs_valid <= 1'b0;
+            obs_data  <= {DW{1'b0}};
+        end else begin
+            if (feat_valid) begin
+                fifo_mem[wr_ptr[$clog2(FIFO_DEPTH)-1:0]] <= feat_data;
+                wr_ptr <= wr_ptr + 1'b1;
+            end
+            if (wr_ptr != rd_ptr) begin
+                obs_data <= fifo_mem[rd_ptr[$clog2(FIFO_DEPTH)-1:0]] +
+                            rot_ram[{kf_index, 4'd0}];
+                obs_valid <= 1'b1;
+                rd_ptr <= rd_ptr + 1'b1;
+            end else begin
+                obs_valid <= 1'b0;
+            end
+        end
+    end
+    assign jrow_valid = obs_valid;
+    assign jrow_data  = obs_data;
+endmodule
+)";
+}
+
+void
+emitGating(std::ostringstream &os)
+{
+    os << R"(
+// Clock-gating controller (Sec. 6.2): the host writes the gated
+// (nd, nm, s) triple each sliding window; lanes above the gated count
+// receive a gated clock and hold state.
+module gating_controller #(
+    parameter ND = 1,
+    parameter NM = 1,
+    parameter S  = 1
+) (
+    input  wire                 clk,
+    input  wire                 rst_n,
+    input  wire                 cfg_valid,
+    input  wire [7:0]           cfg_nd,
+    input  wire [7:0]           cfg_nm,
+    input  wire [7:0]           cfg_s,
+    output reg  [ND-1:0]        dschur_lane_en,
+    output reg  [NM-1:0]        mschur_lane_en,
+    output reg  [S-1:0]         update_unit_en
+);
+    integer i;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            dschur_lane_en <= {ND{1'b1}};
+            mschur_lane_en <= {NM{1'b1}};
+            update_unit_en <= {S{1'b1}};
+        end else if (cfg_valid) begin
+            for (i = 0; i < ND; i = i + 1)
+                dschur_lane_en[i] <= (i < cfg_nd);
+            for (i = 0; i < NM; i = i + 1)
+                mschur_lane_en[i] <= (i < cfg_nm);
+            for (i = 0; i < S; i = i + 1)
+                update_unit_en[i] <= (i < cfg_s);
+        end
+    end
+endmodule
+)";
+}
+
+} // namespace
+
+std::string
+emitVerilog(const hw::HwConfig &config, const VerilogOptions &options)
+{
+    ARCHYTAS_ASSERT(config.nd >= 1 && config.nm >= 1 && config.s >= 1,
+                    "invalid configuration");
+    std::ostringstream os;
+    os << "// Generated by the Archytas hardware synthesizer.\n"
+       << "// Configuration: nd=" << config.nd << " nm=" << config.nm
+       << " s=" << config.s << "\n"
+       << "// Buffers sized for " << options.max_features
+       << " features x " << options.max_keyframes << " keyframes.\n"
+       << "`timescale 1ns / 1ps\n";
+
+    emitMacArray(os, options.data_width);
+    emitCholesky(os, options.data_width);
+    emitJacobian(os, options.data_width);
+    if (options.emit_clock_gating)
+        emitGating(os);
+
+    // Schur units: generate loops over the MAC lanes.
+    const auto emit_schur = [&](const char *name, std::size_t lanes) {
+        os << "\nmodule " << name << " #(\n"
+           << "    parameter DW = " << options.data_width << ",\n"
+           << "    parameter LANES = " << lanes << "\n"
+           << ") (\n"
+           << "    input  wire             clk,\n"
+           << "    input  wire             rst_n,\n"
+           << "    input  wire [LANES-1:0] lane_en,\n"
+           << "    input  wire [DW-1:0]    a,\n"
+           << "    input  wire [DW-1:0]    b,\n"
+           << "    output wire [2*DW-1:0]  acc0\n"
+           << ");\n"
+           << "    wire [2*DW-1:0] acc [0:LANES-1];\n"
+           << "    genvar gi;\n"
+           << "    generate\n"
+           << "        for (gi = 0; gi < LANES; gi = gi + 1) begin : "
+              "lanes\n"
+           << "            mac_lane #(.DW(DW)) u_mac (\n"
+           << "                .clk(clk), .rst_n(rst_n),\n"
+           << "                .en(lane_en[gi]), .clr(1'b0),\n"
+           << "                .a(a), .b(b), .acc(acc[gi])\n"
+           << "            );\n"
+           << "        end\n"
+           << "    endgenerate\n"
+           << "    assign acc0 = acc[0];\n"
+           << "endmodule\n";
+    };
+    emit_schur("dschur_unit", config.nd);
+    emit_schur("mschur_unit", config.nm);
+
+    // Cholesky top with s Update units.
+    os << "\nmodule cholesky_unit #(\n"
+       << "    parameter DW = " << options.data_width << ",\n"
+       << "    parameter UPDATE_UNITS = " << config.s << "\n"
+       << ") (\n"
+       << "    input  wire                    clk,\n"
+       << "    input  wire                    rst_n,\n"
+       << "    input  wire [UPDATE_UNITS-1:0] update_en,\n"
+       << "    input  wire                    in_valid,\n"
+       << "    input  wire [DW-1:0]           pivot,\n"
+       << "    input  wire [DW-1:0]           column_in,\n"
+       << "    output wire                    out_valid,\n"
+       << "    output wire [DW-1:0]           l_out\n"
+       << ");\n"
+       << "    wire        ev_valid;\n"
+       << "    wire [DW-1:0] ev_l;\n"
+       << "    cholesky_evaluate #(.DW(DW)) u_eval (\n"
+       << "        .clk(clk), .rst_n(rst_n), .in_valid(in_valid),\n"
+       << "        .pivot(pivot), .column_in(column_in),\n"
+       << "        .out_valid(ev_valid), .l_out(ev_l)\n"
+       << "    );\n"
+       << "    wire [UPDATE_UNITS-1:0] upd_valid;\n"
+       << "    wire [DW-1:0] upd_s [0:UPDATE_UNITS-1];\n"
+       << "    genvar gu;\n"
+       << "    generate\n"
+       << "        for (gu = 0; gu < UPDATE_UNITS; gu = gu + 1) begin : "
+          "updates\n"
+       << "            cholesky_update #(.DW(DW)) u_upd (\n"
+       << "                .clk(clk), .rst_n(rst_n),\n"
+       << "                .in_valid(ev_valid & update_en[gu]),\n"
+       << "                .l_i(ev_l), .l_j(ev_l), .s_in(column_in),\n"
+       << "                .out_valid(upd_valid[gu]), .s_out(upd_s[gu])\n"
+       << "            );\n"
+       << "        end\n"
+       << "    endgenerate\n"
+       << "    assign out_valid = |upd_valid;\n"
+       << "    assign l_out = ev_l;\n"
+       << "endmodule\n";
+
+    // Buffer sizing derived from the compacted S-matrix layout
+    // (Sec. 3.3): 18 b^2 + 2 b k^2 words.
+    const std::size_t b = options.max_keyframes;
+    const std::size_t words = 18 * b * b + 2 * b * 15 * 15;
+
+    // Top level.
+    os << "\nmodule " << options.top_name << " #(\n"
+       << "    parameter DW = " << options.data_width << ",\n"
+       << "    parameter ND = " << config.nd << ",\n"
+       << "    parameter NM = " << config.nm << ",\n"
+       << "    parameter S  = " << config.s << ",\n"
+       << "    parameter LSP_BUF_WORDS = " << words << "\n"
+       << ") (\n"
+       << "    input  wire          clk,\n"
+       << "    input  wire          rst_n,\n"
+       << "    input  wire          cfg_valid,\n"
+       << "    input  wire [7:0]    cfg_nd,\n"
+       << "    input  wire [7:0]    cfg_nm,\n"
+       << "    input  wire [7:0]    cfg_s,\n"
+       << "    input  wire          in_valid,\n"
+       << "    input  wire [DW-1:0] in_data,\n"
+       << "    output wire          out_valid,\n"
+       << "    output wire [DW-1:0] out_data\n"
+       << ");\n"
+       << "    // Linear-system parameter buffer (compacted S layout).\n"
+       << "    reg [DW-1:0] lsp_buffer [0:LSP_BUF_WORDS-1];\n"
+       << "    wire [ND-1:0] dschur_lane_en;\n"
+       << "    wire [NM-1:0] mschur_lane_en;\n"
+       << "    wire [S-1:0]  update_unit_en;\n";
+    if (options.emit_clock_gating) {
+        os << "    gating_controller #(.ND(ND), .NM(NM), .S(S)) u_gate (\n"
+           << "        .clk(clk), .rst_n(rst_n), .cfg_valid(cfg_valid),\n"
+           << "        .cfg_nd(cfg_nd), .cfg_nm(cfg_nm), .cfg_s(cfg_s),\n"
+           << "        .dschur_lane_en(dschur_lane_en),\n"
+           << "        .mschur_lane_en(mschur_lane_en),\n"
+           << "        .update_unit_en(update_unit_en)\n"
+           << "    );\n";
+    } else {
+        os << "    assign dschur_lane_en = {ND{1'b1}};\n"
+           << "    assign mschur_lane_en = {NM{1'b1}};\n"
+           << "    assign update_unit_en = {S{1'b1}};\n";
+    }
+    os << "    wire jrow_valid;\n"
+       << "    wire [DW-1:0] jrow_data;\n"
+       << "    jacobian_unit #(.DW(DW)) u_vjac (\n"
+       << "        .clk(clk), .rst_n(rst_n),\n"
+       << "        .feat_valid(in_valid), .feat_data(in_data),\n"
+       << "        .kf_index(4'd0),\n"
+       << "        .jrow_valid(jrow_valid), .jrow_data(jrow_data)\n"
+       << "    );\n"
+       << "    wire [2*DW-1:0] dschur_acc;\n"
+       << "    dschur_unit #(.DW(DW), .LANES(ND)) u_dschur (\n"
+       << "        .clk(clk), .rst_n(rst_n), .lane_en(dschur_lane_en),\n"
+       << "        .a(jrow_data), .b(jrow_data), .acc0(dschur_acc)\n"
+       << "    );\n"
+       << "    wire [2*DW-1:0] mschur_acc;\n"
+       << "    mschur_unit #(.DW(DW), .LANES(NM)) u_mschur (\n"
+       << "        .clk(clk), .rst_n(rst_n), .lane_en(mschur_lane_en),\n"
+       << "        .a(jrow_data), .b(jrow_data), .acc0(mschur_acc)\n"
+       << "    );\n"
+       << "    wire chol_valid;\n"
+       << "    wire [DW-1:0] chol_l;\n"
+       << "    cholesky_unit #(.DW(DW), .UPDATE_UNITS(S)) u_chol (\n"
+       << "        .clk(clk), .rst_n(rst_n),\n"
+       << "        .update_en(update_unit_en),\n"
+       << "        .in_valid(jrow_valid),\n"
+       << "        .pivot(dschur_acc[DW-1:0]),\n"
+       << "        .column_in(mschur_acc[DW-1:0]),\n"
+       << "        .out_valid(chol_valid), .l_out(chol_l)\n"
+       << "    );\n"
+       << "    assign out_valid = chol_valid;\n"
+       << "    assign out_data  = chol_l;\n"
+       << "endmodule\n";
+    return os.str();
+}
+
+} // namespace archytas::synth

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Structural Verilog emitter: the synthesizer's final step (Fig. 1)
+ * concretizes the hardware template into synthesizable Verilog with the
+ * optimized (nd, nm, s) values baked into generate loops, plus the
+ * sized on-chip buffers and the clock-gating control the run-time
+ * system drives (Sec. 6.2). No FPGA toolchain exists in this
+ * environment, so the emitted RTL is validated structurally (module
+ * hierarchy, parameter propagation, port discipline) by the test suite
+ * rather than by synthesis -- see DESIGN.md.
+ */
+
+#ifndef ARCHYTAS_SYNTH_VERILOG_HH
+#define ARCHYTAS_SYNTH_VERILOG_HH
+
+#include <string>
+
+#include "hw/config.hh"
+#include "slam/state.hh"
+
+namespace archytas::synth {
+
+/** Options controlling the emitted design. */
+struct VerilogOptions
+{
+    std::string top_name = "archytas_top";
+    /** Data path width in bits (the paper's fixed-point datapath). */
+    std::size_t data_width = 32;
+    /** Emit the clock-gating control plane for run-time re-optimization. */
+    bool emit_clock_gating = true;
+    /** Sliding-window sizing used to dimension the on-chip buffers. */
+    std::size_t max_features = 256;
+    std::size_t max_keyframes = 12;
+};
+
+/**
+ * Emits the full synthesizable design for a concrete configuration:
+ * the top module, the Jacobian units, the parameterized Cholesky unit
+ * (s Update instances), the two Schur units (nd / nm MAC instances),
+ * the buffers, and the gating controller.
+ */
+std::string emitVerilog(const hw::HwConfig &config,
+                        const VerilogOptions &options = {});
+
+} // namespace archytas::synth
+
+#endif // ARCHYTAS_SYNTH_VERILOG_HH

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "baseline/flops.hh"
+#include "baseline/platform_model.hh"
+#include "baseline/prior_accel.hh"
+
+namespace archytas::baseline {
+namespace {
+
+slam::WindowWorkload
+typicalWorkload()
+{
+    slam::WindowWorkload w;
+    w.keyframes = 10;
+    w.features = 100;
+    w.observations = 400;
+    w.avg_obs_per_feature = 4.0;
+    w.marginalized_features = 12;
+    w.nls_iterations = 6;
+    return w;
+}
+
+TEST(Flops, IterationDominatedByCholesky)
+{
+    // The reduced 150x150 Cholesky (~1.1 MFLOP) must dominate a typical
+    // iteration's budget.
+    const auto w = typicalWorkload();
+    const double flops = nlsIterationFlops(w);
+    EXPECT_GT(flops, 150.0 * 150 * 150 / 3.0);
+    EXPECT_LT(flops, 10.0 * 150 * 150 * 150 / 3.0);
+}
+
+TEST(Flops, MoreFeaturesMoreWork)
+{
+    auto w = typicalWorkload();
+    const double base = nlsIterationFlops(w);
+    w.features = 200;
+    EXPECT_GT(nlsIterationFlops(w), base);
+}
+
+TEST(Flops, WindowComposition)
+{
+    const auto w = typicalWorkload();
+    EXPECT_DOUBLE_EQ(windowFlops(w, 3),
+                     3.0 * nlsIterationFlops(w) +
+                         marginalizationFlops(w));
+}
+
+TEST(Flops, MarginalizationScalesWithAm)
+{
+    auto w = typicalWorkload();
+    const double base = marginalizationFlops(w);
+    w.marginalized_features = 40;
+    EXPECT_GT(marginalizationFlops(w), base);
+}
+
+TEST(PlatformModel, IntelFasterThanArm)
+{
+    const auto w = typicalWorkload();
+    const auto intel = intelCometLake();
+    const auto arm = armCortexA57();
+    EXPECT_LT(intel.windowTimeMs(w, 6), arm.windowTimeMs(w, 6));
+}
+
+TEST(PlatformModel, ArmMoreEnergyEfficientPerWindowThanIntel)
+{
+    // The paper's numbers imply the Arm consumes less energy per window
+    // despite being much slower (energy reduction vs Arm is ~5x smaller
+    // than vs Intel while the speedup is ~6x larger).
+    const auto w = typicalWorkload();
+    EXPECT_LT(armCortexA57().windowEnergyMj(w, 6),
+              intelCometLake().windowEnergyMj(w, 6));
+}
+
+TEST(PlatformModel, EnergyIsPowerTimesTime)
+{
+    const auto w = typicalWorkload();
+    const auto intel = intelCometLake();
+    EXPECT_NEAR(intel.windowEnergyMj(w, 6),
+                intel.windowTimeMs(w, 6) * intel.power_w, 1e-9);
+}
+
+TEST(PriorAccel, PublishedRatiosPresent)
+{
+    const auto accels = priorAccelerators();
+    ASSERT_EQ(accels.size(), 4u);
+    EXPECT_EQ(accels[0].name, "pi-BA");
+    EXPECT_DOUBLE_EQ(accels[0].archytas_speedup, 137.0);
+    EXPECT_DOUBLE_EQ(accels[0].archytas_energy_reduction, 132.0);
+    EXPECT_EQ(accels[1].name, "BAX");
+    EXPECT_DOUBLE_EQ(accels[1].archytas_speedup, 9.0);
+}
+
+TEST(PriorAccel, DerivationUsesTheRightBasis)
+{
+    const auto derived = deriveComparisons(1.0, 2.0, 10.0, 20.0);
+    ASSERT_EQ(derived.size(), 4u);
+    // pi-BA is per-iteration: implied time = 1.0 * 137.
+    EXPECT_DOUBLE_EQ(derived[0].implied_time_ms, 137.0);
+    // Zhang et al. is end-to-end: implied time = 10.0 * 20.
+    EXPECT_DOUBLE_EQ(derived[2].implied_time_ms, 200.0);
+}
+
+TEST(PriorAccel, PiscesEnergyFavorsPisces)
+{
+    // The paper concedes PISCES uses ~3x less energy on the BA stage.
+    const auto derived = deriveComparisons(1.0, 3.0, 10.0, 30.0);
+    EXPECT_LT(derived[3].implied_energy_mj, 30.0);
+}
+
+} // namespace
+} // namespace archytas::baseline

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/mini_solver.hh"
+#include "common/rng.hh"
+
+namespace archytas::baseline {
+namespace {
+
+/** Residual: f(x) = x - target (1-parameter block of size 1). */
+class PointResidual : public CostFunction
+{
+  public:
+    explicit PointResidual(double target) : target_(target), sizes_{1} {}
+
+    bool
+    evaluate(const double *const *parameters, double *residuals,
+             double **jacobians) const override
+    {
+        residuals[0] = parameters[0][0] - target_;
+        if (jacobians && jacobians[0])
+            jacobians[0][0] = 1.0;
+        return true;
+    }
+
+    int residualSize() const override { return 1; }
+    const std::vector<int> &parameterSizes() const override
+    {
+        return sizes_;
+    }
+
+  private:
+    double target_;
+    std::vector<int> sizes_;
+};
+
+/** Exponential curve residual: y - a * exp(b * t). */
+class ExpCurveResidual : public CostFunction
+{
+  public:
+    ExpCurveResidual(double t, double y) : t_(t), y_(y), sizes_{2} {}
+
+    bool
+    evaluate(const double *const *parameters, double *residuals,
+             double **jacobians) const override
+    {
+        const double a = parameters[0][0];
+        const double b = parameters[0][1];
+        const double e = std::exp(b * t_);
+        residuals[0] = a * e - y_;
+        if (jacobians && jacobians[0]) {
+            jacobians[0][0] = e;
+            jacobians[0][1] = a * t_ * e;
+        }
+        return true;
+    }
+
+    int residualSize() const override { return 1; }
+    const std::vector<int> &parameterSizes() const override
+    {
+        return sizes_;
+    }
+
+  private:
+    double t_, y_;
+    std::vector<int> sizes_;
+};
+
+TEST(MiniSolver, SolvesScalarLeastSquares)
+{
+    double x = 0.0;
+    Problem problem;
+    problem.addParameterBlock(&x, 1);
+    problem.addResidualBlock(std::make_shared<PointResidual>(3.0), {&x});
+    problem.addResidualBlock(std::make_shared<PointResidual>(5.0), {&x});
+    const SolveSummary s = solve(problem);
+    EXPECT_NEAR(x, 4.0, 1e-7);   // Mean of the targets.
+    EXPECT_LT(s.final_cost, s.initial_cost);
+}
+
+TEST(MiniSolver, NonlinearCurveFitConverges)
+{
+    // Ground truth a = 2.5, b = 0.3; noisy samples.
+    Rng rng(3);
+    double params[2] = {1.0, 0.0};
+    Problem problem;
+    problem.addParameterBlock(params, 2);
+    for (int i = 0; i < 40; ++i) {
+        const double t = 0.1 * i;
+        const double y =
+            2.5 * std::exp(0.3 * t) + rng.gaussian(0.0, 0.01);
+        problem.addResidualBlock(std::make_shared<ExpCurveResidual>(t, y),
+                                 {params});
+    }
+    const SolveSummary s = solve(problem);
+    EXPECT_TRUE(s.converged);
+    EXPECT_NEAR(params[0], 2.5, 0.05);
+    EXPECT_NEAR(params[1], 0.3, 0.02);
+}
+
+TEST(MiniSolver, ConstantBlocksStayFixed)
+{
+    double x = 1.0, y = 0.0;
+    Problem problem;
+    problem.addParameterBlock(&x, 1);
+    problem.addParameterBlock(&y, 1);
+    problem.setParameterBlockConstant(&x);
+    // Residual couples both: (x + y) - 10.
+    class Sum : public CostFunction
+    {
+      public:
+        Sum() : sizes_{1, 1} {}
+        bool
+        evaluate(const double *const *p, double *r, double **j) const
+            override
+        {
+            r[0] = p[0][0] + p[1][0] - 10.0;
+            if (j) {
+                if (j[0])
+                    j[0][0] = 1.0;
+                if (j[1])
+                    j[1][0] = 1.0;
+            }
+            return true;
+        }
+        int residualSize() const override { return 1; }
+        const std::vector<int> &parameterSizes() const override
+        {
+            return sizes_;
+        }
+
+      private:
+        std::vector<int> sizes_;
+    };
+    problem.addResidualBlock(std::make_shared<Sum>(), {&x, &y});
+    solve(problem);
+    EXPECT_DOUBLE_EQ(x, 1.0);
+    EXPECT_NEAR(y, 9.0, 1e-9);
+}
+
+TEST(MiniSolver, MultithreadedMatchesSingleThreaded)
+{
+    Rng rng(7);
+    double p1[2] = {1.0, 0.0};
+    double p2[2] = {1.0, 0.0};
+    for (double *params : {p1, p2}) {
+        Problem problem;
+        problem.addParameterBlock(params, 2);
+        Rng local(11);
+        for (int i = 0; i < 200; ++i) {
+            const double t = 0.02 * i;
+            const double y =
+                1.8 * std::exp(0.5 * t) + local.gaussian(0.0, 0.02);
+            problem.addResidualBlock(
+                std::make_shared<ExpCurveResidual>(t, y), {params});
+        }
+        SolveOptions opt;
+        opt.num_threads = params == p1 ? 1 : 4;
+        solve(problem, opt);
+    }
+    (void)rng;
+    EXPECT_NEAR(p1[0], p2[0], 1e-9);
+    EXPECT_NEAR(p1[1], p2[1], 1e-9);
+}
+
+TEST(MiniSolver, DuplicateBlockRegistrationDies)
+{
+    double x = 0.0;
+    Problem problem;
+    problem.addParameterBlock(&x, 1);
+    EXPECT_DEATH(problem.addParameterBlock(&x, 1), "twice");
+}
+
+TEST(MiniSolver, UnknownBlockInResidualDies)
+{
+    double x = 0.0, y = 0.0;
+    Problem problem;
+    problem.addParameterBlock(&x, 1);
+    EXPECT_DEATH(problem.addResidualBlock(
+                     std::make_shared<PointResidual>(1.0), {&y}),
+                 "unknown block");
+}
+
+TEST(MiniSolver, CostMatchesManualComputation)
+{
+    double x = 1.0;
+    Problem problem;
+    problem.addParameterBlock(&x, 1);
+    problem.addResidualBlock(std::make_shared<PointResidual>(4.0), {&x});
+    // r = -3 -> cost = 4.5.
+    EXPECT_DOUBLE_EQ(problem.cost(), 4.5);
+}
+
+TEST(MiniSolver, NoFreeParametersDies)
+{
+    double x = 0.0;
+    Problem problem;
+    problem.addParameterBlock(&x, 1);
+    problem.setParameterBlockConstant(&x);
+    problem.addResidualBlock(std::make_shared<PointResidual>(1.0), {&x});
+    EXPECT_DEATH(solve(problem), "no free parameters");
+}
+
+} // namespace
+} // namespace archytas::baseline

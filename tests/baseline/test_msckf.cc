@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "baseline/msckf.hh"
+#include "common/stats.hh"
+
+namespace archytas::baseline {
+namespace {
+
+dataset::SequenceConfig
+shortConfig()
+{
+    dataset::SequenceConfig cfg;
+    cfg.duration = 8.0;
+    cfg.landmarks = 1200;
+    cfg.max_features_per_frame = 50;
+    cfg.density_modulation = 0.0;
+    cfg.seed = 7;
+    return cfg;
+}
+
+TEST(Msckf, TracksVehicleTrajectory)
+{
+    const auto seq = dataset::makeKittiLikeSequence(shortConfig());
+    MsckfEstimator filter(seq.camera(), MsckfOptions{});
+    const auto results = filter.run(seq);
+
+    std::vector<double> errors;
+    for (std::size_t i = 10; i < results.size(); ++i)
+        errors.push_back(results[i].position_error);
+    EXPECT_LT(mean(errors), 1.5) << "filter diverged";
+}
+
+TEST(Msckf, TracksDroneTrajectory)
+{
+    const auto seq = dataset::makeEurocLikeSequence(shortConfig());
+    MsckfEstimator filter(seq.camera(), MsckfOptions{});
+    const auto results = filter.run(seq);
+    std::vector<double> errors;
+    for (std::size_t i = 10; i < results.size(); ++i)
+        errors.push_back(results[i].position_error);
+    EXPECT_LT(mean(errors), 1.0) << "filter diverged";
+}
+
+TEST(Msckf, UpdatesBeatDeadReckoning)
+{
+    const auto seq = dataset::makeKittiLikeSequence(shortConfig());
+
+    MsckfEstimator with_vision(seq.camera(), MsckfOptions{});
+    const auto vis = with_vision.run(seq);
+
+    // Dead reckoning: strip the observations.
+    MsckfEstimator imu_only(seq.camera(), MsckfOptions{});
+    double raw_err = 0.0, vis_err = 0.0;
+    for (std::size_t i = 0; i < seq.frameCount(); ++i) {
+        dataset::FrameData frame = seq.frame(i);
+        frame.observations.clear();
+        const auto r = imu_only.processFrame(frame);
+        if (i >= 20) {
+            raw_err += r.position_error;
+            vis_err += vis[i].position_error;
+        }
+    }
+    EXPECT_LT(vis_err, raw_err);
+}
+
+TEST(Msckf, CloneWindowStaysBounded)
+{
+    const auto seq = dataset::makeKittiLikeSequence(shortConfig());
+    MsckfOptions opt;
+    opt.max_clones = 6;
+    MsckfEstimator filter(seq.camera(), opt);
+    for (const auto &frame : seq.frames()) {
+        filter.processFrame(frame);
+        EXPECT_LE(filter.cloneCount(), 6u);
+        EXPECT_EQ(filter.stateDim(), 15 + 6 * filter.cloneCount());
+    }
+}
+
+TEST(Msckf, AppliesUpdatesAndCountsWork)
+{
+    const auto seq = dataset::makeKittiLikeSequence(shortConfig());
+    MsckfEstimator filter(seq.camera(), MsckfOptions{});
+    std::size_t updates = 0;
+    double flops = 0.0;
+    for (const auto &frame : seq.frames()) {
+        const auto r = filter.processFrame(frame);
+        updates += r.updates_applied;
+        flops += r.update_flops + r.propagate_flops;
+    }
+    EXPECT_GT(updates, 20u);
+    EXPECT_GT(flops, 1e6);
+}
+
+TEST(Msckf, RejectsTinyWindow)
+{
+    MsckfOptions opt;
+    opt.max_clones = 2;
+    const slam::PinholeCamera cam;
+    EXPECT_DEATH(MsckfEstimator(cam, opt), "window too small");
+}
+
+} // namespace
+} // namespace archytas::baseline

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace archytas {
+namespace {
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(ARCHYTAS_FATAL("user error ", 42), std::runtime_error);
+}
+
+TEST(Logging, FatalMessageCarriesArguments)
+{
+    try {
+        ARCHYTAS_FATAL("bad value ", 7);
+        FAIL() << "fatal did not throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("bad value 7"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(ARCHYTAS_PANIC("bug"), "panic");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    ARCHYTAS_ASSERT(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(Logging, AssertDiesOnFalse)
+{
+    EXPECT_DEATH(ARCHYTAS_ASSERT(false, "broken"), "assertion failed");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    ARCHYTAS_WARN("survivable");
+    ARCHYTAS_INFORM("status");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace archytas

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace archytas {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    bool differ = false;
+    for (int i = 0; i < 10; ++i)
+        if (a.uniform(0, 1) != b.uniform(0, 1))
+            differ = true;
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-2.0, 5.0);
+        EXPECT_GE(x, -2.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(4);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const int x = rng.uniformInt(0, 5);
+        EXPECT_GE(x, 0);
+        EXPECT_LE(x, 5);
+        saw_lo |= x == 0;
+        saw_hi |= x == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsApproximate)
+{
+    Rng rng(5);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(rng.gaussian(3.0, 2.0));
+    EXPECT_NEAR(mean(xs), 3.0, 0.1);
+    EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, ZeroStddevGaussianIsMean)
+{
+    Rng rng(6);
+    EXPECT_EQ(rng.gaussian(7.0, 0.0), 7.0);
+    EXPECT_EQ(rng.gaussian(7.0, -1.0), 7.0);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButDeterministic)
+{
+    Rng parent_a(11), parent_b(11);
+    Rng child_a = parent_a.fork();
+    Rng child_b = parent_b.fork();
+    // Same parent seed -> same child stream.
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(child_a.uniform(0, 1), child_b.uniform(0, 1));
+    // Child differs from a fresh parent-continuation.
+    bool differ = false;
+    for (int i = 0; i < 20; ++i)
+        if (child_a.uniform(0, 1) != parent_a.uniform(0, 1))
+            differ = true;
+    EXPECT_TRUE(differ);
+}
+
+} // namespace
+} // namespace archytas

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+
+namespace archytas {
+namespace {
+
+TEST(Stats, MeanOfEmptyIsZero)
+{
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Stats, StddevOfConstantIsZero)
+{
+    EXPECT_DOUBLE_EQ(stddev({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, StddevSample)
+{
+    // Known sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} is ~2.138.
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.13809, 1e-4);
+}
+
+TEST(Stats, RmsBasic)
+{
+    EXPECT_DOUBLE_EQ(rms({3.0, 4.0}), std::sqrt(12.5));
+}
+
+TEST(Stats, RmseIdenticalIsZero)
+{
+    EXPECT_DOUBLE_EQ(rmse({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(Stats, RmseKnown)
+{
+    EXPECT_DOUBLE_EQ(rmse({0.0, 0.0}, {3.0, 4.0}), std::sqrt(12.5));
+}
+
+TEST(Stats, PercentileEndpoints)
+{
+    std::vector<double> xs{5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> xs{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(RunningStats, AccumulatesMoments)
+{
+    RunningStats rs;
+    for (double x : {1.0, 2.0, 3.0, 4.0, 5.0})
+        rs.add(x);
+    EXPECT_EQ(rs.count(), 5u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 15.0);
+    EXPECT_NEAR(rs.variance(), 2.5, 1e-12);
+}
+
+TEST(RunningStats, MatchesBatchStddev)
+{
+    std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    RunningStats rs;
+    for (double x : xs)
+        rs.add(x);
+    EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance)
+{
+    RunningStats rs;
+    rs.add(42.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+}
+
+} // namespace
+} // namespace archytas

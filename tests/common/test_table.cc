@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace archytas {
+namespace {
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    const std::string out = t.render("caption");
+    EXPECT_NE(out.find("caption"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FmtRoundsToPrecision)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+TEST(Table, MismatchedRowArityPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(Table, ColumnsAutoSizeToWidestCell)
+{
+    Table t({"h"});
+    t.addRow({"a-very-long-cell"});
+    const std::string out = t.render();
+    // The rule under the header must span at least the widest cell.
+    const auto rule_pos = out.find("----");
+    ASSERT_NE(rule_pos, std::string::npos);
+}
+
+} // namespace
+} // namespace archytas

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dataset/sequence.hh"
+#include "slam/factors.hh"
+
+namespace archytas::dataset {
+namespace {
+
+SequenceConfig
+smallConfig()
+{
+    SequenceConfig cfg;
+    cfg.duration = 5.0;
+    cfg.landmarks = 800;
+    cfg.seed = 11;
+    return cfg;
+}
+
+TEST(Sequence, FrameCountMatchesRateAndDuration)
+{
+    const auto seq = makeKittiLikeSequence(smallConfig());
+    EXPECT_EQ(seq.frameCount(), 50u);
+}
+
+TEST(Sequence, DeterministicInSeed)
+{
+    const auto a = makeKittiLikeSequence(smallConfig());
+    const auto b = makeKittiLikeSequence(smallConfig());
+    ASSERT_EQ(a.frameCount(), b.frameCount());
+    for (std::size_t i = 0; i < a.frameCount(); ++i) {
+        ASSERT_EQ(a.frame(i).observations.size(),
+                  b.frame(i).observations.size());
+        for (std::size_t k = 0; k < a.frame(i).observations.size(); ++k) {
+            EXPECT_EQ(a.frame(i).observations[k].pixel.u,
+                      b.frame(i).observations[k].pixel.u);
+        }
+    }
+}
+
+TEST(Sequence, DifferentSeedsDiffer)
+{
+    auto cfg = smallConfig();
+    const auto a = makeKittiLikeSequence(cfg);
+    cfg.seed = 12;
+    const auto b = makeKittiLikeSequence(cfg);
+    // Landmark layout and noise streams both depend on the seed, so the
+    // observed pixels must differ even if counts happen to match.
+    bool any_diff = false;
+    for (std::size_t i = 0; i < std::min(a.frameCount(), b.frameCount());
+         ++i) {
+        const auto &oa = a.frame(i).observations;
+        const auto &ob = b.frame(i).observations;
+        if (oa.size() != ob.size()) {
+            any_diff = true;
+            break;
+        }
+        for (std::size_t k = 0; k < oa.size(); ++k) {
+            if (oa[k].track_id != ob[k].track_id ||
+                oa[k].pixel.u != ob[k].pixel.u) {
+                any_diff = true;
+                break;
+            }
+        }
+        if (any_diff)
+            break;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Sequence, ImuSamplesCoverInterFrameInterval)
+{
+    const auto seq = makeKittiLikeSequence(smallConfig());
+    for (std::size_t i = 1; i < seq.frameCount(); ++i) {
+        const auto &f = seq.frame(i);
+        double total = 0.0;
+        for (const auto &s : f.imu)
+            total += s.dt;
+        const double gap = f.timestamp - seq.frame(i - 1).timestamp;
+        EXPECT_NEAR(total, gap, 1.5 / seq.config().imu_rate);
+    }
+}
+
+TEST(Sequence, FirstFrameHasNoImu)
+{
+    const auto seq = makeKittiLikeSequence(smallConfig());
+    EXPECT_TRUE(seq.frame(0).imu.empty());
+}
+
+TEST(Sequence, ObservationsProjectNearTruth)
+{
+    const auto seq = makeKittiLikeSequence(smallConfig());
+    const auto &cam = seq.camera();
+    for (std::size_t i = 0; i < seq.frameCount(); i += 9) {
+        const auto &f = seq.frame(i);
+        for (const auto &obs : f.observations) {
+            const Vec3 pc = f.ground_truth.pose.inverseTransform(
+                seq.landmark(obs.track_id));
+            ASSERT_GT(pc.z, 0.0);
+            const auto px = cam.projectUnchecked(pc);
+            // Within ~6 sigma of the configured pixel noise.
+            EXPECT_LT((obs.pixel - px).norm(),
+                      6.0 * seq.config().pixel_noise + 1e-9);
+        }
+    }
+}
+
+TEST(Sequence, TracksPersistAcrossFrames)
+{
+    const auto seq = makeKittiLikeSequence(smallConfig());
+    std::set<std::uint64_t> first, second;
+    for (const auto &o : seq.frame(10).observations)
+        first.insert(o.track_id);
+    for (const auto &o : seq.frame(11).observations)
+        second.insert(o.track_id);
+    std::size_t common = 0;
+    for (auto id : first)
+        common += second.count(id);
+    // Most tracks survive one frame at 10 Hz.
+    EXPECT_GT(common, first.size() / 2);
+}
+
+TEST(Sequence, FeatureCapRespected)
+{
+    auto cfg = smallConfig();
+    cfg.max_features_per_frame = 25;
+    const auto seq = makeKittiLikeSequence(cfg);
+    for (const auto &f : seq.frames())
+        EXPECT_LE(f.observations.size(), 25u);
+}
+
+TEST(Sequence, DensityModulationVariesFeatureCount)
+{
+    auto cfg = smallConfig();
+    cfg.duration = 30.0;
+    cfg.density_modulation = 0.9;
+    const auto seq = makeKittiLikeSequence(cfg);
+    std::size_t lo = SIZE_MAX, hi = 0;
+    for (const auto &f : seq.frames()) {
+        lo = std::min(lo, f.observations.size());
+        hi = std::max(hi, f.observations.size());
+    }
+    EXPECT_GT(hi, 2 * std::max<std::size_t>(lo, 1));
+}
+
+TEST(Sequence, ImuMeasurementsConsistentWithGroundTruth)
+{
+    // Integrate the synthesized IMU between two frames starting from the
+    // first frame's ground truth; must land near the second frame's
+    // ground truth (noise-limited).
+    auto cfg = smallConfig();
+    cfg.pixel_noise = 0.0;
+    const auto seq = makeKittiLikeSequence(cfg);
+    const auto &f1 = seq.frame(20);
+    const auto &f2 = seq.frame(21);
+
+    slam::ImuPreintegration pre(cfg.bias_gyro, cfg.bias_accel,
+                                cfg.imu_noise);
+    pre.integrateAll(f2.imu);
+
+    const slam::Mat3 ri = f1.ground_truth.pose.q.toRotationMatrix();
+    const double dt = pre.dt();
+    const Vec3 g = slam::gravityVector();
+    const Vec3 p_pred = f1.ground_truth.pose.p +
+                        f1.ground_truth.velocity * dt +
+                        g * (0.5 * dt * dt) + ri * pre.deltaP();
+    const Vec3 v_pred =
+        f1.ground_truth.velocity + g * dt + ri * pre.deltaV();
+
+    EXPECT_LT((p_pred - f2.ground_truth.pose.p).norm(), 0.02);
+    EXPECT_LT((v_pred - f2.ground_truth.velocity).norm(), 0.05);
+}
+
+TEST(Sequence, RoomSceneKeepsLandmarksOnShell)
+{
+    const auto seq = makeEurocLikeSequence(smallConfig());
+    for (std::size_t i = 0; i < seq.landmarkCount(); i += 13) {
+        const Vec3 &p = seq.landmark(i);
+        const bool on_wall = std::abs(std::abs(p.x) - 6.5) < 1e-9 ||
+                             std::abs(std::abs(p.y) - 5.5) < 1e-9 ||
+                             std::abs(p.z) < 1e-9 ||
+                             std::abs(p.z - 5.6) < 1e-9;
+        EXPECT_TRUE(on_wall) << "landmark " << i << " floats mid-air";
+    }
+}
+
+} // namespace
+} // namespace archytas::dataset

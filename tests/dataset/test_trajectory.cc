@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "dataset/trajectory.hh"
+
+namespace archytas::dataset {
+namespace {
+
+TEST(VehicleTrajectory, MovesForwardAtSpeed)
+{
+    VehicleTrajectory traj(60.0, 10.0);
+    const Vec3 v = traj.velocity(10.0);
+    // Forward speed dominated by the nominal 10 m/s.
+    EXPECT_NEAR(v.norm(), 10.0, 3.0);
+    EXPECT_GT(v.x, 5.0);
+}
+
+TEST(VehicleTrajectory, StaysNearGroundPlane)
+{
+    VehicleTrajectory traj(120.0, 10.0);
+    for (double t = 1.0; t < 119.0; t += 7.3)
+        EXPECT_LT(std::abs(traj.pose(t).p.z), 1.0);
+}
+
+TEST(VehicleTrajectory, VelocityConsistentWithPositionDerivative)
+{
+    VehicleTrajectory traj(60.0, 10.0);
+    const double t = 20.0, h = 1e-3;
+    const Vec3 v = traj.velocity(t);
+    const Vec3 num = (traj.pose(t + h).p - traj.pose(t - h).p) *
+                     (1.0 / (2 * h));
+    EXPECT_NEAR((v - num).norm(), 0.0, 1e-3);
+}
+
+TEST(VehicleTrajectory, CameraLooksAlongMotion)
+{
+    VehicleTrajectory traj(60.0, 10.0);
+    const double t = 30.0;
+    const Vec3 optical =
+        traj.pose(t).q.rotate(Vec3{0.0, 0.0, 1.0});   // Camera +z.
+    const Vec3 v = traj.velocity(t).normalized();
+    EXPECT_GT(optical.dot(v), 0.95);
+}
+
+TEST(DroneTrajectory, StaysInRoomVolume)
+{
+    DroneTrajectory traj(120.0, 1.0);
+    for (double t = 0.5; t < 119.0; t += 3.7) {
+        const Vec3 p = traj.pose(t).p;
+        EXPECT_LT(std::abs(p.x), 6.0);
+        EXPECT_LT(std::abs(p.y), 5.0);
+        EXPECT_GT(p.z, 0.2);
+        EXPECT_LT(p.z, 3.5);
+    }
+}
+
+TEST(DroneTrajectory, AggressivenessRaisesBodyRates)
+{
+    DroneTrajectory calm(60.0, 0.5);
+    DroneTrajectory wild(60.0, 2.0);
+    double calm_rate = 0.0, wild_rate = 0.0;
+    for (double t = 1.0; t < 59.0; t += 1.1) {
+        calm_rate += calm.angularVelocity(t).norm();
+        wild_rate += wild.angularVelocity(t).norm();
+    }
+    EXPECT_GT(wild_rate, calm_rate);
+}
+
+TEST(Trajectory, AngularVelocityConsistentWithRotationDerivative)
+{
+    DroneTrajectory traj(60.0, 1.0);
+    const double t = 17.0, h = 1e-3;
+    const Vec3 w = traj.angularVelocity(t);
+    const Mat3 r0 = traj.pose(t).q.toRotationMatrix();
+    const Mat3 r1 = traj.pose(t + h).q.toRotationMatrix();
+    const Vec3 num = slam::so3Log(r0.transposed() * r1) * (1.0 / h);
+    EXPECT_NEAR((w - num).norm(), 0.0, 1e-2);
+}
+
+TEST(Trajectory, RotationsStayNormalized)
+{
+    VehicleTrajectory traj(60.0, 10.0);
+    for (double t = 0.5; t < 59.0; t += 2.9)
+        EXPECT_NEAR(traj.pose(t).q.norm(), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace archytas::dataset

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "hw/buffers.hh"
+#include "linalg/smatrix.hh"
+#include "synth/models.hh"
+
+namespace archytas::hw {
+namespace {
+
+TEST(Buffers, LspBufferUsesCompactLayout)
+{
+    BufferDimensioning dims;
+    dims.max_keyframes = 12;
+    const BufferPlan plan = planBuffers(dims);
+    EXPECT_EQ(plan.lsp_buffer_words,
+              linalg::CompactSMatrix::paperModelDoubles(15, 12));
+    // And far less than a dense S would need.
+    EXPECT_LT(plan.lsp_buffer_words,
+              linalg::CompactSMatrix::denseDoubles(15, 12) / 2);
+}
+
+TEST(Buffers, TotalsAreConsistent)
+{
+    const BufferPlan plan = planBuffers({});
+    EXPECT_EQ(plan.totalWords(),
+              plan.input_buffer_words + plan.lsp_buffer_words +
+                  plan.coupling_buffer_words + plan.marg_buffer_words +
+                  plan.output_buffer_words + plan.jacobian_fifo_words +
+                  plan.rotation_store_words);
+    EXPECT_GT(plan.totalWords(), 0u);
+}
+
+TEST(Buffers, BramTileRounding)
+{
+    // 36 Kb tile at 32-bit words = 1152 words; 18 Kb half = 576.
+    EXPECT_EQ(bramTilesFor(0, 32), 0.0);
+    EXPECT_EQ(bramTilesFor(100, 32), 0.0);      // Distributed RAM.
+    EXPECT_EQ(bramTilesFor(576, 32), 0.5);
+    EXPECT_EQ(bramTilesFor(1152, 32), 1.0);
+    EXPECT_EQ(bramTilesFor(1153, 32), 1.5);
+}
+
+TEST(Buffers, WiderWordsNeedMoreTiles)
+{
+    EXPECT_GE(bramTilesFor(2000, 64), bramTilesFor(2000, 32));
+}
+
+TEST(Buffers, RotationStoreStaysDistributed)
+{
+    // The design argument of Sec. 4.2: b keyframe rotations (9 words
+    // each) are small enough to avoid BRAM entirely.
+    const BufferPlan plan = planBuffers({});
+    EXPECT_EQ(bramTilesFor(plan.rotation_store_words, 32), 0.0);
+}
+
+TEST(Buffers, PlanScalesWithWindow)
+{
+    BufferDimensioning small;
+    small.max_keyframes = 6;
+    small.max_features = 64;
+    small.max_observations = 256;
+    BufferDimensioning big;
+    big.max_keyframes = 12;
+    big.max_features = 512;
+    big.max_observations = 4096;
+    EXPECT_LT(planBuffers(small).totalWords(),
+              planBuffers(big).totalWords());
+}
+
+TEST(Buffers, BramDemandWithinResourceModelBase)
+{
+    // The calibrated resource model's BRAM *base* (customization-
+    // independent part) must be able to host the buffer plan for the
+    // default dimensioning -- the buffers are exactly what that base
+    // provisions.
+    const BufferPlan plan = planBuffers({});
+    const double tiles = plan.bramTiles(32);
+    const synth::ResourceModel rm = synth::ResourceModel::calibrated();
+    const double base_bram =
+        rm.model(synth::Resource::BRAM).base;
+    EXPECT_LT(tiles, base_bram * 1.5)
+        << "buffer plan " << tiles << " tiles vs model base "
+        << base_bram;
+    EXPECT_GT(tiles, 1.0);
+}
+
+TEST(Buffers, DegenerateDimensioningDies)
+{
+    BufferDimensioning bad;
+    bad.max_keyframes = 1;
+    EXPECT_DEATH(planBuffers(bad), "degenerate");
+}
+
+} // namespace
+} // namespace archytas::hw

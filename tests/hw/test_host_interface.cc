@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "hw/accelerator.hh"
+#include "hw/host_interface.hh"
+
+namespace archytas::hw {
+namespace {
+
+slam::WindowWorkload
+typicalWorkload()
+{
+    slam::WindowWorkload w;
+    w.keyframes = 10;
+    w.features = 100;
+    w.observations = 400;
+    w.avg_obs_per_feature = 4.0;
+    w.marginalized_features = 12;
+    return w;
+}
+
+TEST(HostInterface, AccountsAllWords)
+{
+    const HostInterface host;
+    const auto t = host.windowTransaction(typicalWorkload(), true);
+    EXPECT_EQ(t.input_words, 100u * 4 + 400u * 3);
+    EXPECT_EQ(t.config_words, 3u);
+    EXPECT_EQ(t.output_words, 10u * 15 + 100u);
+    EXPECT_GT(t.total_seconds, 0.0);
+}
+
+TEST(HostInterface, UnchangedConfigSendsNothingExtra)
+{
+    const HostInterface host;
+    const auto with = host.windowTransaction(typicalWorkload(), true);
+    const auto without = host.windowTransaction(typicalWorkload(), false);
+    EXPECT_EQ(without.config_words, 0u);
+    EXPECT_LT(without.total_seconds, with.total_seconds + 1e-12);
+}
+
+TEST(HostInterface, ReconfigurationIsNegligibleVsCompute)
+{
+    // The paper's "effectively no overhead" claim (Sec. 6.2): three
+    // words on the link vs. the window's compute latency.
+    const HostInterface host;
+    const Accelerator accel({28, 19, 97});
+    const double compute_s =
+        cyclesToSeconds(accel.windowTiming(typicalWorkload(), 6)
+                            .total_cycles);
+    EXPECT_LT(host.reconfigurationSeconds(), compute_s / 1000.0);
+}
+
+TEST(HostInterface, TransferSmallNextToCompute)
+{
+    // The per-window DMA must not dominate the accelerator latency for
+    // the template's workload class.
+    const HostInterface host;
+    const Accelerator accel({28, 19, 97});
+    const auto t = host.windowTransaction(typicalWorkload(), true);
+    const double compute_s =
+        cyclesToSeconds(accel.windowTiming(typicalWorkload(), 6)
+                            .total_cycles);
+    EXPECT_LT(t.total_seconds, compute_s);
+}
+
+TEST(HostInterface, BadLinkDies)
+{
+    HostLink link;
+    link.bandwidth_bytes_per_s = 0.0;
+    EXPECT_DEATH(HostInterface{link}, "bad host link");
+}
+
+} // namespace
+} // namespace archytas::hw

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "hw/jacobian_unit.hh"
+
+namespace archytas::hw {
+namespace {
+
+TEST(JacobianUnit, Eq6LatencyIsNoTimesCo)
+{
+    const HwConstants env;
+    const JacobianUnit unit(env);
+    EXPECT_DOUBLE_EQ(unit.perFeatureCycles(5.0), 5.0 * env.co_cycles);
+    EXPECT_DOUBLE_EQ(unit.totalCycles(100, 5.0),
+                     100.0 * 5.0 * env.co_cycles);
+}
+
+TEST(JacobianUnit, PipelineBalancingRule)
+{
+    // Lf / (No * Co) stages, at least 1 (Sec. 4.2).
+    HwConstants env;
+    env.lf_cycles = 64.0;
+    env.co_cycles = 4.0;
+    const JacobianUnit unit(env);
+    EXPECT_EQ(unit.featureBlockStages(4.0), 4u);    // 64 / 16.
+    EXPECT_EQ(unit.featureBlockStages(16.0), 1u);   // 64 / 64.
+    EXPECT_EQ(unit.featureBlockStages(32.0), 1u);   // Clamped.
+}
+
+TEST(JacobianUnit, FeatureStationaryBeatsKeyframeStationary)
+{
+    // The paper's profiling: ~10x more features than keyframes and ~10x
+    // more observations than features. Under those ratios the
+    // feature-stationary dataflow must win on access energy (Sec. 4.2).
+    const JacobianUnit unit;
+    const std::size_t features = 120, keyframes = 10, obs = 480;
+    const double fs = unit.accessEnergyPj(
+        features, keyframes, obs, JacobianDataflow::FeatureStationary);
+    const double ks = unit.accessEnergyPj(
+        features, keyframes, obs, JacobianDataflow::KeyframeStationary);
+    EXPECT_LT(fs, ks);
+    EXPECT_GT(ks / fs, 1.5);
+}
+
+TEST(JacobianUnit, TinyWindowsMakeTheDataflowsComparable)
+{
+    // With very few features the feature store also fits in registers
+    // and the advantage shrinks -- the win is workload-dependent, which
+    // is exactly why the paper profiles before choosing.
+    const JacobianUnit unit;
+    const double fs = unit.accessEnergyPj(
+        8, 4, 24, JacobianDataflow::FeatureStationary);
+    const double ks = unit.accessEnergyPj(
+        8, 4, 24, JacobianDataflow::KeyframeStationary);
+    EXPECT_LT(std::abs(fs - ks) / fs, 3.0);
+}
+
+TEST(JacobianUnit, EnergyScalesWithObservations)
+{
+    const JacobianUnit unit;
+    const double e1 = unit.accessEnergyPj(
+        100, 10, 300, JacobianDataflow::FeatureStationary);
+    const double e2 = unit.accessEnergyPj(
+        100, 10, 600, JacobianDataflow::FeatureStationary);
+    EXPECT_GT(e2, e1);
+}
+
+TEST(JacobianUnit, NegativeObservationCountDies)
+{
+    const JacobianUnit unit;
+    EXPECT_DEATH(unit.perFeatureCycles(-1.0), "negative");
+}
+
+} // namespace
+} // namespace archytas::hw

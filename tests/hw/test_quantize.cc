@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "hw/quantize.hh"
+#include "slam/factors.hh"
+
+namespace archytas::hw {
+namespace {
+
+TEST(Quantize, ScalarRoundingAndSaturation)
+{
+    FixedPointFormat fmt;
+    fmt.integer_bits = 8;
+    fmt.fractional_bits = 4;   // Resolution 1/16.
+    EXPECT_DOUBLE_EQ(quantize(0.0, fmt), 0.0);
+    EXPECT_DOUBLE_EQ(quantize(1.0 / 16.0, fmt), 1.0 / 16.0);
+    EXPECT_DOUBLE_EQ(quantize(0.04, fmt), 1.0 / 16.0);   // Rounds up.
+    EXPECT_DOUBLE_EQ(quantize(0.03, fmt), 0.0);          // Rounds down.
+    EXPECT_DOUBLE_EQ(quantize(1e9, fmt), fmt.maxValue());
+    EXPECT_DOUBLE_EQ(quantize(-1e9, fmt), -fmt.maxValue());
+}
+
+TEST(Quantize, FinerFormatIsCloser)
+{
+    FixedPointFormat coarse{16, 6};
+    FixedPointFormat fine{16, 20};
+    const double x = 0.123456789;
+    EXPECT_LT(std::abs(quantize(x, fine) - x),
+              std::abs(quantize(x, coarse) - x));
+}
+
+TEST(Quantize, MatrixElementwise)
+{
+    FixedPointFormat fmt{8, 2};
+    linalg::Matrix m{{0.3, -0.3}, {10.0, 1000.0}};
+    const linalg::Matrix q = quantize(m, fmt);
+    EXPECT_DOUBLE_EQ(q(0, 0), 0.25);
+    EXPECT_DOUBLE_EQ(q(0, 1), -0.25);
+    EXPECT_DOUBLE_EQ(q(1, 1), fmt.maxValue());
+}
+
+/** Builds a realistic window's normal equations. */
+slam::NormalEquations
+makeEquations()
+{
+    Rng rng(77);
+    slam::PinholeCamera camera;
+    std::vector<slam::KeyframeState> keyframes;
+    std::vector<slam::Feature> features;
+    std::vector<std::shared_ptr<slam::ImuPreintegration>> preints;
+    slam::PriorFactor prior;
+    const slam::Vec3 g = slam::gravityVector();
+    for (std::size_t i = 0; i < 4; ++i) {
+        slam::KeyframeState s;
+        s.pose.p = slam::Vec3{0.4 * static_cast<double>(i), 0.0, 0.0};
+        s.velocity = slam::Vec3{4.0, 0.0, 0.0};
+        keyframes.push_back(s);
+    }
+    for (std::size_t i = 0; i + 1 < 4; ++i) {
+        auto pre = std::make_shared<slam::ImuPreintegration>(
+            slam::Vec3{}, slam::Vec3{}, slam::ImuNoise{});
+        for (int k = 0; k < 20; ++k)
+            pre->integrate({0.005, slam::Vec3{}, slam::Vec3{} - g});
+        preints.push_back(pre);
+    }
+    for (int l = 0; l < 30; ++l) {
+        const slam::Vec3 lm{rng.uniform(-3, 3), rng.uniform(-2, 2),
+                            rng.uniform(6, 15)};
+        slam::Feature f;
+        f.track_id = static_cast<std::uint64_t>(l);
+        f.anchor_index = 0;
+        const slam::Vec3 pc = keyframes[0].pose.inverseTransform(lm);
+        f.anchor_bearing = {pc.x / pc.z, pc.y / pc.z, 1.0};
+        f.inverse_depth = 1.0 / pc.z;
+        f.depth_initialized = true;
+        for (std::size_t i = 0; i < 4; ++i) {
+            const auto px =
+                camera.project(keyframes[i].pose.inverseTransform(lm));
+            if (px)
+                f.observations.push_back(
+                    {i, {px->u + rng.gaussian(0, 0.5),
+                         px->v + rng.gaussian(0, 0.5)}});
+        }
+        features.push_back(std::move(f));
+    }
+    slam::WindowProblem problem(camera, keyframes, features, preints,
+                                prior, 1.0);
+    return problem.build();
+}
+
+TEST(Quantize, WideFormatReproducesDoubleSolve)
+{
+    const auto eq = makeEquations();
+    // The IMU information weights push the normal-equation entries to
+    // ~5e10, so the integer field must span ~37 bits (a real fixed-point
+    // datapath would precondition/scale instead; the study measures the
+    // raw dynamic range).
+    FixedPointFormat wide{38, 22};
+    const auto result = quantizedSolve(eq, 1e-4, wide);
+    ASSERT_TRUE(result.ok);
+    EXPECT_LT(result.relative_error, 1e-2);
+}
+
+TEST(Quantize, CoarserFormatIsClearlyWorse)
+{
+    // Quantization error is not pointwise monotone (individual solves
+    // can get lucky), but across a wide bit-range the trend must be
+    // unmistakable.
+    const auto eq = makeEquations();
+    const auto fine = quantizedSolve(eq, 1e-4, FixedPointFormat{38, 24});
+    const auto coarse =
+        quantizedSolve(eq, 1e-4, FixedPointFormat{38, 8});
+    ASSERT_TRUE(fine.ok);
+    if (coarse.ok) {
+        EXPECT_GT(coarse.relative_error, 5.0 * fine.relative_error);
+    }
+    // And the fine format is genuinely accurate.
+    EXPECT_LT(fine.relative_error, 1e-2);
+}
+
+TEST(Quantize, NarrowFormatFailsLoudlyNotSilently)
+{
+    const auto eq = makeEquations();
+    FixedPointFormat tiny{6, 2};
+    const auto result = quantizedSolve(eq, 1e-4, tiny);
+    // Either the solve reports failure or the error is plainly large —
+    // it must not silently look accurate.
+    if (result.ok) {
+        EXPECT_GT(result.relative_error, 1e-3);
+    }
+}
+
+TEST(Quantize, BadFormatDies)
+{
+    EXPECT_DEATH(quantize(1.0, FixedPointFormat{1, -2}), "bad");
+}
+
+} // namespace
+} // namespace archytas::hw

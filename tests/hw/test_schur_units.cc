@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "hw/schur_units.hh"
+
+namespace archytas::hw {
+namespace {
+
+TEST(DSchurUnit, Eq9PerFeatureLatency)
+{
+    const DSchurUnit unit(9);
+    // (6 * 5)^2 / 9 = 100 cycles.
+    EXPECT_DOUBLE_EQ(unit.perFeatureCycles(5.0), 100.0);
+}
+
+TEST(DSchurUnit, MacCountScalesThroughputLinearly)
+{
+    const double t1 = DSchurUnit(1).perFeatureCycles(4.0);
+    const double t8 = DSchurUnit(8).perFeatureCycles(4.0);
+    EXPECT_DOUBLE_EQ(t1 / t8, 8.0);
+}
+
+TEST(DSchurUnit, TotalScalesWithFeatures)
+{
+    const DSchurUnit unit(4);
+    EXPECT_DOUBLE_EQ(unit.totalCycles(10, 3.0),
+                     10.0 * unit.perFeatureCycles(3.0));
+}
+
+TEST(DSchurUnit, ZeroMacsDies)
+{
+    EXPECT_DEATH(DSchurUnit(0), "at least one");
+}
+
+TEST(MSchurUnit, Eq10Structure)
+{
+    // Eq. 10 with am = 10, b = 10, nm = 5:
+    // bk = 25/5 = 5, w = 6*9+9 = 63;
+    // L = 150 + 100 + 5*25*63 + 5*63^2 = 250 + 7875 + 19845 = 27970.
+    const MSchurUnit unit(5);
+    EXPECT_DOUBLE_EQ(unit.cycles(10, 10), 27970.0);
+}
+
+TEST(MSchurUnit, MoreMacsFaster)
+{
+    double prev = 1e300;
+    for (std::size_t nm : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        const double t = MSchurUnit(nm).cycles(12, 10);
+        EXPECT_LT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(MSchurUnit, DiminishingReturnsFloor)
+{
+    // The am^2 and 15am terms do not parallelize across MACs in Eq. 10,
+    // so latency saturates above a floor.
+    const double t_huge = MSchurUnit(4096).cycles(10, 10);
+    EXPECT_GT(t_huge, 15.0 * 10 + 100.0 - 1e-9);
+}
+
+TEST(MSchurUnit, GrowsWithWindowSize)
+{
+    const MSchurUnit unit(8);
+    EXPECT_GT(unit.cycles(10, 15), unit.cycles(10, 5));
+    EXPECT_GT(unit.cycles(40, 10), unit.cycles(10, 10));
+}
+
+/** Fig. 13a/b property: knob sweeps are monotone with saturation. */
+class MacSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MacSweep, LatencyPositiveAndMonotone)
+{
+    const std::size_t n = static_cast<std::size_t>(GetParam());
+    EXPECT_GT(DSchurUnit(n).perFeatureCycles(4.0), 0.0);
+    EXPECT_GT(MSchurUnit(n).cycles(10, 10), 0.0);
+    if (n > 1) {
+        EXPECT_LE(DSchurUnit(n).perFeatureCycles(4.0),
+                  DSchurUnit(n - 1).perFeatureCycles(4.0));
+        EXPECT_LE(MSchurUnit(n).cycles(10, 10),
+                  MSchurUnit(n - 1).cycles(10, 10));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig13ab, MacSweep,
+                         ::testing::Values(1, 2, 4, 5, 8, 10, 16, 20));
+
+} // namespace
+} // namespace archytas::hw

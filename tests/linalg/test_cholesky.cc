@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "linalg/cholesky.hh"
+
+namespace archytas::linalg {
+namespace {
+
+/** Random SPD matrix A^T A + n I. */
+Matrix
+randomSpd(std::size_t n, Rng &rng)
+{
+    Matrix a(n, n);
+    for (auto &x : a.data())
+        x = rng.uniform(-1, 1);
+    Matrix spd = a.transposed() * a;
+    for (std::size_t i = 0; i < n; ++i)
+        spd(i, i) += static_cast<double>(n);
+    return spd;
+}
+
+TEST(Cholesky, Known2x2)
+{
+    Matrix s{{4, 2}, {2, 3}};
+    const auto l = cholesky(s);
+    ASSERT_TRUE(l.has_value());
+    EXPECT_DOUBLE_EQ((*l)(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ((*l)(1, 0), 1.0);
+    EXPECT_NEAR((*l)(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, ReconstructsInput)
+{
+    Rng rng(3);
+    const Matrix s = randomSpd(8, rng);
+    const auto l = cholesky(s);
+    ASSERT_TRUE(l.has_value());
+    const Matrix recon = *l * l->transposed();
+    EXPECT_LT(recon.maxAbsDiff(s), 1e-10);
+}
+
+TEST(Cholesky, RejectsIndefinite)
+{
+    Matrix s{{1, 2}, {2, 1}};   // Eigenvalues 3 and -1.
+    EXPECT_FALSE(cholesky(s).has_value());
+}
+
+TEST(Cholesky, RejectsZeroMatrix)
+{
+    EXPECT_FALSE(cholesky(Matrix(3, 3)).has_value());
+}
+
+TEST(Cholesky, SolveMatchesDirectSubstitution)
+{
+    Rng rng(5);
+    const Matrix s = randomSpd(6, rng);
+    Vector b(6);
+    for (std::size_t i = 0; i < 6; ++i)
+        b[i] = rng.uniform(-3, 3);
+    const Vector x = choleskySolve(s, b);
+    const Vector residual = s * x - b;
+    EXPECT_LT(residual.norm(), 1e-9);
+}
+
+TEST(Cholesky, SolveNonPdThrows)
+{
+    Matrix s{{0, 0}, {0, 0}};
+    Vector b{1, 1};
+    EXPECT_THROW(choleskySolve(s, b), std::runtime_error);
+}
+
+TEST(Cholesky, InverseTimesSelfIsIdentity)
+{
+    Rng rng(9);
+    const Matrix s = randomSpd(7, rng);
+    const Matrix inv = choleskyInverse(s);
+    const Matrix eye = s * inv;
+    EXPECT_LT(eye.maxAbsDiff(Matrix::identity(7)), 1e-9);
+}
+
+TEST(ForwardSubstitution, LowerTriangularSolve)
+{
+    Matrix l{{2, 0}, {1, 3}};
+    Vector b{4, 7};
+    const Vector y = forwardSubstitute(l, b);
+    EXPECT_DOUBLE_EQ(y[0], 2.0);
+    EXPECT_DOUBLE_EQ(y[1], 5.0 / 3.0);
+}
+
+TEST(BackwardSubstitution, UpperFromLowerTranspose)
+{
+    Matrix l{{2, 0}, {1, 3}};
+    // Solve L^T x = y.
+    Vector y{4, 6};
+    const Vector x = backwardSubstitute(l, y);
+    // L^T = [[2,1],[0,3]]; x1 = 2, x0 = (4 - 1*2)/2 = 1.
+    EXPECT_DOUBLE_EQ(x[1], 2.0);
+    EXPECT_DOUBLE_EQ(x[0], 1.0);
+}
+
+TEST(DiagonalInverse, Basic)
+{
+    const Matrix d = Matrix::diagonal({2.0, 4.0});
+    const Matrix inv = diagonalInverse(d);
+    EXPECT_DOUBLE_EQ(inv(0, 0), 0.5);
+    EXPECT_DOUBLE_EQ(inv(1, 1), 0.25);
+}
+
+TEST(DiagonalInverse, ZeroEntryThrows)
+{
+    const Matrix d = Matrix::diagonal({1.0, 0.0});
+    EXPECT_THROW(diagonalInverse(d), std::runtime_error);
+}
+
+/** Property sweep over sizes: solve then verify to tight tolerance. */
+class CholeskySizeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CholeskySizeSweep, SolveResidualTiny)
+{
+    const int n = GetParam();
+    Rng rng(100 + n);
+    const Matrix s = randomSpd(n, rng);
+    Vector b(n);
+    for (int i = 0; i < n; ++i)
+        b[i] = rng.uniform(-1, 1);
+    const Vector x = choleskySolve(s, b);
+    EXPECT_LT((s * x - b).norm(), 1e-8 * std::max(1.0, b.norm()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySizeSweep,
+                         ::testing::Values(1, 2, 3, 5, 10, 20, 50, 100));
+
+} // namespace
+} // namespace archytas::linalg

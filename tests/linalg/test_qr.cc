@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "linalg/qr.hh"
+
+namespace archytas::linalg {
+namespace {
+
+Matrix
+randomMatrix(std::size_t r, std::size_t c, Rng &rng)
+{
+    Matrix m(r, c);
+    for (auto &x : m.data())
+        x = rng.uniform(-2, 2);
+    return m;
+}
+
+TEST(Qr, SquareExactSolve)
+{
+    Rng rng(1);
+    const Matrix a = randomMatrix(6, 6, rng);
+    Vector x_true(6);
+    for (std::size_t i = 0; i < 6; ++i)
+        x_true[i] = rng.uniform(-3, 3);
+    const Vector b = a * x_true;
+    const auto x = leastSquares(a, b);
+    ASSERT_TRUE(x.has_value());
+    EXPECT_LT(x->maxAbsDiff(x_true), 1e-9);
+}
+
+TEST(Qr, RIsUpperTriangular)
+{
+    Rng rng(2);
+    const QrFactorization qr(randomMatrix(10, 4, rng));
+    const Matrix r = qr.r();
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < i; ++j)
+            EXPECT_EQ(r(i, j), 0.0);
+}
+
+TEST(Qr, QtPreservesNorm)
+{
+    Rng rng(3);
+    const QrFactorization qr(randomMatrix(12, 5, rng));
+    Vector b(12);
+    for (std::size_t i = 0; i < 12; ++i)
+        b[i] = rng.uniform(-1, 1);
+    const Vector y = qr.applyQt(b);
+    EXPECT_NEAR(y.norm(), b.norm(), 1e-10);
+}
+
+TEST(Qr, OverdeterminedLeastSquares)
+{
+    // Fit y = 2 + 3 t with noise; closed-form least squares comparison.
+    Rng rng(4);
+    const std::size_t n = 50;
+    Matrix a(n, 2);
+    Vector b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = 0.1 * static_cast<double>(i);
+        a(i, 0) = 1.0;
+        a(i, 1) = t;
+        b[i] = 2.0 + 3.0 * t + rng.gaussian(0.0, 0.05);
+    }
+    const auto x = leastSquares(a, b);
+    ASSERT_TRUE(x.has_value());
+    EXPECT_NEAR((*x)[0], 2.0, 0.05);
+    EXPECT_NEAR((*x)[1], 3.0, 0.02);
+
+    // Normal-equation reference.
+    const Matrix ata = a.transposed() * a;
+    const Vector atb = a.transposed() * b;
+    // 2x2 closed form.
+    const double det = ata(0, 0) * ata(1, 1) - ata(0, 1) * ata(1, 0);
+    const double x0 = (atb[0] * ata(1, 1) - ata(0, 1) * atb[1]) / det;
+    const double x1 = (ata(0, 0) * atb[1] - ata(1, 0) * atb[0]) / det;
+    EXPECT_NEAR((*x)[0], x0, 1e-9);
+    EXPECT_NEAR((*x)[1], x1, 1e-9);
+}
+
+TEST(Qr, ResidualNormMatchesDirectComputation)
+{
+    Rng rng(5);
+    const Matrix a = randomMatrix(15, 3, rng);
+    Vector b(15);
+    for (std::size_t i = 0; i < 15; ++i)
+        b[i] = rng.uniform(-1, 1);
+    const QrFactorization qr(a);
+    const auto x = qr.solve(b);
+    ASSERT_TRUE(x.has_value());
+    const Vector residual = a * *x - b;
+    EXPECT_NEAR(qr.residualNorm(b), residual.norm(), 1e-9);
+}
+
+TEST(Qr, SingularMatrixReturnsNullopt)
+{
+    Matrix a(4, 2);
+    for (std::size_t i = 0; i < 4; ++i) {
+        a(i, 0) = 1.0;
+        a(i, 1) = 2.0;   // Column 2 = 2 * column 1.
+    }
+    Vector b{1, 2, 3, 4};
+    EXPECT_FALSE(leastSquares(a, b).has_value());
+}
+
+TEST(Qr, WideMatrixIsUserError)
+{
+    Rng rng(6);
+    const Matrix a = randomMatrix(2, 5, rng);
+    EXPECT_THROW(QrFactorization{a}, std::runtime_error);
+}
+
+/** Property: |a x - b| from QR never exceeds any random candidate's. */
+class QrOptimalitySweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QrOptimalitySweep, LeastSquaresIsOptimal)
+{
+    Rng rng(100 + GetParam());
+    const std::size_t m = 20, n = 4;
+    const Matrix a = randomMatrix(m, n, rng);
+    Vector b(m);
+    for (std::size_t i = 0; i < m; ++i)
+        b[i] = rng.uniform(-2, 2);
+    const auto x = leastSquares(a, b);
+    ASSERT_TRUE(x.has_value());
+    const double best = (a * *x - b).norm();
+    for (int trial = 0; trial < 20; ++trial) {
+        Vector cand = *x;
+        for (std::size_t i = 0; i < n; ++i)
+            cand[i] += rng.uniform(-0.1, 0.1);
+        EXPECT_GE((a * cand - b).norm() + 1e-12, best);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QrOptimalitySweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+} // namespace archytas::linalg

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "linalg/cholesky.hh"
+#include "linalg/schur.hh"
+
+namespace archytas::linalg {
+namespace {
+
+Matrix
+randomSpd(std::size_t n, Rng &rng, double ridge)
+{
+    Matrix a(n, n);
+    for (auto &x : a.data())
+        x = rng.uniform(-1, 1);
+    Matrix spd = a.transposed() * a;
+    for (std::size_t i = 0; i < n; ++i)
+        spd(i, i) += ridge;
+    return spd;
+}
+
+/**
+ * Builds a random SPD blocked system [[U, W^T], [W, V]] with diagonal U
+ * and returns (u, w, v, bx, by, full, b).
+ */
+struct BlockedSystem
+{
+    Matrix u, w, v;
+    Vector bx, by;
+    Matrix full;
+    Vector b;
+};
+
+BlockedSystem
+randomBlockedSystem(std::size_t p, std::size_t q, Rng &rng)
+{
+    BlockedSystem s;
+    s.u = Matrix(p, p);
+    for (std::size_t i = 0; i < p; ++i)
+        s.u(i, i) = rng.uniform(1.0, 4.0);
+    s.w = Matrix(q, p);
+    for (auto &x : s.w.data())
+        x = rng.uniform(-0.3, 0.3);
+    s.v = randomSpd(q, rng, static_cast<double>(p + q));
+    s.bx = Vector(p);
+    s.by = Vector(q);
+    for (std::size_t i = 0; i < p; ++i)
+        s.bx[i] = rng.uniform(-1, 1);
+    for (std::size_t i = 0; i < q; ++i)
+        s.by[i] = rng.uniform(-1, 1);
+
+    s.full = Matrix(p + q, p + q);
+    s.full.setBlock(0, 0, s.u);
+    s.full.setBlock(0, p, s.w.transposed());
+    s.full.setBlock(p, 0, s.w);
+    s.full.setBlock(p, p, s.v);
+    s.b = Vector(p + q);
+    s.b.setSegment(0, s.bx);
+    s.b.setSegment(p, s.by);
+    return s;
+}
+
+TEST(DSchur, MatchesDirectSolve)
+{
+    Rng rng(17);
+    const auto sys = randomBlockedSystem(12, 6, rng);
+
+    const DSchurResult red = dSchur(sys.u, sys.w, sys.v, sys.bx, sys.by);
+    const Vector y = choleskySolve(red.reduced, red.reducedRhs);
+    const Vector x = dSchurBackSubstitute(sys.u, sys.w, sys.bx, y);
+
+    const Vector direct = choleskySolve(sys.full, sys.b);
+    for (std::size_t i = 0; i < 12; ++i)
+        EXPECT_NEAR(x[i], direct[i], 1e-8);
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_NEAR(y[i], direct[12 + i], 1e-8);
+}
+
+TEST(DSchur, ReducedSystemIsSymmetric)
+{
+    Rng rng(23);
+    const auto sys = randomBlockedSystem(8, 5, rng);
+    const DSchurResult red = dSchur(sys.u, sys.w, sys.v, sys.bx, sys.by);
+    EXPECT_TRUE(red.reduced.isSymmetric(1e-10));
+}
+
+TEST(DSchur, SingularDiagonalThrows)
+{
+    Matrix u = Matrix::diagonal({1.0, 0.0});
+    Matrix w(1, 2);
+    Matrix v = Matrix::identity(1);
+    EXPECT_THROW(dSchur(u, w, v, Vector(2), Vector(1)),
+                 std::runtime_error);
+}
+
+TEST(MSchur, MatchesDirectMarginalization)
+{
+    Rng rng(31);
+    const std::size_t pm = 7, pr = 5;
+    // Build a full SPD H and split it.
+    const Matrix h = randomSpd(pm + pr, rng, static_cast<double>(pm + pr));
+    const Matrix m = h.block(0, 0, pm, pm);
+    const Matrix lambda = h.block(pm, 0, pr, pm);
+    const Matrix a = h.block(pm, pm, pr, pr);
+    Vector bm(pm), br(pr);
+    for (std::size_t i = 0; i < pm; ++i)
+        bm[i] = rng.uniform(-1, 1);
+    for (std::size_t i = 0; i < pr; ++i)
+        br[i] = rng.uniform(-1, 1);
+
+    const MSchurResult out = mSchur(m, lambda, a, bm, br);
+
+    // Reference: direct dense computation.
+    const Matrix minv = choleskyInverse(m);
+    const Matrix ref_h = a - lambda * minv * lambda.transposed();
+    const Vector ref_r = br - lambda * (minv * bm);
+    EXPECT_LT(out.prior.maxAbsDiff(ref_h), 1e-9);
+    EXPECT_LT(out.priorRhs.maxAbsDiff(ref_r), 1e-9);
+}
+
+TEST(MSchur, BlockedDiagonalPathMatchesDensePath)
+{
+    Rng rng(37);
+    const std::size_t diag = 9, rest = 6, pr = 5;
+    const std::size_t pm = diag + rest;
+    // M with a diagonal leading block.
+    Matrix m = randomSpd(pm, rng, static_cast<double>(pm));
+    for (std::size_t r = 0; r < diag; ++r)
+        for (std::size_t c = 0; c < diag; ++c)
+            if (r != c)
+                m(r, c) = 0.0;
+
+    Matrix lambda(pr, pm);
+    for (auto &x : lambda.data())
+        x = rng.uniform(-0.5, 0.5);
+    const Matrix a = randomSpd(pr, rng, 3.0);
+    Vector bm(pm), br(pr);
+    for (std::size_t i = 0; i < pm; ++i)
+        bm[i] = rng.uniform(-1, 1);
+    for (std::size_t i = 0; i < pr; ++i)
+        br[i] = rng.uniform(-1, 1);
+
+    const MSchurResult dense = mSchur(m, lambda, a, bm, br, 0);
+    const MSchurResult blocked = mSchur(m, lambda, a, bm, br, diag);
+    EXPECT_LT(dense.prior.maxAbsDiff(blocked.prior), 1e-8);
+    EXPECT_LT(dense.priorRhs.maxAbsDiff(blocked.priorRhs), 1e-8);
+}
+
+TEST(BlockedInverse, MatchesCholeskyInverse)
+{
+    Rng rng(41);
+    const std::size_t diag = 6, rest = 4;
+    Matrix m = randomSpd(diag + rest, rng, 12.0);
+    for (std::size_t r = 0; r < diag; ++r)
+        for (std::size_t c = 0; c < diag; ++c)
+            if (r != c)
+                m(r, c) = 0.0;
+    const Matrix inv1 = blockedInverseDiagonalM11(m, diag);
+    const Matrix inv2 = choleskyInverse(m);
+    EXPECT_LT(inv1.maxAbsDiff(inv2), 1e-9);
+}
+
+TEST(BlockedInverse, FullyDiagonalCase)
+{
+    const Matrix d = Matrix::diagonal({2.0, 5.0, 10.0});
+    const Matrix inv = blockedInverseDiagonalM11(d, 3);
+    EXPECT_NEAR(inv(0, 0), 0.5, 1e-14);
+    EXPECT_NEAR(inv(2, 2), 0.1, 1e-14);
+}
+
+/** Property sweep: D-Schur equals direct solve across block splits. */
+class DSchurSplitSweep
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(DSchurSplitSweep, EquivalentToDirect)
+{
+    const auto [p, q] = GetParam();
+    Rng rng(1000 + p * 13 + q);
+    const auto sys = randomBlockedSystem(p, q, rng);
+    const DSchurResult red = dSchur(sys.u, sys.w, sys.v, sys.bx, sys.by);
+    const Vector y = choleskySolve(red.reduced, red.reducedRhs);
+    const Vector x = dSchurBackSubstitute(sys.u, sys.w, sys.bx, y);
+    Vector full_x(p + q);
+    full_x.setSegment(0, x);
+    full_x.setSegment(p, y);
+    EXPECT_LT((sys.full * full_x - sys.b).norm(), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splits, DSchurSplitSweep,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(20, 4),
+                      std::make_pair(4, 20), std::make_pair(30, 15),
+                      std::make_pair(50, 10)));
+
+} // namespace
+} // namespace archytas::linalg

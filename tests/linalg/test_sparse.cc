@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "linalg/sparse.hh"
+
+namespace archytas::linalg {
+namespace {
+
+TEST(Csr, RoundTripDense)
+{
+    Matrix d{{1, 0, 2}, {0, 0, 0}, {3, 4, 0}};
+    const CsrMatrix m = CsrMatrix::fromDense(d);
+    EXPECT_EQ(m.nnz(), 4u);
+    EXPECT_LT(m.toDense().maxAbsDiff(d), 1e-15);
+}
+
+TEST(Csr, ToleranceDropsSmallEntries)
+{
+    Matrix d{{1e-12, 1.0}, {0.5, 1e-15}};
+    const CsrMatrix m = CsrMatrix::fromDense(d, 1e-9);
+    EXPECT_EQ(m.nnz(), 2u);
+}
+
+TEST(Csr, ApplyMatchesDense)
+{
+    Rng rng(13);
+    Matrix d(10, 8);
+    for (auto &x : d.data())
+        x = rng.bernoulli(0.3) ? rng.uniform(-2, 2) : 0.0;
+    Vector x(8);
+    for (std::size_t i = 0; i < 8; ++i)
+        x[i] = rng.uniform(-1, 1);
+    const CsrMatrix m = CsrMatrix::fromDense(d);
+    EXPECT_LT((m.apply(x) - d * x).norm(), 1e-12);
+}
+
+TEST(Csr, EmptyMatrixHasHeaderOnlyStorage)
+{
+    const CsrMatrix m = CsrMatrix::fromDense(Matrix(4, 4));
+    EXPECT_EQ(m.nnz(), 0u);
+    // 5 row-pointer entries at 4 bytes each.
+    EXPECT_EQ(m.storageBytes(), 5u * 4u);
+}
+
+TEST(Csr, StorageAccountsValuesAndIndices)
+{
+    Matrix d{{1, 2}, {3, 0}};
+    const CsrMatrix m = CsrMatrix::fromDense(d);
+    // 3 values * 8 + 3 col idx * 4 + 3 row ptr * 4.
+    EXPECT_EQ(m.storageBytes(), 3u * 8u + 3u * 4u + 3u * 4u);
+}
+
+} // namespace
+} // namespace archytas::linalg

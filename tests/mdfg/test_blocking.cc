@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "mdfg/blocking.hh"
+
+namespace archytas::mdfg {
+namespace {
+
+TEST(Blocking, SchurBeatsDirectOnSlamShapes)
+{
+    // A typical window: 100 features, 10 keyframes (150 dense dims).
+    const double direct = directSolveCost(100, 150);
+    const double schur = schurSolveCost(100, 150, 100);
+    EXPECT_LT(schur, direct);
+    // The win must be large: eliminating the diagonal block turns the
+    // (m + nk)^3 factorization into an nk^3 one.
+    EXPECT_LT(schur, direct / 2.0);
+}
+
+TEST(Blocking, OptimalSplitIsTheFullDiagonalBlock)
+{
+    // The paper's observation (Sec. 3.2.2): the optimum always blocks A
+    // so that U is exactly the diagonal (feature) block.
+    for (std::size_t m : {20u, 50u, 100u, 200u, 400u}) {
+        for (std::size_t nk : {75u, 150u, 225u}) {
+            EXPECT_EQ(optimalSchurSplit(m, nk), m)
+                << "m=" << m << " nk=" << nk;
+        }
+    }
+}
+
+TEST(Blocking, GrowingPastDiagonalGetsExpensive)
+{
+    // Extending U into the dense region forces a dense inverse and
+    // full-width products; the model must penalize it (the shrinking
+    // reduced system claws some cost back, so the penalty is strict but
+    // not a cliff immediately past the boundary).
+    const std::size_t m = 100, nk = 150;
+    const double at_diag = schurSolveCost(m, nk, m);
+    EXPECT_GT(schurSolveCost(m, nk, m + 30), at_diag);
+    EXPECT_GT(schurSolveCost(m, nk, m + 100), 2.0 * at_diag);
+}
+
+TEST(Blocking, CostCurveShapeIsMonotoneDownToDiagonal)
+{
+    // On [1, m], eliminating more diagonal unknowns only helps.
+    const std::size_t m = 80, nk = 150;
+    const auto curve = schurSolveCostCurve(m, nk);
+    ASSERT_EQ(curve.size(), m + nk + 1);
+    for (std::size_t p = 1; p < m; ++p)
+        EXPECT_LE(curve[p + 1], curve[p] + 1e-9) << "p=" << p;
+}
+
+TEST(Blocking, ZeroSplitEqualsDirect)
+{
+    EXPECT_DOUBLE_EQ(schurSolveCost(50, 150, 0), directSolveCost(50, 150));
+}
+
+TEST(Blocking, InverseSplitPicksDiagonalBlock)
+{
+    // Marginalization (Sec. 3.2.3): the optimal M11 is the diagonal
+    // feature block of M for realistic marginalization loads (am at
+    // least comparable to the departing keyframe's 15 dense states).
+    for (std::size_t am : {15u, 30u, 60u, 120u}) {
+        EXPECT_EQ(optimalInverseSplit(am, 15), am) << "am=" << am;
+    }
+}
+
+TEST(Blocking, InverseSplitNeverBreaksTheDiagonalRegion)
+{
+    // Even for tiny am, the optimum always eliminates *all* diagonal
+    // entries first (it may extend further when the dense remainder is
+    // large relative to am).
+    for (std::size_t am : {1u, 3u, 5u, 10u}) {
+        EXPECT_GE(optimalInverseSplit(am, 15), am) << "am=" << am;
+    }
+}
+
+TEST(Blocking, BlockedInverseBeatsDense)
+{
+    const double dense = blockedInverseCost(30, 15, 0);
+    const double blocked = blockedInverseCost(30, 15, 30);
+    EXPECT_LT(blocked, dense);
+}
+
+TEST(Blocking, SplitBeyondSystemDies)
+{
+    EXPECT_DEATH(schurSolveCost(10, 10, 30), "larger than");
+    EXPECT_DEATH(blockedInverseCost(10, 10, 30), "larger than");
+}
+
+/** Property sweep: optimum is never beyond the diagonal region. */
+class BlockingSweep
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(BlockingSweep, OptimumInsideDiagonalRegion)
+{
+    const auto [m, nk] = GetParam();
+    const std::size_t p = optimalSchurSplit(m, nk);
+    EXPECT_LE(p, static_cast<std::size_t>(m));
+    EXPECT_GT(p, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockingSweep,
+    ::testing::Values(std::make_pair(10, 30), std::make_pair(50, 150),
+                      std::make_pair(150, 150), std::make_pair(300, 75),
+                      std::make_pair(500, 300)));
+
+} // namespace
+} // namespace archytas::mdfg

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "mdfg/builder.hh"
+#include "mdfg/scheduler.hh"
+
+namespace archytas::mdfg {
+namespace {
+
+WorkloadDims
+typicalDims()
+{
+    WorkloadDims d;
+    d.features = 100;
+    d.keyframes = 10;
+    d.marginalized = 12;
+    d.avg_observations = 4.0;
+    return d;
+}
+
+TEST(Builder, DSchurGraphHasExpectedNodeMix)
+{
+    NodeId dy = 0, dx = 0;
+    const Graph g = buildDSchurSolveGraph(100, 150, &dy, &dx);
+    const auto hist = g.typeHistogram();
+    EXPECT_EQ(hist.at(NodeType::DMatInv), 1u);
+    EXPECT_EQ(hist.at(NodeType::CD), 1u);
+    EXPECT_EQ(hist.at(NodeType::FBSub), 1u);
+    EXPECT_GE(hist.at(NodeType::MatMul), 2u);
+    EXPECT_GE(hist.at(NodeType::DMatMul), 2u);
+    // Outputs have the right shapes.
+    EXPECT_EQ(g.node(dy).output, (Shape{150, 1}));
+    EXPECT_EQ(g.node(dx).output, (Shape{100, 1}));
+}
+
+TEST(Builder, DSchurGraphCostTracksBlockingModel)
+{
+    // The graph's arithmetic must be dominated by the reduced Cholesky
+    // and the rank update, matching the cost model's structure.
+    const Graph g = buildDSchurSolveGraph(100, 150);
+    const double total = g.totalFlops();
+    EXPECT_GT(total, 150.0 * 150 * 150 / 3.0);   // At least the CD.
+    EXPECT_LT(total, 2.0 * 250 * 250 * 250);     // Far below dense n^3.
+}
+
+TEST(Builder, NlsIterationContainsJacobiansAndSolver)
+{
+    const Graph g = buildNlsIterationGraph(typicalDims());
+    const auto hist = g.typeHistogram();
+    EXPECT_EQ(hist.at(NodeType::VJac), 1u);
+    EXPECT_EQ(hist.at(NodeType::IJac), 1u);
+    EXPECT_EQ(hist.at(NodeType::CD), 1u);
+    EXPECT_EQ(hist.at(NodeType::FBSub), 1u);
+    EXPECT_GE(hist.at(NodeType::DMatInv), 1u);
+}
+
+TEST(Builder, MarginalizationContainsBlockedInverse)
+{
+    const Graph g = buildMarginalizationGraph(typicalDims());
+    const auto hist = g.typeHistogram();
+    // Eq. 5 requires a diagonal inverse, a Cholesky of S', and the
+    // M-type assembly multiplies.
+    EXPECT_GE(hist.at(NodeType::DMatInv), 1u);
+    EXPECT_EQ(hist.at(NodeType::CD), 1u);
+    EXPECT_GE(hist.at(NodeType::MatMul), 4u);
+}
+
+TEST(Builder, WindowGraphScalesWithIterations)
+{
+    const Graph g2 = buildWindowGraph(typicalDims(), 2);
+    const Graph g4 = buildWindowGraph(typicalDims(), 4);
+    EXPECT_GT(g4.size(), g2.size());
+    EXPECT_GT(g4.totalFlops(), g2.totalFlops());
+    // Marginalization appears exactly once in each.
+    const auto h2 = g2.typeHistogram();
+    const auto h4 = g4.typeHistogram();
+    EXPECT_EQ(h2.at(NodeType::VJac), 3u);   // 2 iterations + marg.
+    EXPECT_EQ(h4.at(NodeType::VJac), 5u);
+}
+
+TEST(Builder, DegenerateDimensionsDie)
+{
+    EXPECT_DEATH(buildDSchurSolveGraph(0, 10), "degenerate");
+    EXPECT_DEATH(buildWindowGraph(typicalDims(), 0), "at least one");
+}
+
+TEST(Scheduler, AssignsEveryComputeNode)
+{
+    const Graph g = buildWindowGraph(typicalDims(), 2);
+    const Schedule sched = scheduleGraph(g);
+    std::size_t compute_nodes = 0;
+    for (const Node &n : g.nodes())
+        if (!g.isInput(n.id))
+            ++compute_nodes;
+    EXPECT_EQ(sched.entries.size(), compute_nodes);
+}
+
+TEST(Scheduler, MapsJacobiansAndCholeskyToDedicatedBlocks)
+{
+    const Graph g = buildNlsIterationGraph(typicalDims());
+    const Schedule sched = scheduleGraph(g);
+    bool saw_vjac = false, saw_chol = false;
+    for (const auto &e : sched.entries) {
+        const Node &n = g.node(e.node);
+        if (n.type == NodeType::VJac) {
+            EXPECT_EQ(e.block, HwBlock::VisualJacobianUnit);
+            saw_vjac = true;
+        }
+        if (n.type == NodeType::CD) {
+            EXPECT_EQ(e.block, HwBlock::CholeskyUnit);
+            saw_chol = true;
+        }
+        if (n.type == NodeType::MatTp) {
+            EXPECT_EQ(e.block, HwBlock::DataMovement);
+        }
+    }
+    EXPECT_TRUE(saw_vjac);
+    EXPECT_TRUE(saw_chol);
+}
+
+TEST(Scheduler, DetectsDSchurPattern)
+{
+    const Graph g = buildDSchurSolveGraph(50, 30);
+    const Schedule sched = scheduleGraph(g);
+    std::size_t dschur_nodes = 0;
+    for (const auto &e : sched.entries)
+        if (e.block == HwBlock::DSchurUnit)
+            ++dschur_nodes;
+    // DMatInv, DMatMul, MatMul, MatSub of the complement at minimum.
+    EXPECT_GE(dschur_nodes, 4u);
+}
+
+TEST(Scheduler, SharesDSchurBetweenPhases)
+{
+    // The window graph contains the NLS D-type Schur and
+    // marginalization's S' D-type Schur; shape-agnostic matching must
+    // find shared structure across the two serialized phases (Sec. 4.1).
+    const Graph g = buildWindowGraph(typicalDims(), 1);
+    const Schedule sched = scheduleGraph(g);
+    EXPECT_FALSE(sched.shared_groups.empty());
+    std::size_t shared = 0;
+    for (const auto &e : sched.entries)
+        if (e.shared)
+            ++shared;
+    EXPECT_GT(shared, 0u);
+}
+
+TEST(Scheduler, MultiIterationWindowSharesAcrossIterations)
+{
+    // The same NLS iteration subgraph repeats; every repeat must map to
+    // the same (single) physical block, i.e. be flagged shared.
+    const Graph g = buildWindowGraph(typicalDims(), 3);
+    const Schedule sched = scheduleGraph(g);
+    std::size_t cd_shared = 0, cd_total = 0;
+    for (const auto &e : sched.entries) {
+        if (g.node(e.node).type == NodeType::CD) {
+            ++cd_total;
+            if (e.shared)
+                ++cd_shared;
+        }
+    }
+    EXPECT_EQ(cd_total, 4u);   // 3 iterations + marginalization.
+    EXPECT_GE(cd_shared, 3u);  // The three identical iteration CDs.
+}
+
+TEST(Scheduler, ScheduleRendering)
+{
+    const Graph g = buildDSchurSolveGraph(10, 15);
+    const Schedule sched = scheduleGraph(g);
+    const std::string s = sched.toString(g);
+    EXPECT_NE(s.find("DSchurUnit"), std::string::npos);
+    EXPECT_NE(s.find("CholeskyUnit"), std::string::npos);
+}
+
+} // namespace
+} // namespace archytas::mdfg

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "mdfg/node.hh"
+
+namespace archytas::mdfg {
+namespace {
+
+TEST(Node, TypeNamesMatchTable1)
+{
+    EXPECT_STREQ(nodeTypeName(NodeType::DMatInv), "DMatInv");
+    EXPECT_STREQ(nodeTypeName(NodeType::MatMul), "MatMul");
+    EXPECT_STREQ(nodeTypeName(NodeType::DMatMul), "DMatMul");
+    EXPECT_STREQ(nodeTypeName(NodeType::MatSub), "MatSub");
+    EXPECT_STREQ(nodeTypeName(NodeType::MatTp), "MatTp");
+    EXPECT_STREQ(nodeTypeName(NodeType::CD), "CD");
+    EXPECT_STREQ(nodeTypeName(NodeType::FBSub), "FBSub");
+    EXPECT_STREQ(nodeTypeName(NodeType::VJac), "VJac");
+    EXPECT_STREQ(nodeTypeName(NodeType::IJac), "IJac");
+}
+
+TEST(Node, MatMulCost)
+{
+    EXPECT_DOUBLE_EQ(nodeFlops(NodeType::MatMul, {{3, 5}, {5, 7}}),
+                     2.0 * 3 * 5 * 7);
+}
+
+TEST(Node, DiagonalOpsAreLinear)
+{
+    EXPECT_DOUBLE_EQ(nodeFlops(NodeType::DMatInv, {{9, 9}}), 9.0);
+    EXPECT_DOUBLE_EQ(nodeFlops(NodeType::DMatMul, {{9, 9}, {9, 4}}),
+                     36.0);
+}
+
+TEST(Node, CholeskyIsCubicOverThree)
+{
+    EXPECT_DOUBLE_EQ(nodeFlops(NodeType::CD, {{12, 12}}),
+                     12.0 * 12 * 12 / 3.0);
+}
+
+TEST(Node, SubstitutionIsQuadratic)
+{
+    EXPECT_DOUBLE_EQ(nodeFlops(NodeType::FBSub, {{10, 10}}), 200.0);
+}
+
+TEST(Node, TransposeIsFree)
+{
+    EXPECT_DOUBLE_EQ(nodeFlops(NodeType::MatTp, {{100, 50}}), 0.0);
+}
+
+TEST(Node, MismatchedMatMulShapesDie)
+{
+    EXPECT_DEATH(nodeFlops(NodeType::MatMul, {{3, 5}, {4, 7}}),
+                 "mismatch");
+}
+
+TEST(Node, MissingOperandsDie)
+{
+    EXPECT_DEATH(nodeFlops(NodeType::MatMul, {{3, 5}}), "at least");
+}
+
+TEST(Node, ShapeEquality)
+{
+    EXPECT_EQ((Shape{3, 4}), (Shape{3, 4}));
+    EXPECT_FALSE((Shape{3, 4}) == (Shape{4, 3}));
+}
+
+} // namespace
+} // namespace archytas::mdfg

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "runtime/controller.hh"
+#include "runtime/iter_table.hh"
+
+namespace archytas::runtime {
+namespace {
+
+TEST(TwoBitCounter, RequiresTwoAgreeingUpdatesToFlip)
+{
+    TwoBitSaturatingCounter c(true);   // State 3 (strong high).
+    EXPECT_TRUE(c.update(false));      // 2: still high.
+    EXPECT_FALSE(c.update(false));     // 1: flipped low.
+    EXPECT_TRUE(c.update(true));       // 2: one agreeing input flips back
+                                       // from the weak state.
+    EXPECT_FALSE(c.update(false));     // 1: and down again.
+}
+
+TEST(TwoBitCounter, SaturatesAtExtremes)
+{
+    TwoBitSaturatingCounter c(true);
+    for (int i = 0; i < 10; ++i)
+        c.update(true);
+    EXPECT_EQ(c.state(), 3);
+    for (int i = 0; i < 10; ++i)
+        c.update(false);
+    EXPECT_EQ(c.state(), 0);
+}
+
+TEST(IterTable, LookupBuckets)
+{
+    IterTable t({50, 100, SIZE_MAX}, {6, 3, 1});
+    EXPECT_EQ(t.lookup(10), 6u);
+    EXPECT_EQ(t.lookup(50), 6u);
+    EXPECT_EQ(t.lookup(51), 3u);
+    EXPECT_EQ(t.lookup(100), 3u);
+    EXPECT_EQ(t.lookup(10000), 1u);
+}
+
+TEST(IterTable, AlwaysMaxIsConservative)
+{
+    const IterTable t = IterTable::alwaysMax();
+    EXPECT_EQ(t.lookup(0), kMaxIterations);
+    EXPECT_EQ(t.lookup(1000000), kMaxIterations);
+}
+
+TEST(IterTable, RejectsMalformedTables)
+{
+    EXPECT_DEATH(IterTable({100, 50}, {1, 2}), "ascend");
+    EXPECT_DEATH(IterTable({50}, {9}), "Iter out");
+    EXPECT_DEATH(IterTable({50, 100}, {1}), "shape");
+}
+
+TEST(BuildIterTable, RichBucketsGetFewerIterations)
+{
+    // Synthetic profiling: feature-rich windows converge by Iter 2;
+    // feature-poor windows need all 6.
+    std::vector<ProfileSample> samples;
+    for (int i = 0; i < 40; ++i) {
+        ProfileSample poor;
+        poor.feature_count = 20;
+        poor.error_by_iter = {1.0, 0.6, 0.4, 0.25, 0.18, 0.15};
+        samples.push_back(poor);
+        ProfileSample rich;
+        rich.feature_count = 150;
+        rich.error_by_iter = {0.12, 0.101, 0.1, 0.1, 0.1, 0.1};
+        samples.push_back(rich);
+    }
+    const IterTable t =
+        buildIterTable(samples, {50, SIZE_MAX}, 0.05, 0.005);
+    EXPECT_EQ(t.lookup(20), 6u);
+    EXPECT_EQ(t.lookup(150), 2u);
+}
+
+TEST(BuildIterTable, UnobservedBucketStaysConservative)
+{
+    std::vector<ProfileSample> samples;
+    ProfileSample s;
+    s.feature_count = 10;
+    s.error_by_iter = {0.1, 0.1, 0.1, 0.1, 0.1, 0.1};
+    samples.push_back(s);
+    const IterTable t = buildIterTable(samples, {50, SIZE_MAX}, 0.05);
+    EXPECT_EQ(t.lookup(10), 1u);
+    EXPECT_EQ(t.lookup(500), kMaxIterations);
+}
+
+std::array<hw::HwConfig, kMaxIterations>
+monotoneConfigs()
+{
+    // Plausible memoized configs: more iterations need more hardware.
+    return {hw::HwConfig{4, 2, 8},  hw::HwConfig{8, 3, 16},
+            hw::HwConfig{12, 4, 24}, hw::HwConfig{16, 5, 40},
+            hw::HwConfig{20, 6, 60}, hw::HwConfig{28, 8, 97}};
+}
+
+TEST(RuntimeController, StartsAtFullEffort)
+{
+    RuntimeController ctl(IterTable({100, SIZE_MAX}, {6, 2}),
+                          monotoneConfigs(), {28, 19, 97});
+    const auto d = ctl.onWindow(50);   // Proposal 6 == current.
+    EXPECT_EQ(d.iterations, 6u);
+    EXPECT_FALSE(d.reconfigured);
+}
+
+TEST(RuntimeController, TwoConsecutiveProposalsMoveIterOneStep)
+{
+    RuntimeController ctl(IterTable({100, SIZE_MAX}, {6, 2}),
+                          monotoneConfigs(), {28, 19, 97});
+    // Feature-rich windows propose Iter 2 (below current 6).
+    auto d = ctl.onWindow(500);
+    EXPECT_EQ(d.iterations, 6u);   // First proposal: no change yet.
+    d = ctl.onWindow(500);
+    EXPECT_EQ(d.iterations, 5u);   // Second consecutive: one step down.
+    EXPECT_TRUE(d.reconfigured);
+    EXPECT_EQ(d.gated, monotoneConfigs()[4]);
+}
+
+TEST(RuntimeController, OutlierWindowDoesNotThrash)
+{
+    RuntimeController ctl(IterTable({100, SIZE_MAX}, {6, 2}),
+                          monotoneConfigs(), {28, 19, 97});
+    ctl.onWindow(500);    // Pending down.
+    ctl.onWindow(50);     // Interrupted by a feature-poor window.
+    const auto d = ctl.onWindow(50);
+    EXPECT_EQ(d.iterations, 6u);
+    EXPECT_EQ(ctl.reconfigurations(), 0u);
+}
+
+TEST(RuntimeController, ConvergesToTableLevel)
+{
+    RuntimeController ctl(IterTable({100, SIZE_MAX}, {6, 2}),
+                          monotoneConfigs(), {28, 19, 97});
+    for (int i = 0; i < 20; ++i)
+        ctl.onWindow(500);
+    EXPECT_EQ(ctl.currentIterations(), 2u);
+}
+
+TEST(RuntimeController, GatedConfigNeverExceedsBuilt)
+{
+    RuntimeController ctl(IterTable({100, SIZE_MAX}, {6, 1}),
+                          monotoneConfigs(), {28, 19, 97});
+    for (int i = 0; i < 30; ++i) {
+        const auto d = ctl.onWindow(i % 2 ? 20 : 500);
+        EXPECT_LE(d.gated.nd, 28u);
+        EXPECT_LE(d.gated.nm, 19u);
+        EXPECT_LE(d.gated.s, 97u);
+    }
+}
+
+TEST(RuntimeController, OversizedMemoizedConfigDies)
+{
+    auto configs = monotoneConfigs();
+    configs[5] = {64, 64, 200};
+    EXPECT_DEATH(RuntimeController(IterTable::alwaysMax(), configs,
+                                   {28, 19, 97}),
+                 "exceeds");
+}
+
+} // namespace
+} // namespace archytas::runtime

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "slam/camera.hh"
+
+namespace archytas::slam {
+namespace {
+
+TEST(Camera, ProjectsPrincipalAxisToPrincipalPoint)
+{
+    PinholeCamera cam;
+    const Vec2 px = cam.projectUnchecked({0.0, 0.0, 5.0});
+    EXPECT_DOUBLE_EQ(px.u, cam.cx);
+    EXPECT_DOUBLE_EQ(px.v, cam.cy);
+}
+
+TEST(Camera, RejectsBehindCamera)
+{
+    PinholeCamera cam;
+    EXPECT_FALSE(cam.project({0.0, 0.0, -1.0}).has_value());
+    EXPECT_FALSE(cam.project({0.0, 0.0, 0.05}).has_value());
+}
+
+TEST(Camera, RejectsOutOfImage)
+{
+    PinholeCamera cam;
+    // A point far off-axis lands outside the sensor.
+    EXPECT_FALSE(cam.project({100.0, 0.0, 1.0}).has_value());
+}
+
+TEST(Camera, BearingProjectRoundTrip)
+{
+    PinholeCamera cam;
+    const Vec2 px{400.0, 300.0};
+    const Vec3 b = cam.bearing(px);
+    EXPECT_DOUBLE_EQ(b.z, 1.0);
+    const Vec2 back = cam.projectUnchecked(b * 7.0);
+    EXPECT_NEAR(back.u, px.u, 1e-12);
+    EXPECT_NEAR(back.v, px.v, 1e-12);
+}
+
+TEST(Camera, JacobianMatchesNumericDifferentiation)
+{
+    PinholeCamera cam;
+    Rng rng(21);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Vec3 p{rng.uniform(-2, 2), rng.uniform(-2, 2),
+                     rng.uniform(1.0, 20.0)};
+        const linalg::Matrix j = cam.projectionJacobian(p);
+        const double h = 1e-7;
+        for (int axis = 0; axis < 3; ++axis) {
+            Vec3 pp = p, pm = p;
+            pp[axis] += h;
+            pm[axis] -= h;
+            const Vec2 fp = cam.projectUnchecked(pp);
+            const Vec2 fm = cam.projectUnchecked(pm);
+            EXPECT_NEAR(j(0, axis), (fp.u - fm.u) / (2 * h), 1e-4);
+            EXPECT_NEAR(j(1, axis), (fp.v - fm.v) / (2 * h), 1e-4);
+        }
+    }
+}
+
+TEST(Camera, DepthScalesJacobian)
+{
+    PinholeCamera cam;
+    const linalg::Matrix j_near = cam.projectionJacobian({0.5, 0.2, 2.0});
+    const linalg::Matrix j_far = cam.projectionJacobian({0.5, 0.2, 40.0});
+    // Far points move less per unit of lateral motion.
+    EXPECT_GT(std::abs(j_near(0, 0)), std::abs(j_far(0, 0)));
+}
+
+} // namespace
+} // namespace archytas::slam

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "dataset/sequence.hh"
+#include "slam/estimator.hh"
+
+namespace archytas::slam {
+namespace {
+
+dataset::SequenceConfig
+sweepConfig()
+{
+    dataset::SequenceConfig cfg;
+    cfg.duration = 6.0;
+    cfg.landmarks = 1000;
+    cfg.max_features_per_frame = 50;
+    cfg.density_modulation = 0.0;
+    cfg.seed = 99;
+    return cfg;
+}
+
+/** Parameterized over the sliding-window size b. */
+class WindowSizeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WindowSizeSweep, EstimatorStableAcrossWindowSizes)
+{
+    const std::size_t b = static_cast<std::size_t>(GetParam());
+    const auto seq = dataset::makeKittiLikeSequence(sweepConfig());
+    EstimatorOptions opt;
+    opt.window_size = b;
+    SlidingWindowEstimator est(seq.camera(), opt);
+    std::vector<double> errors;
+    for (const auto &frame : seq.frames()) {
+        const auto r = est.processFrame(frame);
+        EXPECT_LE(est.window().size(), b);
+        if (r.optimized) {
+            errors.push_back(r.position_error);
+            // The optimization runs over at most b + 1 keyframes (the
+            // window is optimized before the marginalization slide).
+            EXPECT_LE(r.workload.keyframes, b + 1);
+        }
+    }
+    EXPECT_LT(mean(errors), 0.6) << "diverged at window size " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WindowSizeSweep,
+                         ::testing::Values(4, 6, 8, 12));
+
+/** Parameterized over pixel noise: accuracy must degrade gracefully. */
+class PixelNoiseSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PixelNoiseSweep, GracefulDegradation)
+{
+    const double noise = 0.25 * static_cast<double>(GetParam());
+    auto cfg = sweepConfig();
+    cfg.pixel_noise = noise;
+    const auto seq = dataset::makeKittiLikeSequence(cfg);
+    EstimatorOptions opt;
+    opt.window_size = 8;
+    opt.pixel_sigma = std::max(noise, 0.25);
+    SlidingWindowEstimator est(seq.camera(), opt);
+    std::vector<double> errors;
+    for (const auto &frame : seq.frames()) {
+        const auto r = est.processFrame(frame);
+        if (r.optimized)
+            errors.push_back(r.position_error);
+    }
+    // Sub-meter through 1.5 px of noise on a 6-second drive.
+    EXPECT_LT(mean(errors), 1.0) << "noise " << noise;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, PixelNoiseSweep,
+                         ::testing::Values(0, 2, 4, 6));
+
+} // namespace
+} // namespace archytas::slam

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "slam/geometry.hh"
+
+namespace archytas::slam {
+namespace {
+
+Vec3
+randomVec(Rng &rng, double scale)
+{
+    return {rng.uniform(-scale, scale), rng.uniform(-scale, scale),
+            rng.uniform(-scale, scale)};
+}
+
+TEST(Vec3, CrossProductOrthogonality)
+{
+    const Vec3 a{1, 0, 0}, b{0, 1, 0};
+    const Vec3 c = a.cross(b);
+    EXPECT_DOUBLE_EQ(c.z, 1.0);
+    EXPECT_DOUBLE_EQ(c.dot(a), 0.0);
+    EXPECT_DOUBLE_EQ(c.dot(b), 0.0);
+}
+
+TEST(Vec3, NormalizedHasUnitNorm)
+{
+    const Vec3 v{3, 4, 12};
+    EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-14);
+}
+
+TEST(Skew, ImplementsCrossProduct)
+{
+    Rng rng(1);
+    const Vec3 a = randomVec(rng, 2.0);
+    const Vec3 b = randomVec(rng, 2.0);
+    const Vec3 c1 = skew(a) * b;
+    const Vec3 c2 = a.cross(b);
+    EXPECT_NEAR((c1 - c2).norm(), 0.0, 1e-14);
+}
+
+TEST(So3, ExpOfZeroIsIdentity)
+{
+    const Mat3 r = so3Exp(Vec3{});
+    EXPECT_LT(r.maxAbsDiff(Mat3::identity()), 1e-15);
+}
+
+TEST(So3, ExpIsOrthonormal)
+{
+    Rng rng(2);
+    for (int i = 0; i < 20; ++i) {
+        const Mat3 r = so3Exp(randomVec(rng, 3.0));
+        const Mat3 rrt = r * r.transposed();
+        EXPECT_LT(rrt.maxAbsDiff(Mat3::identity()), 1e-12);
+    }
+}
+
+TEST(So3, LogExpRoundTrip)
+{
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        const Vec3 w = randomVec(rng, 1.5);
+        const Vec3 w2 = so3Log(so3Exp(w));
+        EXPECT_NEAR((w - w2).norm(), 0.0, 1e-9);
+    }
+}
+
+TEST(So3, LogNearPi)
+{
+    const Vec3 w = Vec3{1.0, 0.2, -0.4}.normalized() * (M_PI - 1e-4);
+    const Vec3 w2 = so3Log(so3Exp(w));
+    EXPECT_NEAR((w - w2).norm(), 0.0, 1e-6);
+}
+
+TEST(So3, SmallAngleTaylorBranch)
+{
+    const Vec3 w{1e-12, -2e-12, 1e-12};
+    const Mat3 r = so3Exp(w);
+    EXPECT_LT(r.maxAbsDiff(Mat3::identity()), 1e-11);
+    EXPECT_NEAR((so3Log(r) - w).norm(), 0.0, 1e-15);
+}
+
+TEST(So3, RightJacobianFirstOrderProperty)
+{
+    // Exp(w + dw) ~= Exp(w) Exp(Jr(w) dw) for small dw.
+    Rng rng(4);
+    const Vec3 w = randomVec(rng, 1.0);
+    const Vec3 dw = randomVec(rng, 1e-6);
+    const Mat3 lhs = so3Exp(w + dw);
+    const Mat3 rhs = so3Exp(w) * so3Exp(so3RightJacobian(w) * dw);
+    EXPECT_LT(lhs.maxAbsDiff(rhs), 1e-10);
+}
+
+TEST(So3, RightJacobianInverseIsInverse)
+{
+    Rng rng(5);
+    const Vec3 w = randomVec(rng, 2.0);
+    const Mat3 prod = so3RightJacobian(w) * so3RightJacobianInverse(w);
+    EXPECT_LT(prod.maxAbsDiff(Mat3::identity()), 1e-10);
+}
+
+TEST(Quaternion, MultiplicationMatchesRotationComposition)
+{
+    Rng rng(6);
+    const Quaternion qa = Quaternion::fromAxisAngle(randomVec(rng, 2.0));
+    const Quaternion qb = Quaternion::fromAxisAngle(randomVec(rng, 2.0));
+    const Mat3 r1 = (qa * qb).toRotationMatrix();
+    const Mat3 r2 = qa.toRotationMatrix() * qb.toRotationMatrix();
+    EXPECT_LT(r1.maxAbsDiff(r2), 1e-12);
+}
+
+TEST(Quaternion, RotateMatchesMatrix)
+{
+    Rng rng(7);
+    const Quaternion q = Quaternion::fromAxisAngle(randomVec(rng, 2.0));
+    const Vec3 v = randomVec(rng, 5.0);
+    const Vec3 r1 = q.rotate(v);
+    const Vec3 r2 = q.toRotationMatrix() * v;
+    EXPECT_NEAR((r1 - r2).norm(), 0.0, 1e-12);
+}
+
+TEST(Quaternion, FromRotationMatrixRoundTrip)
+{
+    Rng rng(8);
+    for (int i = 0; i < 30; ++i) {
+        const Quaternion q =
+            Quaternion::fromAxisAngle(randomVec(rng, 3.0)).normalized();
+        const Quaternion q2 =
+            Quaternion::fromRotationMatrix(q.toRotationMatrix());
+        // q and -q encode the same rotation.
+        const double dot =
+            std::abs(q.w*q2.w + q.x*q2.x + q.y*q2.y + q.z*q2.z);
+        EXPECT_NEAR(dot, 1.0, 1e-12);
+    }
+}
+
+TEST(Quaternion, ConjugateInvertsRotation)
+{
+    Rng rng(9);
+    const Quaternion q = Quaternion::fromAxisAngle(randomVec(rng, 1.0));
+    const Vec3 v = randomVec(rng, 3.0);
+    EXPECT_NEAR((q.conjugate().rotate(q.rotate(v)) - v).norm(), 0.0, 1e-13);
+}
+
+TEST(Pose, ComposeWithInverseIsIdentity)
+{
+    Rng rng(10);
+    const Pose p(Quaternion::fromAxisAngle(randomVec(rng, 2.0)),
+                 randomVec(rng, 10.0));
+    const Pose id = p * p.inverse();
+    EXPECT_NEAR(id.p.norm(), 0.0, 1e-12);
+    EXPECT_NEAR(rotationDistance(id.q, Quaternion{}), 0.0, 1e-9);
+}
+
+TEST(Pose, TransformInverseTransformRoundTrip)
+{
+    Rng rng(11);
+    const Pose p(Quaternion::fromAxisAngle(randomVec(rng, 2.0)),
+                 randomVec(rng, 10.0));
+    const Vec3 x = randomVec(rng, 20.0);
+    EXPECT_NEAR((p.inverseTransform(p.transform(x)) - x).norm(), 0.0,
+                1e-11);
+}
+
+TEST(Pose, CompositionMatchesSequentialTransforms)
+{
+    Rng rng(12);
+    const Pose a(Quaternion::fromAxisAngle(randomVec(rng, 1.0)),
+                 randomVec(rng, 5.0));
+    const Pose b(Quaternion::fromAxisAngle(randomVec(rng, 1.0)),
+                 randomVec(rng, 5.0));
+    const Vec3 x = randomVec(rng, 3.0);
+    const Vec3 r1 = (a * b).transform(x);
+    const Vec3 r2 = a.transform(b.transform(x));
+    EXPECT_NEAR((r1 - r2).norm(), 0.0, 1e-12);
+}
+
+TEST(Pose, ApplyTangentMatchesManualUpdate)
+{
+    Rng rng(13);
+    Pose p(Quaternion::fromAxisAngle(randomVec(rng, 1.0)),
+           randomVec(rng, 5.0));
+    const Pose before = p;
+    const Vec3 dth = randomVec(rng, 0.1);
+    const Vec3 dp = randomVec(rng, 0.5);
+    p.applyTangent(dth, dp);
+    const Mat3 expect_r =
+        before.q.toRotationMatrix() * so3Exp(dth);
+    EXPECT_LT(p.q.toRotationMatrix().maxAbsDiff(expect_r), 1e-12);
+    EXPECT_NEAR((p.p - (before.p + dp)).norm(), 0.0, 1e-14);
+}
+
+TEST(RotationDistance, KnownAngle)
+{
+    const Quaternion a;
+    const Quaternion b = Quaternion::fromAxisAngle(Vec3{0.0, 0.0, 0.5});
+    EXPECT_NEAR(rotationDistance(a, b), 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace archytas::slam

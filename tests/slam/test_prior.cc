@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "slam/prior.hh"
+
+namespace archytas::slam {
+namespace {
+
+KeyframeState
+randomState(Rng &rng)
+{
+    KeyframeState s;
+    s.pose.q = Quaternion::fromAxisAngle(
+        {rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
+         rng.uniform(-0.5, 0.5)});
+    s.pose.p = {rng.uniform(-3, 3), rng.uniform(-3, 3),
+                rng.uniform(-3, 3)};
+    s.velocity = {rng.uniform(-1, 1), rng.uniform(-1, 1),
+                  rng.uniform(-1, 1)};
+    s.bias_gyro = {rng.uniform(-0.01, 0.01), 0, 0};
+    s.bias_accel = {rng.uniform(-0.1, 0.1), 0, 0};
+    return s;
+}
+
+linalg::Matrix
+randomSpd(std::size_t n, Rng &rng)
+{
+    linalg::Matrix a(n, n);
+    for (auto &x : a.data())
+        x = rng.uniform(-1, 1);
+    linalg::Matrix s = a.transposed() * a;
+    for (std::size_t i = 0; i < n; ++i)
+        s(i, i) += 1.0;
+    return s;
+}
+
+TEST(Prior, EmptyPriorIsInert)
+{
+    PriorFactor prior;
+    EXPECT_TRUE(prior.empty());
+    EXPECT_EQ(prior.dim(), 0u);
+    std::vector<KeyframeState> states(3);
+    EXPECT_DOUBLE_EQ(prior.cost(states), 0.0);
+    linalg::Matrix h(45, 45);
+    linalg::Vector b(45);
+    prior.accumulate(states, h, b);
+    EXPECT_EQ(h.norm(), 0.0);
+    EXPECT_EQ(b.norm(), 0.0);
+}
+
+TEST(Prior, BoxMinusRotationComponent)
+{
+    Rng rng(1);
+    KeyframeState lin = randomState(rng);
+    KeyframeState cur = lin;
+    const Vec3 d_theta{0.02, -0.03, 0.01};
+    cur.pose.applyTangent(d_theta, {});
+    const linalg::Vector dx = keyframeBoxMinus(cur, lin);
+    EXPECT_NEAR(dx[0], d_theta.x, 1e-10);
+    EXPECT_NEAR(dx[1], d_theta.y, 1e-10);
+    EXPECT_NEAR(dx[2], d_theta.z, 1e-10);
+    for (std::size_t i = 3; i < kKeyframeDof; ++i)
+        EXPECT_NEAR(dx[i], 0.0, 1e-12);
+}
+
+TEST(Prior, CostIsQuadraticInDeviation)
+{
+    Rng rng(2);
+    std::vector<KeyframeState> lin{randomState(rng)};
+    const linalg::Matrix h = randomSpd(kKeyframeDof, rng);
+    PriorFactor prior(h, linalg::Vector(kKeyframeDof), lin);
+
+    std::vector<KeyframeState> cur = lin;
+    cur[0].pose.p += Vec3{0.1, 0.0, 0.0};
+    const double c1 = prior.cost(cur);
+    cur = lin;
+    cur[0].pose.p += Vec3{0.2, 0.0, 0.0};
+    const double c2 = prior.cost(cur);
+    // With r = 0 the cost is 0.5 dx^T H dx: doubling dx quadruples it.
+    EXPECT_NEAR(c2 / c1, 4.0, 1e-9);
+}
+
+TEST(Prior, AccumulateMatchesManualGradient)
+{
+    Rng rng(3);
+    std::vector<KeyframeState> lin{randomState(rng), randomState(rng)};
+    const std::size_t d = 2 * kKeyframeDof;
+    const linalg::Matrix h = randomSpd(d, rng);
+    linalg::Vector r(d);
+    for (std::size_t i = 0; i < d; ++i)
+        r[i] = rng.uniform(-1, 1);
+    const PriorFactor prior(h, r, lin);
+
+    std::vector<KeyframeState> cur = lin;
+    cur[1].pose.p += Vec3{0.05, -0.02, 0.01};
+    cur[0].velocity += Vec3{0.1, 0.0, 0.0};
+
+    linalg::Matrix h_out(d, d);
+    linalg::Vector b_out(d);
+    prior.accumulate(cur, h_out, b_out);
+
+    EXPECT_LT(h_out.maxAbsDiff(h), 1e-12);
+    const linalg::Vector dx = prior.boxMinus(cur);
+    const linalg::Vector expect = r - h * dx;
+    EXPECT_LT(b_out.maxAbsDiff(expect), 1e-10);
+}
+
+TEST(Prior, AccumulateAddsIntoExistingSystem)
+{
+    Rng rng(4);
+    std::vector<KeyframeState> lin{randomState(rng)};
+    const linalg::Matrix h = randomSpd(kKeyframeDof, rng);
+    const PriorFactor prior(h, linalg::Vector(kKeyframeDof), lin);
+
+    linalg::Matrix h_out(kKeyframeDof, kKeyframeDof);
+    h_out(0, 0) = 7.0;
+    linalg::Vector b_out(kKeyframeDof);
+    b_out[0] = 3.0;
+    prior.accumulate(lin, h_out, b_out);
+    EXPECT_DOUBLE_EQ(h_out(0, 0), 7.0 + h(0, 0));
+    EXPECT_DOUBLE_EQ(b_out[0], 3.0);   // r = 0, dx = 0.
+}
+
+TEST(Prior, DimensionMismatchDies)
+{
+    std::vector<KeyframeState> lin(2);
+    EXPECT_DEATH(PriorFactor(linalg::Matrix(15, 15), linalg::Vector(15),
+                             lin),
+                 "dimension mismatch");
+}
+
+TEST(Prior, CoveringMoreThanWindowDies)
+{
+    Rng rng(5);
+    std::vector<KeyframeState> lin{randomState(rng), randomState(rng)};
+    PriorFactor prior(linalg::Matrix(30, 30), linalg::Vector(30), lin);
+    std::vector<KeyframeState> window{lin[0]};
+    EXPECT_DEATH(prior.boxMinus(window), "more keyframes");
+}
+
+} // namespace
+} // namespace archytas::slam

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "dataset/sequence.hh"
+#include "slam/estimator.hh"
+
+namespace archytas::slam {
+namespace {
+
+dataset::SequenceConfig
+outlierConfig(double fraction)
+{
+    dataset::SequenceConfig cfg;
+    cfg.duration = 6.0;
+    cfg.landmarks = 1000;
+    cfg.max_features_per_frame = 50;
+    cfg.density_modulation = 0.0;
+    cfg.outlier_fraction = fraction;
+    cfg.seed = 55;
+    return cfg;
+}
+
+double
+meanError(const dataset::Sequence &seq, double huber_delta)
+{
+    EstimatorOptions opt;
+    opt.window_size = 8;
+    opt.huber_delta = huber_delta;
+    SlidingWindowEstimator est(seq.camera(), opt);
+    std::vector<double> errors;
+    for (const auto &frame : seq.frames()) {
+        const auto r = est.processFrame(frame);
+        if (r.optimized)
+            errors.push_back(r.position_error);
+    }
+    return mean(errors);
+}
+
+TEST(RobustKernel, OutliersInjectedAtConfiguredRate)
+{
+    const auto clean = dataset::makeKittiLikeSequence(outlierConfig(0.0));
+    const auto dirty = dataset::makeKittiLikeSequence(outlierConfig(0.1));
+    // Same frame/observation structure, different pixels.
+    ASSERT_EQ(clean.frameCount(), dirty.frameCount());
+    std::size_t moved = 0, total = 0;
+    for (std::size_t i = 0; i < clean.frameCount(); ++i) {
+        const auto &co = clean.frame(i).observations;
+        const auto &DO = dirty.frame(i).observations;
+        ASSERT_EQ(co.size(), DO.size());
+        for (std::size_t k = 0; k < co.size(); ++k) {
+            ++total;
+            if ((co[k].pixel - DO[k].pixel).norm() > 20.0)
+                ++moved;
+        }
+    }
+    const double rate = static_cast<double>(moved) /
+                        static_cast<double>(total);
+    EXPECT_NEAR(rate, 0.1, 0.04);
+}
+
+TEST(RobustKernel, HuberRescuesAccuracyUnderOutliers)
+{
+    const auto dirty =
+        dataset::makeKittiLikeSequence(outlierConfig(0.08));
+    const double plain = meanError(dirty, 0.0);
+    const double robust = meanError(dirty, 2.5);
+    EXPECT_LT(robust, plain)
+        << "Huber kernel must beat plain least squares with outliers";
+}
+
+TEST(RobustKernel, HuberHarmlessOnCleanData)
+{
+    const auto clean = dataset::makeKittiLikeSequence(outlierConfig(0.0));
+    const double plain = meanError(clean, 0.0);
+    const double robust = meanError(clean, 2.5);
+    // On clean data the kernel may cost a little but must not break
+    // anything.
+    EXPECT_LT(robust, plain * 2.0 + 0.02);
+}
+
+} // namespace
+} // namespace archytas::slam

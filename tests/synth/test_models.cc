@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "synth/models.hh"
+
+namespace archytas::synth {
+namespace {
+
+TEST(ResourceModel, ReproducesTable2HighPerf)
+{
+    const ResourceModel rm = ResourceModel::calibrated();
+    const ResourceVector u = rm.usage(highPerfConfig());
+    EXPECT_NEAR(u[0], 136432.0, 1.0);   // LUT.
+    EXPECT_NEAR(u[1], 163006.0, 1.0);   // FF.
+    EXPECT_NEAR(u[2], 255.5, 0.01);     // BRAM.
+    EXPECT_NEAR(u[3], 849.0, 0.01);     // DSP.
+}
+
+TEST(ResourceModel, ReproducesTable2LowPower)
+{
+    const ResourceModel rm = ResourceModel::calibrated();
+    const ResourceVector u = rm.usage(lowPowerConfig());
+    EXPECT_NEAR(u[0], 95777.0, 1.0);
+    EXPECT_NEAR(u[1], 126670.0, 1.0);
+    EXPECT_NEAR(u[2], 146.0, 0.01);
+    EXPECT_NEAR(u[3], 442.0, 0.01);
+}
+
+TEST(ResourceModel, Table2UtilizationPercentages)
+{
+    const ResourceModel rm = ResourceModel::calibrated();
+    const ResourceVector u = rm.utilization(highPerfConfig(), zc706());
+    EXPECT_NEAR(u[0], 0.6241, 0.001);   // 62.41% LUT.
+    EXPECT_NEAR(u[1], 0.3728, 0.001);   // 37.28% FF.
+    EXPECT_NEAR(u[2], 0.4688, 0.001);   // 46.88% BRAM.
+    EXPECT_NEAR(u[3], 0.9433, 0.001);   // 94.33% DSP.
+}
+
+TEST(ResourceModel, UsageMonotoneInEveryKnob)
+{
+    const ResourceModel rm = ResourceModel::calibrated();
+    const hw::HwConfig base{8, 8, 16};
+    const ResourceVector u0 = rm.usage(base);
+    for (const hw::HwConfig &bigger :
+         {hw::HwConfig{9, 8, 16}, hw::HwConfig{8, 9, 16},
+          hw::HwConfig{8, 8, 17}}) {
+        const ResourceVector u1 = rm.usage(bigger);
+        for (std::size_t i = 0; i < kResourceCount; ++i)
+            EXPECT_GE(u1[i], u0[i]);
+    }
+}
+
+TEST(ResourceModel, HighPerfFitsZc706ButNotKintex)
+{
+    const ResourceModel rm = ResourceModel::calibrated();
+    EXPECT_TRUE(rm.fits(highPerfConfig(), zc706()));
+    // The Kintex-7 160T has only 600 DSPs; High-Perf needs 849.
+    EXPECT_FALSE(rm.fits(highPerfConfig(), kintex7_160t()));
+    // The big Virtex-7 swallows it easily.
+    EXPECT_TRUE(rm.fits(highPerfConfig(), virtex7_690t()));
+}
+
+TEST(ResourceModel, SingleResourceViolationRejectsDesign)
+{
+    // A configuration with huge s exhausts DSPs first (Sec. 7.2: DSP is
+    // the most demanded resource).
+    const ResourceModel rm = ResourceModel::calibrated();
+    hw::HwConfig big{4, 4, 300};
+    EXPECT_FALSE(rm.fits(big, zc706()));
+}
+
+TEST(PowerModel, HighPerfDrawsAbout2WMoreThanLowPower)
+{
+    const PowerModel pm = PowerModel::calibrated();
+    const double hp = pm.watts(highPerfConfig());
+    const double lp = pm.watts(lowPowerConfig());
+    EXPECT_NEAR(hp - lp, 2.0, 1e-9);
+    EXPECT_NEAR(hp, 5.0, 1e-9);
+}
+
+TEST(PowerModel, GatedPowerNeverExceedsBuilt)
+{
+    const PowerModel pm = PowerModel::calibrated();
+    const hw::HwConfig built = highPerfConfig();
+    const hw::HwConfig gated{10, 5, 30};
+    EXPECT_LT(pm.gatedWatts(built, gated), pm.watts(built));
+    EXPECT_DOUBLE_EQ(pm.gatedWatts(built, built), pm.watts(built));
+}
+
+TEST(PowerModel, GatingAboveBuiltDies)
+{
+    const PowerModel pm = PowerModel::calibrated();
+    EXPECT_DEATH(pm.gatedWatts(lowPowerConfig(), highPerfConfig()),
+                 "exceeds");
+}
+
+TEST(Calibration, AnchorReproductionIsExactByConstruction)
+{
+    const hw::HwConfig a{10, 10, 50};
+    const hw::HwConfig b{4, 2, 10};
+    const LinearKnobModel m = calibrateLinearModel(a, 1000.0, b, 300.0);
+    EXPECT_NEAR(m.eval(a), 1000.0, 1e-9);
+    EXPECT_NEAR(m.eval(b), 300.0, 1e-9);
+    EXPECT_GE(m.base, 0.0);
+    EXPECT_GE(m.per_mac, 0.0);
+    EXPECT_GE(m.per_update, 0.0);
+}
+
+TEST(Calibration, FixedPerUpdateAnchorHonored)
+{
+    const hw::HwConfig a{10, 10, 50};
+    const hw::HwConfig b{4, 2, 10};
+    const LinearKnobModel m =
+        calibrateLinearModel(a, 1000.0, b, 300.0, 5.0);
+    EXPECT_DOUBLE_EQ(m.per_update, 5.0);
+    EXPECT_NEAR(m.eval(a), 1000.0, 1e-9);
+}
+
+TEST(LatencyModel, MoreIterationsTakeLonger)
+{
+    slam::WindowWorkload w;
+    w.keyframes = 10;
+    w.features = 100;
+    w.avg_obs_per_feature = 4.0;
+    w.marginalized_features = 10;
+    const LatencyModel lm(w);
+    const hw::HwConfig c{8, 8, 16};
+    EXPECT_LT(lm.latencyMs(c, 1), lm.latencyMs(c, 6));
+}
+
+TEST(Platforms, CapacitiesAreOrdered)
+{
+    // Kintex-7 160T < ZC706 < Virtex-7 690T in every resource.
+    const auto k = kintex7_160t(), z = zc706(), v = virtex7_690t();
+    for (std::size_t i = 0; i < kResourceCount; ++i) {
+        EXPECT_LT(k.capacity[i], z.capacity[i]);
+        EXPECT_LT(z.capacity[i], v.capacity[i]);
+    }
+}
+
+} // namespace
+} // namespace archytas::synth

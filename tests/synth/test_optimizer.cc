@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "synth/optimizer.hh"
+
+namespace archytas::synth {
+namespace {
+
+slam::WindowWorkload
+typicalWorkload()
+{
+    slam::WindowWorkload w;
+    w.keyframes = 10;
+    w.features = 100;
+    w.observations = 400;
+    w.avg_obs_per_feature = 4.0;
+    w.marginalized_features = 12;
+    w.nls_iterations = 6;
+    return w;
+}
+
+Synthesizer
+makeSynthesizer(SearchSpace space = {})
+{
+    return Synthesizer(LatencyModel(typicalWorkload()),
+                       ResourceModel::calibrated(),
+                       PowerModel::calibrated(), zc706(), space);
+}
+
+TEST(Synthesizer, MinPowerMeetsLatencyBound)
+{
+    const auto synth = makeSynthesizer();
+    const auto p = synth.minimizePower(1.0, 6);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_LE(p->latency_ms, 1.0);
+    for (std::size_t i = 0; i < kResourceCount; ++i)
+        EXPECT_LE(p->usage[i], zc706().capacity[i]);
+}
+
+TEST(Synthesizer, PrunedSearchMatchesExhaustive)
+{
+    // Shrink the space so exhaustive stays fast, then require the exact
+    // same optimum.
+    SearchSpace space;
+    space.nd_max = 12;
+    space.nm_max = 12;
+    space.s_max = 40;
+    const auto synth = makeSynthesizer(space);
+    for (double bound : {0.5, 1.0, 2.0, 5.0}) {
+        const auto fast = synth.minimizePower(bound, 6);
+        const auto slow = synth.minimizePowerExhaustive(bound, 6);
+        ASSERT_EQ(fast.has_value(), slow.has_value()) << bound;
+        if (fast) {
+            EXPECT_NEAR(fast->power_w, slow->power_w, 1e-12)
+                << "bound " << bound;
+        }
+    }
+}
+
+TEST(Synthesizer, PrunedSearchIsMuchCheaper)
+{
+    SearchSpace space;   // Full ~90k space.
+    const auto synth = makeSynthesizer(space);
+    const auto p = synth.minimizePower(1.0, 6);
+    ASSERT_TRUE(p.has_value());
+    // The binary search over s visits ~log2(100) per (nd, nm) column.
+    EXPECT_LT(synth.lastEvaluations(), space.size() / 5);
+}
+
+TEST(Synthesizer, InfeasibleBoundReturnsNullopt)
+{
+    const auto synth = makeSynthesizer();
+    EXPECT_FALSE(synth.minimizePower(1e-6, 6).has_value());
+}
+
+TEST(Synthesizer, TighterBoundNeverCheaper)
+{
+    const auto synth = makeSynthesizer();
+    const auto tight = synth.minimizePower(1.0, 6);
+    const auto loose = synth.minimizePower(8.0, 6);
+    ASSERT_TRUE(tight && loose);
+    EXPECT_GE(tight->power_w, loose->power_w);
+}
+
+TEST(Synthesizer, MinLatencyRespectsResources)
+{
+    const auto synth = makeSynthesizer();
+    const auto p = synth.minimizeLatency(6);
+    ASSERT_TRUE(p.has_value());
+    for (std::size_t i = 0; i < kResourceCount; ++i)
+        EXPECT_LE(p->usage[i], zc706().capacity[i]);
+    // It must beat the power-optimal design at any generous bound.
+    const auto q = synth.minimizePower(100.0, 6);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_LE(p->latency_ms, q->latency_ms);
+}
+
+TEST(Synthesizer, SmallerFpgaYieldsSlowerFastestDesign)
+{
+    const Synthesizer big(LatencyModel(typicalWorkload()),
+                          ResourceModel::calibrated(),
+                          PowerModel::calibrated(), virtex7_690t());
+    const Synthesizer small(LatencyModel(typicalWorkload()),
+                            ResourceModel::calibrated(),
+                            PowerModel::calibrated(), kintex7_160t());
+    const auto pb = big.minimizeLatency(6);
+    const auto ps = small.minimizeLatency(6);
+    ASSERT_TRUE(pb && ps);
+    EXPECT_LE(pb->latency_ms, ps->latency_ms);
+}
+
+TEST(Synthesizer, ParetoFrontierIsMonotone)
+{
+    const auto synth = makeSynthesizer();
+    std::vector<double> bounds;
+    for (double b = 0.3; b <= 3.0; b += 0.3)
+        bounds.push_back(b);
+    const auto frontier = synth.paretoFrontier(bounds, 6);
+    ASSERT_GE(frontier.size(), 3u);
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        // Along the frontier, more latency must buy less power.
+        EXPECT_GE(frontier[i].latency_ms, frontier[i - 1].latency_ms);
+        EXPECT_LE(frontier[i].power_w, frontier[i - 1].power_w);
+    }
+}
+
+TEST(Synthesizer, FrontierPointsAreNotDominatedByPerturbations)
+{
+    // The paper's Fig. 14 validation: nudging a frontier design's knobs
+    // must not produce a point that dominates it.
+    const auto synth = makeSynthesizer();
+    const auto frontier = synth.paretoFrontier({0.5, 1.0, 2.0}, 6);
+    ASSERT_FALSE(frontier.empty());
+    for (const auto &point : frontier) {
+        for (int dn : {-2, 0, 2}) {
+            for (int ds : {-5, 0, 5}) {
+                if (dn == 0 && ds == 0)
+                    continue;
+                hw::HwConfig c = point.config;
+                if (static_cast<int>(c.nd) + dn < 1 ||
+                    static_cast<int>(c.s) + ds < 1)
+                    continue;
+                c.nd = static_cast<std::size_t>(
+                    static_cast<int>(c.nd) + dn);
+                c.s = static_cast<std::size_t>(
+                    static_cast<int>(c.s) + ds);
+                const auto moved = synth.evaluate(c, 6);
+                const bool dominates =
+                    moved.latency_ms <= point.latency_ms &&
+                    moved.power_w < point.power_w;
+                EXPECT_FALSE(dominates)
+                    << "perturbation dominates the frontier";
+            }
+        }
+    }
+}
+
+TEST(Synthesizer, CappedOptimizationHonorsCap)
+{
+    const auto synth = makeSynthesizer();
+    const hw::HwConfig cap{10, 6, 20};
+    const auto p = synth.minimizePowerCapped(5.0, 3, cap);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_LE(p->config.nd, cap.nd);
+    EXPECT_LE(p->config.nm, cap.nm);
+    EXPECT_LE(p->config.s, cap.s);
+}
+
+TEST(Synthesizer, FewerIterationsAllowCheaperGating)
+{
+    // Eq. 18's purpose: a lower Iter lets the same latency bound be met
+    // with less hardware.
+    const auto synth = makeSynthesizer();
+    const hw::HwConfig built = highPerfConfig();
+    const auto p6 = synth.minimizePowerCapped(1.5, 6, built);
+    const auto p2 = synth.minimizePowerCapped(1.5, 2, built);
+    ASSERT_TRUE(p6 && p2);
+    EXPECT_LE(p2->power_w, p6->power_w);
+}
+
+} // namespace
+} // namespace archytas::synth

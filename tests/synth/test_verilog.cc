@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "synth/verilog.hh"
+
+namespace archytas::synth {
+namespace {
+
+std::size_t
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    std::size_t count = 0, pos = 0;
+    while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+        ++count;
+        pos += needle.size();
+    }
+    return count;
+}
+
+TEST(Verilog, ContainsAllTemplateModules)
+{
+    const std::string v = emitVerilog({8, 4, 16});
+    for (const char *mod :
+         {"module mac_lane", "module cholesky_evaluate",
+          "module cholesky_update", "module jacobian_unit",
+          "module dschur_unit", "module mschur_unit",
+          "module cholesky_unit", "module gating_controller",
+          "module archytas_top"}) {
+        EXPECT_NE(v.find(mod), std::string::npos) << mod;
+    }
+}
+
+TEST(Verilog, ParametersReflectConfiguration)
+{
+    const std::string v = emitVerilog({28, 19, 97});
+    EXPECT_NE(v.find("parameter ND = 28"), std::string::npos);
+    EXPECT_NE(v.find("parameter NM = 19"), std::string::npos);
+    EXPECT_NE(v.find("parameter S  = 97"), std::string::npos);
+    EXPECT_NE(v.find("parameter UPDATE_UNITS = 97"), std::string::npos);
+    EXPECT_NE(v.find("nd=28 nm=19 s=97"), std::string::npos);
+}
+
+TEST(Verilog, ModuleEndmoduleBalance)
+{
+    const std::string v = emitVerilog({8, 4, 16});
+    EXPECT_EQ(countOccurrences(v, "\nmodule "),
+              countOccurrences(v, "endmodule"));
+}
+
+TEST(Verilog, BufferSizedByCompactSLayout)
+{
+    // 18 b^2 + 2 b k^2 with b = 12, k = 15: 2592 + 5400 = 7992 words.
+    VerilogOptions opt;
+    opt.max_keyframes = 12;
+    const std::string v = emitVerilog({8, 4, 16}, opt);
+    EXPECT_NE(v.find("parameter LSP_BUF_WORDS = 7992"),
+              std::string::npos);
+}
+
+TEST(Verilog, GatingCanBeDisabled)
+{
+    VerilogOptions opt;
+    opt.emit_clock_gating = false;
+    const std::string v = emitVerilog({8, 4, 16}, opt);
+    EXPECT_EQ(v.find("module gating_controller"), std::string::npos);
+    EXPECT_NE(v.find("assign dschur_lane_en"), std::string::npos);
+}
+
+TEST(Verilog, CustomTopName)
+{
+    VerilogOptions opt;
+    opt.top_name = "my_localizer";
+    const std::string v = emitVerilog({2, 2, 2}, opt);
+    EXPECT_NE(v.find("module my_localizer"), std::string::npos);
+}
+
+TEST(Verilog, DataWidthPropagates)
+{
+    VerilogOptions opt;
+    opt.data_width = 24;
+    const std::string v = emitVerilog({2, 2, 2}, opt);
+    EXPECT_NE(v.find("parameter DW = 24"), std::string::npos);
+}
+
+TEST(Verilog, InvalidConfigDies)
+{
+    EXPECT_DEATH(emitVerilog({0, 1, 1}), "invalid configuration");
+}
+
+TEST(Verilog, EveryModuleHasClockAndReset)
+{
+    const std::string v = emitVerilog({4, 4, 8});
+    // Count sequential modules (all but the pure netlist top additions):
+    // each must declare clk and rst_n ports.
+    EXPECT_GE(countOccurrences(v, "input  wire          clk") +
+                  countOccurrences(v, "input  wire                 clk") +
+                  countOccurrences(v, "input  wire             clk") +
+                  countOccurrences(v,
+                                   "input  wire                    clk"),
+              6u);
+    EXPECT_GE(countOccurrences(v, "rst_n"), 12u);
+}
+
+} // namespace
+} // namespace archytas::synth
