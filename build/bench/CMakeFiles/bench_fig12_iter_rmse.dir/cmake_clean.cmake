@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_iter_rmse.dir/bench_fig12_iter_rmse.cc.o"
+  "CMakeFiles/bench_fig12_iter_rmse.dir/bench_fig12_iter_rmse.cc.o.d"
+  "bench_fig12_iter_rmse"
+  "bench_fig12_iter_rmse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_iter_rmse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_knob_sweeps.dir/bench_fig13_knob_sweeps.cc.o"
+  "CMakeFiles/bench_fig13_knob_sweeps.dir/bench_fig13_knob_sweeps.cc.o.d"
+  "bench_fig13_knob_sweeps"
+  "bench_fig13_knob_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_knob_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec322_blocking.dir/bench_sec322_blocking.cc.o"
+  "CMakeFiles/bench_sec322_blocking.dir/bench_sec322_blocking.cc.o.d"
+  "bench_sec322_blocking"
+  "bench_sec322_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec322_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec33_storage.dir/bench_sec33_storage.cc.o"
+  "CMakeFiles/bench_sec33_storage.dir/bench_sec33_storage.cc.o.d"
+  "bench_sec33_storage"
+  "bench_sec33_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec33_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec73_generator.dir/bench_sec73_generator.cc.o"
+  "CMakeFiles/bench_sec73_generator.dir/bench_sec73_generator.cc.o.d"
+  "bench_sec73_generator"
+  "bench_sec73_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec73_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

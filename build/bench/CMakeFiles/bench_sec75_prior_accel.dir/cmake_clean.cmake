@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec75_prior_accel.dir/bench_sec75_prior_accel.cc.o"
+  "CMakeFiles/bench_sec75_prior_accel.dir/bench_sec75_prior_accel.cc.o.d"
+  "bench_sec75_prior_accel"
+  "bench_sec75_prior_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec75_prior_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec75_prior_accel.
+# This may be replaced when dependencies are built.

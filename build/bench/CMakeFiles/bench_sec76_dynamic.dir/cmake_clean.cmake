@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec76_dynamic.dir/bench_sec76_dynamic.cc.o"
+  "CMakeFiles/bench_sec76_dynamic.dir/bench_sec76_dynamic.cc.o.d"
+  "bench_sec76_dynamic"
+  "bench_sec76_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec76_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec77_generality.dir/bench_sec77_generality.cc.o"
+  "CMakeFiles/bench_sec77_generality.dir/bench_sec77_generality.cc.o.d"
+  "bench_sec77_generality"
+  "bench_sec77_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec77_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bundle_adjustment.dir/bundle_adjustment.cc.o"
+  "CMakeFiles/bundle_adjustment.dir/bundle_adjustment.cc.o.d"
+  "bundle_adjustment"
+  "bundle_adjustment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bundle_adjustment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

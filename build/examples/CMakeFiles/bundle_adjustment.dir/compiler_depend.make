@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bundle_adjustment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/euroc_drone.dir/euroc_drone.cc.o"
+  "CMakeFiles/euroc_drone.dir/euroc_drone.cc.o.d"
+  "euroc_drone"
+  "euroc_drone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/euroc_drone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

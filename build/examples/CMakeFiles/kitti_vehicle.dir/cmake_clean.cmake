@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kitti_vehicle.dir/kitti_vehicle.cc.o"
+  "CMakeFiles/kitti_vehicle.dir/kitti_vehicle.cc.o.d"
+  "kitti_vehicle"
+  "kitti_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kitti_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdfg_inspect.dir/mdfg_inspect.cc.o"
+  "CMakeFiles/mdfg_inspect.dir/mdfg_inspect.cc.o.d"
+  "mdfg_inspect"
+  "mdfg_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdfg_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/ba_problem.cc" "src/baseline/CMakeFiles/archytas_baseline.dir/ba_problem.cc.o" "gcc" "src/baseline/CMakeFiles/archytas_baseline.dir/ba_problem.cc.o.d"
+  "/root/repo/src/baseline/flops.cc" "src/baseline/CMakeFiles/archytas_baseline.dir/flops.cc.o" "gcc" "src/baseline/CMakeFiles/archytas_baseline.dir/flops.cc.o.d"
+  "/root/repo/src/baseline/mini_solver.cc" "src/baseline/CMakeFiles/archytas_baseline.dir/mini_solver.cc.o" "gcc" "src/baseline/CMakeFiles/archytas_baseline.dir/mini_solver.cc.o.d"
+  "/root/repo/src/baseline/msckf.cc" "src/baseline/CMakeFiles/archytas_baseline.dir/msckf.cc.o" "gcc" "src/baseline/CMakeFiles/archytas_baseline.dir/msckf.cc.o.d"
+  "/root/repo/src/baseline/platform_model.cc" "src/baseline/CMakeFiles/archytas_baseline.dir/platform_model.cc.o" "gcc" "src/baseline/CMakeFiles/archytas_baseline.dir/platform_model.cc.o.d"
+  "/root/repo/src/baseline/prior_accel.cc" "src/baseline/CMakeFiles/archytas_baseline.dir/prior_accel.cc.o" "gcc" "src/baseline/CMakeFiles/archytas_baseline.dir/prior_accel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/archytas_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/archytas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/archytas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

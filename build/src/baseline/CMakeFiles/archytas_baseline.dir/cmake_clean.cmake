@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archytas_baseline.dir/ba_problem.cc.o"
+  "CMakeFiles/archytas_baseline.dir/ba_problem.cc.o.d"
+  "CMakeFiles/archytas_baseline.dir/flops.cc.o"
+  "CMakeFiles/archytas_baseline.dir/flops.cc.o.d"
+  "CMakeFiles/archytas_baseline.dir/mini_solver.cc.o"
+  "CMakeFiles/archytas_baseline.dir/mini_solver.cc.o.d"
+  "CMakeFiles/archytas_baseline.dir/msckf.cc.o"
+  "CMakeFiles/archytas_baseline.dir/msckf.cc.o.d"
+  "CMakeFiles/archytas_baseline.dir/platform_model.cc.o"
+  "CMakeFiles/archytas_baseline.dir/platform_model.cc.o.d"
+  "CMakeFiles/archytas_baseline.dir/prior_accel.cc.o"
+  "CMakeFiles/archytas_baseline.dir/prior_accel.cc.o.d"
+  "libarchytas_baseline.a"
+  "libarchytas_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archytas_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archytas_common.dir/logging.cc.o"
+  "CMakeFiles/archytas_common.dir/logging.cc.o.d"
+  "CMakeFiles/archytas_common.dir/stats.cc.o"
+  "CMakeFiles/archytas_common.dir/stats.cc.o.d"
+  "CMakeFiles/archytas_common.dir/table.cc.o"
+  "CMakeFiles/archytas_common.dir/table.cc.o.d"
+  "libarchytas_common.a"
+  "libarchytas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archytas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

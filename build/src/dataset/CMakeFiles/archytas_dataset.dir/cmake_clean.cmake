@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archytas_dataset.dir/sequence.cc.o"
+  "CMakeFiles/archytas_dataset.dir/sequence.cc.o.d"
+  "CMakeFiles/archytas_dataset.dir/trajectory.cc.o"
+  "CMakeFiles/archytas_dataset.dir/trajectory.cc.o.d"
+  "libarchytas_dataset.a"
+  "libarchytas_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archytas_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accelerator.cc" "src/hw/CMakeFiles/archytas_hw.dir/accelerator.cc.o" "gcc" "src/hw/CMakeFiles/archytas_hw.dir/accelerator.cc.o.d"
+  "/root/repo/src/hw/buffers.cc" "src/hw/CMakeFiles/archytas_hw.dir/buffers.cc.o" "gcc" "src/hw/CMakeFiles/archytas_hw.dir/buffers.cc.o.d"
+  "/root/repo/src/hw/cholesky_unit.cc" "src/hw/CMakeFiles/archytas_hw.dir/cholesky_unit.cc.o" "gcc" "src/hw/CMakeFiles/archytas_hw.dir/cholesky_unit.cc.o.d"
+  "/root/repo/src/hw/host_interface.cc" "src/hw/CMakeFiles/archytas_hw.dir/host_interface.cc.o" "gcc" "src/hw/CMakeFiles/archytas_hw.dir/host_interface.cc.o.d"
+  "/root/repo/src/hw/jacobian_unit.cc" "src/hw/CMakeFiles/archytas_hw.dir/jacobian_unit.cc.o" "gcc" "src/hw/CMakeFiles/archytas_hw.dir/jacobian_unit.cc.o.d"
+  "/root/repo/src/hw/quantize.cc" "src/hw/CMakeFiles/archytas_hw.dir/quantize.cc.o" "gcc" "src/hw/CMakeFiles/archytas_hw.dir/quantize.cc.o.d"
+  "/root/repo/src/hw/schur_units.cc" "src/hw/CMakeFiles/archytas_hw.dir/schur_units.cc.o" "gcc" "src/hw/CMakeFiles/archytas_hw.dir/schur_units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/archytas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/archytas_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/archytas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

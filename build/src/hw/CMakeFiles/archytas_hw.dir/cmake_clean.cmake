@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archytas_hw.dir/accelerator.cc.o"
+  "CMakeFiles/archytas_hw.dir/accelerator.cc.o.d"
+  "CMakeFiles/archytas_hw.dir/buffers.cc.o"
+  "CMakeFiles/archytas_hw.dir/buffers.cc.o.d"
+  "CMakeFiles/archytas_hw.dir/cholesky_unit.cc.o"
+  "CMakeFiles/archytas_hw.dir/cholesky_unit.cc.o.d"
+  "CMakeFiles/archytas_hw.dir/host_interface.cc.o"
+  "CMakeFiles/archytas_hw.dir/host_interface.cc.o.d"
+  "CMakeFiles/archytas_hw.dir/jacobian_unit.cc.o"
+  "CMakeFiles/archytas_hw.dir/jacobian_unit.cc.o.d"
+  "CMakeFiles/archytas_hw.dir/quantize.cc.o"
+  "CMakeFiles/archytas_hw.dir/quantize.cc.o.d"
+  "CMakeFiles/archytas_hw.dir/schur_units.cc.o"
+  "CMakeFiles/archytas_hw.dir/schur_units.cc.o.d"
+  "libarchytas_hw.a"
+  "libarchytas_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archytas_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

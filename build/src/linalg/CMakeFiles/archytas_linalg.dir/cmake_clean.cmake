@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archytas_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/archytas_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/archytas_linalg.dir/matrix.cc.o"
+  "CMakeFiles/archytas_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/archytas_linalg.dir/qr.cc.o"
+  "CMakeFiles/archytas_linalg.dir/qr.cc.o.d"
+  "CMakeFiles/archytas_linalg.dir/schur.cc.o"
+  "CMakeFiles/archytas_linalg.dir/schur.cc.o.d"
+  "CMakeFiles/archytas_linalg.dir/smatrix.cc.o"
+  "CMakeFiles/archytas_linalg.dir/smatrix.cc.o.d"
+  "CMakeFiles/archytas_linalg.dir/sparse.cc.o"
+  "CMakeFiles/archytas_linalg.dir/sparse.cc.o.d"
+  "libarchytas_linalg.a"
+  "libarchytas_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archytas_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mdfg/blocking.cc" "src/mdfg/CMakeFiles/archytas_mdfg.dir/blocking.cc.o" "gcc" "src/mdfg/CMakeFiles/archytas_mdfg.dir/blocking.cc.o.d"
+  "/root/repo/src/mdfg/builder.cc" "src/mdfg/CMakeFiles/archytas_mdfg.dir/builder.cc.o" "gcc" "src/mdfg/CMakeFiles/archytas_mdfg.dir/builder.cc.o.d"
+  "/root/repo/src/mdfg/graph.cc" "src/mdfg/CMakeFiles/archytas_mdfg.dir/graph.cc.o" "gcc" "src/mdfg/CMakeFiles/archytas_mdfg.dir/graph.cc.o.d"
+  "/root/repo/src/mdfg/interpreter.cc" "src/mdfg/CMakeFiles/archytas_mdfg.dir/interpreter.cc.o" "gcc" "src/mdfg/CMakeFiles/archytas_mdfg.dir/interpreter.cc.o.d"
+  "/root/repo/src/mdfg/node.cc" "src/mdfg/CMakeFiles/archytas_mdfg.dir/node.cc.o" "gcc" "src/mdfg/CMakeFiles/archytas_mdfg.dir/node.cc.o.d"
+  "/root/repo/src/mdfg/scheduler.cc" "src/mdfg/CMakeFiles/archytas_mdfg.dir/scheduler.cc.o" "gcc" "src/mdfg/CMakeFiles/archytas_mdfg.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/archytas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/archytas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

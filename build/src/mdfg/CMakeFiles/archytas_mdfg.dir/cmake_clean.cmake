@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archytas_mdfg.dir/blocking.cc.o"
+  "CMakeFiles/archytas_mdfg.dir/blocking.cc.o.d"
+  "CMakeFiles/archytas_mdfg.dir/builder.cc.o"
+  "CMakeFiles/archytas_mdfg.dir/builder.cc.o.d"
+  "CMakeFiles/archytas_mdfg.dir/graph.cc.o"
+  "CMakeFiles/archytas_mdfg.dir/graph.cc.o.d"
+  "CMakeFiles/archytas_mdfg.dir/interpreter.cc.o"
+  "CMakeFiles/archytas_mdfg.dir/interpreter.cc.o.d"
+  "CMakeFiles/archytas_mdfg.dir/node.cc.o"
+  "CMakeFiles/archytas_mdfg.dir/node.cc.o.d"
+  "CMakeFiles/archytas_mdfg.dir/scheduler.cc.o"
+  "CMakeFiles/archytas_mdfg.dir/scheduler.cc.o.d"
+  "libarchytas_mdfg.a"
+  "libarchytas_mdfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archytas_mdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

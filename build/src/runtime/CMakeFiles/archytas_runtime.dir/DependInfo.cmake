@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/controller.cc" "src/runtime/CMakeFiles/archytas_runtime.dir/controller.cc.o" "gcc" "src/runtime/CMakeFiles/archytas_runtime.dir/controller.cc.o.d"
+  "/root/repo/src/runtime/energy.cc" "src/runtime/CMakeFiles/archytas_runtime.dir/energy.cc.o" "gcc" "src/runtime/CMakeFiles/archytas_runtime.dir/energy.cc.o.d"
+  "/root/repo/src/runtime/iter_table.cc" "src/runtime/CMakeFiles/archytas_runtime.dir/iter_table.cc.o" "gcc" "src/runtime/CMakeFiles/archytas_runtime.dir/iter_table.cc.o.d"
+  "/root/repo/src/runtime/offline.cc" "src/runtime/CMakeFiles/archytas_runtime.dir/offline.cc.o" "gcc" "src/runtime/CMakeFiles/archytas_runtime.dir/offline.cc.o.d"
+  "/root/repo/src/runtime/persistence.cc" "src/runtime/CMakeFiles/archytas_runtime.dir/persistence.cc.o" "gcc" "src/runtime/CMakeFiles/archytas_runtime.dir/persistence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/archytas_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/archytas_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/archytas_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/archytas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/archytas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

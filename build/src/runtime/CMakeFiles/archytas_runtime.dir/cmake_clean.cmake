@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archytas_runtime.dir/controller.cc.o"
+  "CMakeFiles/archytas_runtime.dir/controller.cc.o.d"
+  "CMakeFiles/archytas_runtime.dir/energy.cc.o"
+  "CMakeFiles/archytas_runtime.dir/energy.cc.o.d"
+  "CMakeFiles/archytas_runtime.dir/iter_table.cc.o"
+  "CMakeFiles/archytas_runtime.dir/iter_table.cc.o.d"
+  "CMakeFiles/archytas_runtime.dir/offline.cc.o"
+  "CMakeFiles/archytas_runtime.dir/offline.cc.o.d"
+  "CMakeFiles/archytas_runtime.dir/persistence.cc.o"
+  "CMakeFiles/archytas_runtime.dir/persistence.cc.o.d"
+  "libarchytas_runtime.a"
+  "libarchytas_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archytas_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

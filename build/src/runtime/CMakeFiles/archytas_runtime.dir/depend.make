@@ -1,0 +1,2 @@
+# Empty dependencies file for archytas_runtime.
+# This may be replaced when dependencies are built.

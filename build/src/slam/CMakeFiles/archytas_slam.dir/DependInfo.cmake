@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slam/estimator.cc" "src/slam/CMakeFiles/archytas_slam.dir/estimator.cc.o" "gcc" "src/slam/CMakeFiles/archytas_slam.dir/estimator.cc.o.d"
+  "/root/repo/src/slam/factors.cc" "src/slam/CMakeFiles/archytas_slam.dir/factors.cc.o" "gcc" "src/slam/CMakeFiles/archytas_slam.dir/factors.cc.o.d"
+  "/root/repo/src/slam/lm_solver.cc" "src/slam/CMakeFiles/archytas_slam.dir/lm_solver.cc.o" "gcc" "src/slam/CMakeFiles/archytas_slam.dir/lm_solver.cc.o.d"
+  "/root/repo/src/slam/marginalization.cc" "src/slam/CMakeFiles/archytas_slam.dir/marginalization.cc.o" "gcc" "src/slam/CMakeFiles/archytas_slam.dir/marginalization.cc.o.d"
+  "/root/repo/src/slam/prior.cc" "src/slam/CMakeFiles/archytas_slam.dir/prior.cc.o" "gcc" "src/slam/CMakeFiles/archytas_slam.dir/prior.cc.o.d"
+  "/root/repo/src/slam/window_problem.cc" "src/slam/CMakeFiles/archytas_slam.dir/window_problem.cc.o" "gcc" "src/slam/CMakeFiles/archytas_slam.dir/window_problem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/archytas_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/archytas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/archytas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

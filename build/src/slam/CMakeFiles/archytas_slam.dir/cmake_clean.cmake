@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archytas_slam.dir/estimator.cc.o"
+  "CMakeFiles/archytas_slam.dir/estimator.cc.o.d"
+  "CMakeFiles/archytas_slam.dir/factors.cc.o"
+  "CMakeFiles/archytas_slam.dir/factors.cc.o.d"
+  "CMakeFiles/archytas_slam.dir/lm_solver.cc.o"
+  "CMakeFiles/archytas_slam.dir/lm_solver.cc.o.d"
+  "CMakeFiles/archytas_slam.dir/marginalization.cc.o"
+  "CMakeFiles/archytas_slam.dir/marginalization.cc.o.d"
+  "CMakeFiles/archytas_slam.dir/prior.cc.o"
+  "CMakeFiles/archytas_slam.dir/prior.cc.o.d"
+  "CMakeFiles/archytas_slam.dir/window_problem.cc.o"
+  "CMakeFiles/archytas_slam.dir/window_problem.cc.o.d"
+  "libarchytas_slam.a"
+  "libarchytas_slam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archytas_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

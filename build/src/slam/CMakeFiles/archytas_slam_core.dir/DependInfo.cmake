@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/slam/camera.cc" "src/slam/CMakeFiles/archytas_slam_core.dir/camera.cc.o" "gcc" "src/slam/CMakeFiles/archytas_slam_core.dir/camera.cc.o.d"
+  "/root/repo/src/slam/geometry.cc" "src/slam/CMakeFiles/archytas_slam_core.dir/geometry.cc.o" "gcc" "src/slam/CMakeFiles/archytas_slam_core.dir/geometry.cc.o.d"
+  "/root/repo/src/slam/imu.cc" "src/slam/CMakeFiles/archytas_slam_core.dir/imu.cc.o" "gcc" "src/slam/CMakeFiles/archytas_slam_core.dir/imu.cc.o.d"
+  "/root/repo/src/slam/state.cc" "src/slam/CMakeFiles/archytas_slam_core.dir/state.cc.o" "gcc" "src/slam/CMakeFiles/archytas_slam_core.dir/state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/archytas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/archytas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archytas_slam_core.dir/camera.cc.o"
+  "CMakeFiles/archytas_slam_core.dir/camera.cc.o.d"
+  "CMakeFiles/archytas_slam_core.dir/geometry.cc.o"
+  "CMakeFiles/archytas_slam_core.dir/geometry.cc.o.d"
+  "CMakeFiles/archytas_slam_core.dir/imu.cc.o"
+  "CMakeFiles/archytas_slam_core.dir/imu.cc.o.d"
+  "CMakeFiles/archytas_slam_core.dir/state.cc.o"
+  "CMakeFiles/archytas_slam_core.dir/state.cc.o.d"
+  "libarchytas_slam_core.a"
+  "libarchytas_slam_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archytas_slam_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

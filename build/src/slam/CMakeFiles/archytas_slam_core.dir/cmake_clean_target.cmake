@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarchytas_slam_core.a"
+)

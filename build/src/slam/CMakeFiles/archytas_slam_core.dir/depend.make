@@ -1,0 +1,2 @@
+# Empty dependencies file for archytas_slam_core.
+# This may be replaced when dependencies are built.

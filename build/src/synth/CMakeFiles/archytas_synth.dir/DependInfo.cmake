@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/models.cc" "src/synth/CMakeFiles/archytas_synth.dir/models.cc.o" "gcc" "src/synth/CMakeFiles/archytas_synth.dir/models.cc.o.d"
+  "/root/repo/src/synth/optimizer.cc" "src/synth/CMakeFiles/archytas_synth.dir/optimizer.cc.o" "gcc" "src/synth/CMakeFiles/archytas_synth.dir/optimizer.cc.o.d"
+  "/root/repo/src/synth/platform.cc" "src/synth/CMakeFiles/archytas_synth.dir/platform.cc.o" "gcc" "src/synth/CMakeFiles/archytas_synth.dir/platform.cc.o.d"
+  "/root/repo/src/synth/verilog.cc" "src/synth/CMakeFiles/archytas_synth.dir/verilog.cc.o" "gcc" "src/synth/CMakeFiles/archytas_synth.dir/verilog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/archytas_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/archytas_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/archytas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/archytas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

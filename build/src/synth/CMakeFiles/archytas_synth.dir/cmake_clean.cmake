@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archytas_synth.dir/models.cc.o"
+  "CMakeFiles/archytas_synth.dir/models.cc.o.d"
+  "CMakeFiles/archytas_synth.dir/optimizer.cc.o"
+  "CMakeFiles/archytas_synth.dir/optimizer.cc.o.d"
+  "CMakeFiles/archytas_synth.dir/platform.cc.o"
+  "CMakeFiles/archytas_synth.dir/platform.cc.o.d"
+  "CMakeFiles/archytas_synth.dir/verilog.cc.o"
+  "CMakeFiles/archytas_synth.dir/verilog.cc.o.d"
+  "libarchytas_synth.a"
+  "libarchytas_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archytas_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

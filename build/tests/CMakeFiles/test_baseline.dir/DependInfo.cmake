@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline/test_ba_problem.cc" "tests/CMakeFiles/test_baseline.dir/baseline/test_ba_problem.cc.o" "gcc" "tests/CMakeFiles/test_baseline.dir/baseline/test_ba_problem.cc.o.d"
+  "/root/repo/tests/baseline/test_baseline.cc" "tests/CMakeFiles/test_baseline.dir/baseline/test_baseline.cc.o" "gcc" "tests/CMakeFiles/test_baseline.dir/baseline/test_baseline.cc.o.d"
+  "/root/repo/tests/baseline/test_mini_solver.cc" "tests/CMakeFiles/test_baseline.dir/baseline/test_mini_solver.cc.o" "gcc" "tests/CMakeFiles/test_baseline.dir/baseline/test_mini_solver.cc.o.d"
+  "/root/repo/tests/baseline/test_msckf.cc" "tests/CMakeFiles/test_baseline.dir/baseline/test_msckf.cc.o" "gcc" "tests/CMakeFiles/test_baseline.dir/baseline/test_msckf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/archytas_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/archytas_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/archytas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/archytas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

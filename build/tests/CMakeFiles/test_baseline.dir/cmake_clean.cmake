@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline.dir/baseline/test_ba_problem.cc.o"
+  "CMakeFiles/test_baseline.dir/baseline/test_ba_problem.cc.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/test_baseline.cc.o"
+  "CMakeFiles/test_baseline.dir/baseline/test_baseline.cc.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/test_mini_solver.cc.o"
+  "CMakeFiles/test_baseline.dir/baseline/test_mini_solver.cc.o.d"
+  "CMakeFiles/test_baseline.dir/baseline/test_msckf.cc.o"
+  "CMakeFiles/test_baseline.dir/baseline/test_msckf.cc.o.d"
+  "test_baseline"
+  "test_baseline.pdb"
+  "test_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

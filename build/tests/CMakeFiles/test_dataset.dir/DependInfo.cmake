@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dataset/test_sequence.cc" "tests/CMakeFiles/test_dataset.dir/dataset/test_sequence.cc.o" "gcc" "tests/CMakeFiles/test_dataset.dir/dataset/test_sequence.cc.o.d"
+  "/root/repo/tests/dataset/test_trajectory.cc" "tests/CMakeFiles/test_dataset.dir/dataset/test_trajectory.cc.o" "gcc" "tests/CMakeFiles/test_dataset.dir/dataset/test_trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataset/CMakeFiles/archytas_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/archytas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/archytas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/test_accelerator.cc" "tests/CMakeFiles/test_hw.dir/hw/test_accelerator.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_accelerator.cc.o.d"
+  "/root/repo/tests/hw/test_buffers.cc" "tests/CMakeFiles/test_hw.dir/hw/test_buffers.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_buffers.cc.o.d"
+  "/root/repo/tests/hw/test_cholesky_unit.cc" "tests/CMakeFiles/test_hw.dir/hw/test_cholesky_unit.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_cholesky_unit.cc.o.d"
+  "/root/repo/tests/hw/test_host_interface.cc" "tests/CMakeFiles/test_hw.dir/hw/test_host_interface.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_host_interface.cc.o.d"
+  "/root/repo/tests/hw/test_jacobian_unit.cc" "tests/CMakeFiles/test_hw.dir/hw/test_jacobian_unit.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_jacobian_unit.cc.o.d"
+  "/root/repo/tests/hw/test_quantize.cc" "tests/CMakeFiles/test_hw.dir/hw/test_quantize.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_quantize.cc.o.d"
+  "/root/repo/tests/hw/test_schur_units.cc" "tests/CMakeFiles/test_hw.dir/hw/test_schur_units.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_schur_units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/archytas_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/archytas_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/archytas_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/archytas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/archytas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_accelerator.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_accelerator.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_buffers.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_buffers.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_cholesky_unit.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_cholesky_unit.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_host_interface.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_host_interface.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_jacobian_unit.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_jacobian_unit.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_quantize.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_quantize.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_schur_units.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_schur_units.cc.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/test_cholesky.cc" "tests/CMakeFiles/test_linalg.dir/linalg/test_cholesky.cc.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_cholesky.cc.o.d"
+  "/root/repo/tests/linalg/test_matrix.cc" "tests/CMakeFiles/test_linalg.dir/linalg/test_matrix.cc.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_matrix.cc.o.d"
+  "/root/repo/tests/linalg/test_qr.cc" "tests/CMakeFiles/test_linalg.dir/linalg/test_qr.cc.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_qr.cc.o.d"
+  "/root/repo/tests/linalg/test_schur.cc" "tests/CMakeFiles/test_linalg.dir/linalg/test_schur.cc.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_schur.cc.o.d"
+  "/root/repo/tests/linalg/test_smatrix.cc" "tests/CMakeFiles/test_linalg.dir/linalg/test_smatrix.cc.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_smatrix.cc.o.d"
+  "/root/repo/tests/linalg/test_sparse.cc" "tests/CMakeFiles/test_linalg.dir/linalg/test_sparse.cc.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_sparse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/archytas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/archytas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg.dir/linalg/test_cholesky.cc.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_cholesky.cc.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_matrix.cc.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_matrix.cc.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_qr.cc.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_qr.cc.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_schur.cc.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_schur.cc.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_smatrix.cc.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_smatrix.cc.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_sparse.cc.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_sparse.cc.o.d"
+  "test_linalg"
+  "test_linalg.pdb"
+  "test_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mdfg/test_blocking.cc" "tests/CMakeFiles/test_mdfg.dir/mdfg/test_blocking.cc.o" "gcc" "tests/CMakeFiles/test_mdfg.dir/mdfg/test_blocking.cc.o.d"
+  "/root/repo/tests/mdfg/test_builder.cc" "tests/CMakeFiles/test_mdfg.dir/mdfg/test_builder.cc.o" "gcc" "tests/CMakeFiles/test_mdfg.dir/mdfg/test_builder.cc.o.d"
+  "/root/repo/tests/mdfg/test_graph.cc" "tests/CMakeFiles/test_mdfg.dir/mdfg/test_graph.cc.o" "gcc" "tests/CMakeFiles/test_mdfg.dir/mdfg/test_graph.cc.o.d"
+  "/root/repo/tests/mdfg/test_interpreter.cc" "tests/CMakeFiles/test_mdfg.dir/mdfg/test_interpreter.cc.o" "gcc" "tests/CMakeFiles/test_mdfg.dir/mdfg/test_interpreter.cc.o.d"
+  "/root/repo/tests/mdfg/test_node.cc" "tests/CMakeFiles/test_mdfg.dir/mdfg/test_node.cc.o" "gcc" "tests/CMakeFiles/test_mdfg.dir/mdfg/test_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mdfg/CMakeFiles/archytas_mdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/archytas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/archytas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

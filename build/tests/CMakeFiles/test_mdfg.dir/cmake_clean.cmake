@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdfg.dir/mdfg/test_blocking.cc.o"
+  "CMakeFiles/test_mdfg.dir/mdfg/test_blocking.cc.o.d"
+  "CMakeFiles/test_mdfg.dir/mdfg/test_builder.cc.o"
+  "CMakeFiles/test_mdfg.dir/mdfg/test_builder.cc.o.d"
+  "CMakeFiles/test_mdfg.dir/mdfg/test_graph.cc.o"
+  "CMakeFiles/test_mdfg.dir/mdfg/test_graph.cc.o.d"
+  "CMakeFiles/test_mdfg.dir/mdfg/test_interpreter.cc.o"
+  "CMakeFiles/test_mdfg.dir/mdfg/test_interpreter.cc.o.d"
+  "CMakeFiles/test_mdfg.dir/mdfg/test_node.cc.o"
+  "CMakeFiles/test_mdfg.dir/mdfg/test_node.cc.o.d"
+  "test_mdfg"
+  "test_mdfg.pdb"
+  "test_mdfg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

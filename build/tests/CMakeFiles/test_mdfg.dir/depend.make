@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mdfg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/slam/test_camera.cc" "tests/CMakeFiles/test_slam.dir/slam/test_camera.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_camera.cc.o.d"
+  "/root/repo/tests/slam/test_estimator.cc" "tests/CMakeFiles/test_slam.dir/slam/test_estimator.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_estimator.cc.o.d"
+  "/root/repo/tests/slam/test_estimator_sweep.cc" "tests/CMakeFiles/test_slam.dir/slam/test_estimator_sweep.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_estimator_sweep.cc.o.d"
+  "/root/repo/tests/slam/test_factors.cc" "tests/CMakeFiles/test_slam.dir/slam/test_factors.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_factors.cc.o.d"
+  "/root/repo/tests/slam/test_geometry.cc" "tests/CMakeFiles/test_slam.dir/slam/test_geometry.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_geometry.cc.o.d"
+  "/root/repo/tests/slam/test_imu.cc" "tests/CMakeFiles/test_slam.dir/slam/test_imu.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_imu.cc.o.d"
+  "/root/repo/tests/slam/test_marginalization.cc" "tests/CMakeFiles/test_slam.dir/slam/test_marginalization.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_marginalization.cc.o.d"
+  "/root/repo/tests/slam/test_prior.cc" "tests/CMakeFiles/test_slam.dir/slam/test_prior.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_prior.cc.o.d"
+  "/root/repo/tests/slam/test_robust.cc" "tests/CMakeFiles/test_slam.dir/slam/test_robust.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_robust.cc.o.d"
+  "/root/repo/tests/slam/test_window_problem.cc" "tests/CMakeFiles/test_slam.dir/slam/test_window_problem.cc.o" "gcc" "tests/CMakeFiles/test_slam.dir/slam/test_window_problem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/archytas_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/slam/CMakeFiles/archytas_slam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/archytas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/archytas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slam.dir/slam/test_camera.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_camera.cc.o.d"
+  "CMakeFiles/test_slam.dir/slam/test_estimator.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_estimator.cc.o.d"
+  "CMakeFiles/test_slam.dir/slam/test_estimator_sweep.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_estimator_sweep.cc.o.d"
+  "CMakeFiles/test_slam.dir/slam/test_factors.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_factors.cc.o.d"
+  "CMakeFiles/test_slam.dir/slam/test_geometry.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_geometry.cc.o.d"
+  "CMakeFiles/test_slam.dir/slam/test_imu.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_imu.cc.o.d"
+  "CMakeFiles/test_slam.dir/slam/test_marginalization.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_marginalization.cc.o.d"
+  "CMakeFiles/test_slam.dir/slam/test_prior.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_prior.cc.o.d"
+  "CMakeFiles/test_slam.dir/slam/test_robust.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_robust.cc.o.d"
+  "CMakeFiles/test_slam.dir/slam/test_window_problem.cc.o"
+  "CMakeFiles/test_slam.dir/slam/test_window_problem.cc.o.d"
+  "test_slam"
+  "test_slam.pdb"
+  "test_slam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
