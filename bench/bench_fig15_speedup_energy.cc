@@ -7,6 +7,7 @@
  * Intel is lower than over Arm while the energy reduction is higher.
  */
 
+#include <cmath>
 #include <cstdio>
 
 #include "baseline/platform_model.hh"
@@ -32,9 +33,10 @@ main()
 
     const auto fastest = synth.minimizeLatency(6);
     std::vector<double> bounds;
-    for (double b = fastest->latency_ms * 1.05;
-         b < fastest->latency_ms * 12.0; b *= 1.25)
-        bounds.push_back(b);
+    const double lo = fastest->latency_ms * 1.05;
+    const double hi = fastest->latency_ms * 12.0;
+    for (int i = 0; lo * std::pow(1.25, i) < hi; ++i)
+        bounds.push_back(lo * std::pow(1.25, i));
     const auto frontier = synth.paretoFrontier(bounds, 6);
 
     Table table({"design (ms)", "W", "speedup vs Intel", "energy red.",

@@ -9,6 +9,7 @@
  * Usage: design_space_explorer [zc706|kintex7|virtex7] [latency_ms]
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -75,8 +76,10 @@ main(int argc, char **argv)
     std::printf("%-12s %-9s %-6s %-6s %-6s %-8s %-8s %-8s %-8s\n",
                 "lat (ms)", "W", "nd", "nm", "s", "LUT%", "FF%",
                 "BRAM%", "DSP%");
-    for (double bound = fastest->latency_ms * 1.02;
-         bound < fastest->latency_ms * 10.0; bound *= 1.35) {
+    const double lo = fastest->latency_ms * 1.02;
+    const double hi = fastest->latency_ms * 10.0;
+    for (int bi = 0; lo * std::pow(1.35, bi) < hi; ++bi) {
+        const double bound = lo * std::pow(1.35, bi);
         const auto p = synthesizer.minimizePower(bound, 6);
         if (!p)
             continue;

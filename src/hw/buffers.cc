@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 #include "linalg/smatrix.hh"
 
@@ -19,7 +20,7 @@ BufferPlan::totalWords() const
 double
 bramTilesFor(std::size_t words, std::size_t word_bits)
 {
-    ARCHYTAS_ASSERT(word_bits > 0, "zero word width");
+    ARCHYTAS_DCHECK(word_bits > 0, "bramTilesFor: zero word width");
     const double bits = static_cast<double>(words) *
                         static_cast<double>(word_bits);
     constexpr double kTileBits = 36.0 * 1024.0;
@@ -44,8 +45,9 @@ BufferPlan::bramTiles(std::size_t word_bits) const
 BufferPlan
 planBuffers(const BufferDimensioning &dims)
 {
-    ARCHYTAS_ASSERT(dims.max_keyframes >= 2 && dims.max_features >= 1,
-                    "degenerate dimensioning");
+    ARCHYTAS_DCHECK(dims.max_keyframes >= 2 && dims.max_features >= 1,
+                    "planBuffers: degenerate dimensioning, keyframes=",
+                    dims.max_keyframes, " features=", dims.max_features);
     const std::size_t k = 15;
     const std::size_t b = dims.max_keyframes;
     const std::size_t a = dims.max_features;

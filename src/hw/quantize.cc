@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 #include "linalg/cholesky.hh"
 #include "slam/lm_solver.hh"
@@ -12,8 +13,9 @@ namespace archytas::hw {
 double
 quantize(double x, const FixedPointFormat &fmt)
 {
-    ARCHYTAS_ASSERT(fmt.fractional_bits >= 0 && fmt.integer_bits >= 2,
-                    "bad fixed-point format");
+    ARCHYTAS_DCHECK(fmt.fractional_bits >= 0 && fmt.integer_bits >= 2,
+                    "quantize: bad fixed-point format Q", fmt.integer_bits,
+                    ".", fmt.fractional_bits);
     const double res = fmt.resolution();
     const double limit = fmt.maxValue();
     const double q = std::round(x / res) * res;
@@ -44,13 +46,18 @@ quantizedSolve(const slam::NormalEquations &eq, double lambda,
 {
     QuantizedSolveResult result;
 
+    const std::size_t m = eq.u_diag.size();
+    const std::size_t nk = eq.v.rows();
+    ARCHYTAS_CHECK_DIM("quantizedSolve: square V required", eq.v.cols(), nk);
+    ARCHYTAS_CHECK_DIM("quantizedSolve: W rows", eq.w.rows(), nk);
+    ARCHYTAS_CHECK_DIM("quantizedSolve: W cols", eq.w.cols(), m);
+    ARCHYTAS_CHECK_DIM("quantizedSolve: bx size", eq.bx.size(), m);
+    ARCHYTAS_CHECK_DIM("quantizedSolve: by size", eq.by.size(), nk);
+
     // Double-precision reference.
     linalg::Vector ref_dy, ref_dx;
     if (!slam::solveBlockedSystem(eq, lambda, ref_dy, ref_dx))
         return result;
-
-    const std::size_t m = eq.u_diag.size();
-    const std::size_t nk = eq.v.rows();
 
     // Quantize the inputs, then re-run the same elimination with every
     // intermediate snapped to the grid (mimicking a truncating

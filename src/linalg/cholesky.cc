@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 
 namespace archytas::linalg {
@@ -9,7 +10,8 @@ namespace archytas::linalg {
 std::optional<Matrix>
 cholesky(const Matrix &s)
 {
-    ARCHYTAS_ASSERT(s.rows() == s.cols(), "cholesky needs a square matrix");
+    ARCHYTAS_CHECK_DIM("cholesky: square matrix required", s.cols(),
+                       s.rows());
     const std::size_t n = s.rows();
     Matrix l(n, n);
     for (std::size_t j = 0; j < n; ++j) {
@@ -33,8 +35,9 @@ cholesky(const Matrix &s)
 Vector
 forwardSubstitute(const Matrix &l, const Vector &b)
 {
-    ARCHYTAS_ASSERT(l.rows() == l.cols() && l.rows() == b.size(),
-                    "forwardSubstitute shape mismatch");
+    ARCHYTAS_CHECK_DIM("forwardSubstitute: square L required", l.cols(),
+                       l.rows());
+    ARCHYTAS_CHECK_DIM("forwardSubstitute: rhs size", b.size(), l.rows());
     const std::size_t n = b.size();
     Vector y(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -50,8 +53,9 @@ forwardSubstitute(const Matrix &l, const Vector &b)
 Vector
 backwardSubstitute(const Matrix &l, const Vector &y)
 {
-    ARCHYTAS_ASSERT(l.rows() == l.cols() && l.rows() == y.size(),
-                    "backwardSubstitute shape mismatch");
+    ARCHYTAS_CHECK_DIM("backwardSubstitute: square L required", l.cols(),
+                       l.rows());
+    ARCHYTAS_CHECK_DIM("backwardSubstitute: rhs size", y.size(), l.rows());
     const std::size_t n = y.size();
     Vector x(n);
     for (std::size_t ii = 0; ii < n; ++ii) {
@@ -95,7 +99,8 @@ choleskyInverse(const Matrix &s)
 Matrix
 diagonalInverse(const Matrix &d)
 {
-    ARCHYTAS_ASSERT(d.rows() == d.cols(), "diagonalInverse: square needed");
+    ARCHYTAS_CHECK_DIM("diagonalInverse: square matrix required", d.cols(),
+                       d.rows());
     const std::size_t n = d.rows();
     Matrix inv(n, n);
     for (std::size_t i = 0; i < n; ++i) {

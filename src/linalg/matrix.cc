@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 
 namespace archytas::linalg {
@@ -45,16 +46,16 @@ Matrix::diagonal(const std::vector<double> &entries)
 double &
 Matrix::operator()(std::size_t r, std::size_t c)
 {
-    ARCHYTAS_ASSERT(r < rows_ && c < cols_, "index (", r, ",", c,
-                    ") out of range for ", rows_, "x", cols_);
+    ARCHYTAS_CHECK_BOUNDS("Matrix::operator() row", r, rows_);
+    ARCHYTAS_CHECK_BOUNDS("Matrix::operator() col", c, cols_);
     return data_[r * cols_ + c];
 }
 
 double
 Matrix::operator()(std::size_t r, std::size_t c) const
 {
-    ARCHYTAS_ASSERT(r < rows_ && c < cols_, "index (", r, ",", c,
-                    ") out of range for ", rows_, "x", cols_);
+    ARCHYTAS_CHECK_BOUNDS("Matrix::operator() row", r, rows_);
+    ARCHYTAS_CHECK_BOUNDS("Matrix::operator() col", c, cols_);
     return data_[r * cols_ + c];
 }
 
@@ -77,8 +78,9 @@ Matrix
 Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
               std::size_t nc) const
 {
-    ARCHYTAS_ASSERT(r0 + nr <= rows_ && c0 + nc <= cols_,
-                    "block out of range");
+    ARCHYTAS_DCHECK(r0 + nr <= rows_ && c0 + nc <= cols_,
+                    "Matrix::block [", r0, "+", nr, ", ", c0, "+", nc,
+                    ") out of range for ", rows_, "x", cols_);
     Matrix b(nr, nc);
     for (std::size_t r = 0; r < nr; ++r)
         for (std::size_t c = 0; c < nc; ++c)
@@ -89,8 +91,9 @@ Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
 void
 Matrix::setBlock(std::size_t r0, std::size_t c0, const Matrix &b)
 {
-    ARCHYTAS_ASSERT(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_,
-                    "setBlock out of range");
+    ARCHYTAS_DCHECK(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_,
+                    "Matrix::setBlock [", r0, "+", b.rows(), ", ", c0, "+",
+                    b.cols(), ") out of range for ", rows_, "x", cols_);
     for (std::size_t r = 0; r < b.rows(); ++r)
         for (std::size_t c = 0; c < b.cols(); ++c)
             (*this)(r0 + r, c0 + c) = b(r, c);
@@ -109,8 +112,8 @@ Matrix::transposed() const
 Matrix &
 Matrix::operator+=(const Matrix &rhs)
 {
-    ARCHYTAS_ASSERT(rows_ == rhs.rows_ && cols_ == rhs.cols_,
-                    "shape mismatch in +=");
+    ARCHYTAS_CHECK_DIM("Matrix::operator+= rows", rhs.rows_, rows_);
+    ARCHYTAS_CHECK_DIM("Matrix::operator+= cols", rhs.cols_, cols_);
     for (std::size_t i = 0; i < data_.size(); ++i)
         data_[i] += rhs.data_[i];
     return *this;
@@ -119,8 +122,8 @@ Matrix::operator+=(const Matrix &rhs)
 Matrix &
 Matrix::operator-=(const Matrix &rhs)
 {
-    ARCHYTAS_ASSERT(rows_ == rhs.rows_ && cols_ == rhs.cols_,
-                    "shape mismatch in -=");
+    ARCHYTAS_CHECK_DIM("Matrix::operator-= rows", rhs.rows_, rows_);
+    ARCHYTAS_CHECK_DIM("Matrix::operator-= cols", rhs.cols_, cols_);
     for (std::size_t i = 0; i < data_.size(); ++i)
         data_[i] -= rhs.data_[i];
     return *this;
@@ -146,8 +149,8 @@ Matrix::norm() const
 double
 Matrix::maxAbsDiff(const Matrix &other) const
 {
-    ARCHYTAS_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
-                    "shape mismatch in maxAbsDiff");
+    ARCHYTAS_CHECK_DIM("Matrix::maxAbsDiff rows", other.rows_, rows_);
+    ARCHYTAS_CHECK_DIM("Matrix::maxAbsDiff cols", other.cols_, cols_);
     double worst = 0.0;
     for (std::size_t i = 0; i < data_.size(); ++i)
         worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
@@ -197,9 +200,7 @@ operator-(Matrix lhs, const Matrix &rhs)
 Matrix
 operator*(const Matrix &lhs, const Matrix &rhs)
 {
-    ARCHYTAS_ASSERT(lhs.cols() == rhs.rows(), "matmul shape mismatch: ",
-                    lhs.rows(), "x", lhs.cols(), " * ", rhs.rows(), "x",
-                    rhs.cols());
+    ARCHYTAS_CHECK_DIM("matmul inner dimension", rhs.rows(), lhs.cols());
     Matrix out(lhs.rows(), rhs.cols());
     // i-k-j loop order keeps the inner loop streaming over contiguous rows.
     for (std::size_t i = 0; i < lhs.rows(); ++i) {
@@ -230,7 +231,9 @@ Vector::setZero()
 Vector
 Vector::segment(std::size_t start, std::size_t n) const
 {
-    ARCHYTAS_ASSERT(start + n <= data_.size(), "segment out of range");
+    ARCHYTAS_DCHECK(start + n <= data_.size(), "Vector::segment [", start,
+                    ", ", start + n, ") out of range for size ",
+                    data_.size());
     Vector v(n);
     for (std::size_t i = 0; i < n; ++i)
         v[i] = data_[start + i];
@@ -240,8 +243,9 @@ Vector::segment(std::size_t start, std::size_t n) const
 void
 Vector::setSegment(std::size_t start, const Vector &v)
 {
-    ARCHYTAS_ASSERT(start + v.size() <= data_.size(),
-                    "setSegment out of range");
+    ARCHYTAS_DCHECK(start + v.size() <= data_.size(),
+                    "Vector::setSegment [", start, ", ", start + v.size(),
+                    ") out of range for size ", data_.size());
     for (std::size_t i = 0; i < v.size(); ++i)
         data_[start + i] = v[i];
 }
@@ -249,7 +253,7 @@ Vector::setSegment(std::size_t start, const Vector &v)
 Vector &
 Vector::operator+=(const Vector &rhs)
 {
-    ARCHYTAS_ASSERT(size() == rhs.size(), "size mismatch in +=");
+    ARCHYTAS_CHECK_DIM("Vector::operator+=", rhs.size(), size());
     for (std::size_t i = 0; i < data_.size(); ++i)
         data_[i] += rhs.data_[i];
     return *this;
@@ -258,7 +262,7 @@ Vector::operator+=(const Vector &rhs)
 Vector &
 Vector::operator-=(const Vector &rhs)
 {
-    ARCHYTAS_ASSERT(size() == rhs.size(), "size mismatch in -=");
+    ARCHYTAS_CHECK_DIM("Vector::operator-=", rhs.size(), size());
     for (std::size_t i = 0; i < data_.size(); ++i)
         data_[i] -= rhs.data_[i];
     return *this;
@@ -275,7 +279,7 @@ Vector::operator*=(double s)
 double
 Vector::dot(const Vector &other) const
 {
-    ARCHYTAS_ASSERT(size() == other.size(), "size mismatch in dot");
+    ARCHYTAS_CHECK_DIM("Vector::dot", other.size(), size());
     double acc = 0.0;
     for (std::size_t i = 0; i < data_.size(); ++i)
         acc += data_[i] * other.data_[i];
@@ -291,7 +295,7 @@ Vector::norm() const
 double
 Vector::maxAbsDiff(const Vector &other) const
 {
-    ARCHYTAS_ASSERT(size() == other.size(), "size mismatch in maxAbsDiff");
+    ARCHYTAS_CHECK_DIM("Vector::maxAbsDiff", other.size(), size());
     double worst = 0.0;
     for (std::size_t i = 0; i < data_.size(); ++i)
         worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
@@ -342,8 +346,7 @@ operator*(double s, Vector v)
 Vector
 operator*(const Matrix &a, const Vector &x)
 {
-    ARCHYTAS_ASSERT(a.cols() == x.size(), "matvec shape mismatch: ",
-                    a.rows(), "x", a.cols(), " * ", x.size());
+    ARCHYTAS_CHECK_DIM("matvec inner dimension", x.size(), a.cols());
     Vector y(a.rows());
     for (std::size_t r = 0; r < a.rows(); ++r) {
         double acc = 0.0;
@@ -374,7 +377,7 @@ gramian(const Matrix &a)
 Vector
 transposeApply(const Matrix &a, const Vector &x)
 {
-    ARCHYTAS_ASSERT(a.rows() == x.size(), "A^T x shape mismatch");
+    ARCHYTAS_CHECK_DIM("transposeApply inner dimension", x.size(), a.rows());
     Vector y(a.cols());
     for (std::size_t r = 0; r < a.rows(); ++r) {
         const double xr = x[r];

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/contracts.hh"
+
 namespace archytas::linalg {
 
 /** Dense, heap-allocated, row-major matrix of doubles. */
@@ -92,8 +94,19 @@ class Vector
     std::size_t size() const { return data_.size(); }
     bool empty() const { return data_.empty(); }
 
-    double &operator[](std::size_t i) { return data_[i]; }
-    double operator[](std::size_t i) const { return data_[i]; }
+    double &
+    operator[](std::size_t i)
+    {
+        ARCHYTAS_CHECK_BOUNDS("Vector::operator[]", i, data_.size());
+        return data_[i];
+    }
+
+    double
+    operator[](std::size_t i) const
+    {
+        ARCHYTAS_CHECK_BOUNDS("Vector::operator[]", i, data_.size());
+        return data_[i];
+    }
 
     const std::vector<double> &data() const { return data_; }
     std::vector<double> &data() { return data_; }

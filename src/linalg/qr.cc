@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 
 namespace archytas::linalg {
@@ -66,7 +67,7 @@ QrFactorization::r() const
 Vector
 QrFactorization::applyQt(const Vector &b) const
 {
-    ARCHYTAS_ASSERT(b.size() == m_, "applyQt shape mismatch");
+    ARCHYTAS_CHECK_DIM("QrFactorization::applyQt: rhs size", b.size(), m_);
     Vector y = b;
     std::size_t stash = 0;
     for (std::size_t k = 0; k < n_; ++k) {
@@ -117,7 +118,7 @@ QrFactorization::residualNorm(const Vector &b) const
 std::optional<Vector>
 leastSquares(const Matrix &a, const Vector &b)
 {
-    ARCHYTAS_ASSERT(a.rows() == b.size(), "leastSquares shape mismatch");
+    ARCHYTAS_CHECK_DIM("leastSquares: rhs size", b.size(), a.rows());
     return QrFactorization(a).solve(b);
 }
 

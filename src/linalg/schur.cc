@@ -1,5 +1,6 @@
 #include "linalg/schur.hh"
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 #include "linalg/cholesky.hh"
 
@@ -11,9 +12,12 @@ dSchur(const Matrix &u, const Matrix &w, const Matrix &v, const Vector &bx,
 {
     const std::size_t p = u.rows();
     const std::size_t q = v.rows();
-    ARCHYTAS_ASSERT(u.cols() == p && v.cols() == q, "dSchur: square blocks");
-    ARCHYTAS_ASSERT(w.rows() == q && w.cols() == p, "dSchur: W shape");
-    ARCHYTAS_ASSERT(bx.size() == p && by.size() == q, "dSchur: rhs shape");
+    ARCHYTAS_CHECK_DIM("dSchur: square U required", u.cols(), p);
+    ARCHYTAS_CHECK_DIM("dSchur: square V required", v.cols(), q);
+    ARCHYTAS_CHECK_DIM("dSchur: W rows", w.rows(), q);
+    ARCHYTAS_CHECK_DIM("dSchur: W cols", w.cols(), p);
+    ARCHYTAS_CHECK_DIM("dSchur: bx size", bx.size(), p);
+    ARCHYTAS_CHECK_DIM("dSchur: by size", by.size(), q);
 
     // W U^{-1}: scale the columns of W by 1/u_ii -- O(pq) instead of O(p^2 q).
     Matrix wui(q, p);
@@ -37,8 +41,9 @@ dSchurBackSubstitute(const Matrix &u, const Matrix &w, const Vector &bx,
                      const Vector &y)
 {
     const std::size_t p = u.rows();
-    ARCHYTAS_ASSERT(w.cols() == p && bx.size() == p && w.rows() == y.size(),
-                    "dSchurBackSubstitute shape mismatch");
+    ARCHYTAS_CHECK_DIM("dSchurBackSubstitute: W cols", w.cols(), p);
+    ARCHYTAS_CHECK_DIM("dSchurBackSubstitute: bx size", bx.size(), p);
+    ARCHYTAS_CHECK_DIM("dSchurBackSubstitute: y size", y.size(), w.rows());
     const Vector rhs = bx - transposeApply(w, y);
     Vector x(p);
     for (std::size_t i = 0; i < p; ++i) {
@@ -54,10 +59,12 @@ mSchur(const Matrix &m, const Matrix &lambda, const Matrix &a,
 {
     const std::size_t pm = m.rows();
     const std::size_t pr = a.rows();
-    ARCHYTAS_ASSERT(m.cols() == pm && a.cols() == pr, "mSchur: square blocks");
-    ARCHYTAS_ASSERT(lambda.rows() == pr && lambda.cols() == pm,
-                    "mSchur: Lambda shape");
-    ARCHYTAS_ASSERT(bm.size() == pm && br.size() == pr, "mSchur: rhs shape");
+    ARCHYTAS_CHECK_DIM("mSchur: square M required", m.cols(), pm);
+    ARCHYTAS_CHECK_DIM("mSchur: square A required", a.cols(), pr);
+    ARCHYTAS_CHECK_DIM("mSchur: Lambda rows", lambda.rows(), pr);
+    ARCHYTAS_CHECK_DIM("mSchur: Lambda cols", lambda.cols(), pm);
+    ARCHYTAS_CHECK_DIM("mSchur: bm size", bm.size(), pm);
+    ARCHYTAS_CHECK_DIM("mSchur: br size", br.size(), pr);
 
     const Matrix minv = diag_m11 > 0 ? blockedInverseDiagonalM11(m, diag_m11)
                                      : choleskyInverse(m);
@@ -72,8 +79,9 @@ Matrix
 blockedInverseDiagonalM11(const Matrix &m, std::size_t p)
 {
     const std::size_t n = m.rows();
-    ARCHYTAS_ASSERT(m.cols() == n, "blockedInverse: square needed");
-    ARCHYTAS_ASSERT(p > 0 && p <= n, "blockedInverse: bad split ", p);
+    ARCHYTAS_CHECK_DIM("blockedInverse: square matrix required", m.cols(), n);
+    ARCHYTAS_DCHECK(p > 0 && p <= n, "blockedInverse: bad split ", p,
+                    " for dimension ", n);
     const std::size_t q = n - p;
     if (q == 0)
         return diagonalInverse(m);

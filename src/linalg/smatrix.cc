@@ -1,5 +1,6 @@
 #include "linalg/smatrix.hh"
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 
 namespace archytas::linalg {
@@ -25,9 +26,9 @@ CompactSMatrix::CompactSMatrix(std::size_t k, std::size_t b) : k_(k), b_(b)
 void
 CompactSMatrix::setImuDiagBlock(std::size_t i, const Matrix &block)
 {
-    ARCHYTAS_ASSERT(i < b_, "diag block index out of range");
-    ARCHYTAS_ASSERT(block.rows() == k_ && block.cols() == k_,
-                    "diag block must be k x k");
+    ARCHYTAS_CHECK_BOUNDS("setImuDiagBlock: block index", i, b_);
+    ARCHYTAS_CHECK_DIM("setImuDiagBlock: block rows", block.rows(), k_);
+    ARCHYTAS_CHECK_DIM("setImuDiagBlock: block cols", block.cols(), k_);
     Matrix sym(k_, k_);
     for (std::size_t r = 0; r < k_; ++r)
         for (std::size_t c = 0; c <= r; ++c) {
@@ -40,9 +41,9 @@ CompactSMatrix::setImuDiagBlock(std::size_t i, const Matrix &block)
 void
 CompactSMatrix::setImuOffDiagBlock(std::size_t i, const Matrix &block)
 {
-    ARCHYTAS_ASSERT(i + 1 < b_, "offdiag block index out of range");
-    ARCHYTAS_ASSERT(block.rows() == k_ && block.cols() == k_,
-                    "offdiag block must be k x k");
+    ARCHYTAS_CHECK_BOUNDS("setImuOffDiagBlock: block index", i + 1, b_);
+    ARCHYTAS_CHECK_DIM("setImuOffDiagBlock: block rows", block.rows(), k_);
+    ARCHYTAS_CHECK_DIM("setImuOffDiagBlock: block cols", block.cols(), k_);
     imu_offdiag_[i] = block;
 }
 
@@ -50,7 +51,8 @@ std::size_t
 CompactSMatrix::scIndex(std::size_t r, std::size_t c) const
 {
     // Packed lower triangle: row r holds r+1 entries.
-    ARCHYTAS_ASSERT(c <= r, "scIndex expects lower-triangle coordinates");
+    ARCHYTAS_DCHECK(c <= r, "scIndex expects lower-triangle coordinates, "
+                    "got (", r, ",", c, ")");
     return r * (r + 1) / 2 + c;
 }
 
@@ -58,9 +60,11 @@ void
 CompactSMatrix::setCameraBlock(std::size_t i, std::size_t j,
                                const Matrix &block)
 {
-    ARCHYTAS_ASSERT(i <= j && j < b_, "camera block indices out of range");
-    ARCHYTAS_ASSERT(block.rows() == kPoseDof && block.cols() == kPoseDof,
-                    "camera block must be 6 x 6");
+    ARCHYTAS_DCHECK(i <= j, "setCameraBlock: need i <= j, got (", i, ",", j,
+                    ")");
+    ARCHYTAS_CHECK_BOUNDS("setCameraBlock: keyframe index", j, b_);
+    ARCHYTAS_CHECK_DIM("setCameraBlock: block rows", block.rows(), kPoseDof);
+    ARCHYTAS_CHECK_DIM("setCameraBlock: block cols", block.cols(), kPoseDof);
     for (std::size_t r = 0; r < kPoseDof; ++r) {
         for (std::size_t c = 0; c < kPoseDof; ++c) {
             const std::size_t gr = j * kPoseDof + r;
@@ -82,9 +86,11 @@ void
 CompactSMatrix::addCameraBlock(std::size_t i, std::size_t j,
                                const Matrix &block)
 {
-    ARCHYTAS_ASSERT(i <= j && j < b_, "camera block indices out of range");
-    ARCHYTAS_ASSERT(block.rows() == kPoseDof && block.cols() == kPoseDof,
-                    "camera block must be 6 x 6");
+    ARCHYTAS_DCHECK(i <= j, "addCameraBlock: need i <= j, got (", i, ",", j,
+                    ")");
+    ARCHYTAS_CHECK_BOUNDS("addCameraBlock: keyframe index", j, b_);
+    ARCHYTAS_CHECK_DIM("addCameraBlock: block rows", block.rows(), kPoseDof);
+    ARCHYTAS_CHECK_DIM("addCameraBlock: block cols", block.cols(), kPoseDof);
     for (std::size_t r = 0; r < kPoseDof; ++r) {
         for (std::size_t c = 0; c < kPoseDof; ++c) {
             const std::size_t gr = j * kPoseDof + r;
@@ -98,7 +104,8 @@ CompactSMatrix::addCameraBlock(std::size_t i, std::size_t j,
 double
 CompactSMatrix::at(std::size_t r, std::size_t c) const
 {
-    ARCHYTAS_ASSERT(r < dim() && c < dim(), "index out of range");
+    ARCHYTAS_CHECK_BOUNDS("CompactSMatrix::at row", r, dim());
+    ARCHYTAS_CHECK_BOUNDS("CompactSMatrix::at col", c, dim());
     double v = 0.0;
 
     // IMU contribution: block-tridiagonal.
@@ -136,7 +143,7 @@ CompactSMatrix::toDense() const
 Vector
 CompactSMatrix::apply(const Vector &x) const
 {
-    ARCHYTAS_ASSERT(x.size() == dim(), "apply shape mismatch");
+    ARCHYTAS_CHECK_DIM("CompactSMatrix::apply: x size", x.size(), dim());
     Vector y(dim());
 
     // IMU block-tridiagonal contribution.

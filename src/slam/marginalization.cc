@@ -1,5 +1,6 @@
 #include "slam/marginalization.hh"
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 #include "linalg/schur.hh"
 
@@ -42,7 +43,8 @@ marginalizeOldestKeyframe(const PinholeCamera &camera,
                           const PriorFactor &old_prior, double pixel_sigma)
 {
     const std::size_t b = keyframes.size();
-    ARCHYTAS_ASSERT(b >= 2, "marginalization needs at least two keyframes");
+    ARCHYTAS_DCHECK(b >= 2, "marginalizeOldestKeyframe needs at least two "
+                    "keyframes, got ", b);
     const double visual_weight = 1.0 / (pixel_sigma * pixel_sigma);
 
     // Features anchored in keyframe 0 with at least one informative

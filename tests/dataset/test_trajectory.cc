@@ -17,8 +17,10 @@ TEST(VehicleTrajectory, MovesForwardAtSpeed)
 TEST(VehicleTrajectory, StaysNearGroundPlane)
 {
     VehicleTrajectory traj(120.0, 10.0);
-    for (double t = 1.0; t < 119.0; t += 7.3)
+    for (int i = 0; 1.0 + 7.3 * i < 119.0; ++i) {
+        const double t = 1.0 + 7.3 * i;
         EXPECT_LT(std::abs(traj.pose(t).p.z), 1.0);
+    }
 }
 
 TEST(VehicleTrajectory, VelocityConsistentWithPositionDerivative)
@@ -44,7 +46,8 @@ TEST(VehicleTrajectory, CameraLooksAlongMotion)
 TEST(DroneTrajectory, StaysInRoomVolume)
 {
     DroneTrajectory traj(120.0, 1.0);
-    for (double t = 0.5; t < 119.0; t += 3.7) {
+    for (int i = 0; 0.5 + 3.7 * i < 119.0; ++i) {
+        const double t = 0.5 + 3.7 * i;
         const Vec3 p = traj.pose(t).p;
         EXPECT_LT(std::abs(p.x), 6.0);
         EXPECT_LT(std::abs(p.y), 5.0);
@@ -58,7 +61,8 @@ TEST(DroneTrajectory, AggressivenessRaisesBodyRates)
     DroneTrajectory calm(60.0, 0.5);
     DroneTrajectory wild(60.0, 2.0);
     double calm_rate = 0.0, wild_rate = 0.0;
-    for (double t = 1.0; t < 59.0; t += 1.1) {
+    for (int i = 0; 1.0 + 1.1 * i < 59.0; ++i) {
+        const double t = 1.0 + 1.1 * i;
         calm_rate += calm.angularVelocity(t).norm();
         wild_rate += wild.angularVelocity(t).norm();
     }
@@ -79,8 +83,10 @@ TEST(Trajectory, AngularVelocityConsistentWithRotationDerivative)
 TEST(Trajectory, RotationsStayNormalized)
 {
     VehicleTrajectory traj(60.0, 10.0);
-    for (double t = 0.5; t < 59.0; t += 2.9)
+    for (int i = 0; 0.5 + 2.9 * i < 59.0; ++i) {
+        const double t = 0.5 + 2.9 * i;
         EXPECT_NEAR(traj.pose(t).q.norm(), 1.0, 1e-9);
+    }
 }
 
 } // namespace

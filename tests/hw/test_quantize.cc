@@ -137,5 +137,15 @@ TEST(Quantize, BadFormatDies)
     EXPECT_DEATH(quantize(1.0, FixedPointFormat{1, -2}), "bad");
 }
 
+TEST(Quantize, MismatchedNormalEquationsDie)
+{
+    auto eq = makeEquations();
+    // Chop a feature column off W: the coupling no longer matches U and
+    // the quantized datapath must refuse, not read stale memory.
+    eq.w = eq.w.block(0, 0, eq.w.rows(), eq.w.cols() - 1);
+    EXPECT_DEATH(quantizedSolve(eq, 1e-4, FixedPointFormat{38, 22}),
+                 "quantizedSolve.*dimension mismatch");
+}
+
 } // namespace
 } // namespace archytas::hw

@@ -114,7 +114,7 @@ TEST(Matrix, OutOfRangeAccessDies)
 TEST(Matrix, ShapeMismatchDies)
 {
     Matrix a(2, 2), b(3, 3);
-    EXPECT_DEATH(a + b, "shape mismatch");
+    EXPECT_DEATH(a + b, "dimension mismatch");
     EXPECT_DEATH(a * b, "matmul");
 }
 

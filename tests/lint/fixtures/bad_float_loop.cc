@@ -1,0 +1,18 @@
+// lint-expect: float-loop-index
+// Fixture: floating-point induction variables. The range-for over doubles
+// further down is idiomatic and must NOT be flagged.
+
+#include <vector>
+
+double
+sweep(const std::vector<double> &xs)
+{
+    double acc = 0.0;
+    for (double t = 0.0; t < 10.0; t += 0.1)
+        acc += t;
+    for (float u = 1.0F; u < 2.0F; u *= 1.5F)
+        acc += u;
+    for (double x : xs)
+        acc += x;
+    return acc;
+}

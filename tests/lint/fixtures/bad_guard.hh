@@ -1,0 +1,10 @@
+// lint-expect: include-guard
+// Fixture: include guard not derived from the file's path. The expected
+// guard for this path is ARCHYTAS_LINT_FIXTURES_BAD_GUARD_HH.
+
+#ifndef SOME_UNRELATED_GUARD_HH
+#define SOME_UNRELATED_GUARD_HH
+
+int fixtureFunction();
+
+#endif // SOME_UNRELATED_GUARD_HH

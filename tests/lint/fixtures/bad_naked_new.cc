@@ -1,0 +1,22 @@
+// lint-expect: naked-new
+// Fixture: manual ownership that the naked-new rule must flag. The
+// mentions of new and delete inside this comment must NOT be flagged.
+
+struct Buffer {
+    double *storage;
+};
+
+Buffer
+makeBuffer()
+{
+    Buffer b;
+    b.storage = new double[64];
+    return b;
+}
+
+void
+freeBuffer(Buffer &b)
+{
+    delete[] b.storage;
+    b.storage = nullptr;
+}

@@ -1,0 +1,15 @@
+// lint-expect: banned-random
+// Fixture: unseeded randomness and wall-clock seeding. The string literal
+// below ("std::rand") must NOT be flagged; only the real calls are.
+
+#include <cstdlib>
+#include <ctime>
+
+const char *kDocstring = "std::rand is banned outside common/rng";
+
+int
+noisyDraw()
+{
+    std::srand(static_cast<unsigned>(time(nullptr)));
+    return std::rand();
+}

@@ -1,0 +1,15 @@
+// lint-expect:
+// Fixture: a violation carrying an explicit waiver comment must not be
+// reported; this file is expected to lint clean.
+
+struct Arena {
+    char *base;
+};
+
+Arena
+reserve()
+{
+    Arena a;
+    a.base = new char[1 << 20];   // lint:allow(naked-new)
+    return a;
+}

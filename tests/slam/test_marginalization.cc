@@ -33,7 +33,8 @@ makeScene(std::size_t n_keyframes, std::size_t n_features, Rng &rng)
     for (std::size_t i = 0; i + 1 < n_keyframes; ++i) {
         auto pre = std::make_shared<ImuPreintegration>(Vec3{}, Vec3{},
                                                        ImuNoise{});
-        for (double t = 0.0; t + imu_dt <= frame_dt + 1e-12; t += imu_dt)
+        const int imu_steps = static_cast<int>(frame_dt / imu_dt + 0.5);
+        for (int s = 0; s < imu_steps; ++s)
             pre->integrate({imu_dt, Vec3{}, Vec3{} - g});
         sc.preints.push_back(std::move(pre));
     }

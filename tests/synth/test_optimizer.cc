@@ -112,8 +112,8 @@ TEST(Synthesizer, ParetoFrontierIsMonotone)
 {
     const auto synth = makeSynthesizer();
     std::vector<double> bounds;
-    for (double b = 0.3; b <= 3.0; b += 0.3)
-        bounds.push_back(b);
+    for (int i = 1; i <= 10; ++i)
+        bounds.push_back(0.3 * i);
     const auto frontier = synth.paretoFrontier(bounds, 6);
     ASSERT_GE(frontier.size(), 3u);
     for (std::size_t i = 1; i < frontier.size(); ++i) {
