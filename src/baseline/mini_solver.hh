@@ -110,7 +110,8 @@ struct SolveSummary
 };
 
 /** Runs multithreaded LM, updating the parameter blocks in place. */
-SolveSummary solve(Problem &problem, const SolveOptions &options = {});
+[[nodiscard]] SolveSummary solve(Problem &problem,
+                                 const SolveOptions &options = {});
 
 } // namespace archytas::baseline
 

@@ -1,0 +1,142 @@
+#include "common/fault.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace archytas {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::DmaTimeout:
+        return "dma-timeout";
+      case FaultKind::DmaStall:
+        return "dma-stall";
+      case FaultKind::BitFlip:
+        return "bit-flip";
+      case FaultKind::DroppedFrame:
+        return "dropped-frame";
+      case FaultKind::ImuGap:
+        return "imu-gap";
+      case FaultKind::ZeroFeatures:
+        return "zero-features";
+      case FaultKind::OutlierBurst:
+        return "outlier-burst";
+    }
+    return "unknown";
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, std::vector<FaultEvent> events)
+    : seed_(seed), events_(std::move(events))
+{
+    for (const FaultEvent &e : events_) {
+        ARCHYTAS_ASSERT(e.count >= 1, "fault event needs count >= 1");
+        ARCHYTAS_ASSERT(e.magnitude >= 0.0,
+                        "fault event magnitude must be non-negative");
+        if (e.kind == FaultKind::OutlierBurst)
+            ARCHYTAS_ASSERT(e.magnitude <= 1.0,
+                            "outlier fraction must be in [0, 1]");
+    }
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.window < b.window;
+                     });
+}
+
+FaultPlan
+FaultPlan::randomized(std::uint64_t seed, std::size_t windows,
+                      const RandomRates &rates)
+{
+    Rng rng(seed);
+    std::vector<FaultEvent> events;
+    for (std::size_t w = 0; w < windows; ++w) {
+        if (rng.bernoulli(rates.dma_timeout))
+            events.push_back({w, FaultKind::DmaTimeout,
+                              static_cast<std::size_t>(
+                                  rng.uniformInt(1, 4)),
+                              0.0});
+        if (rng.bernoulli(rates.dma_stall))
+            events.push_back(
+                {w, FaultKind::DmaStall, 1, rates.stall_factor});
+        if (rng.bernoulli(rates.bit_flip))
+            events.push_back({w, FaultKind::BitFlip,
+                              static_cast<std::size_t>(
+                                  rng.uniformInt(1, 2)),
+                              0.0});
+        if (rng.bernoulli(rates.dropped_frame))
+            events.push_back({w, FaultKind::DroppedFrame, 1, 0.0});
+        if (rng.bernoulli(rates.imu_gap))
+            events.push_back({w, FaultKind::ImuGap, 1, 0.0});
+        if (rng.bernoulli(rates.zero_features))
+            events.push_back({w, FaultKind::ZeroFeatures,
+                              static_cast<std::size_t>(
+                                  rng.uniformInt(1, 3)),
+                              0.0});
+        if (rng.bernoulli(rates.outlier_burst))
+            events.push_back({w, FaultKind::OutlierBurst, 1,
+                              rates.outlier_fraction});
+    }
+    return FaultPlan(seed, std::move(events));
+}
+
+const FaultEvent *
+FaultPlan::find(std::size_t window, FaultKind kind) const
+{
+    // Only ZeroFeatures spans [window, window + count); for every other
+    // kind, count parameterizes the event (attempts, flips) and the
+    // event fires at exactly its window.
+    const bool spans = kind == FaultKind::ZeroFeatures;
+    for (const FaultEvent &e : events_) {
+        if (e.kind != kind)
+            continue;
+        if (spans ? (window >= e.window && window < e.window + e.count)
+                  : window == e.window)
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+FaultPlan::has(std::size_t window, FaultKind kind) const
+{
+    return find(window, kind) != nullptr;
+}
+
+std::vector<FaultEvent>
+FaultPlan::at(std::size_t window) const
+{
+    std::vector<FaultEvent> out;
+    for (const FaultEvent &e : events_)
+        if (e.window == window)
+            out.push_back(e);
+    return out;
+}
+
+Rng
+FaultPlan::rngFor(const FaultEvent &event) const
+{
+    // splitmix64-style mix of the plan seed and the event identity so
+    // each event owns an independent, order-free stream.
+    std::uint64_t z = seed_ ^ (event.window * 0x9e3779b97f4a7c15ull) ^
+                      (static_cast<std::uint64_t>(event.kind) + 1) *
+                          0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+}
+
+std::string
+FaultPlan::toString() const
+{
+    std::ostringstream os;
+    for (const FaultEvent &e : events_)
+        os << "window " << e.window << ": " << faultKindName(e.kind)
+           << " (count " << e.count << ", magnitude " << e.magnitude
+           << ")\n";
+    return os.str();
+}
+
+} // namespace archytas

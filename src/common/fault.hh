@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Deterministic fault-injection plans for the host-FPGA localization
+ * loop. The paper's run-time system (Sec. 6.2) assumes every window's
+ * DMA completes, every solve converges, and the front-end always
+ * delivers features; deployed systems see dropped frames, sensor gaps,
+ * link stalls and diverging solves. A FaultPlan schedules such faults by
+ * sliding-window index so the recovery machinery (host-link retry,
+ * software fallback, estimator divergence recovery, controller
+ * degraded-window policy) can be exercised reproducibly: every
+ * corruption draw comes from an Rng forked deterministically from the
+ * plan seed and the event identity, so a failing run replays exactly.
+ * See docs/ROBUSTNESS.md for the fault model and recovery policies.
+ */
+
+#ifndef ARCHYTAS_COMMON_FAULT_HH
+#define ARCHYTAS_COMMON_FAULT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace archytas {
+
+/** The fault classes the framework can inject. */
+enum class FaultKind
+{
+    /** Host-FPGA DMA misses its deadline for `count` attempts. */
+    DmaTimeout,
+    /** Link degrades: transfers take `magnitude` x their nominal time. */
+    DmaStall,
+    /** `count` bit-flips corrupt the window's accelerator result words. */
+    BitFlip,
+    /** Camera frame lost: the window receives no visual observations. */
+    DroppedFrame,
+    /** IMU samples covering the frame interval are lost. */
+    ImuGap,
+    /** Front-end delivers zero features for `count` consecutive frames. */
+    ZeroFeatures,
+    /** `magnitude` fraction of the frame's observations become wrong
+     *  correspondences (uniform random in-image pixels). */
+    OutlierBurst,
+};
+
+/** Human-readable fault-class name (for logs and reports). */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    std::size_t window = 0;   //!< Sliding-window (frame) index it fires at.
+    FaultKind kind = FaultKind::DmaTimeout;
+    /** Per-kind multiplicity: failing DMA attempts, bit-flips, or
+     *  consecutive affected frames (see FaultKind). */
+    std::size_t count = 1;
+    /** Per-kind magnitude: stall factor or outlier fraction. */
+    double magnitude = 0.0;
+};
+
+/**
+ * A reproducible schedule of faults, queried by window index. An empty
+ * plan (the default) injects nothing, so fault-aware code paths can take
+ * a plan unconditionally.
+ */
+class FaultPlan
+{
+  public:
+    /** An empty plan: no faults. */
+    FaultPlan() = default;
+
+    /** @param seed   Seed for all corruption draws (bit positions,
+     *                outlier pixels); independent of the event list.
+     *  @param events The schedule; sorted internally by window. */
+    FaultPlan(std::uint64_t seed, std::vector<FaultEvent> events);
+
+    /** Per-window probabilities for randomized(). */
+    struct RandomRates
+    {
+        double dma_timeout = 0.0;
+        double dma_stall = 0.0;
+        double bit_flip = 0.0;
+        double dropped_frame = 0.0;
+        double imu_gap = 0.0;
+        double zero_features = 0.0;
+        double outlier_burst = 0.0;
+        /** Outlier fraction used by generated OutlierBurst events. */
+        double outlier_fraction = 0.3;
+        /** Stall factor used by generated DmaStall events. */
+        double stall_factor = 8.0;
+    };
+
+    /**
+     * Draws a random plan: each window is independently afflicted by
+     * each fault class with the given probability. Deterministic in the
+     * seed.
+     */
+    static FaultPlan randomized(std::uint64_t seed, std::size_t windows,
+                                const RandomRates &rates);
+
+    bool empty() const { return events_.empty(); }
+    std::size_t eventCount() const { return events_.size(); }
+    const std::vector<FaultEvent> &events() const { return events_; }
+
+    /** First event of the given kind at the window, or nullptr. */
+    const FaultEvent *find(std::size_t window, FaultKind kind) const;
+
+    /** True when an event of the kind fires at the window (including a
+     *  multi-frame event whose [window, window + count) span covers
+     *  it). */
+    bool has(std::size_t window, FaultKind kind) const;
+
+    /** All events firing exactly at the window. */
+    std::vector<FaultEvent> at(std::size_t window) const;
+
+    /**
+     * An independent deterministic random stream for one event's
+     * corruption draws: the same plan seed and event always produce the
+     * same corruption, regardless of query order.
+     */
+    Rng rngFor(const FaultEvent &event) const;
+
+    /** One line per event (for logs and test diagnostics). */
+    std::string toString() const;
+
+  private:
+    std::uint64_t seed_ = 0;
+    std::vector<FaultEvent> events_;   //!< Sorted by window.
+};
+
+} // namespace archytas
+
+#endif // ARCHYTAS_COMMON_FAULT_HH

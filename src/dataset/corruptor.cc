@@ -1,0 +1,58 @@
+#include "dataset/corruptor.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace archytas::dataset {
+
+FrameData
+corruptFrame(const FrameData &frame, std::size_t index,
+             const FaultPlan &plan, const slam::PinholeCamera &camera)
+{
+    FrameData out = frame;
+    if (plan.empty())
+        return out;
+
+    // A lost camera frame and a zero-feature zone both reach the
+    // estimator as "no observations"; they differ in extent (one frame
+    // vs. a span) and in root cause, which the plan keeps distinct for
+    // reporting.
+    if (plan.has(index, FaultKind::DroppedFrame) ||
+        plan.has(index, FaultKind::ZeroFeatures))
+        out.observations.clear();
+
+    if (plan.has(index, FaultKind::ImuGap))
+        out.imu.clear();
+
+    if (const FaultEvent *burst =
+            plan.find(index, FaultKind::OutlierBurst);
+        burst != nullptr && !out.observations.empty()) {
+        Rng rng = plan.rngFor(*burst);
+        const std::size_t n = out.observations.size();
+        const auto corrupt = static_cast<std::size_t>(
+            std::ceil(burst->magnitude * static_cast<double>(n)));
+        // Corrupt a deterministic random subset: each pick replaces one
+        // observation's pixel with a uniform in-image mismatch.
+        for (std::size_t k = 0; k < corrupt; ++k) {
+            auto &obs = out.observations[static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<int>(n) - 1))];
+            obs.pixel = {rng.uniform(0.0, camera.width),
+                         rng.uniform(0.0, camera.height)};
+        }
+    }
+    return out;
+}
+
+std::vector<FrameData>
+corruptFrames(const Sequence &sequence, const FaultPlan &plan)
+{
+    std::vector<FrameData> out;
+    out.reserve(sequence.frameCount());
+    for (std::size_t i = 0; i < sequence.frameCount(); ++i)
+        out.push_back(
+            corruptFrame(sequence.frame(i), i, plan, sequence.camera()));
+    return out;
+}
+
+} // namespace archytas::dataset

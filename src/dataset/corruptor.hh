@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Applies a FaultPlan's frame-level fault classes to a generated
+ * sequence, producing the corrupted sensor stream a deployed front-end
+ * would hand the estimator: dropped camera frames (no observations),
+ * IMU gaps (no inertial samples for an interval), zero-feature zones,
+ * and outlier bursts (wrong correspondences). Link- and datapath-level
+ * faults (DMA timeout/stall, result bit-flips) are consumed by the
+ * hw layer instead (hw/host_interface.hh, hw/hw_solver.hh); the same
+ * plan drives both, so one schedule describes a whole scenario.
+ */
+
+#ifndef ARCHYTAS_DATASET_CORRUPTOR_HH
+#define ARCHYTAS_DATASET_CORRUPTOR_HH
+
+#include <vector>
+
+#include "common/fault.hh"
+#include "dataset/sequence.hh"
+
+namespace archytas::dataset {
+
+/**
+ * Returns a corrupted copy of one frame. Deterministic in the plan:
+ * outlier pixels are drawn from the plan's per-event stream.
+ *
+ * @param frame   The clean frame.
+ * @param index   The frame's index (FaultEvent::window).
+ * @param plan    The fault schedule.
+ * @param camera  Intrinsics (image bounds for outlier pixels).
+ */
+FrameData corruptFrame(const FrameData &frame, std::size_t index,
+                       const FaultPlan &plan,
+                       const slam::PinholeCamera &camera);
+
+/** Applies corruptFrame to every frame of a sequence. */
+std::vector<FrameData> corruptFrames(const Sequence &sequence,
+                                     const FaultPlan &plan);
+
+} // namespace archytas::dataset
+
+#endif // ARCHYTAS_DATASET_CORRUPTOR_HH

@@ -4,11 +4,29 @@
 
 namespace archytas::hw {
 
+const char *
+transactionStatusName(TransactionStatus status)
+{
+    switch (status) {
+      case TransactionStatus::Ok:
+        return "ok";
+      case TransactionStatus::RecoveredAfterRetry:
+        return "recovered-after-retry";
+      case TransactionStatus::DeadlineExceeded:
+        return "deadline-exceeded";
+    }
+    return "unknown";
+}
+
 HostInterface::HostInterface(const HostLink &link) : link_(link)
 {
     ARCHYTAS_ASSERT(link.bandwidth_bytes_per_s > 0.0 &&
                         link.word_bytes > 0,
                     "bad host link parameters");
+    ARCHYTAS_ASSERT(link.deadline_s > 0.0 &&
+                        link.backoff_initial_s >= 0.0 &&
+                        link.backoff_factor >= 1.0,
+                    "bad host link retry parameters");
 }
 
 HostTransaction
@@ -32,6 +50,61 @@ HostInterface::windowTransaction(const slam::WindowWorkload &workload,
     // trigger word (no extra transaction).
     t.total_seconds = bytes / link_.bandwidth_bytes_per_s +
                       2.0 * link_.transaction_overhead_s;
+    return t;
+}
+
+HostTransaction
+HostInterface::windowTransaction(const slam::WindowWorkload &workload,
+                                 bool config_changed,
+                                 std::size_t window_index,
+                                 const FaultPlan &faults) const
+{
+    HostTransaction t = windowTransaction(workload, config_changed);
+    const double nominal = t.total_seconds;
+
+    const FaultEvent *stall =
+        faults.find(window_index, FaultKind::DmaStall);
+    const FaultEvent *timeout =
+        faults.find(window_index, FaultKind::DmaTimeout);
+    if (stall == nullptr && timeout == nullptr)
+        return t;
+
+    // A stalled link slows every attempt of this window; a timeout
+    // makes the first `count` attempts miss the deadline outright. Both
+    // feed the same deadline / bounded-retry / exponential-backoff
+    // machinery, so a stall severe enough to blow the deadline on every
+    // attempt also exhausts the budget and forces the software
+    // fallback.
+    const double per_attempt =
+        stall != nullptr ? nominal * stall->magnitude : nominal;
+    const std::size_t forced_failures =
+        timeout != nullptr ? timeout->count : 0;
+
+    double elapsed = 0.0;
+    double backoff = link_.backoff_initial_s;
+    t.attempts = 0;
+    for (std::size_t attempt = 0; attempt <= link_.max_retries;
+         ++attempt) {
+        ++t.attempts;
+        const bool fails =
+            attempt < forced_failures || per_attempt > link_.deadline_s;
+        if (!fails) {
+            elapsed += per_attempt;
+            t.total_seconds = elapsed;
+            t.status = attempt == 0
+                           ? TransactionStatus::Ok
+                           : TransactionStatus::RecoveredAfterRetry;
+            return t;
+        }
+        // Abandoned at the deadline, then back off before retrying.
+        elapsed += link_.deadline_s;
+        if (attempt < link_.max_retries) {
+            elapsed += backoff;
+            backoff *= link_.backoff_factor;
+        }
+    }
+    t.total_seconds = elapsed;
+    t.status = TransactionStatus::DeadlineExceeded;
     return t;
 }
 

@@ -9,11 +9,18 @@
  * trigger, and the result DMA — so the end-to-end latency can include
  * the transfer cost and the run-time system's claim of "effectively no
  * overhead" is checkable rather than assumed.
+ *
+ * Transactions carry a deadline and a bounded exponential-backoff retry
+ * budget, so an injected DMA timeout or link stall (common/fault.hh)
+ * degrades the window's latency instead of hanging the loop; when the
+ * budget is exhausted the caller falls back to the software solver (see
+ * hw/hw_solver.hh and docs/ROBUSTNESS.md).
  */
 
 #ifndef ARCHYTAS_HW_HOST_INTERFACE_HH
 #define ARCHYTAS_HW_HOST_INTERFACE_HH
 
+#include "common/fault.hh"
 #include "hw/config.hh"
 #include "slam/state.hh"
 
@@ -28,7 +35,30 @@ struct HostLink
     double transaction_overhead_s = 4e-6;
     /** Word size on the link (bytes). */
     std::size_t word_bytes = 4;
+    /**
+     * Per-attempt completion deadline (s). An attempt that has not
+     * completed by the deadline is abandoned and retried; the deadline
+     * bounds how long a wedged link can stall the localization loop.
+     */
+    double deadline_s = 2e-3;
+    /** Retry budget after the first attempt. */
+    std::size_t max_retries = 3;
+    /** Backoff before the first retry (s); grows by backoff_factor. */
+    double backoff_initial_s = 50e-6;
+    double backoff_factor = 2.0;
 };
+
+/** How a window's host-FPGA exchange concluded. */
+enum class TransactionStatus
+{
+    Ok,                    //!< First attempt met the deadline.
+    RecoveredAfterRetry,   //!< Succeeded after one or more retries.
+    DeadlineExceeded,      //!< Retry budget exhausted; the caller must
+                           //!< fall back to the software solver.
+};
+
+/** Human-readable status name (for logs and HealthReports). */
+const char *transactionStatusName(TransactionStatus status);
 
 /** One window's transfer accounting. */
 struct HostTransaction
@@ -36,7 +66,13 @@ struct HostTransaction
     std::size_t input_words = 0;    //!< Features + observations in.
     std::size_t config_words = 0;   //!< 0 or 3 (nd, nm, s).
     std::size_t output_words = 0;   //!< State increments out.
+    /** Wall time including abandoned attempts and backoff waits. */
     double total_seconds = 0.0;
+    TransactionStatus status = TransactionStatus::Ok;
+    std::size_t attempts = 1;       //!< DMA attempts consumed.
+
+    /** True unless the retry budget was exhausted. */
+    bool ok() const { return status != TransactionStatus::DeadlineExceeded; }
 
     double
     totalMs() const
@@ -52,15 +88,30 @@ class HostInterface
     explicit HostInterface(const HostLink &link = {});
 
     /**
-     * Accounts one window's transaction.
+     * Accounts one window's transaction on a healthy link.
      *
      * @param workload      The window's feature/observation counts.
      * @param config_changed True when the gated (nd, nm, s) differs
      *                      from the previous window (Sec. 6.2: the
      *                      triple is only sent on change).
      */
-    HostTransaction windowTransaction(const slam::WindowWorkload &workload,
-                                      bool config_changed) const;
+    [[nodiscard]] HostTransaction
+    windowTransaction(const slam::WindowWorkload &workload,
+                      bool config_changed) const;
+
+    /**
+     * Fault-aware variant: applies any DmaTimeout / DmaStall event the
+     * plan schedules for this window, driving the deadline + retry +
+     * exponential-backoff machinery. Deterministic in the plan.
+     *
+     * @param window_index  Sliding-window index used to query the plan.
+     * @param faults        Fault schedule (an empty plan injects
+     *                      nothing and behaves like the 2-arg overload).
+     */
+    [[nodiscard]] HostTransaction
+    windowTransaction(const slam::WindowWorkload &workload,
+                      bool config_changed, std::size_t window_index,
+                      const FaultPlan &faults) const;
 
     /**
      * The reconfiguration cost in isolation: what the run-time system
@@ -69,6 +120,8 @@ class HostInterface
      * to the window's compute latency.
      */
     double reconfigurationSeconds() const;
+
+    const HostLink &link() const { return link_; }
 
   private:
     HostLink link_;

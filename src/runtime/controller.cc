@@ -24,9 +24,13 @@ TwoBitSaturatingCounter::update(bool high)
 
 RuntimeController::RuntimeController(
     IterTable table, std::array<hw::HwConfig, kMaxIterations> configs,
-    hw::HwConfig built)
-    : table_(std::move(table)), configs_(configs), built_(built)
+    hw::HwConfig built, std::size_t initial_iter)
+    : table_(std::move(table)), configs_(configs), built_(built),
+      current_iter_(initial_iter)
 {
+    ARCHYTAS_ASSERT(initial_iter >= 1 && initial_iter <= kMaxIterations,
+                    "initial Iter out of [1, ", kMaxIterations,
+                    "]: ", initial_iter);
     for (const auto &c : configs_) {
         ARCHYTAS_ASSERT(c.nd >= 1 && c.nm >= 1 && c.s >= 1,
                         "invalid memoized configuration");
@@ -39,7 +43,15 @@ RuntimeController::RuntimeController(
 ControllerDecision
 RuntimeController::onWindow(std::size_t feature_count)
 {
+    // Zero-feature windows carry no signal about the workload class;
+    // routing them through the table would read the feature-poor bucket
+    // (max Iter) and let a sensing fault steer the hardware.
+    if (feature_count == 0)
+        return onDegradedWindow();
+
     const std::size_t proposal = table_.lookup(feature_count);
+    ARCHYTAS_DCHECK(proposal >= 1 && proposal <= kMaxIterations,
+                    "table proposed Iter out of range: ", proposal);
 
     // Debounce (Sec. 6.2): Iter is adjusted only when the proposal maps
     // to a different value in two consecutive sliding windows.
@@ -66,7 +78,24 @@ RuntimeController::onWindow(std::size_t feature_count)
     }
 
     decision.iterations = current_iter_;
-    decision.gated = configs_[current_iter_ - 1];
+    decision.gated = currentConfig();
+    return decision;
+}
+
+ControllerDecision
+RuntimeController::onDegradedWindow()
+{
+    ++degraded_windows_;
+    // Hold: keep the gated configuration, clamp Iter for this window
+    // only, and reset the debounce so consecutive degraded windows
+    // cannot accumulate into a configuration change.
+    pending_direction_ = 0;
+    pending_count_ = 0;
+
+    ControllerDecision decision;
+    decision.iterations = std::min(current_iter_, kDegradedIterClamp);
+    decision.gated = currentConfig();
+    decision.held = true;
     return decision;
 }
 

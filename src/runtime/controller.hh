@@ -17,6 +17,7 @@
 #include <array>
 #include <cstddef>
 
+#include "common/contracts.hh"
 #include "hw/config.hh"
 #include "runtime/iter_table.hh"
 
@@ -48,6 +49,8 @@ struct ControllerDecision
     std::size_t iterations = kMaxIterations;  //!< Iter for this window.
     hw::HwConfig gated;                       //!< Gated configuration.
     bool reconfigured = false;  //!< Config differs from last window.
+    bool held = false;          //!< Degraded window: decision held, not
+                                //!< looked up (see onDegradedWindow).
 };
 
 /**
@@ -57,15 +60,26 @@ class RuntimeController
 {
   public:
     /**
+     * Iteration cap applied to degraded (e.g. zero-feature) windows:
+     * with no visual constraints, only the IMU and prior factors are
+     * active and the solve converges in one or two iterations, so
+     * burning the full Iter budget wastes energy without buying
+     * accuracy.
+     */
+    static constexpr std::size_t kDegradedIterClamp = 2;
+
+    /**
      * @param table    Offline-profiled feature-count -> Iter table.
      * @param configs  Memoized gated configuration per Iter value
      *                 (index 0 holds Iter = 1), each solved offline via
      *                 Eq. 18 and capped by the built design.
      * @param built    The statically synthesized configuration.
+     * @param initial_iter Starting Iter level, in [1, kMaxIterations].
      */
     RuntimeController(IterTable table,
                       std::array<hw::HwConfig, kMaxIterations> configs,
-                      hw::HwConfig built);
+                      hw::HwConfig built,
+                      std::size_t initial_iter = kMaxIterations);
 
     /**
      * Processes one window's front-end report.
@@ -73,16 +87,31 @@ class RuntimeController
      * The Iter proposal from the lookup table is debounced: Iter moves
      * one step toward the proposal only when two consecutive windows
      * propose a change in the same direction (the 2-bit counter of
-     * Sec. 6.2).
+     * Sec. 6.2). A zero-feature report is routed to the degraded-window
+     * policy instead of the table lookup.
      */
-    ControllerDecision onWindow(std::size_t feature_count);
+    [[nodiscard]] ControllerDecision onWindow(std::size_t feature_count);
+
+    /**
+     * Degraded-window policy (docs/ROBUSTNESS.md): a window the
+     * front-end or estimator flagged unhealthy (zero features, dropped
+     * frame, diverged solve) must not steer the controller. The gated
+     * configuration is held, Iter is clamped to kDegradedIterClamp for
+     * this window only, and the debounce state resets so a fault zone
+     * cannot accumulate into a configuration change.
+     */
+    [[nodiscard]] ControllerDecision onDegradedWindow();
 
     std::size_t currentIterations() const { return current_iter_; }
     const hw::HwConfig &currentConfig() const
     {
+        ARCHYTAS_DCHECK(current_iter_ >= 1 &&
+                            current_iter_ <= configs_.size(),
+                        "Iter out of range: ", current_iter_);
         return configs_[current_iter_ - 1];
     }
     std::size_t reconfigurations() const { return reconfigurations_; }
+    std::size_t degradedWindows() const { return degraded_windows_; }
 
   private:
     IterTable table_;
@@ -92,6 +121,7 @@ class RuntimeController
     int pending_direction_ = 0;   //!< -1, 0, +1.
     std::size_t pending_count_ = 0;
     std::size_t reconfigurations_ = 0;
+    std::size_t degraded_windows_ = 0;
 };
 
 } // namespace archytas::runtime

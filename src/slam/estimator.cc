@@ -35,7 +35,39 @@ triangulateDepth(const Pose &anchor, const Vec3 &bearing_a,
     return s;
 }
 
+/** Finite in every component? */
+bool
+finiteVec(const Vec3 &v)
+{
+    return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
+}
+
+bool
+finiteState(const KeyframeState &s)
+{
+    return finiteVec(s.pose.p) && finiteVec(s.velocity) &&
+           finiteVec(s.bias_gyro) && finiteVec(s.bias_accel) &&
+           std::isfinite(s.pose.q.w) && std::isfinite(s.pose.q.x) &&
+           std::isfinite(s.pose.q.y) && std::isfinite(s.pose.q.z);
+}
+
 } // namespace
+
+const char *
+recoveryActionName(RecoveryAction action)
+{
+    switch (action) {
+      case RecoveryAction::None:
+        return "none";
+      case RecoveryAction::EscalatedDamping:
+        return "escalated-damping";
+      case RecoveryAction::ResetToPrior:
+        return "reset-to-prior";
+      case RecoveryAction::SoftwareFallback:
+        return "software-fallback";
+    }
+    return "unknown";
+}
 
 SlidingWindowEstimator::SlidingWindowEstimator(const PinholeCamera &camera,
                                                const EstimatorOptions
@@ -53,7 +85,26 @@ SlidingWindowEstimator::setIterationController(
 }
 
 void
-SlidingWindowEstimator::addFrame(const dataset::FrameData &frame)
+SlidingWindowEstimator::setWindowSolver(WindowSolver solver)
+{
+    window_solver_ = std::move(solver);
+}
+
+bool
+SlidingWindowEstimator::windowFinite() const
+{
+    for (const KeyframeState &s : keyframes_)
+        if (!finiteState(s))
+            return false;
+    for (const Feature &f : features_)
+        if (!std::isfinite(f.inverse_depth))
+            return false;
+    return true;
+}
+
+void
+SlidingWindowEstimator::addFrame(const dataset::FrameData &frame,
+                                 HealthReport &health)
 {
     KeyframeState state;
     if (!bootstrapped_) {
@@ -93,7 +144,31 @@ SlidingWindowEstimator::addFrame(const dataset::FrameData &frame)
         const KeyframeState &last = keyframes_.back();
         auto preint = std::make_shared<ImuPreintegration>(
             last.bias_gyro, last.bias_accel, options_.imu_noise);
-        preint->integrateAll(frame.imu);
+        if (frame.imu.empty()) {
+            // IMU gap: the samples covering this interval were lost.
+            // Bridge with one constant-velocity pseudo-sample (gyro 0,
+            // specific force cancelling gravity in the body frame) so
+            // the inter-frame factor stays well-posed -- but inflate the
+            // preintegration noise so the fabricated measurement is
+            // weakly weighted and the visual factors dominate the
+            // window; the frame is flagged degraded.
+            health.imu_gap = true;
+            ImuNoise inflated = options_.imu_noise;
+            inflated.gyro_noise *= options_.imu_gap_noise_inflation;
+            inflated.accel_noise *= options_.imu_gap_noise_inflation;
+            preint = std::make_shared<ImuPreintegration>(
+                last.bias_gyro, last.bias_accel, inflated);
+            double dt = frame.timestamp - last.timestamp;
+            if (!(dt > 0.0))
+                dt = 0.1;
+            ImuSample bridge;
+            bridge.dt = dt;
+            bridge.accel =
+                last.pose.q.conjugate().rotate(-gravityVector());
+            preint->integrate(bridge);
+        } else {
+            preint->integrateAll(frame.imu);
+        }
 
         const Mat3 ri = last.pose.q.toRotationMatrix();
         const double dt = preint->dt();
@@ -221,13 +296,63 @@ SlidingWindowEstimator::slideWindow()
     last_marginalized_features_ = marg.marginalized_features;
 }
 
+LmReport
+SlidingWindowEstimator::solveWithRecovery(WindowProblem &problem,
+                                          const LmOptions &lm,
+                                          HealthReport &health)
+{
+    // The prediction the window entered the solve with; restoring it is
+    // always safe because it is consistent with the marginalization
+    // prior (it was dead-reckoned from the prior-anchored states).
+    const WindowProblem::Snapshot prediction = problem.snapshot();
+
+    LmReport report = window_solver_
+                          ? window_solver_(problem, lm, health)
+                          : solveWindow(problem, lm);
+    health.nonfinite_step = health.nonfinite_step ||
+                            report.non_finite_cost;
+
+    if (!options_.recovery_enabled)
+        return report;
+    const bool unhealthy = report.diverged || !windowFinite();
+    if (!unhealthy)
+        return report;
+
+    // Rung 1: discard the damage, re-linearize from the prediction and
+    // re-solve in software with escalated damping.
+    health.solver_diverged = true;
+    health.degraded = true;
+    problem.restore(prediction);
+    LmOptions retry = lm;
+    retry.lambda_init = lm.lambda_init * options_.recovery_lambda_boost;
+    const LmReport second = solveWindow(problem, retry);
+    if (!second.diverged && windowFinite()) {
+        health.action = RecoveryAction::EscalatedDamping;
+        return second;
+    }
+
+    // Rung 2: give up on this window's solve; keep the prior-consistent
+    // prediction so the output stays finite and the next window starts
+    // from a sane linearization point.
+    problem.restore(prediction);
+    health.action = RecoveryAction::ResetToPrior;
+    return report;
+}
+
 FrameResult
 SlidingWindowEstimator::processFrame(const dataset::FrameData &frame)
 {
-    addFrame(frame);
+    FrameResult result;
+    if (bootstrapped_ && frame.observations.empty()) {
+        // Camera frame lost (or the front-end delivered nothing): the
+        // window gets no new visual constraints this frame.
+        result.health.dropped_frame = true;
+        result.health.degraded = true;
+    }
+
+    addFrame(frame, result.health);
     initializeFeatureDepths();
 
-    FrameResult result;
     result.timestamp = frame.timestamp;
     result.ground_truth = frame.ground_truth.pose;
 
@@ -250,16 +375,30 @@ SlidingWindowEstimator::processFrame(const dataset::FrameData &frame)
             : 0.0;
 
     if (keyframes_.size() >= 3) {
+        if (informative_features == 0) {
+            // Zero-feature window: only IMU and prior factors constrain
+            // the solve; the output drifts at dead-reckoning rate.
+            result.health.zero_features = true;
+            result.health.degraded = true;
+        }
+
         LmOptions lm = options_.lm;
-        if (controller_)
-            lm.max_iterations = controller_(informative_features);
-        else if (options_.forced_iterations > 0)
+        if (controller_) {
+            // A sensing-fault window must not steer the controller's
+            // debounce; report it as zero features so the controller
+            // applies its degraded-window hold policy.
+            const bool sensing_fault = result.health.dropped_frame ||
+                                       result.health.zero_features;
+            lm.max_iterations =
+                controller_(sensing_fault ? 0 : informative_features);
+        } else if (options_.forced_iterations > 0) {
             lm.max_iterations = options_.forced_iterations;
+        }
 
         WindowProblem problem(camera_, keyframes_, features_, preints_,
                               prior_, options_.pixel_sigma,
                               options_.huber_delta);
-        result.lm_report = solveWindow(problem, lm);
+        result.lm_report = solveWithRecovery(problem, lm, result.health);
         result.optimized = true;
         result.workload.nls_iterations = result.lm_report.iterations;
     }

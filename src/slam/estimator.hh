@@ -64,6 +64,67 @@ struct EstimatorOptions
     double origin_prior_bias_weight = 1e6;
     /** Fix Iter per window externally (the run-time knob); 0 = use lm. */
     std::size_t forced_iterations = 0;
+    /**
+     * Divergence recovery (docs/ROBUSTNESS.md): when a solve diverges
+     * or leaves non-finite state, re-linearize from the prediction with
+     * escalated damping, and if that fails too, discard the solve and
+     * keep the prior-consistent prediction.
+     */
+    bool recovery_enabled = true;
+    /** Damping escalation applied to the recovery re-solve. */
+    double recovery_lambda_boost = 1e4;
+    /**
+     * Noise-density inflation applied to the pseudo-sample bridging an
+     * IMU gap: the fabricated constant-velocity measurement keeps the
+     * inter-frame factor well-posed but must not be trusted like a real
+     * one, or it drags the window toward the wrong motion.
+     */
+    double imu_gap_noise_inflation = 50.0;
+};
+
+/** What the recovery layer did to a frame (docs/ROBUSTNESS.md). */
+enum class RecoveryAction
+{
+    None,
+    /** Solve discarded once, re-run from the prediction with escalated
+     *  LM damping (in software). */
+    EscalatedDamping,
+    /** Solve discarded entirely; the window keeps the dead-reckoned,
+     *  marginalization-prior-consistent prediction. */
+    ResetToPrior,
+    /** Hardware window solve abandoned (DMA retry budget exhausted);
+     *  the window was solved by the software path instead. */
+    SoftwareFallback,
+};
+
+/** Human-readable recovery-action name. */
+const char *recoveryActionName(RecoveryAction action);
+
+/** Per-frame health: faults seen, recovery taken, quality flag. */
+struct HealthReport
+{
+    // Faults observed on this frame.
+    bool dropped_frame = false;  //!< No visual observations arrived.
+    bool imu_gap = false;        //!< No IMU samples covered the interval.
+    bool zero_features = false;  //!< No informative features in the window.
+    bool dma_degraded = false;   //!< Host link retried or timed out.
+    bool nonfinite_step = false; //!< A solver step went non-finite and
+                                 //!< was rejected (e.g. result bit-flip).
+    bool solver_diverged = false;//!< The NLS solve diverged.
+    bool hw_fallback = false;    //!< Window solved in software after a
+                                 //!< hardware-path failure.
+
+    RecoveryAction action = RecoveryAction::None;
+    /** Output quality reduced this frame (recovery or sensing fault). */
+    bool degraded = false;
+
+    bool
+    anyFault() const
+    {
+        return dropped_frame || imu_gap || zero_features ||
+               dma_degraded || nonfinite_step || solver_diverged ||
+               hw_fallback;
+    }
 };
 
 /** Per-frame output of the estimator. */
@@ -76,6 +137,7 @@ struct FrameResult
     double rotation_error = 0.0;   //!< Geodesic rotation error (rad).
     WindowWorkload workload;
     LmReport lm_report;
+    HealthReport health;           //!< Faults and recovery this frame.
     bool optimized = false;        //!< False during bootstrap.
 };
 
@@ -95,17 +157,36 @@ class SlidingWindowEstimator
     /**
      * Optional per-window iteration controller: called before each
      * optimization with the feature count, returns the iteration cap to
-     * use for this window (the paper's run-time knob). Overrides
-     * forced_iterations when set.
+     * use for this window (the paper's run-time knob). Windows carrying
+     * a sensing fault (dropped frame, zero features) report a count of
+     * zero so the controller can apply its degraded-window policy.
+     * Overrides forced_iterations when set.
      */
     using IterationController = std::function<std::size_t(std::size_t)>;
     void setIterationController(IterationController controller);
+
+    /**
+     * Pluggable per-window solve backend (e.g. the simulated
+     * accelerator behind the host link, hw/hw_solver.hh). The backend
+     * runs the NLS solve and may record faults/fallbacks in the health
+     * report; the estimator's divergence-recovery ladder wraps whatever
+     * backend is installed. Empty = plain software solveWindow.
+     */
+    using WindowSolver = std::function<LmReport(
+        WindowProblem &, const LmOptions &, HealthReport &)>;
+    void setWindowSolver(WindowSolver solver);
 
     const std::vector<KeyframeState> &window() const { return keyframes_; }
     const PriorFactor &prior() const { return prior_; }
 
   private:
-    void addFrame(const dataset::FrameData &frame);
+    void addFrame(const dataset::FrameData &frame, HealthReport &health);
+    /** All window states (poses, velocities, biases, depths) finite? */
+    bool windowFinite() const;
+    /** Runs the solve plus the divergence-recovery ladder. */
+    [[nodiscard]] LmReport
+    solveWithRecovery(WindowProblem &problem, const LmOptions &lm,
+                      HealthReport &health);
     void slideWindow();
     /** Triangulates and initializes the inverse depth of new features. */
     void initializeFeatureDepths();
@@ -114,6 +195,7 @@ class SlidingWindowEstimator
     PinholeCamera camera_;
     EstimatorOptions options_;
     IterationController controller_;
+    WindowSolver window_solver_;
 
     std::vector<KeyframeState> keyframes_;
     std::vector<std::shared_ptr<ImuPreintegration>> preints_;

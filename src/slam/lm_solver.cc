@@ -69,7 +69,8 @@ solveBlockedSystem(const NormalEquations &eq, double lambda,
 }
 
 LmReport
-solveWindow(WindowProblem &problem, const LmOptions &options)
+solveWindow(WindowProblem &problem, const LmOptions &options,
+            const LinearSolver &solver)
 {
     LmReport report;
     double lambda = options.lambda_init;
@@ -78,19 +79,36 @@ solveWindow(WindowProblem &problem, const LmOptions &options)
     report.initial_cost = eq.cost;
     double cost = eq.cost;
 
+    if (!std::isfinite(cost)) {
+        // The linearization point itself is corrupt: nothing to
+        // optimize here; the estimator's recovery layer must reset the
+        // window.
+        report.non_finite_cost = true;
+        report.diverged = true;
+        report.final_cost = cost;
+        return report;
+    }
+
     for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
         ++report.iterations;
         bool accepted = false;
 
         for (std::size_t retry = 0; retry < options.max_retries; ++retry) {
             linalg::Vector dy, dx;
-            if (!solveBlockedSystem(eq, lambda, dy, dx)) {
+            const bool solved = solver
+                                    ? solver(eq, lambda, dy, dx)
+                                    : solveBlockedSystem(eq, lambda, dy,
+                                                         dx);
+            if (!solved) {
+                ++report.cholesky_failures;
                 lambda *= options.lambda_up;
                 continue;
             }
             const auto snap = problem.snapshot();
             problem.applyDelta(dy, dx);
             const double new_cost = problem.evaluateCost();
+            if (!std::isfinite(new_cost))
+                report.non_finite_cost = true;
             if (std::isfinite(new_cost) && new_cost < cost) {
                 const double rel = (cost - new_cost) / std::max(cost, 1e-12);
                 cost = new_cost;
@@ -119,6 +137,14 @@ solveWindow(WindowProblem &problem, const LmOptions &options)
     }
 
     report.final_cost = cost;
+    // Divergence: the accepted-step discipline above never raises the
+    // cost, so this only fires when a corrupted inner solve (e.g. an
+    // injected result bit-flip that slipped past step rejection) or a
+    // corrupt linearization left the state inconsistent.
+    report.diverged =
+        !std::isfinite(cost) ||
+        cost > report.initial_cost * options.divergence_cost_factor +
+                   1e-12;
     return report;
 }
 

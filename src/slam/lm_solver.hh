@@ -11,6 +11,7 @@
 #ifndef ARCHYTAS_SLAM_LM_SOLVER_HH
 #define ARCHYTAS_SLAM_LM_SOLVER_HH
 
+#include <functional>
 #include <vector>
 
 #include "slam/window_problem.hh"
@@ -32,6 +33,12 @@ struct LmOptions
     double rel_cost_tol = 1e-6;
     /** Max damping retries within one iteration before giving up. */
     std::size_t max_retries = 8;
+    /**
+     * Divergence threshold: a final cost beyond this factor of the
+     * initial cost (or a non-finite one) marks the solve diverged, which
+     * triggers the estimator's recovery ladder (docs/ROBUSTNESS.md).
+     */
+    double divergence_cost_factor = 1e3;
 };
 
 /** Outcome of one LM solve. */
@@ -42,10 +49,36 @@ struct LmReport
     double final_cost = 0.0;
     bool converged = false;           //!< Hit the tolerance before the cap.
     std::vector<double> cost_history; //!< Cost after every iteration.
+
+    // Solver-health signals consumed by the recovery layer.
+    std::size_t cholesky_failures = 0; //!< Non-PSD reduced systems hit.
+    bool non_finite_cost = false;      //!< A trial step produced NaN/inf
+                                       //!< cost (step rejected).
+    bool diverged = false;             //!< Cost exploded or went
+                                       //!< non-finite; state is suspect.
+
+    /** True when the recovery layer should intervene. */
+    bool healthy() const { return !diverged; }
 };
 
-/** Runs LM on the window problem, mutating its states in place. */
-LmReport solveWindow(WindowProblem &problem, const LmOptions &options);
+/**
+ * The inner linear solve of one damped LM step. The default is
+ * solveBlockedSystem; the hardware path substitutes the accelerator
+ * datapath behind the host link (hw/hw_solver.hh), which is also where
+ * result-word fault injection hooks in.
+ */
+using LinearSolver = std::function<bool(
+    const NormalEquations &, double, linalg::Vector &, linalg::Vector &)>;
+
+/**
+ * Runs LM on the window problem, mutating its states in place.
+ *
+ * @param solver Optional replacement for the inner blocked solve; when
+ *               empty, solveBlockedSystem is used.
+ */
+[[nodiscard]] LmReport solveWindow(WindowProblem &problem,
+                                   const LmOptions &options,
+                                   const LinearSolver &solver = {});
 
 /**
  * One damped Schur-eliminated solve of the blocked system; exposed so the

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
 #include "baseline/mini_solver.hh"
 #include "common/rng.hh"
@@ -134,7 +135,7 @@ TEST(MiniSolver, ConstantBlocksStayFixed)
         std::vector<int> sizes_;
     };
     problem.addResidualBlock(std::make_shared<Sum>(), {&x, &y});
-    solve(problem);
+    std::ignore = solve(problem);
     EXPECT_DOUBLE_EQ(x, 1.0);
     EXPECT_NEAR(y, 9.0, 1e-9);
 }
@@ -157,7 +158,7 @@ TEST(MiniSolver, MultithreadedMatchesSingleThreaded)
         }
         SolveOptions opt;
         opt.num_threads = params == p1 ? 1 : 4;
-        solve(problem, opt);
+        std::ignore = solve(problem, opt);
     }
     (void)rng;
     EXPECT_NEAR(p1[0], p2[0], 1e-9);
@@ -199,7 +200,7 @@ TEST(MiniSolver, NoFreeParametersDies)
     problem.addParameterBlock(&x, 1);
     problem.setParameterBlockConstant(&x);
     problem.addResidualBlock(std::make_shared<PointResidual>(1.0), {&x});
-    EXPECT_DEATH(solve(problem), "no free parameters");
+    EXPECT_DEATH(std::ignore = solve(problem), "no free parameters");
 }
 
 } // namespace

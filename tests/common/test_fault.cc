@@ -1,0 +1,154 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.hh"
+
+namespace archytas {
+namespace {
+
+TEST(FaultPlan, EmptyPlanInjectsNothing)
+{
+    const FaultPlan plan;
+    EXPECT_TRUE(plan.empty());
+    EXPECT_EQ(plan.eventCount(), 0u);
+    for (std::size_t w = 0; w < 100; ++w) {
+        EXPECT_FALSE(plan.has(w, FaultKind::DmaTimeout));
+        EXPECT_TRUE(plan.at(w).empty());
+    }
+}
+
+TEST(FaultPlan, EventsAreSortedByWindow)
+{
+    const FaultPlan plan(7, {{30, FaultKind::BitFlip, 1, 0.0},
+                             {10, FaultKind::DroppedFrame, 1, 0.0},
+                             {20, FaultKind::ImuGap, 1, 0.0}});
+    ASSERT_EQ(plan.eventCount(), 3u);
+    EXPECT_EQ(plan.events()[0].window, 10u);
+    EXPECT_EQ(plan.events()[1].window, 20u);
+    EXPECT_EQ(plan.events()[2].window, 30u);
+}
+
+TEST(FaultPlan, FindMatchesExactWindowForPointEvents)
+{
+    const FaultPlan plan(7, {{5, FaultKind::DmaTimeout, 3, 0.0}});
+    // count parameterizes the event (failing attempts); it does not
+    // spread the event over following windows.
+    EXPECT_TRUE(plan.has(5, FaultKind::DmaTimeout));
+    EXPECT_FALSE(plan.has(6, FaultKind::DmaTimeout));
+    EXPECT_FALSE(plan.has(5, FaultKind::DmaStall));
+    const FaultEvent *e = plan.find(5, FaultKind::DmaTimeout);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->count, 3u);
+}
+
+TEST(FaultPlan, ZeroFeatureEventSpansItsCount)
+{
+    const FaultPlan plan(7, {{4, FaultKind::ZeroFeatures, 3, 0.0}});
+    EXPECT_FALSE(plan.has(3, FaultKind::ZeroFeatures));
+    EXPECT_TRUE(plan.has(4, FaultKind::ZeroFeatures));
+    EXPECT_TRUE(plan.has(6, FaultKind::ZeroFeatures));
+    EXPECT_FALSE(plan.has(7, FaultKind::ZeroFeatures));
+    // at() reports the anchor window only.
+    EXPECT_EQ(plan.at(4).size(), 1u);
+    EXPECT_TRUE(plan.at(5).empty());
+}
+
+TEST(FaultPlan, RngStreamIsDeterministicAndOrderFree)
+{
+    const FaultEvent a{3, FaultKind::BitFlip, 2, 0.0};
+    const FaultEvent b{3, FaultKind::OutlierBurst, 1, 0.5};
+    const FaultPlan plan(42, {a, b});
+
+    Rng first = plan.rngFor(a);
+    Rng again = plan.rngFor(a);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(first.uniformInt(0, 1 << 20),
+                  again.uniformInt(0, 1 << 20));
+
+    // Distinct events at the same window get distinct streams.
+    Rng other = plan.rngFor(b);
+    Rng base = plan.rngFor(a);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= base.uniformInt(0, 1 << 20) !=
+                    other.uniformInt(0, 1 << 20);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultPlan, DifferentSeedsGiveDifferentStreams)
+{
+    const FaultEvent e{3, FaultKind::BitFlip, 1, 0.0};
+    Rng x = FaultPlan(1, {e}).rngFor(e);
+    Rng y = FaultPlan(2, {e}).rngFor(e);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= x.uniformInt(0, 1 << 20) != y.uniformInt(0, 1 << 20);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultPlan, RandomizedIsDeterministicInTheSeed)
+{
+    FaultPlan::RandomRates rates;
+    rates.dma_timeout = 0.2;
+    rates.dropped_frame = 0.1;
+    rates.outlier_burst = 0.15;
+    const FaultPlan a = FaultPlan::randomized(99, 200, rates);
+    const FaultPlan b = FaultPlan::randomized(99, 200, rates);
+    ASSERT_EQ(a.eventCount(), b.eventCount());
+    for (std::size_t i = 0; i < a.eventCount(); ++i) {
+        EXPECT_EQ(a.events()[i].window, b.events()[i].window);
+        EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+        EXPECT_EQ(a.events()[i].count, b.events()[i].count);
+    }
+    EXPECT_GT(a.eventCount(), 0u);
+}
+
+TEST(FaultPlan, RandomizedRatesRoughlyHold)
+{
+    FaultPlan::RandomRates rates;
+    rates.imu_gap = 0.25;
+    const FaultPlan plan = FaultPlan::randomized(7, 4000, rates);
+    const double rate =
+        static_cast<double>(plan.eventCount()) / 4000.0;
+    EXPECT_NEAR(rate, 0.25, 0.03);
+    for (const FaultEvent &e : plan.events())
+        EXPECT_EQ(e.kind, FaultKind::ImuGap);
+}
+
+TEST(FaultPlan, ToStringNamesEveryEvent)
+{
+    const FaultPlan plan(7, {{1, FaultKind::DmaStall, 1, 8.0},
+                             {2, FaultKind::OutlierBurst, 1, 0.4}});
+    const std::string s = plan.toString();
+    EXPECT_NE(s.find("dma-stall"), std::string::npos);
+    EXPECT_NE(s.find("outlier-burst"), std::string::npos);
+    EXPECT_NE(s.find("window 1"), std::string::npos);
+}
+
+TEST(FaultPlan, RejectsMalformedEvents)
+{
+    EXPECT_DEATH(FaultPlan(1, {{0, FaultKind::BitFlip, 0, 0.0}}),
+                 "count");
+    EXPECT_DEATH(FaultPlan(1, {{0, FaultKind::DmaStall, 1, -1.0}}),
+                 "non-negative");
+    EXPECT_DEATH(FaultPlan(1, {{0, FaultKind::OutlierBurst, 1, 1.5}}),
+                 "fraction");
+}
+
+TEST(FaultKindName, CoversAllKinds)
+{
+    const std::set<std::string> names{
+        faultKindName(FaultKind::DmaTimeout),
+        faultKindName(FaultKind::DmaStall),
+        faultKindName(FaultKind::BitFlip),
+        faultKindName(FaultKind::DroppedFrame),
+        faultKindName(FaultKind::ImuGap),
+        faultKindName(FaultKind::ZeroFeatures),
+        faultKindName(FaultKind::OutlierBurst)};
+    EXPECT_EQ(names.size(), 7u);   // All distinct, none "unknown".
+    EXPECT_EQ(names.count("unknown"), 0u);
+}
+
+} // namespace
+} // namespace archytas

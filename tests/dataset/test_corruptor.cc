@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "dataset/corruptor.hh"
+
+namespace archytas::dataset {
+namespace {
+
+Sequence
+shortSequence()
+{
+    SequenceConfig cfg;
+    cfg.duration = 3.0;
+    cfg.landmarks = 600;
+    cfg.max_features_per_frame = 40;
+    cfg.density_modulation = 0.0;
+    cfg.seed = 17;
+    return makeKittiLikeSequence(cfg);
+}
+
+TEST(Corruptor, EmptyPlanIsIdentity)
+{
+    const Sequence seq = shortSequence();
+    const auto frames = corruptFrames(seq, FaultPlan{});
+    ASSERT_EQ(frames.size(), seq.frameCount());
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        EXPECT_EQ(frames[i].observations.size(),
+                  seq.frame(i).observations.size());
+        EXPECT_EQ(frames[i].imu.size(), seq.frame(i).imu.size());
+        EXPECT_DOUBLE_EQ(frames[i].timestamp, seq.frame(i).timestamp);
+    }
+}
+
+TEST(Corruptor, DroppedFrameClearsOnlyThatFramesObservations)
+{
+    const Sequence seq = shortSequence();
+    const FaultPlan plan(1, {{5, FaultKind::DroppedFrame, 1, 0.0}});
+    const auto frames = corruptFrames(seq, plan);
+    EXPECT_TRUE(frames[5].observations.empty());
+    EXPECT_FALSE(frames[5].imu.empty());   // IMU unaffected.
+    EXPECT_EQ(frames[4].observations.size(),
+              seq.frame(4).observations.size());
+    EXPECT_EQ(frames[6].observations.size(),
+              seq.frame(6).observations.size());
+}
+
+TEST(Corruptor, ZeroFeatureZoneSpansItsCount)
+{
+    const Sequence seq = shortSequence();
+    const FaultPlan plan(1, {{3, FaultKind::ZeroFeatures, 4, 0.0}});
+    const auto frames = corruptFrames(seq, plan);
+    for (std::size_t i = 3; i < 7; ++i)
+        EXPECT_TRUE(frames[i].observations.empty()) << "frame " << i;
+    EXPECT_FALSE(frames[2].observations.empty());
+    EXPECT_FALSE(frames[7].observations.empty());
+}
+
+TEST(Corruptor, ImuGapClearsInertialSamplesOnly)
+{
+    const Sequence seq = shortSequence();
+    const FaultPlan plan(1, {{8, FaultKind::ImuGap, 1, 0.0}});
+    const auto frames = corruptFrames(seq, plan);
+    EXPECT_TRUE(frames[8].imu.empty());
+    EXPECT_EQ(frames[8].observations.size(),
+              seq.frame(8).observations.size());
+    EXPECT_FALSE(frames[7].imu.empty());
+    EXPECT_FALSE(frames[9].imu.empty());
+}
+
+TEST(Corruptor, OutlierBurstMovesTheRequestedFraction)
+{
+    const Sequence seq = shortSequence();
+    const FaultPlan plan(1, {{6, FaultKind::OutlierBurst, 1, 0.5}});
+    const auto frames = corruptFrames(seq, plan);
+    const auto &clean = seq.frame(6).observations;
+    const auto &dirty = frames[6].observations;
+    ASSERT_EQ(dirty.size(), clean.size());
+    ASSERT_GT(clean.size(), 4u);
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        if (clean[i].pixel.u != dirty[i].pixel.u ||
+            clean[i].pixel.v != dirty[i].pixel.v)
+            ++moved;
+        // Track ids survive: the burst models wrong correspondences,
+        // not lost tracks.
+        EXPECT_EQ(clean[i].track_id, dirty[i].track_id);
+        // Corrupted pixels stay inside the image.
+        EXPECT_GE(dirty[i].pixel.u, 0.0);
+        EXPECT_LE(dirty[i].pixel.u, seq.camera().width);
+        EXPECT_GE(dirty[i].pixel.v, 0.0);
+        EXPECT_LE(dirty[i].pixel.v, seq.camera().height);
+    }
+    // Random picks can collide, so moved <= ceil(0.5 n); it must still
+    // be a substantial fraction.
+    EXPECT_GT(moved, clean.size() / 4);
+    EXPECT_LE(moved, (clean.size() + 1) / 2 + 1);
+}
+
+TEST(Corruptor, CorruptionIsDeterministic)
+{
+    const Sequence seq = shortSequence();
+    const FaultPlan plan(9, {{2, FaultKind::OutlierBurst, 1, 0.3}});
+    const auto a = corruptFrames(seq, plan);
+    const auto b = corruptFrames(seq, plan);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        for (std::size_t j = 0; j < a[i].observations.size(); ++j) {
+            EXPECT_DOUBLE_EQ(a[i].observations[j].pixel.u,
+                             b[i].observations[j].pixel.u);
+            EXPECT_DOUBLE_EQ(a[i].observations[j].pixel.v,
+                             b[i].observations[j].pixel.v);
+        }
+}
+
+} // namespace
+} // namespace archytas::dataset

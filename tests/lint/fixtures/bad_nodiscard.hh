@@ -1,0 +1,26 @@
+// lint-expect: nodiscard-status
+#ifndef ARCHYTAS_LINT_FIXTURES_BAD_NODISCARD_HH
+#define ARCHYTAS_LINT_FIXTURES_BAD_NODISCARD_HH
+
+// Status-returning declarations missing [[nodiscard]], in both repo
+// styles (single-line and split return type). The annotated overload
+// and the reference accessor must NOT trigger the rule.
+
+struct LmReport
+{
+    bool diverged = false;
+};
+
+LmReport solveEverything(int window);
+
+LmReport
+solveAgain(int window);
+
+[[nodiscard]] LmReport solveChecked(int window);
+
+[[nodiscard]] LmReport
+solveCheckedSplit(int window);
+
+const LmReport &lastReport();
+
+#endif // ARCHYTAS_LINT_FIXTURES_BAD_NODISCARD_HH

@@ -1,3 +1,5 @@
+#include <tuple>
+
 #include <gtest/gtest.h>
 
 #include "runtime/controller.hh"
@@ -119,8 +121,9 @@ TEST(RuntimeController, OutlierWindowDoesNotThrash)
 {
     RuntimeController ctl(IterTable({100, SIZE_MAX}, {6, 2}),
                           monotoneConfigs(), {28, 19, 97});
-    ctl.onWindow(500);    // Pending down.
-    ctl.onWindow(50);     // Interrupted by a feature-poor window.
+    std::ignore = ctl.onWindow(500);   // Pending down.
+    std::ignore = ctl.onWindow(50);    // Interrupted by a feature-poor
+                                       // window.
     const auto d = ctl.onWindow(50);
     EXPECT_EQ(d.iterations, 6u);
     EXPECT_EQ(ctl.reconfigurations(), 0u);
@@ -131,7 +134,7 @@ TEST(RuntimeController, ConvergesToTableLevel)
     RuntimeController ctl(IterTable({100, SIZE_MAX}, {6, 2}),
                           monotoneConfigs(), {28, 19, 97});
     for (int i = 0; i < 20; ++i)
-        ctl.onWindow(500);
+        std::ignore = ctl.onWindow(500);
     EXPECT_EQ(ctl.currentIterations(), 2u);
 }
 
@@ -154,6 +157,66 @@ TEST(RuntimeController, OversizedMemoizedConfigDies)
     EXPECT_DEATH(RuntimeController(IterTable::alwaysMax(), configs,
                                    {28, 19, 97}),
                  "exceeds");
+}
+
+TEST(RuntimeController, ZeroFeatureWindowHoldsConfigAndClampsIter)
+{
+    RuntimeController ctl(IterTable({100, SIZE_MAX}, {6, 2}),
+                          monotoneConfigs(), {28, 19, 97});
+    const auto d = ctl.onWindow(0);
+    EXPECT_TRUE(d.held);
+    EXPECT_FALSE(d.reconfigured);
+    EXPECT_EQ(d.iterations, RuntimeController::kDegradedIterClamp);
+    EXPECT_EQ(d.gated, monotoneConfigs()[5]);   // Config held at Iter 6.
+    // The clamp is per-window: the controller's own level is unchanged.
+    EXPECT_EQ(ctl.currentIterations(), 6u);
+    EXPECT_EQ(ctl.degradedWindows(), 1u);
+}
+
+TEST(RuntimeController, DegradedWindowsResetTheDebounce)
+{
+    RuntimeController ctl(IterTable({100, SIZE_MAX}, {6, 2}),
+                          monotoneConfigs(), {28, 19, 97});
+    std::ignore = ctl.onWindow(500);          // Pending down.
+    std::ignore = ctl.onDegradedWindow();     // Fault: debounce resets.
+    std::ignore = ctl.onWindow(500);          // Pending down again...
+    const auto d = ctl.onWindow(500);         // ...second agreeing.
+    EXPECT_EQ(d.iterations, 5u);
+    EXPECT_EQ(ctl.reconfigurations(), 1u);
+}
+
+TEST(RuntimeController, LongFaultZoneNeverReconfigures)
+{
+    RuntimeController ctl(IterTable({100, SIZE_MAX}, {6, 2}),
+                          monotoneConfigs(), {28, 19, 97});
+    for (int i = 0; i < 10; ++i) {
+        const auto d = ctl.onWindow(0);
+        EXPECT_TRUE(d.held);
+    }
+    EXPECT_EQ(ctl.reconfigurations(), 0u);
+    EXPECT_EQ(ctl.currentIterations(), 6u);
+    EXPECT_EQ(ctl.degradedWindows(), 10u);
+}
+
+TEST(RuntimeController, DegradedClampNeverRaisesIter)
+{
+    // At a level below the clamp, a degraded window must not raise the
+    // iteration count.
+    RuntimeController ctl(IterTable({100, SIZE_MAX}, {6, 1}),
+                          monotoneConfigs(), {28, 19, 97}, 1);
+    const auto d = ctl.onDegradedWindow();
+    EXPECT_EQ(d.iterations, 1u);
+}
+
+TEST(RuntimeController, OutOfRangeInitialIterDies)
+{
+    EXPECT_DEATH(RuntimeController(IterTable::alwaysMax(),
+                                   monotoneConfigs(), {28, 19, 97}, 0),
+                 "initial Iter");
+    EXPECT_DEATH(RuntimeController(IterTable::alwaysMax(),
+                                   monotoneConfigs(), {28, 19, 97},
+                                   kMaxIterations + 1),
+                 "initial Iter");
 }
 
 } // namespace

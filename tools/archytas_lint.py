@@ -18,6 +18,13 @@ Rules (each has a stable id used in waivers and the self-test fixtures):
                    ARCHYTAS_<PATH>_<FILE>_HH matching their path.
   hw-test-pairing  Every translation unit src/hw/<name>.cc has a matching
                    tests/hw/test_<name>.cc.
+  nodiscard-status Functions declared in src/ headers that return a
+                   status-carrying type by value (HostTransaction,
+                   TransactionStatus, LmReport, SolveSummary,
+                   ControllerDecision) must be marked [[nodiscard]]:
+                   silently dropping one of these hides a failed DMA
+                   transaction, a diverged solve, or a controller
+                   decision. Reference-returning accessors are exempt.
 
 A line may carry an explicit waiver comment `// lint:allow(<rule-id>)`
 when a violation is intentional; waivers are counted and reported.
@@ -50,6 +57,19 @@ BANNED_RANDOM_RE = re.compile(
 FLOAT_LOOP_RE = re.compile(
     r"for\s*\(\s*(?:const\s+)?(?:double|float)\s+\w+\s*=")
 GUARD_IFNDEF_RE = re.compile(r"^#ifndef\s+(\w+)\s*$", re.MULTILINE)
+
+STATUS_TYPES = ("TransactionStatus", "HostTransaction", "LmReport",
+                "SolveSummary", "ControllerDecision")
+_STATUS = r"(?:\w+\s*::\s*)?(?:" + "|".join(STATUS_TYPES) + r")"
+# `LmReport solveWindow(...)` on one line: a status type returned by
+# value followed by the function name and its parameter list.
+STATUS_DECL_RE = re.compile(
+    r"(?:^|[(,;{]|\s)" + _STATUS + r"\s+(?!operator)\w+\s*\(")
+# Repo style splits long declarations: the return type ends one line and
+# the function name opens the next.
+STATUS_TAIL_RE = re.compile(r"(?:^|\s)" + _STATUS + r"\s*$")
+NEXT_NAME_RE = re.compile(r"^\s*\w+\s*\(")
+NODISCARD_RE = re.compile(r"\[\[\s*nodiscard\s*\]\]")
 
 
 class Violation:
@@ -170,6 +190,24 @@ def check_file(root, relpath, violations, waiver_count):
     in_fixtures = FIXTURE_DIR in relpath.parents
     if relpath.suffix == ".hh" and (relpath.parts[0] == "src" or
                                     in_fixtures):
+        def has_nodiscard(idx):
+            """[[nodiscard]] on the declaration line or the one above."""
+            if NODISCARD_RE.search(clean_lines[idx]):
+                return True
+            return idx > 0 and NODISCARD_RE.search(clean_lines[idx - 1])
+
+        for idx, line in enumerate(clean_lines):
+            if "using " in line or "typedef " in line:
+                continue
+            split_decl = (STATUS_TAIL_RE.search(line)
+                          and idx + 1 < len(clean_lines)
+                          and NEXT_NAME_RE.match(clean_lines[idx + 1]))
+            if not split_decl and not STATUS_DECL_RE.search(line):
+                continue
+            if not has_nodiscard(idx):
+                report("nodiscard-status", idx + 1,
+                       "status-returning function lacks [[nodiscard]]; "
+                       "discarding the result hides a failure")
         m = GUARD_IFNDEF_RE.search(clean)
         want = expected_guard(relpath)
         if not m:
