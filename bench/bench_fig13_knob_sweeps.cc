@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_common.hh"
+#include "common/parallel.hh"
 
 using namespace archytas;
 
@@ -24,18 +25,24 @@ sweep(const char *caption, const synth::Synthesizer &synth,
 {
     const synth::ResourceModel rm = synth::ResourceModel::calibrated();
     Table table({"knob", "LUT%", "FF%", "BRAM%", "DSP%", "time (ms)"});
-    for (std::size_t v : values) {
+    // Each knob value is evaluated independently into its own row slot;
+    // the table is assembled serially in sweep order afterward.
+    std::vector<std::vector<std::string>> rows(values.size());
+    parallel::parallelFor(0, values.size(), [&](std::size_t i) {
+        const std::size_t v = values[i];
         const hw::HwConfig c = make_config(v);
         const auto util = rm.utilization(c, synth.platform());
         const hw::Accelerator accel(c);
         const double ms = accel.windowTiming(workload, 6).totalMs();
-        table.addRow({std::to_string(v),
-                      Table::fmt(util[0] * 100.0, 1),
-                      Table::fmt(util[1] * 100.0, 1),
-                      Table::fmt(util[2] * 100.0, 1),
-                      Table::fmt(util[3] * 100.0, 1),
-                      Table::fmt(ms, 3)});
-    }
+        rows[i] = {std::to_string(v),
+                   Table::fmt(util[0] * 100.0, 1),
+                   Table::fmt(util[1] * 100.0, 1),
+                   Table::fmt(util[2] * 100.0, 1),
+                   Table::fmt(util[3] * 100.0, 1),
+                   Table::fmt(ms, 3)};
+    });
+    for (const auto &row : rows)
+        table.addRow(row);
     std::printf("%s\n", table.render(caption).c_str());
 }
 

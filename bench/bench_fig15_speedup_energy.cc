@@ -12,6 +12,7 @@
 
 #include "baseline/platform_model.hh"
 #include "bench_common.hh"
+#include "common/parallel.hh"
 
 using namespace archytas;
 
@@ -41,22 +42,32 @@ main()
 
     Table table({"design (ms)", "W", "speedup vs Intel", "energy red.",
                  "speedup vs Arm", "energy red."});
+    // Per-design ratios land in indexed slots; the table rows and the
+    // running maxima are folded serially in frontier order afterward.
+    struct DesignRatios
+    {
+        double si, ei, sa, ea;
+    };
+    std::vector<DesignRatios> ratios(frontier.size());
+    parallel::parallelFor(0, frontier.size(), [&](std::size_t i) {
+        const auto &p = frontier[i];
+        const double mj = p.latency_ms * pm.watts(p.config);
+        ratios[i] = {intel_ms / p.latency_ms, intel_mj / mj,
+                     arm_ms / p.latency_ms, arm_mj / mj};
+    });
     double best_intel_speed = 0, best_intel_energy = 0;
     double best_arm_speed = 0, best_arm_energy = 0;
-    for (const auto &p : frontier) {
-        const double mj = p.latency_ms * pm.watts(p.config);
-        const double si = intel_ms / p.latency_ms;
-        const double ei = intel_mj / mj;
-        const double sa = arm_ms / p.latency_ms;
-        const double ea = arm_mj / mj;
-        best_intel_speed = std::max(best_intel_speed, si);
-        best_intel_energy = std::max(best_intel_energy, ei);
-        best_arm_speed = std::max(best_arm_speed, sa);
-        best_arm_energy = std::max(best_arm_energy, ea);
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+        const auto &p = frontier[i];
+        const auto &r = ratios[i];
+        best_intel_speed = std::max(best_intel_speed, r.si);
+        best_intel_energy = std::max(best_intel_energy, r.ei);
+        best_arm_speed = std::max(best_arm_speed, r.sa);
+        best_arm_energy = std::max(best_arm_energy, r.ea);
         table.addRow({Table::fmt(p.latency_ms, 3),
-                      Table::fmt(p.power_w, 2), Table::fmt(si, 1) + "x",
-                      Table::fmt(ei, 1) + "x", Table::fmt(sa, 1) + "x",
-                      Table::fmt(ea, 1) + "x"});
+                      Table::fmt(p.power_w, 2), Table::fmt(r.si, 1) + "x",
+                      Table::fmt(r.ei, 1) + "x", Table::fmt(r.sa, 1) + "x",
+                      Table::fmt(r.ea, 1) + "x"});
     }
     std::printf("%s", table.render(
         "Fig. 15: Pareto designs vs CPU baselines (KITTI trace)")

@@ -1,34 +1,44 @@
 /**
  * @file
- * Google-benchmark microbenchmarks of the computational kernels every
- * experiment rests on: dense multiply, Cholesky, the D-type Schur
- * elimination, the compacted S-matrix matvec, the full window solve,
- * and the synthesizer search. These quantify the *host-side* costs of
- * the framework (the accelerator itself is modelled in cycles).
+ * Microbenchmarks of the computational kernels every experiment rests
+ * on: dense multiply, Cholesky, the D-type Schur elimination, the
+ * compacted S-matrix matvec, the MDFG window-graph build, the
+ * synthesizer search, and the parallel window normal-equation assembly
+ * at several thread counts. These quantify the *host-side* costs of the
+ * framework (the accelerator itself is modelled in cycles). Runs on the
+ * bench::BenchHarness (warmup + median-of-reps); `--json <path>` emits
+ * the records for the CI perf-smoke step.
  */
-
-#include <benchmark/benchmark.h>
 
 #include <memory>
 
+#include "bench_common.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "linalg/cholesky.hh"
+#include "linalg/kernels.hh"
 #include "linalg/schur.hh"
 #include "linalg/smatrix.hh"
 #include "mdfg/builder.hh"
-#include "slam/lm_solver.hh"
-#include "synth/optimizer.hh"
+#include "slam/window_problem.hh"
 
 using namespace archytas;
 
 namespace {
 
 linalg::Matrix
-randomSpd(std::size_t n, Rng &rng)
+randomMatrix(std::size_t rows, std::size_t cols, Rng &rng)
 {
-    linalg::Matrix a(n, n);
+    linalg::Matrix a(rows, cols);
     for (auto &x : a.data())
         x = rng.uniform(-1, 1);
+    return a;
+}
+
+linalg::Matrix
+randomSpd(std::size_t n, Rng &rng)
+{
+    const linalg::Matrix a = randomMatrix(n, n, rng);
     linalg::Matrix spd = a.transposed() * a;
     for (std::size_t i = 0; i < n; ++i)
         spd(i, i) += static_cast<double>(n);
@@ -36,40 +46,27 @@ randomSpd(std::size_t n, Rng &rng)
 }
 
 void
-BM_MatMul(benchmark::State &state)
+benchLinalg(bench::BenchHarness &h, double &sink)
 {
-    const std::size_t n = static_cast<std::size_t>(state.range(0));
     Rng rng(1);
-    linalg::Matrix a(n, n), b(n, n);
-    for (auto &x : a.data())
-        x = rng.uniform(-1, 1);
-    for (auto &x : b.data())
-        x = rng.uniform(-1, 1);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(a * b);
-    }
-    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
-}
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(150);
+    const std::size_t n = 150;
+    const linalg::Matrix a = randomMatrix(n, n, rng);
+    const linalg::Matrix b = randomMatrix(n, n, rng);
+    linalg::Matrix out;
+    h.run("multiply_into_150", [&] {
+        linalg::multiplyInto(out, a, b);
+        sink += out(0, 0);
+    });
 
-void
-BM_Cholesky(benchmark::State &state)
-{
-    const std::size_t n = static_cast<std::size_t>(state.range(0));
-    Rng rng(2);
     const linalg::Matrix spd = randomSpd(n, rng);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(linalg::cholesky(spd));
-    }
-}
-BENCHMARK(BM_Cholesky)->Arg(30)->Arg(90)->Arg(150);
+    h.run("cholesky_150", [&] {
+        const auto l = linalg::cholesky(spd);
+        sink += l ? (*l)(0, 0) : 0.0;
+    });
 
-void
-BM_DSchur(benchmark::State &state)
-{
-    const std::size_t p = static_cast<std::size_t>(state.range(0));
-    const std::size_t q = 150;
-    Rng rng(3);
+    // D-type Schur elimination: 100 features against a 150-dim keyframe
+    // block (the shapes of a 10-keyframe window).
+    const std::size_t p = 100, q = 150;
     linalg::Matrix u(p, p);
     for (std::size_t i = 0; i < p; ++i)
         u(i, i) = rng.uniform(1.0, 3.0);
@@ -78,19 +75,13 @@ BM_DSchur(benchmark::State &state)
         x = rng.uniform(-0.3, 0.3);
     const linalg::Matrix v = randomSpd(q, rng);
     linalg::Vector bx(p), by(q);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(linalg::dSchur(u, w, v, bx, by));
-    }
-}
-BENCHMARK(BM_DSchur)->Arg(50)->Arg(100)->Arg(200);
+    h.run("dschur_100x150", [&] {
+        const auto r = linalg::dSchur(u, w, v, bx, by);
+        sink += r.reduced(0, 0);
+    });
 
-void
-BM_CompactSMatVec(benchmark::State &state)
-{
-    const std::size_t b = static_cast<std::size_t>(state.range(0));
-    Rng rng(4);
-    linalg::CompactSMatrix s(15, b);
-    for (std::size_t i = 0; i < b; ++i) {
+    linalg::CompactSMatrix s(15, 15);
+    for (std::size_t i = 0; i < 15; ++i) {
         linalg::Matrix diag(15, 15);
         for (auto &x : diag.data())
             x = rng.uniform(-1, 1);
@@ -99,45 +90,121 @@ BM_CompactSMatVec(benchmark::State &state)
     linalg::Vector x(s.dim());
     for (std::size_t i = 0; i < x.size(); ++i)
         x[i] = rng.uniform(-1, 1);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(s.apply(x));
-    }
+    h.run("compact_smatvec_15", [&] { sink += s.apply(x)[0]; });
 }
-BENCHMARK(BM_CompactSMatVec)->Arg(10)->Arg(15)->Arg(30);
 
 void
-BM_MdfgWindowGraphBuild(benchmark::State &state)
+benchMdfgAndSynth(bench::BenchHarness &h, double &sink)
 {
     mdfg::WorkloadDims dims;
     dims.features = 100;
     dims.keyframes = 10;
     dims.marginalized = 12;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            mdfg::buildWindowGraph(dims, static_cast<std::size_t>(
-                                             state.range(0))));
-    }
-}
-BENCHMARK(BM_MdfgWindowGraphBuild)->Arg(1)->Arg(6);
+    h.run("mdfg_window_graph_iter6", [&] {
+        sink += static_cast<double>(
+            mdfg::buildWindowGraph(dims, 6).size());
+    });
 
-void
-BM_SynthesizerMinPower(benchmark::State &state)
-{
     slam::WindowWorkload w;
     w.keyframes = 10;
     w.features = 100;
     w.avg_obs_per_feature = 4.0;
     w.marginalized_features = 12;
-    const synth::Synthesizer synth(synth::LatencyModel(w),
-                                   synth::ResourceModel::calibrated(),
-                                   synth::PowerModel::calibrated(),
-                                   synth::zc706());
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(synth.minimizePower(1.0, 6));
-    }
+    const auto synth = bench::makeSynthesizer(w);
+    h.run("synth_min_power", [&] {
+        const auto p = synth.minimizePower(1.0, 6);
+        sink += p ? p->power_w : 0.0;
+    });
 }
-BENCHMARK(BM_SynthesizerMinPower);
+
+/** A synthetic 10-keyframe window, sized like a dense KITTI window. */
+struct BenchWindow
+{
+    slam::PinholeCamera camera;
+    std::vector<slam::KeyframeState> keyframes;
+    std::vector<slam::Feature> features;
+    std::vector<std::shared_ptr<slam::ImuPreintegration>> preints;
+    slam::PriorFactor prior;
+};
+
+BenchWindow
+makeBenchWindow(std::size_t n_keyframes, std::size_t n_landmarks, Rng &rng)
+{
+    BenchWindow w;
+    for (std::size_t i = 0; i < n_keyframes; ++i) {
+        slam::KeyframeState s;
+        s.pose.p = slam::Vec3{0.3 * static_cast<double>(i), 0.0, 0.0};
+        s.timestamp = 0.1 * static_cast<double>(i);
+        w.keyframes.push_back(s);
+    }
+    // No IMU stream: the bench isolates the visual-factor accumulation,
+    // which dominates the assembly cost.
+    w.preints.resize(n_keyframes - 1);
+
+    for (std::size_t l = 0; l < n_landmarks; ++l) {
+        const slam::Vec3 lm{rng.uniform(-3.0, 3.0), rng.uniform(-2.0, 2.0),
+                            rng.uniform(6.0, 18.0)};
+        slam::Feature f;
+        f.track_id = l;
+        f.anchor_index = 0;
+        const slam::Vec3 pc0 = w.keyframes[0].pose.inverseTransform(lm);
+        f.anchor_bearing = slam::Vec3{pc0.x / pc0.z, pc0.y / pc0.z, 1.0};
+        f.inverse_depth = 1.0 / pc0.z;
+        f.depth_initialized = true;
+        for (std::size_t i = 0; i < n_keyframes; ++i) {
+            const slam::Vec3 pc =
+                w.keyframes[i].pose.inverseTransform(lm);
+            const auto px = w.camera.project(pc);
+            if (px)
+                f.observations.push_back({i, *px});
+        }
+        w.features.push_back(std::move(f));
+    }
+    return w;
+}
+
+/**
+ * Window normal-equation assembly at 1/2/4 pool threads. The assembled
+ * system is bit-identical across thread counts (the determinism
+ * contract); only the wall-clock changes. On a single-core host the
+ * speedup metrics sit near (or below) 1.
+ */
+void
+benchWindowAssembly(bench::BenchHarness &h, double &sink)
+{
+    Rng rng(7);
+    BenchWindow w = makeBenchWindow(10, 600, rng);
+    slam::WindowProblem problem(w.camera, w.keyframes, w.features,
+                                w.preints, w.prior, /*pixel_sigma=*/1.0);
+    double base_ms = 0.0;
+    for (const std::size_t threads : {1, 2, 4}) {
+        parallel::setThreadCount(threads);
+        const double ms =
+            h.run("window_assembly_t" + std::to_string(threads), [&] {
+                sink += problem.build().cost;
+            });
+        if (threads == 1)
+            base_ms = ms;
+        else
+            h.metric("window_assembly_speedup_" +
+                         std::to_string(threads) + "t",
+                     base_ms / ms);
+    }
+    parallel::setThreadCount(0);   // Back to the ARCHYTAS_THREADS default.
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bench::BenchHarness h(argc, argv);
+    // Folding a token of every result into the sink keeps the compiler
+    // from discarding the benchmarked work.
+    double sink = 0.0;
+    benchLinalg(h, sink);
+    benchMdfgAndSynth(h, sink);
+    benchWindowAssembly(h, sink);
+    const int rc = h.finish("Host-side kernel microbenchmarks");
+    return (sink == sink) ? rc : 2;   // sink != sink only on NaN poison.
+}

@@ -1,11 +1,11 @@
 #include "baseline/mini_solver.hh"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <thread>
+#include <optional>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "linalg/cholesky.hh"
 
 namespace archytas::baseline {
@@ -190,36 +190,37 @@ struct SolverImpl
     buildNormalEquations(const Problem &p, std::size_t dim,
                          std::size_t num_threads)
     {
+        // Fixed grain: chunk boundaries and the chunk-order merge below
+        // depend only on the residual count, never on num_threads or
+        // the pool size, so the accumulated system is bit-identical at
+        // any thread count (common/parallel.hh determinism contract).
+        constexpr std::size_t kResidualGrain = 64;
         const std::size_t n = p.residuals_.size();
-        const std::size_t threads =
-            std::max<std::size_t>(1, std::min(num_threads, n));
-        std::vector<Accum> partials;
-        partials.reserve(threads);
-        for (std::size_t t = 0; t < threads; ++t)
-            partials.emplace_back(dim);
+        const std::size_t chunks =
+            n == 0 ? 0 : (n + kResidualGrain - 1) / kResidualGrain;
 
-        if (threads == 1) {
-            accumulateRange(p, 0, n, partials[0]);
+        std::vector<std::optional<Accum>> parts(chunks);
+        const auto runChunk = [&](std::size_t c) {
+            Accum acc(dim);
+            const std::size_t begin = c * kResidualGrain;
+            accumulateRange(p, begin, std::min(n, begin + kResidualGrain),
+                            acc);
+            parts[c].emplace(std::move(acc));
+        };
+        if (num_threads <= 1) {
+            for (std::size_t c = 0; c < chunks; ++c)
+                runChunk(c);
         } else {
-            std::vector<std::thread> workers;
-            const std::size_t chunk = (n + threads - 1) / threads;
-            for (std::size_t t = 0; t < threads; ++t) {
-                const std::size_t begin = t * chunk;
-                const std::size_t end = std::min(n, begin + chunk);
-                workers.emplace_back([&p, begin, end, &partials, t]() {
-                    accumulateRange(p, begin, end, partials[t]);
-                });
-            }
-            for (auto &w : workers)
-                w.join();
+            parallel::runTasks(chunks, runChunk);
         }
-        // Reduce.
-        for (std::size_t t = 1; t < partials.size(); ++t) {
-            partials[0].h += partials[t].h;
-            partials[0].g += partials[t].g;
-            partials[0].cost += partials[t].cost;
+
+        Accum total(dim);
+        for (std::size_t c = 0; c < chunks; ++c) {
+            total.h += parts[c]->h;
+            total.g += parts[c]->g;
+            total.cost += parts[c]->cost;
         }
-        return std::move(partials[0]);
+        return total;
     }
 
     static void

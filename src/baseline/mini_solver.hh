@@ -93,6 +93,14 @@ class Problem
 struct SolveOptions
 {
     std::size_t max_iterations = 50;
+    /**
+     * <= 1 assembles the normal equations inline on the calling thread;
+     * larger values fan the residual chunks out across the process-wide
+     * pool (sized by ARCHYTAS_THREADS). Chunk boundaries and merge
+     * order are fixed either way (common/parallel.hh determinism
+     * contract), so the assembled system is bit-identical for every
+     * value.
+     */
     std::size_t num_threads = 1;
     double initial_lambda = 1e-4;
     double lambda_up = 10.0;

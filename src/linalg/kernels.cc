@@ -1,0 +1,152 @@
+#include "linalg/kernels.hh"
+
+#include "common/contracts.hh"
+#include "common/parallel.hh"
+
+namespace archytas::linalg {
+
+namespace {
+
+/** Reuses the destination's storage when the shape already matches. */
+void
+resizeMatrix(Matrix &out, std::size_t rows, std::size_t cols)
+{
+    if (out.rows() == rows && out.cols() == cols) {
+        out.setZero();
+        return;
+    }
+    out = Matrix(rows, cols);
+}
+
+/** Work threshold (multiply-adds) below which threading cannot pay. */
+constexpr std::size_t kParallelFlopThreshold = 64 * 1024;
+
+} // namespace
+
+void
+multiplyInto(Matrix &out, const Matrix &a, const Matrix &b)
+{
+    ARCHYTAS_CHECK_DIM("multiplyInto inner dimension", b.rows(), a.cols());
+    ARCHYTAS_DCHECK(&out != &a && &out != &b,
+                    "multiplyInto: destination aliases an operand");
+    resizeMatrix(out, a.rows(), b.cols());
+    const std::size_t inner = a.cols();
+    const std::size_t cols = b.cols();
+    const auto rowProduct = [&](std::size_t i) {
+        // i-k-j order keeps the inner loop streaming over contiguous
+        // rows; every out(i, j) is owned by exactly one task, so the
+        // schedule cannot change the result.
+        for (std::size_t k = 0; k < inner; ++k) {
+            const double av = a(i, k);
+            if (av == 0.0)
+                continue;
+            for (std::size_t j = 0; j < cols; ++j)
+                out(i, j) += av * b(k, j);
+        }
+    };
+    if (a.rows() * inner * cols >= kParallelFlopThreshold)
+        parallel::parallelFor(0, a.rows(), rowProduct);
+    else
+        for (std::size_t i = 0; i < a.rows(); ++i)
+            rowProduct(i);
+}
+
+void
+multiplyInto(Vector &out, const Matrix &a, const Vector &x)
+{
+    ARCHYTAS_CHECK_DIM("multiplyInto matvec inner dimension", x.size(),
+                       a.cols());
+    ARCHYTAS_DCHECK(&out != &x, "multiplyInto: destination aliases x");
+    if (out.size() != a.rows())
+        out = Vector(a.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            acc += a(r, c) * x[c];
+        out[r] = acc;
+    }
+}
+
+void
+subtractMultiply(Vector &out, const Matrix &a, const Vector &x)
+{
+    ARCHYTAS_CHECK_DIM("subtractMultiply inner dimension", x.size(),
+                       a.cols());
+    ARCHYTAS_CHECK_DIM("subtractMultiply rows", out.size(), a.rows());
+    ARCHYTAS_DCHECK(&out != &x, "subtractMultiply: destination aliases x");
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            acc += a(r, c) * x[c];
+        out[r] -= acc;
+    }
+}
+
+void
+subtractSymmetricProduct(Matrix &c, const Matrix &a, const Matrix &b)
+{
+    const std::size_t n = a.rows();
+    const std::size_t k = a.cols();
+    ARCHYTAS_CHECK_DIM("subtractSymmetricProduct: b rows", b.rows(), n);
+    ARCHYTAS_CHECK_DIM("subtractSymmetricProduct: b cols", b.cols(), k);
+    ARCHYTAS_CHECK_DIM("subtractSymmetricProduct: c rows", c.rows(), n);
+    ARCHYTAS_CHECK_DIM("subtractSymmetricProduct: c cols", c.cols(), n);
+    ARCHYTAS_DCHECK(&c != &a && &c != &b,
+                    "subtractSymmetricProduct: destination aliases an "
+                    "operand");
+    const auto rowUpdate = [&](std::size_t i) {
+        // Upper triangle of row i plus the mirrored subtraction; the
+        // mirror element c(j, i) is written only by the task owning row
+        // i, so tasks write disjoint elements.
+        for (std::size_t j = i; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t t = 0; t < k; ++t)
+                acc += a(i, t) * b(j, t);
+            c(i, j) -= acc;
+            if (j != i)
+                c(j, i) -= acc;
+        }
+    };
+    // Half the n^2 k multiply-adds of the full product.
+    if (n * n * k / 2 >= kParallelFlopThreshold)
+        parallel::parallelFor(0, n, rowUpdate);
+    else
+        for (std::size_t i = 0; i < n; ++i)
+            rowUpdate(i);
+}
+
+void
+addOuterProductTransposed(Matrix &h, std::size_t r0, std::size_t c0,
+                          const Matrix &a, const Matrix &b, double wt)
+{
+    ARCHYTAS_CHECK_DIM("addOuterProductTransposed: row counts", b.rows(),
+                       a.rows());
+    ARCHYTAS_DCHECK(r0 + a.cols() <= h.rows() && c0 + b.cols() <= h.cols(),
+                    "addOuterProductTransposed: block [", r0, "+", a.cols(),
+                    ", ", c0, "+", b.cols(), ") out of range for ",
+                    h.rows(), "x", h.cols());
+    for (std::size_t i = 0; i < a.cols(); ++i)
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.rows(); ++k)
+                acc += a(k, i) * b(k, j);
+            h(r0 + i, c0 + j) += wt * acc;
+        }
+}
+
+void
+subtractTransposeApplyScaled(Vector &g, std::size_t r0, const Matrix &a,
+                             const double *x, double wt)
+{
+    ARCHYTAS_DCHECK(r0 + a.cols() <= g.size(),
+                    "subtractTransposeApplyScaled: segment [", r0, "+",
+                    a.cols(), ") out of range for size ", g.size());
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+        double acc = 0.0;
+        for (std::size_t k = 0; k < a.rows(); ++k)
+            acc += a(k, i) * x[k];
+        g[r0 + i] -= wt * acc;
+    }
+}
+
+} // namespace archytas::linalg

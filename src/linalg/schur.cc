@@ -3,6 +3,7 @@
 #include "common/contracts.hh"
 #include "common/logging.hh"
 #include "linalg/cholesky.hh"
+#include "linalg/kernels.hh"
 
 namespace archytas::linalg {
 
@@ -31,8 +32,14 @@ dSchur(const Matrix &u, const Matrix &w, const Matrix &v, const Vector &bx,
     }
 
     DSchurResult out;
-    out.reduced = v - wui * w.transposed();
-    out.reducedRhs = by - wui * bx;
+    // (W U^{-1}) W^T is symmetric (U^{-1} is), so one triangle plus a
+    // mirror halves the FLOPs versus the general product, and the
+    // destination-passing kernels skip the W^T copy and the product
+    // temporary entirely.
+    out.reduced = v;
+    subtractSymmetricProduct(out.reduced, wui, w);
+    out.reducedRhs = by;
+    subtractMultiply(out.reducedRhs, wui, bx);
     return out;
 }
 
@@ -68,10 +75,15 @@ mSchur(const Matrix &m, const Matrix &lambda, const Matrix &a,
 
     const Matrix minv = diag_m11 > 0 ? blockedInverseDiagonalM11(m, diag_m11)
                                      : choleskyInverse(m);
-    const Matrix lm = lambda * minv;
+    Matrix lm;
+    multiplyInto(lm, lambda, minv);
     MSchurResult out;
-    out.prior = a - lm * lambda.transposed();
-    out.priorRhs = br - lm * bm;
+    // (Lambda M^{-1}) Lambda^T is symmetric (M^{-1} is): one triangle,
+    // mirrored, no Lambda^T temporary.
+    out.prior = a;
+    subtractSymmetricProduct(out.prior, lm, lambda);
+    out.priorRhs = br;
+    subtractMultiply(out.priorRhs, lm, bm);
     return out;
 }
 
@@ -93,17 +105,31 @@ blockedInverseDiagonalM11(const Matrix &m, std::size_t p)
 
     const Matrix m11_inv = diagonalInverse(m11);
     // S' = M22 - M21 M11^{-1} M12 is itself a D-type Schur complement.
-    const Matrix sprime = m22 - m21 * (m11_inv * m12);
+    Matrix t;                      // M11^{-1} M12 (p x q)
+    multiplyInto(t, m11_inv, m12);
+    Matrix sprime;
+    multiplyInto(sprime, m21, t);  // M21 (M11^{-1} M12)
+    sprime *= -1.0;
+    sprime += m22;
     const Matrix sprime_inv = choleskyInverse(sprime);
 
-    // Eq. 5 of the paper.
-    const Matrix t = m11_inv * m12;              // M11^{-1} M12
-    const Matrix bl = sprime_inv * m21 * m11_inv;
+    // Eq. 5 of the paper, assembled with destination-passing products.
+    Matrix m21_m11inv;             // M21 M11^{-1} (q x p)
+    multiplyInto(m21_m11inv, m21, m11_inv);
+    Matrix bl;                     // S'^{-1} M21 M11^{-1} (q x p)
+    multiplyInto(bl, sprime_inv, m21_m11inv);
+    Matrix t_sprime_inv;           // M11^{-1} M12 S'^{-1} (p x q)
+    multiplyInto(t_sprime_inv, t, sprime_inv);
+    Matrix tl;                     // t S'^{-1} (M21 M11^{-1}) (p x p)
+    multiplyInto(tl, t_sprime_inv, m21_m11inv);
+    tl += m11_inv;
 
     Matrix inv(n, n);
-    inv.setBlock(0, 0, m11_inv + t * sprime_inv * (m21 * m11_inv));
-    inv.setBlock(0, p, -1.0 * (t * sprime_inv));
-    inv.setBlock(p, 0, -1.0 * bl);
+    inv.setBlock(0, 0, tl);
+    t_sprime_inv *= -1.0;
+    inv.setBlock(0, p, t_sprime_inv);
+    bl *= -1.0;
+    inv.setBlock(p, 0, bl);
     inv.setBlock(p, p, sprime_inv);
     return inv;
 }

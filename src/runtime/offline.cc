@@ -1,6 +1,7 @@
 #include "runtime/offline.hh"
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace archytas::runtime {
 
@@ -9,14 +10,17 @@ profileSequence(const dataset::Sequence &sequence,
                 const slam::EstimatorOptions &options)
 {
     // One estimator run per Iter value; samples are aligned by frame.
-    std::vector<std::vector<slam::FrameResult>> runs;
-    runs.reserve(kMaxIterations);
-    for (std::size_t iter = 1; iter <= kMaxIterations; ++iter) {
+    // The runs are fully independent (each owns its estimator) and land
+    // in their own slot, so the forced-iteration sweep fans out across
+    // the pool; per-run assembly drops to its serial path through the
+    // nested-parallel guard.
+    std::vector<std::vector<slam::FrameResult>> runs(kMaxIterations);
+    parallel::parallelFor(0, kMaxIterations, [&](std::size_t i) {
         slam::EstimatorOptions opts = options;
-        opts.forced_iterations = iter;
+        opts.forced_iterations = i + 1;
         slam::SlidingWindowEstimator est(sequence.camera(), opts);
-        runs.push_back(est.run(sequence));
-    }
+        runs[i] = est.run(sequence);
+    });
 
     std::vector<ProfileSample> samples;
     const std::size_t frames = runs.front().size();
@@ -69,18 +73,21 @@ prepareRuntimeFromSamples(std::vector<ProfileSample> samples,
                                 tolerance);
 
     // Eq. 18, solved exhaustively for every Iter value and memoized.
-    for (std::size_t iter = 1; iter <= kMaxIterations; ++iter) {
+    // The searches are independent const scans, each writing its own
+    // gated_configs slot.
+    parallel::parallelFor(0, kMaxIterations, [&](std::size_t i) {
+        const std::size_t iter = i + 1;
         const auto point = synthesizer.minimizePowerCapped(
             latency_bound_ms, iter, built);
         if (point) {
-            prep.gated_configs[iter - 1] = point->config;
+            prep.gated_configs[i] = point->config;
         } else {
             // Infeasible under the cap: fall back to the full design.
             ARCHYTAS_WARN("Eq. 18 infeasible for Iter ", iter,
                           "; gating disabled for that level");
-            prep.gated_configs[iter - 1] = built;
+            prep.gated_configs[i] = built;
         }
-    }
+    });
     return prep;
 }
 

@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "linalg/cholesky.hh"
+#include "linalg/kernels.hh"
 
 namespace archytas::slam {
 
@@ -33,38 +35,27 @@ solveBlockedSystem(const NormalEquations &eq, double lambda,
         for (std::size_t r = 0; r < nk; ++r)
             wui(r, f) *= inv;
     }
-    // reduced -= wui * W^T (exploit symmetry).
-    for (std::size_t i = 0; i < nk; ++i)
-        for (std::size_t j = i; j < nk; ++j) {
-            double acc = 0.0;
-            for (std::size_t f = 0; f < m; ++f)
-                acc += wui(i, f) * eq.w(j, f);
-            reduced(i, j) -= acc;
-            if (j != i)
-                reduced(j, i) -= acc;
-        }
+    // reduced -= wui W^T: (W U^{-1}) W^T is symmetric, so the kernel
+    // computes one triangle and mirrors (the dominant O(nk^2 m) step).
+    linalg::subtractSymmetricProduct(reduced, wui, eq.w);
 
     linalg::Vector rhs = eq.by;
-    for (std::size_t i = 0; i < nk; ++i) {
-        double acc = 0.0;
-        for (std::size_t f = 0; f < m; ++f)
-            acc += wui(i, f) * eq.bx[f];
-        rhs[i] -= acc;
-    }
+    linalg::subtractMultiply(rhs, wui, eq.bx);
 
     const auto l = linalg::cholesky(reduced);
     if (!l)
         return false;
     dy = linalg::backwardSubstitute(*l, linalg::forwardSubstitute(*l, rhs));
 
-    // Back-substitute features: dx = U^{-1} (bx - W^T dy).
+    // Back-substitute features: dx = U^{-1} (bx - W^T dy). Each feature
+    // writes only dx[f], so the loop parallelizes deterministically.
     dx = linalg::Vector(m);
-    for (std::size_t f = 0; f < m; ++f) {
+    parallel::parallelFor(0, m, [&](std::size_t f) {
         double acc = eq.bx[f];
         for (std::size_t r = 0; r < nk; ++r)
             acc -= eq.w(r, f) * dy[r];
         dx[f] = acc / u[f];
-    }
+    });
     return true;
 }
 

@@ -2,35 +2,28 @@
 
 #include "common/contracts.hh"
 #include "common/logging.hh"
+#include "linalg/kernels.hh"
 #include "linalg/schur.hh"
 
 namespace archytas::slam {
 
 namespace {
 
+// Factor accumulation runs on the shared destination-passing kernels
+// (linalg/kernels.hh); aliases keep the call sites readable.
+
 void
 accumulateBlock(linalg::Matrix &h, std::size_t r0, std::size_t c0,
                 const linalg::Matrix &a, const linalg::Matrix &b, double wt)
 {
-    for (std::size_t i = 0; i < a.cols(); ++i)
-        for (std::size_t j = 0; j < b.cols(); ++j) {
-            double acc = 0.0;
-            for (std::size_t k = 0; k < a.rows(); ++k)
-                acc += a(k, i) * b(k, j);
-            h(r0 + i, c0 + j) += wt * acc;
-        }
+    linalg::addOuterProductTransposed(h, r0, c0, a, b, wt);
 }
 
 void
 accumulateRhs(linalg::Vector &g, std::size_t r0, const linalg::Matrix &a,
               const double *res, double wt)
 {
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-        double acc = 0.0;
-        for (std::size_t k = 0; k < a.rows(); ++k)
-            acc += a(k, i) * res[k];
-        g[r0 + i] -= wt * acc;
-    }
+    linalg::subtractTransposeApplyScaled(g, r0, a, res, wt);
 }
 
 } // namespace
@@ -107,9 +100,11 @@ marginalizeOldestKeyframe(const PinholeCamera &camera,
     if (preint01 && preint01->sampleCount() > 0) {
         const ImuFactorEval ev =
             evaluateImuFactor(*preint01, keyframes[0], keyframes[1]);
-        const linalg::Vector lr = ev.information * ev.residual;
-        const linalg::Matrix li = ev.information * ev.j_i;
-        const linalg::Matrix lj = ev.information * ev.j_j;
+        linalg::Vector lr;
+        linalg::multiplyInto(lr, ev.information, ev.residual);
+        linalg::Matrix li, lj;
+        linalg::multiplyInto(li, ev.information, ev.j_i);
+        linalg::multiplyInto(lj, ev.information, ev.j_j);
         const std::size_t r0 = kfOffset(0);
         const std::size_t r1 = kfOffset(1);
         accumulateBlock(h, r0, r0, ev.j_i, li, 1.0);

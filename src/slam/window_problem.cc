@@ -1,38 +1,20 @@
 #include "slam/window_problem.hh"
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
+#include "linalg/kernels.hh"
 
 namespace archytas::slam {
 
 namespace {
 
-/** Adds wt * a^T b into the (r0, c0) block of h. */
-void
-accumulateBlock(linalg::Matrix &h, std::size_t r0, std::size_t c0,
-                const linalg::Matrix &a, const linalg::Matrix &b, double wt)
-{
-    ARCHYTAS_ASSERT(a.rows() == b.rows(), "accumulateBlock shape");
-    for (std::size_t i = 0; i < a.cols(); ++i)
-        for (std::size_t j = 0; j < b.cols(); ++j) {
-            double acc = 0.0;
-            for (std::size_t k = 0; k < a.rows(); ++k)
-                acc += a(k, i) * b(k, j);
-            h(r0 + i, c0 + j) += wt * acc;
-        }
-}
-
-/** Adds -wt * a^T r into segment r0 of g (gradient-side rhs b = -grad). */
-void
-accumulateRhs(linalg::Vector &g, std::size_t r0, const linalg::Matrix &a,
-              const double *res, double wt)
-{
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-        double acc = 0.0;
-        for (std::size_t k = 0; k < a.rows(); ++k)
-            acc += a(k, i) * res[k];
-        g[r0 + i] -= wt * acc;
-    }
-}
+/**
+ * Features per accumulation chunk. Fixed (thread-count independent) so
+ * the merge order of the floating-point partial sums -- and hence the
+ * assembled system's bit pattern -- is the same at any thread count
+ * (common/parallel.hh determinism contract).
+ */
+constexpr std::size_t kFeatureGrain = 16;
 
 } // namespace
 
@@ -71,68 +53,109 @@ WindowProblem::build() const
     eq.v_imu = linalg::Matrix(nk, nk);
     double cost = 0.0;
 
-    // --- Visual factors ---
-    for (std::size_t f = 0; f < m; ++f) {
-        const Feature &feat = features_[f];
-        const std::size_t a_idx = feat.anchor_index;
-        ARCHYTAS_ASSERT(a_idx < keyframes_.size(),
-                        "feature anchored outside window");
-        for (const auto &obs : feat.observations) {
-            if (obs.keyframe_index == a_idx)
-                continue;   // Anchor observation carries no information.
-            ARCHYTAS_ASSERT(obs.keyframe_index < keyframes_.size(),
-                            "observation outside window");
-            const VisualFactorEval ev = evaluateVisualFactor(
-                camera_, keyframes_[a_idx].pose,
-                keyframes_[obs.keyframe_index].pose, feat.anchor_bearing,
-                feat.inverse_depth, obs.pixel);
-            if (!ev.valid)
-                continue;
+    // --- Visual factors (parallel per-feature) ---
+    // Feature f exclusively owns u_diag[f], bx[f], and column f of W, so
+    // chunk tasks write those into the shared system directly (disjoint
+    // writes). The keyframe-side blocks V / v_camera / by and the cost
+    // are shared sums: each chunk accumulates its own partial and the
+    // partials merge sequentially in chunk order.
+    struct VisualPartial
+    {
+        linalg::Matrix v;
+        linalg::Matrix v_camera;
+        linalg::Vector by;
+        double cost = 0.0;
+    };
+    parallel::mapReduceOrdered(
+        0, m, kFeatureGrain,
+        [&] {
+            VisualPartial p;
+            p.v = linalg::Matrix(nk, nk);
+            p.v_camera = linalg::Matrix(nk, nk);
+            p.by = linalg::Vector(nk);
+            return p;
+        },
+        [&](VisualPartial &p, std::size_t f) {
+            const Feature &feat = features_[f];
+            const std::size_t a_idx = feat.anchor_index;
+            ARCHYTAS_ASSERT(a_idx < keyframes_.size(),
+                            "feature anchored outside window");
+            for (const auto &obs : feat.observations) {
+                if (obs.keyframe_index == a_idx)
+                    continue;   // Anchor observation carries no information.
+                ARCHYTAS_ASSERT(obs.keyframe_index < keyframes_.size(),
+                                "observation outside window");
+                const VisualFactorEval ev = evaluateVisualFactor(
+                    camera_, keyframes_[a_idx].pose,
+                    keyframes_[obs.keyframe_index].pose,
+                    feat.anchor_bearing, feat.inverse_depth, obs.pixel);
+                if (!ev.valid)
+                    continue;
 
-            const double res[2] = {ev.residual.u, ev.residual.v};
-            // Huber IRLS weight: quadratic inside delta, linear beyond.
-            double wt = visual_weight_;
-            if (huber_delta_ > 0.0) {
-                const double norm = ev.residual.norm();
-                if (norm > huber_delta_)
-                    wt *= huber_delta_ / norm;
+                const double res[2] = {ev.residual.u, ev.residual.v};
+                // Huber IRLS weight: quadratic inside delta, linear
+                // beyond.
+                double wt = visual_weight_;
+                if (huber_delta_ > 0.0) {
+                    const double norm = ev.residual.norm();
+                    if (norm > huber_delta_)
+                        wt *= huber_delta_ / norm;
+                }
+                p.cost +=
+                    0.5 * wt * (res[0] * res[0] + res[1] * res[1]);
+
+                const std::size_t ra = a_idx * kKeyframeDof;
+                const std::size_t rt = obs.keyframe_index * kKeyframeDof;
+
+                // U (diagonal): j_depth^T j_depth.
+                eq.u_diag[f] += wt *
+                                (ev.j_depth(0, 0) * ev.j_depth(0, 0) +
+                                 ev.j_depth(1, 0) * ev.j_depth(1, 0));
+                // bx.
+                eq.bx[f] -= wt * (ev.j_depth(0, 0) * res[0] +
+                                  ev.j_depth(1, 0) * res[1]);
+
+                // W rows: anchor and target pose blocks (6 each).
+                linalg::addOuterProductTransposed(eq.w, ra, f, ev.j_anchor,
+                                                  ev.j_depth, wt);
+                linalg::addOuterProductTransposed(eq.w, rt, f, ev.j_target,
+                                                  ev.j_depth, wt);
+
+                // V camera contributions: (a,a), (a,t), (t,a), (t,t).
+                linalg::addOuterProductTransposed(p.v, ra, ra, ev.j_anchor,
+                                                  ev.j_anchor, wt);
+                linalg::addOuterProductTransposed(p.v, ra, rt, ev.j_anchor,
+                                                  ev.j_target, wt);
+                linalg::addOuterProductTransposed(p.v, rt, ra, ev.j_target,
+                                                  ev.j_anchor, wt);
+                linalg::addOuterProductTransposed(p.v, rt, rt, ev.j_target,
+                                                  ev.j_target, wt);
+                linalg::addOuterProductTransposed(p.v_camera, ra, ra,
+                                                  ev.j_anchor, ev.j_anchor,
+                                                  wt);
+                linalg::addOuterProductTransposed(p.v_camera, ra, rt,
+                                                  ev.j_anchor, ev.j_target,
+                                                  wt);
+                linalg::addOuterProductTransposed(p.v_camera, rt, ra,
+                                                  ev.j_target, ev.j_anchor,
+                                                  wt);
+                linalg::addOuterProductTransposed(p.v_camera, rt, rt,
+                                                  ev.j_target, ev.j_target,
+                                                  wt);
+
+                // by.
+                linalg::subtractTransposeApplyScaled(p.by, ra, ev.j_anchor,
+                                                     res, wt);
+                linalg::subtractTransposeApplyScaled(p.by, rt, ev.j_target,
+                                                     res, wt);
             }
-            cost += 0.5 * wt * (res[0] * res[0] + res[1] * res[1]);
-
-            const std::size_t ra = a_idx * kKeyframeDof;
-            const std::size_t rt = obs.keyframe_index * kKeyframeDof;
-
-            // U (diagonal): j_depth^T j_depth.
-            eq.u_diag[f] += wt *
-                            (ev.j_depth(0, 0) * ev.j_depth(0, 0) +
-                             ev.j_depth(1, 0) * ev.j_depth(1, 0));
-            // bx.
-            eq.bx[f] -= wt * (ev.j_depth(0, 0) * res[0] +
-                              ev.j_depth(1, 0) * res[1]);
-
-            // W rows: anchor and target pose blocks (6 each).
-            accumulateBlock(eq.w, ra, f, ev.j_anchor, ev.j_depth, wt);
-            accumulateBlock(eq.w, rt, f, ev.j_target, ev.j_depth, wt);
-
-            // V camera contributions: (a,a), (a,t), (t,a), (t,t).
-            accumulateBlock(eq.v, ra, ra, ev.j_anchor, ev.j_anchor, wt);
-            accumulateBlock(eq.v, ra, rt, ev.j_anchor, ev.j_target, wt);
-            accumulateBlock(eq.v, rt, ra, ev.j_target, ev.j_anchor, wt);
-            accumulateBlock(eq.v, rt, rt, ev.j_target, ev.j_target, wt);
-            accumulateBlock(eq.v_camera, ra, ra, ev.j_anchor,
-                            ev.j_anchor, wt);
-            accumulateBlock(eq.v_camera, ra, rt, ev.j_anchor,
-                            ev.j_target, wt);
-            accumulateBlock(eq.v_camera, rt, ra, ev.j_target,
-                            ev.j_anchor, wt);
-            accumulateBlock(eq.v_camera, rt, rt, ev.j_target,
-                            ev.j_target, wt);
-
-            // by.
-            accumulateRhs(eq.by, ra, ev.j_anchor, res, wt);
-            accumulateRhs(eq.by, rt, ev.j_target, res, wt);
-        }
-    }
+        },
+        [&](VisualPartial &&p) {
+            eq.v += p.v;
+            eq.v_camera += p.v_camera;
+            eq.by += p.by;
+            cost += p.cost;
+        });
 
     // --- IMU factors (adjacent keyframes only) ---
     for (std::size_t i = 0; i + 1 < keyframes_.size(); ++i) {
@@ -147,19 +170,26 @@ WindowProblem::build() const
         const std::size_t rj = (i + 1) * kKeyframeDof;
 
         // H += J^T Lambda J for both state blocks.
-        const linalg::Matrix li = ev.information * ev.j_i;
-        const linalg::Matrix lj = ev.information * ev.j_j;
-        accumulateBlock(eq.v, ri, ri, ev.j_i, li, 1.0);
-        accumulateBlock(eq.v, ri, rj, ev.j_i, lj, 1.0);
-        accumulateBlock(eq.v, rj, ri, ev.j_j, li, 1.0);
-        accumulateBlock(eq.v, rj, rj, ev.j_j, lj, 1.0);
-        accumulateBlock(eq.v_imu, ri, ri, ev.j_i, li, 1.0);
-        accumulateBlock(eq.v_imu, ri, rj, ev.j_i, lj, 1.0);
-        accumulateBlock(eq.v_imu, rj, ri, ev.j_j, li, 1.0);
-        accumulateBlock(eq.v_imu, rj, rj, ev.j_j, lj, 1.0);
+        linalg::Matrix li, lj;
+        linalg::multiplyInto(li, ev.information, ev.j_i);
+        linalg::multiplyInto(lj, ev.information, ev.j_j);
+        linalg::addOuterProductTransposed(eq.v, ri, ri, ev.j_i, li, 1.0);
+        linalg::addOuterProductTransposed(eq.v, ri, rj, ev.j_i, lj, 1.0);
+        linalg::addOuterProductTransposed(eq.v, rj, ri, ev.j_j, li, 1.0);
+        linalg::addOuterProductTransposed(eq.v, rj, rj, ev.j_j, lj, 1.0);
+        linalg::addOuterProductTransposed(eq.v_imu, ri, ri, ev.j_i, li,
+                                          1.0);
+        linalg::addOuterProductTransposed(eq.v_imu, ri, rj, ev.j_i, lj,
+                                          1.0);
+        linalg::addOuterProductTransposed(eq.v_imu, rj, ri, ev.j_j, li,
+                                          1.0);
+        linalg::addOuterProductTransposed(eq.v_imu, rj, rj, ev.j_j, lj,
+                                          1.0);
 
-        accumulateRhs(eq.by, ri, ev.j_i, lr.data().data(), 1.0);
-        accumulateRhs(eq.by, rj, ev.j_j, lr.data().data(), 1.0);
+        linalg::subtractTransposeApplyScaled(eq.by, ri, ev.j_i,
+                                             lr.data().data(), 1.0);
+        linalg::subtractTransposeApplyScaled(eq.by, rj, ev.j_j,
+                                             lr.data().data(), 1.0);
     }
 
     // --- Marginalization prior ---
@@ -173,27 +203,33 @@ WindowProblem::build() const
 double
 WindowProblem::evaluateCost() const
 {
+    // Same fixed chunking and merge order as build(), so the two cost
+    // paths agree bit-for-bit at any thread count.
     double cost = 0.0;
-    for (const Feature &feat : features_) {
-        for (const auto &obs : feat.observations) {
-            if (obs.keyframe_index == feat.anchor_index)
-                continue;
-            const VisualFactorEval ev = evaluateVisualFactor(
-                camera_, keyframes_[feat.anchor_index].pose,
-                keyframes_[obs.keyframe_index].pose, feat.anchor_bearing,
-                feat.inverse_depth, obs.pixel);
-            if (!ev.valid)
-                continue;
-            double wt = visual_weight_;
-            if (huber_delta_ > 0.0) {
-                const double norm = ev.residual.norm();
-                if (norm > huber_delta_)
-                    wt *= huber_delta_ / norm;
+    parallel::mapReduceOrdered(
+        0, features_.size(), kFeatureGrain, [] { return 0.0; },
+        [&](double &partial, std::size_t f) {
+            const Feature &feat = features_[f];
+            for (const auto &obs : feat.observations) {
+                if (obs.keyframe_index == feat.anchor_index)
+                    continue;
+                const VisualFactorEval ev = evaluateVisualFactor(
+                    camera_, keyframes_[feat.anchor_index].pose,
+                    keyframes_[obs.keyframe_index].pose,
+                    feat.anchor_bearing, feat.inverse_depth, obs.pixel);
+                if (!ev.valid)
+                    continue;
+                double wt = visual_weight_;
+                if (huber_delta_ > 0.0) {
+                    const double norm = ev.residual.norm();
+                    if (norm > huber_delta_)
+                        wt *= huber_delta_ / norm;
+                }
+                partial += 0.5 * wt * (ev.residual.u * ev.residual.u +
+                                       ev.residual.v * ev.residual.v);
             }
-            cost += 0.5 * wt * (ev.residual.u * ev.residual.u +
-                                ev.residual.v * ev.residual.v);
-        }
-    }
+        },
+        [&](double &&partial) { cost += partial; });
     for (std::size_t i = 0; i + 1 < keyframes_.size(); ++i) {
         if (!preints_[i] || preints_[i]->sampleCount() == 0)
             continue;

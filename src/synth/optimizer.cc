@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace archytas::synth {
 
@@ -40,7 +41,7 @@ Synthesizer::searchMinPower(double latency_bound_ms,
     // non-increasing in every knob, so within one (nd, nm) column we
     // binary-search the smallest s meeting the bound instead of walking
     // all s values.
-    last_evals_ = 0;
+    std::size_t evals = 0;
     std::optional<DesignPoint> best;
 
     const std::size_t nd_hi = std::min(space_.nd_max, cap.nd);
@@ -55,14 +56,14 @@ Synthesizer::searchMinPower(double latency_bound_ms,
             // Quick feasibility check at the largest s.
             {
                 const hw::HwConfig c{nd, nm, s_hi};
-                ++last_evals_;
+                ++evals;
                 if (latency_.latencyMs(c, iterations) > latency_bound_ms)
                     continue;   // No s helps for this (nd, nm).
             }
             while (lo < hi) {
                 const std::size_t mid = lo + (hi - lo) / 2;
                 const hw::HwConfig c{nd, nm, mid};
-                ++last_evals_;
+                ++evals;
                 if (latency_.latencyMs(c, iterations) <= latency_bound_ms)
                     hi = mid;
                 else
@@ -76,6 +77,7 @@ Synthesizer::searchMinPower(double latency_bound_ms,
                 best = evaluate(c, iterations);
         }
     }
+    last_evals_.store(evals, std::memory_order_relaxed);
     return best;
 }
 
@@ -98,7 +100,7 @@ Synthesizer::minimizePowerCapped(double latency_bound_ms,
 std::optional<DesignPoint>
 Synthesizer::minimizeLatency(std::size_t iterations) const
 {
-    last_evals_ = 0;
+    std::size_t evals = 0;
     std::optional<DesignPoint> best;
     for (std::size_t nd = 1; nd <= space_.nd_max; ++nd) {
         for (std::size_t nm = 1; nm <= space_.nm_max; ++nm) {
@@ -117,12 +119,13 @@ Synthesizer::minimizeLatency(std::size_t iterations) const
                     hi = mid - 1;
             }
             const hw::HwConfig c{nd, nm, lo};
-            ++last_evals_;
+            ++evals;
             const double lat = latency_.latencyMs(c, iterations);
             if (!best || lat < best->latency_ms)
                 best = evaluate(c, iterations);
         }
     }
+    last_evals_.store(evals, std::memory_order_relaxed);
     return best;
 }
 
@@ -130,9 +133,19 @@ std::vector<DesignPoint>
 Synthesizer::paretoFrontier(const std::vector<double> &latency_bounds_ms,
                             std::size_t iterations) const
 {
+    // Each latency bound is an independent constrained search writing
+    // only its own slot, so the sweep fans out across the pool. The
+    // dominance filter is order-sensitive (earlier bounds shadow later
+    // ones), so it runs serially over the slots afterward -- same result
+    // as the all-serial loop at any thread count.
+    std::vector<std::optional<DesignPoint>> points(
+        latency_bounds_ms.size());
+    parallel::parallelFor(0, latency_bounds_ms.size(), [&](std::size_t i) {
+        points[i] = minimizePower(latency_bounds_ms[i], iterations);
+    });
+
     std::vector<DesignPoint> frontier;
-    for (double bound : latency_bounds_ms) {
-        auto p = minimizePower(bound, iterations);
+    for (const auto &p : points) {
         if (!p)
             continue;
         // Keep only non-dominated points.
@@ -152,13 +165,13 @@ std::optional<DesignPoint>
 Synthesizer::minimizePowerExhaustive(double latency_bound_ms,
                                      std::size_t iterations) const
 {
-    last_evals_ = 0;
+    std::size_t evals = 0;
     std::optional<DesignPoint> best;
     for (std::size_t nd = 1; nd <= space_.nd_max; ++nd)
         for (std::size_t nm = 1; nm <= space_.nm_max; ++nm)
             for (std::size_t s = 1; s <= space_.s_max; ++s) {
                 const hw::HwConfig c{nd, nm, s};
-                ++last_evals_;
+                ++evals;
                 if (!resources_.fits(c, platform_))
                     continue;
                 if (latency_.latencyMs(c, iterations) > latency_bound_ms)
@@ -167,6 +180,7 @@ Synthesizer::minimizePowerExhaustive(double latency_bound_ms,
                 if (!best || power < best->power_w)
                     best = evaluate(c, iterations);
             }
+    last_evals_.store(evals, std::memory_order_relaxed);
     return best;
 }
 

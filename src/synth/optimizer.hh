@@ -11,6 +11,7 @@
 #ifndef ARCHYTAS_SYNTH_OPTIMIZER_HH
 #define ARCHYTAS_SYNTH_OPTIMIZER_HH
 
+#include <atomic>
 #include <optional>
 #include <vector>
 
@@ -87,8 +88,17 @@ class Synthesizer
     std::optional<DesignPoint> minimizePowerExhaustive(
         double latency_bound_ms, std::size_t iterations) const;
 
-    /** Number of model evaluations spent by the last search. */
-    std::size_t lastEvaluations() const { return last_evals_; }
+    /**
+     * Number of model evaluations spent by the last completed search.
+     * When searches run concurrently (e.g. inside paretoFrontier or a
+     * parallel Iter sweep), this reports one of them -- whichever
+     * published last.
+     */
+    std::size_t
+    lastEvaluations() const
+    {
+        return last_evals_.load(std::memory_order_relaxed);
+    }
 
     const SearchSpace &space() const { return space_; }
     const FpgaPlatform &platform() const { return platform_; }
@@ -104,7 +114,9 @@ class Synthesizer
     PowerModel power_;
     FpgaPlatform platform_;
     SearchSpace space_;
-    mutable std::size_t last_evals_ = 0;
+    // Atomic so const searches may run concurrently from the pool; each
+    // search counts locally and publishes once on completion.
+    mutable std::atomic<std::size_t> last_evals_{0};
 };
 
 } // namespace archytas::synth

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+
+namespace archytas::parallel {
+namespace {
+
+/** Restores the default pool size when a test exits early. */
+struct PoolSizeGuard
+{
+    ~PoolSizeGuard() { setThreadCount(0); }
+};
+
+TEST(Parallel, ThreadCountSetterAndDefault)
+{
+    PoolSizeGuard guard;
+    const std::size_t def = threadCount();
+    EXPECT_GE(def, 1u);
+
+    setThreadCount(3);
+    EXPECT_EQ(threadCount(), 3u);
+
+    setThreadCount(0);
+    EXPECT_EQ(threadCount(), def);
+}
+
+TEST(Parallel, EmptyRangesRunNothing)
+{
+    PoolSizeGuard guard;
+    setThreadCount(4);
+    std::atomic<int> calls{0};
+    parallelFor(5, 5, [&](std::size_t) { ++calls; });
+    parallelFor(7, 2, [&](std::size_t) { ++calls; });
+    runTasks(0, [&](std::size_t) { ++calls; });
+    parallelForChunks(3, 3, 8, [&](std::size_t, std::size_t) { ++calls; });
+    mapReduceOrdered(
+        4, 4, 2, [&] { ++calls; return 0; }, [&](int &, std::size_t) {},
+        [&](int &&) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Parallel, ParallelForCoversEveryIndexExactlyOnce)
+{
+    PoolSizeGuard guard;
+    setThreadCount(8);
+    const std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(0, n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, RunTasksCoversEveryTaskExactlyOnce)
+{
+    PoolSizeGuard guard;
+    setThreadCount(4);
+    const std::size_t n = 37;
+    std::vector<std::atomic<int>> hits(n);
+    runTasks(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(Parallel, ChunkBoundariesDependOnlyOnRangeAndGrain)
+{
+    PoolSizeGuard guard;
+    for (const std::size_t threads : {1, 2, 8}) {
+        setThreadCount(threads);
+        std::vector<std::pair<std::size_t, std::size_t>> chunks(4);
+        std::atomic<std::size_t> count{0};
+        parallelForChunks(10, 47, 10,
+                          [&](std::size_t b, std::size_t e) {
+                              chunks.at((b - 10) / 10) = {b, e};
+                              ++count;
+                          });
+        EXPECT_EQ(count.load(), 4u);
+        const std::vector<std::pair<std::size_t, std::size_t>> want{
+            {10, 20}, {20, 30}, {30, 40}, {40, 47}};
+        EXPECT_EQ(chunks, want) << "threads=" << threads;
+    }
+}
+
+TEST(Parallel, ExceptionPropagatesLowestTaskIndex)
+{
+    PoolSizeGuard guard;
+    setThreadCount(4);
+    const auto task = [](std::size_t i) {
+        if (i >= 3)
+            throw std::runtime_error("task " + std::to_string(i));
+    };
+    for (int repeat = 0; repeat < 4; ++repeat) {
+        try {
+            runTasks(16, task);
+            FAIL() << "expected runTasks to rethrow";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "task 3");
+        }
+    }
+}
+
+TEST(Parallel, PoolSurvivesAfterException)
+{
+    PoolSizeGuard guard;
+    setThreadCount(4);
+    EXPECT_THROW(
+        runTasks(8, [](std::size_t) { throw std::runtime_error("boom"); }),
+        std::runtime_error);
+    std::atomic<int> sum{0};
+    parallelFor(0, 100, [&](std::size_t i) {
+        sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(Parallel, NestedParallelRunsInline)
+{
+    PoolSizeGuard guard;
+    setThreadCount(4);
+    EXPECT_FALSE(inParallelRegion());
+    std::vector<std::atomic<int>> hits(64);
+    parallelFor(0, 8, [&](std::size_t outer) {
+        EXPECT_TRUE(inParallelRegion());
+        // The nested region must execute inline on this worker; every
+        // inner index still runs exactly once.
+        parallelFor(0, 8, [&](std::size_t inner) {
+            EXPECT_TRUE(inParallelRegion());
+            ++hits[outer * 8 + inner];
+        });
+    });
+    EXPECT_FALSE(inParallelRegion());
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+}
+
+/**
+ * The determinism contract itself: a floating-point reduction whose
+ * terms are crafted to expose reassociation (alternating huge and tiny
+ * magnitudes) must produce the same bit pattern at every thread count.
+ */
+TEST(Parallel, MapReduceBitIdenticalAcrossThreadCounts)
+{
+    PoolSizeGuard guard;
+    const std::size_t n = 1337;
+    const auto term = [](std::size_t i) {
+        const double x = static_cast<double>(i % 7) - 3.0;
+        return (i % 2 ? 1e12 : 1e-9) * x +
+               1.0 / (1.0 + static_cast<double>(i));
+    };
+    const auto reduce = [&] {
+        double total = 0.0;
+        mapReduceOrdered(
+            0, n, 16, [] { return 0.0; },
+            [&](double &partial, std::size_t i) { partial += term(i); },
+            [&](double &&partial) { total += partial; });
+        return total;
+    };
+
+    setThreadCount(1);
+    const double t1 = reduce();
+    setThreadCount(2);
+    const double t2 = reduce();
+    setThreadCount(8);
+    const double t8 = reduce();
+
+    // Exact equality on purpose: the contract is bit-identity, not
+    // closeness.
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(t1, t8);
+}
+
+TEST(Parallel, MapReduceMatchesExplicitChunkedSerial)
+{
+    PoolSizeGuard guard;
+    setThreadCount(8);
+    const std::size_t n = 100, grain = 16;
+    double got = 0.0;
+    mapReduceOrdered(
+        0, n, grain, [] { return 0.0; },
+        [](double &p, std::size_t i) {
+            p += 1.0 / (1.0 + static_cast<double>(i));
+        },
+        [&](double &&p) { got += p; });
+
+    double want = 0.0;
+    for (std::size_t b = 0; b < n; b += grain) {
+        double partial = 0.0;
+        for (std::size_t i = b; i < std::min(n, b + grain); ++i)
+            partial += 1.0 / (1.0 + static_cast<double>(i));
+        want += partial;
+    }
+    EXPECT_EQ(got, want);
+}
+
+TEST(Parallel, MapReducePropagatesAccumulateException)
+{
+    PoolSizeGuard guard;
+    setThreadCount(4);
+    EXPECT_THROW(
+        mapReduceOrdered(
+            0, 100, 8, [] { return 0; },
+            [](int &, std::size_t i) {
+                if (i == 42)
+                    throw std::runtime_error("accumulate");
+            },
+            [](int &&) {}),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace archytas::parallel

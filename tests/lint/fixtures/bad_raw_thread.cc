@@ -1,0 +1,19 @@
+// lint-expect: raw-thread
+// Fixture: raw thread primitives outside src/common/parallel.*. The
+// mention of std::thread in this comment must NOT be flagged; only the
+// real uses below are. All parallelism goes through archytas::parallel,
+// whose fixed chunking keeps floating-point results bit-identical at
+// any thread count.
+
+#include <future>
+#include <thread>
+
+int
+spawnsAdHocWorkers()
+{
+    int x = 0;
+    std::thread worker([&x] { x = 1; });
+    worker.join();
+    auto f = std::async([] { return 2; });
+    return x + f.get();
+}

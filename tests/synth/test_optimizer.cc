@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/parallel.hh"
 #include "synth/optimizer.hh"
 
 namespace archytas::synth {
@@ -175,6 +176,32 @@ TEST(Synthesizer, FewerIterationsAllowCheaperGating)
     const auto p2 = synth.minimizePowerCapped(1.5, 2, built);
     ASSERT_TRUE(p6 && p2);
     EXPECT_LE(p2->power_w, p6->power_w);
+}
+
+TEST(Synthesizer, ParetoFrontierIdenticalAcrossThreadCounts)
+{
+    // The frontier sweep fans out across the pool, but each bound's
+    // search is exact and the dominance filter runs in bound order, so
+    // the frontier must be identical at any thread count.
+    const auto synth = makeSynthesizer();
+    std::vector<double> bounds;
+    for (int i = 0; i < 12; ++i)
+        bounds.push_back(0.3 * (1 << i) / 8.0);
+
+    parallel::setThreadCount(1);
+    const auto f1 = synth.paretoFrontier(bounds, 6);
+    parallel::setThreadCount(8);
+    const auto f8 = synth.paretoFrontier(bounds, 6);
+    parallel::setThreadCount(0);
+
+    ASSERT_EQ(f1.size(), f8.size());
+    for (std::size_t i = 0; i < f1.size(); ++i) {
+        EXPECT_EQ(f1[i].config.nd, f8[i].config.nd) << i;
+        EXPECT_EQ(f1[i].config.nm, f8[i].config.nm) << i;
+        EXPECT_EQ(f1[i].config.s, f8[i].config.s) << i;
+        EXPECT_EQ(f1[i].latency_ms, f8[i].latency_ms) << i;
+        EXPECT_EQ(f1[i].power_w, f8[i].power_w) << i;
+    }
 }
 
 } // namespace

@@ -14,6 +14,12 @@ Rules (each has a stable id used in waivers and the self-test fixtures):
                    loops; accumulate t = start + i * step from an integer
                    index instead (float accumulation drifts and the trip
                    count becomes platform-dependent).
+  raw-thread       No `std::thread`/`std::jthread`/`std::async` outside
+                   src/common/parallel.*; all parallelism goes through the
+                   pool (archytas::parallel) whose fixed chunking and
+                   ordered merges keep results bit-identical at any
+                   thread count. Ad-hoc threads reintroduce scheduling-
+                   dependent floating-point merge orders.
   include-guard    Headers under src/ use include guards named
                    ARCHYTAS_<PATH>_<FILE>_HH matching their path.
   hw-test-pairing  Every translation unit src/hw/<name>.cc has a matching
@@ -56,6 +62,7 @@ BANNED_RANDOM_RE = re.compile(
     r"(?:^|[^\w:.])(?:std\s*::\s*)?time\s*\(\s*(?:NULL|nullptr|0)?\s*\)")
 FLOAT_LOOP_RE = re.compile(
     r"for\s*\(\s*(?:const\s+)?(?:double|float)\s+\w+\s*=")
+RAW_THREAD_RE = re.compile(r"std\s*::\s*(?:thread|jthread|async)\b")
 GUARD_IFNDEF_RE = re.compile(r"^#ifndef\s+(\w+)\s*$", re.MULTILINE)
 
 STATUS_TYPES = ("TransactionStatus", "HostTransaction", "LmReport",
@@ -171,6 +178,7 @@ def check_file(root, relpath, violations, waiver_count):
         violations.append(Violation(rule, relpath, lineno, message))
 
     in_rng = relpath.as_posix().startswith("src/common/rng")
+    in_pool = relpath.as_posix().startswith("src/common/parallel")
     for lineno, line in enumerate(clean_lines, start=1):
         if NAKED_NEW_RE.search(line):
             report("naked-new", lineno,
@@ -186,6 +194,11 @@ def check_file(root, relpath, violations, waiver_count):
             report("float-loop-index", lineno,
                    "floating-point loop induction variable; iterate an "
                    "integer index and derive the value")
+        if not in_pool and RAW_THREAD_RE.search(line):
+            report("raw-thread", lineno,
+                   "raw std::thread/std::async; route parallelism "
+                   "through archytas::parallel (common/parallel.hh) so "
+                   "results stay deterministic")
 
     in_fixtures = FIXTURE_DIR in relpath.parents
     if relpath.suffix == ".hh" and (relpath.parts[0] == "src" or
