@@ -9,16 +9,38 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string_view>
 
 #include "baseline/platform_model.hh"
 #include "bench_common.hh"
 #include "common/parallel.hh"
+#include "common/telemetry.hh"
+#include "runtime/offline.hh"
 
 using namespace archytas;
 
-int
-main()
+namespace {
+
+/** Named argument of a trace event (0.0 when absent). */
+double
+eventArg(const telemetry::TraceEvent &e, const char *name)
 {
+    for (std::uint32_t i = 0; i < e.arg_count; ++i)
+        if (std::strcmp(e.args[i].name, name) == 0)
+            return e.args[i].value;
+    return 0.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const telemetry::ScopedExport telemetry_export(argc, argv);
+    // The controller decision table below is rebuilt from the telemetry
+    // snapshot, so recording stays on even without --telemetry-out.
+    telemetry::setEnabled(true);
     const auto seq = dataset::makeKittiLikeSequence(bench::kittiConfig());
     const auto run = bench::runTrace(seq);
     const auto &w = run.mean_workload;
@@ -72,6 +94,62 @@ main()
     std::printf("%s", table.render(
         "Fig. 15: Pareto designs vs CPU baselines (KITTI trace)")
         .c_str());
+
+    // Re-drive the trace with the run-time controller on the fastest
+    // frontier design, then print the decision table straight from the
+    // telemetry snapshot: the figure's speedup numbers stay traceable
+    // to the recorded per-phase spans and decision events.
+    {
+        const hw::HwConfig built = fastest->config;
+        dataset::SequenceConfig profile_cfg = bench::kittiConfig(15.0);
+        profile_cfg.seed = 2022;
+        const auto profile_seq =
+            dataset::makeKittiLikeSequence(profile_cfg);
+        const auto prep = runtime::prepareRuntime(
+            profile_seq, bench::estimatorOptions(), synth, built,
+            fastest->latency_ms * 1.5);
+        runtime::RuntimeController controller(prep.table,
+                                              prep.gated_configs, built);
+        slam::SlidingWindowEstimator est(seq.camera(),
+                                         bench::estimatorOptions());
+        est.setIterationController([&](std::size_t features) {
+            return controller.onWindow(features).iterations;
+        });
+        for (const auto &frame : seq.frames()) {
+            const auto r = est.processFrame(frame);
+            static_cast<void>(r);
+        }
+
+        Table decisions({"event #", "features", "proposal", "Iter",
+                         "kind"});
+        std::size_t index = 0;
+        for (const auto &e : telemetry::snapshotTrace()) {
+            const std::string_view name(e.name);
+            if (name != "runtime.decide" && name != "runtime.hold")
+                continue;
+            ++index;
+            const bool reconfigured =
+                eventArg(e, "reconfigured") != 0.0;
+            if (name == "runtime.hold") {
+                decisions.addRow({std::to_string(index), "-", "-",
+                                  Table::fmt(eventArg(e, "iter"), 0),
+                                  "degraded hold"});
+            } else if (reconfigured) {
+                decisions.addRow(
+                    {std::to_string(index),
+                     Table::fmt(eventArg(e, "features"), 0),
+                     Table::fmt(eventArg(e, "proposal"), 0),
+                     Table::fmt(eventArg(e, "iter"), 0), "reconfigure"});
+            }
+        }
+        std::printf("\n%s", decisions.render(
+            "Controller decisions (from the telemetry snapshot; "
+            "steady-state windows elided)").c_str());
+        std::printf("  controller: %zu windows, %zu reconfigurations, "
+                    "%zu degraded holds\n",
+                    index, controller.reconfigurations(),
+                    controller.degradedWindows());
+    }
 
     std::printf(
         "\n%s\n%s\n%s\n",

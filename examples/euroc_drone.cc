@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/telemetry.hh"
 #include "dataset/sequence.hh"
 #include "slam/estimator.hh"
 #include "synth/optimizer.hh"
@@ -20,8 +21,9 @@
 using namespace archytas;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const telemetry::ScopedExport telemetry_export(argc, argv);
     dataset::SequenceConfig cfg;
     cfg.duration = 30.0;
     cfg.landmarks = 2500;

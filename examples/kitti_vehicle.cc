@@ -8,11 +8,13 @@
  * segments (Sec. 6). It prints a per-segment report of workload,
  * accuracy, the controller's decisions, and the energy saved.
  *
- * Run: ./build/examples/kitti_vehicle
+ * Run: ./build/examples/kitti_vehicle [--telemetry-out <dir>]
  */
 
+#include <chrono>
 #include <cstdio>
 
+#include "common/telemetry.hh"
 #include "dataset/sequence.hh"
 #include "runtime/offline.hh"
 #include "runtime/persistence.hh"
@@ -22,8 +24,9 @@
 using namespace archytas;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const telemetry::ScopedExport telemetry_export(argc, argv);
     // The deployment route and a previously recorded profiling route of
     // the same environment class (Sec. 6.2's "collect and profile data
     // from the environment").
@@ -97,18 +100,30 @@ main()
     double static_mj = 0.0, dynamic_mj = 0.0;
     std::size_t frames = 0;
     for (const auto &frame : route.frames()) {
+        const auto t0 = std::chrono::steady_clock::now();
         const auto r = estimator.processFrame(frame);
+        const double observed_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
         if (!r.optimized)
             continue;
         const double stat =
             accel.windowTiming(r.workload, 6).totalMs() *
             power.watts(built);
         const hw::Accelerator gated(last.gated);
-        const double dyn =
-            gated.windowTiming(r.workload, last.iterations).totalMs() *
-            power.gatedWatts(built, last.gated);
+        const double predicted_ms =
+            gated.windowTiming(r.workload, last.iterations).totalMs();
+        const double dyn = predicted_ms *
+                           power.gatedWatts(built, last.gated);
         static_mj += stat;
         dynamic_mj += dyn;
+        // Pair the controller's choice with the accelerator-model
+        // prediction and the measured wall time of the window.
+        ARCHYTAS_INSTANT("runtime", "runtime.latency",
+                         {"iter", static_cast<double>(last.iterations)},
+                         {"predicted_ms", predicted_ms},
+                         {"observed_ms", observed_ms});
         if (frames++ % 40 == 0) {
             std::printf("%-8.1f %-10zu %-6zu (%zu, %zu, %zu)%-8s "
                         "%-10.3f %-10.3f\n",

@@ -15,6 +15,7 @@
 
 #include <cstdio>
 
+#include "common/telemetry.hh"
 #include "dataset/sequence.hh"
 #include "slam/estimator.hh"
 #include "synth/optimizer.hh"
@@ -23,8 +24,9 @@
 using namespace archytas;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const telemetry::ScopedExport telemetry_export(argc, argv);
     // 1. A 15-second drone flight in a machine-hall-like room.
     dataset::SequenceConfig cfg;
     cfg.duration = 15.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 
 namespace archytas {
@@ -59,6 +60,13 @@ rmse(const std::vector<double> &a, const std::vector<double> &b)
 double
 percentile(std::vector<double> xs, double p)
 {
+    ARCHYTAS_DCHECK(p >= 0.0 && p <= 100.0,
+                    "percentile: p out of [0, 100]: ", p);
+    // NaN has no rank; keeping it would violate sort's strict weak
+    // ordering and scramble the whole ranking.
+    xs.erase(std::remove_if(xs.begin(), xs.end(),
+                            [](double x) { return std::isnan(x); }),
+             xs.end());
     if (xs.empty())
         return 0.0;
     std::sort(xs.begin(), xs.end());
@@ -77,6 +85,12 @@ percentile(std::vector<double> xs, double p)
 void
 RunningStats::add(double x)
 {
+    if (std::isnan(x)) {
+        // Counted apart: one corrupt sample must not erase the
+        // statistics of every healthy one (see stats.hh).
+        ++nan_count_;
+        return;
+    }
     if (count_ == 0) {
         min_ = max_ = x;
     } else {

@@ -24,12 +24,25 @@ double rms(const std::vector<double> &xs);
 /** Root-mean-square error between two equal-length sequences. */
 double rmse(const std::vector<double> &a, const std::vector<double> &b);
 
-/** Linear-interpolated percentile, p in [0, 100]. */
+/**
+ * Linear-interpolated percentile.
+ *
+ * @param xs Samples; NaN entries are dropped before ranking (they have
+ *           no order, so including them would corrupt the sort). An
+ *           all-NaN or empty input yields 0.
+ * @param p  Percentile in [0, 100]; out-of-range values are a caller
+ *           bug (ARCHYTAS_DCHECK) and clamp in contract-free builds.
+ */
 double percentile(std::vector<double> xs, double p);
 
 /**
  * Streaming accumulator of count/mean/min/max/variance using Welford's
  * algorithm; cheap enough to keep per hardware block or per window.
+ *
+ * NaN samples are counted separately (nanCount()) and excluded from
+ * the moments: one corrupt sample must not erase the statistics of
+ * every healthy one. count() reports only the finite-ordered samples
+ * folded into mean/min/max/variance.
  */
 class RunningStats
 {
@@ -37,6 +50,8 @@ class RunningStats
     void add(double x);
 
     std::size_t count() const { return count_; }
+    /** NaN samples seen (excluded from all other statistics). */
+    std::size_t nanCount() const { return nan_count_; }
     double mean() const { return mean_; }
     double min() const { return min_; }
     double max() const { return max_; }
@@ -47,6 +62,7 @@ class RunningStats
 
   private:
     std::size_t count_ = 0;
+    std::size_t nan_count_ = 0;
     double mean_ = 0.0;
     double m2_ = 0.0;
     double min_ = 0.0;

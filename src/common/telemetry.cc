@@ -1,0 +1,652 @@
+#include "common/telemetry.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace archytas::telemetry {
+
+namespace {
+
+/** Per-histogram shard state; merged by exact integer/min/max folds. */
+struct HistShard
+{
+    std::array<std::uint64_t, kHistogramBuckets> buckets{};
+    std::uint64_t count = 0;
+    std::uint64_t nan_count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    void
+    record(double v)
+    {
+        if (std::isnan(v)) {
+            ++nan_count;
+            return;
+        }
+        ++buckets[Histogram::bucketIndex(v)];
+        if (count == 0) {
+            min = max = v;
+        } else {
+            min = std::min(min, v);
+            max = std::max(max, v);
+        }
+        ++count;
+        sum += v;
+    }
+
+    void
+    fold(HistShard &into) const
+    {
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b)
+            into.buckets[b] += buckets[b];
+        if (count > 0) {
+            if (into.count == 0) {
+                into.min = min;
+                into.max = max;
+            } else {
+                into.min = std::min(into.min, min);
+                into.max = std::max(into.max, max);
+            }
+        }
+        into.count += count;
+        into.nan_count += nan_count;
+        into.sum += sum;
+    }
+};
+
+struct Shard;
+
+/** The process-wide registry behind the public handle API. */
+struct Registry
+{
+    std::mutex mu;
+    std::atomic<bool> enabled{false};
+
+    std::map<std::string, std::uint32_t, std::less<>> counter_ids;
+    std::map<std::string, std::uint32_t, std::less<>> gauge_ids;
+    std::map<std::string, std::uint32_t, std::less<>> histogram_ids;
+    std::deque<Counter> counters;       // Stable handle storage.
+    std::deque<Gauge> gauges;
+    std::deque<Histogram> histograms;
+
+    std::vector<double> gauge_values;
+    std::vector<std::uint8_t> gauge_written;
+
+    // Totals folded in from destroyed threads' shards.
+    std::vector<std::uint64_t> retired_counters;
+    std::vector<HistShard> retired_hists;
+    std::vector<TraceEvent> retired_events;
+
+    std::vector<Shard *> shards;
+    std::uint32_t next_tid = 0;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** Per-thread metric/trace buffers; no locks on the record path. */
+struct Shard
+{
+    std::vector<std::uint64_t> counters;
+    std::vector<HistShard> hists;
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+
+    Shard()
+    {
+        Registry &r = registry();
+        const std::lock_guard<std::mutex> lock(r.mu);
+        tid = r.next_tid++;
+        r.shards.push_back(this);
+    }
+
+    ~Shard()
+    {
+        Registry &r = registry();
+        const std::lock_guard<std::mutex> lock(r.mu);
+        foldLocked(r);
+        r.shards.erase(std::remove(r.shards.begin(), r.shards.end(),
+                                   this),
+                       r.shards.end());
+    }
+
+    /** Folds this shard's values into the registry's retired totals. */
+    void
+    foldLocked(Registry &r)
+    {
+        if (r.retired_counters.size() < counters.size())
+            r.retired_counters.resize(counters.size(), 0);
+        for (std::size_t i = 0; i < counters.size(); ++i)
+            r.retired_counters[i] += counters[i];
+        counters.clear();
+        if (r.retired_hists.size() < hists.size())
+            r.retired_hists.resize(hists.size());
+        for (std::size_t i = 0; i < hists.size(); ++i)
+            hists[i].fold(r.retired_hists[i]);
+        hists.clear();
+        r.retired_events.insert(r.retired_events.end(), events.begin(),
+                                events.end());
+        events.clear();
+    }
+};
+
+Shard &
+shard()
+{
+    static thread_local Shard s;
+    return s;
+}
+
+std::int64_t
+nowNs()
+{
+    // One shared epoch so timestamps from every thread line up.
+    static const auto epoch = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/** Where the environment-variable activation exports to at exit. */
+std::string &
+envExportDir()
+{
+    static std::string dir;
+    return dir;
+}
+
+void
+exportAtExit()
+{
+    exportAll(envExportDir());
+}
+
+/**
+ * ARCHYTAS_TELEMETRY_OUT=<dir> turns recording on at load time and
+ * exports at normal process exit -- the hook test binaries (e.g. the
+ * fault-recovery suite in CI) use, since they never parse argv.
+ */
+struct EnvActivation
+{
+    EnvActivation()
+    {
+        const char *dir = std::getenv("ARCHYTAS_TELEMETRY_OUT");
+        if (dir != nullptr && *dir != '\0') {
+            envExportDir() = dir;
+            setEnabled(true);
+            std::atexit(exportAtExit);
+        }
+    }
+};
+
+const EnvActivation env_activation;
+
+} // namespace
+
+bool
+enabled()
+{
+    return registry().enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    registry().enabled.store(on, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------------
+// Handles
+// --------------------------------------------------------------------
+
+void
+Counter::add(std::uint64_t delta)
+{
+    if (!enabled())
+        return;
+    Shard &s = shard();
+    if (s.counters.size() <= id_)
+        s.counters.resize(id_ + 1, 0);
+    s.counters[id_] += delta;
+}
+
+void
+Gauge::set(double value)
+{
+    if (!enabled())
+        return;
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    if (r.gauge_values.size() <= id_) {
+        r.gauge_values.resize(id_ + 1, 0.0);
+        r.gauge_written.resize(id_ + 1, 0);
+    }
+    r.gauge_values[id_] = value;
+    r.gauge_written[id_] = 1;
+}
+
+void
+Histogram::record(double value)
+{
+    if (!enabled())
+        return;
+    Shard &s = shard();
+    if (s.hists.size() <= id_)
+        s.hists.resize(id_ + 1);
+    s.hists[id_].record(value);
+}
+
+std::size_t
+Histogram::bucketIndex(double value)
+{
+    if (!(value > 0.0))
+        return 0;   // Non-positive (and NaN, though callers filter it).
+    const double scaled =
+        std::floor(std::log10(value) *
+                   static_cast<double>(kBucketsPerDecade));
+    const auto idx = static_cast<std::int64_t>(scaled) +
+                     static_cast<std::int64_t>(kBucketsPerDecade) *
+                         (-kHistogramMinDecade) +
+                     1;
+    if (idx < 1)
+        return 0;   // Below 1e-9: underflow.
+    if (idx >= static_cast<std::int64_t>(kHistogramBuckets) - 1)
+        return kHistogramBuckets - 1;   // >= 1e12: overflow.
+    return static_cast<std::size_t>(idx);
+}
+
+double
+Histogram::bucketLowerBound(std::size_t index)
+{
+    if (index == 0)
+        return 0.0;
+    const auto exponent =
+        (static_cast<double>(index) - 1.0) /
+            static_cast<double>(kBucketsPerDecade) +
+        static_cast<double>(kHistogramMinDecade);
+    return std::pow(10.0, exponent);
+}
+
+namespace {
+
+template <typename Handle>
+Handle &
+lookup(std::map<std::string, std::uint32_t, std::less<>> &ids,
+       std::deque<Handle> &storage, std::string_view name)
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = ids.find(name);
+    if (it != ids.end())
+        return storage[it->second];
+    const auto id = static_cast<std::uint32_t>(storage.size());
+    ids.emplace(std::string(name), id);
+    storage.emplace_back(id);
+    return storage.back();
+}
+
+} // namespace
+
+Counter &
+counter(std::string_view name)
+{
+    Registry &r = registry();
+    return lookup(r.counter_ids, r.counters, name);
+}
+
+Gauge &
+gauge(std::string_view name)
+{
+    Registry &r = registry();
+    return lookup(r.gauge_ids, r.gauges, name);
+}
+
+Histogram &
+histogram(std::string_view name)
+{
+    Registry &r = registry();
+    return lookup(r.histogram_ids, r.histograms, name);
+}
+
+// --------------------------------------------------------------------
+// Snapshots
+// --------------------------------------------------------------------
+
+MetricsSnapshot
+snapshotMetrics()
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+
+    // Merge: retired totals plus every live shard. Counters and bucket
+    // counts are integer sums, so the shard order cannot matter.
+    std::vector<std::uint64_t> counters = r.retired_counters;
+    counters.resize(r.counters.size(), 0);
+    std::vector<HistShard> hists = r.retired_hists;
+    hists.resize(r.histograms.size());
+    for (const Shard *s : r.shards) {
+        for (std::size_t i = 0; i < s->counters.size(); ++i)
+            counters[i] += s->counters[i];
+        for (std::size_t i = 0; i < s->hists.size(); ++i)
+            s->hists[i].fold(hists[i]);
+    }
+
+    MetricsSnapshot snap;
+    for (const auto &[name, id] : r.counter_ids)
+        snap.counters.push_back({name, counters[id]});
+    for (const auto &[name, id] : r.gauge_ids) {
+        GaugeValue g;
+        g.name = name;
+        if (id < r.gauge_values.size()) {
+            g.value = r.gauge_values[id];
+            g.written = r.gauge_written[id] != 0;
+        }
+        snap.gauges.push_back(std::move(g));
+    }
+    for (const auto &[name, id] : r.histogram_ids) {
+        HistogramValue h;
+        h.name = name;
+        const HistShard &s = hists[id];
+        h.count = s.count;
+        h.nan_count = s.nan_count;
+        h.sum = s.sum;
+        h.min = s.min;
+        h.max = s.max;
+        h.buckets = s.buckets;
+        snap.histograms.push_back(std::move(h));
+    }
+    // std::map iteration is already name-sorted.
+    return snap;
+}
+
+// --------------------------------------------------------------------
+// Tracing
+// --------------------------------------------------------------------
+
+SpanGuard::SpanGuard(const char *category, const char *name)
+    : category_(category), name_(name), start_ns_(0), active_(enabled())
+{
+    if (active_)
+        start_ns_ = nowNs();
+}
+
+SpanGuard::~SpanGuard()
+{
+    if (!active_)
+        return;
+    TraceEvent e;
+    e.name = name_;
+    e.category = category_;
+    e.start_ns = start_ns_;
+    e.duration_ns = nowNs() - start_ns_;
+    Shard &s = shard();
+    e.tid = s.tid;
+    s.events.push_back(e);
+}
+
+void
+instant(const char *category, const char *name,
+        std::initializer_list<TraceArg> args)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = name;
+    e.category = category;
+    e.instant = true;
+    e.start_ns = nowNs();
+    for (const TraceArg &a : args) {
+        if (e.arg_count >= kMaxTraceArgs)
+            break;
+        e.args[e.arg_count++] = a;
+    }
+    Shard &s = shard();
+    e.tid = s.tid;
+    s.events.push_back(e);
+}
+
+std::vector<TraceEvent>
+snapshotTrace()
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    std::vector<TraceEvent> events = r.retired_events;
+    for (const Shard *s : r.shards)
+        events.insert(events.end(), s->events.begin(), s->events.end());
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         if (a.start_ns != b.start_ns)
+                             return a.start_ns < b.start_ns;
+                         return a.tid < b.tid;
+                     });
+    return events;
+}
+
+// --------------------------------------------------------------------
+// Export / lifecycle
+// --------------------------------------------------------------------
+
+namespace {
+
+void
+writeEventJson(std::ofstream &out, const TraceEvent &e)
+{
+    out << "    {\"name\": \"" << jsonEscape(e.name) << "\", \"cat\": \""
+        << jsonEscape(e.category) << "\", \"ph\": \""
+        << (e.instant ? "i" : "X") << "\", \"ts\": "
+        << jsonNumber(static_cast<double>(e.start_ns) / 1e3);
+    if (e.instant)
+        out << ", \"s\": \"t\"";
+    else
+        out << ", \"dur\": "
+            << jsonNumber(static_cast<double>(e.duration_ns) / 1e3);
+    out << ", \"pid\": 1, \"tid\": " << e.tid << ", \"args\": {";
+    for (std::uint32_t i = 0; i < e.arg_count; ++i) {
+        out << (i ? ", " : "") << "\"" << jsonEscape(e.args[i].name)
+            << "\": " << jsonNumber(e.args[i].value);
+    }
+    out << "}}";
+}
+
+} // namespace
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    const auto events = snapshotTrace();
+    out << "{\n  \"displayTimeUnit\": \"ms\",\n"
+        << "  \"otherData\": {\"schema\": \"archytas-trace-v1\"},\n"
+        << "  \"traceEvents\": [\n";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        writeEventJson(out, events[i]);
+        out << (i + 1 < events.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    return out.good();
+}
+
+bool
+writeMetricsJson(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    const MetricsSnapshot snap = snapshotMetrics();
+    out << "{\n  \"schema\": \"archytas-metrics-v1\",\n  \"counters\": [\n";
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+        const auto &c = snap.counters[i];
+        out << "    {\"name\": \"" << jsonEscape(c.name)
+            << "\", \"value\": " << c.value << "}"
+            << (i + 1 < snap.counters.size() ? ",\n" : "\n");
+    }
+    out << "  ],\n  \"gauges\": [\n";
+    for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+        const auto &g = snap.gauges[i];
+        out << "    {\"name\": \"" << jsonEscape(g.name)
+            << "\", \"value\": " << jsonNumber(g.value)
+            << ", \"written\": " << (g.written ? "true" : "false") << "}"
+            << (i + 1 < snap.gauges.size() ? ",\n" : "\n");
+    }
+    out << "  ],\n  \"histograms\": [\n";
+    for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+        const auto &h = snap.histograms[i];
+        out << "    {\"name\": \"" << jsonEscape(h.name)
+            << "\", \"count\": " << h.count << ", \"nan\": "
+            << h.nan_count << ", \"sum\": " << jsonNumber(h.sum)
+            << ", \"min\": " << jsonNumber(h.min) << ", \"max\": "
+            << jsonNumber(h.max) << ", \"buckets\": [";
+        bool first = true;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+            if (h.buckets[b] == 0)
+                continue;
+            out << (first ? "" : ", ") << "{\"lo\": "
+                << jsonNumber(Histogram::bucketLowerBound(b))
+                << ", \"n\": " << h.buckets[b] << "}";
+            first = false;
+        }
+        out << "]}" << (i + 1 < snap.histograms.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    return out.good();
+}
+
+bool
+writeMetricsCsv(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    const MetricsSnapshot snap = snapshotMetrics();
+    out << "kind,name,count,value,min,max,mean\n";
+    for (const auto &c : snap.counters)
+        out << "counter," << c.name << "," << c.value << "," << c.value
+            << ",,,\n";
+    for (const auto &g : snap.gauges) {
+        if (!g.written)
+            continue;
+        out << "gauge," << g.name << ",1," << jsonNumber(g.value)
+            << ",,,\n";
+    }
+    for (const auto &h : snap.histograms)
+        out << "histogram," << h.name << "," << h.count << ","
+            << jsonNumber(h.sum) << "," << jsonNumber(h.min) << ","
+            << jsonNumber(h.max) << "," << jsonNumber(h.mean()) << "\n";
+    return out.good();
+}
+
+bool
+exportAll(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return false;
+    const std::filesystem::path base(dir);
+    return writeChromeTrace((base / "trace.json").string()) &&
+           writeMetricsJson((base / "metrics.json").string()) &&
+           writeMetricsCsv((base / "metrics.csv").string());
+}
+
+void
+reset()
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    std::fill(r.retired_counters.begin(), r.retired_counters.end(), 0);
+    r.retired_hists.assign(r.retired_hists.size(), HistShard{});
+    r.retired_events.clear();
+    std::fill(r.gauge_values.begin(), r.gauge_values.end(), 0.0);
+    std::fill(r.gauge_written.begin(), r.gauge_written.end(), 0);
+    for (Shard *s : r.shards) {
+        s->counters.clear();
+        s->hists.clear();
+        s->events.clear();
+    }
+}
+
+ScopedExport::ScopedExport(int &argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string_view(argv[i]) != "--telemetry-out")
+            continue;
+        if (i + 1 >= argc)
+            ARCHYTAS_FATAL("--telemetry-out requires a directory");
+        dir_ = argv[i + 1];
+        for (int j = i; j + 2 < argc; ++j)
+            argv[j] = argv[j + 2];
+        argc -= 2;
+        break;
+    }
+    if (dir_.empty()) {
+        const char *env = std::getenv("ARCHYTAS_TELEMETRY_OUT");
+        if (env != nullptr && *env != '\0')
+            dir_ = env;
+    }
+    if (!dir_.empty())
+        setEnabled(true);
+}
+
+ScopedExport::~ScopedExport()
+{
+    if (dir_.empty())
+        return;
+    if (exportAll(dir_)) {
+        ARCHYTAS_INFORM("telemetry: wrote ", dir_, "/trace.json, ",
+                        "metrics.json, metrics.csv");
+    } else {
+        ARCHYTAS_WARN("telemetry: export to ", dir_, " failed");
+    }
+}
+
+} // namespace archytas::telemetry

@@ -1,11 +1,25 @@
 #include "hw/accelerator.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 #include "linalg/cholesky.hh"
 
 namespace archytas::hw {
+
+namespace {
+
+/** Rounds an analytical cycle count for the integer telemetry counters. */
+std::uint64_t
+toCycleCount(double cycles)
+{
+    return cycles > 0.0 ? static_cast<std::uint64_t>(std::llround(cycles))
+                        : 0;
+}
+
+} // namespace
 
 Accelerator::Accelerator(const HwConfig &config, const HwConstants &env)
     : config_(config), env_(env), jacobian_(env),
@@ -69,6 +83,28 @@ Accelerator::windowTiming(const slam::WindowWorkload &w,
     t.cholesky_busy = iters * chol + marg_chol;
     t.bsub_busy = iters * bsub;
     t.mschur_busy = marg_mschur;
+
+    // Per-block simulated-cycle counters: simulator time stays
+    // cross-checkable against the wall-time spans in the same trace.
+    if (telemetry::enabled()) {
+        ARCHYTAS_COUNT_ADD("hw.windows_timed", 1);
+        ARCHYTAS_COUNT_ADD("hw.cycles.jacobian",
+                           toCycleCount(t.jacobian_busy));
+        ARCHYTAS_COUNT_ADD("hw.cycles.dschur", toCycleCount(t.dschur_busy));
+        ARCHYTAS_COUNT_ADD("hw.cycles.cholesky",
+                           toCycleCount(t.cholesky_busy));
+        ARCHYTAS_COUNT_ADD("hw.cycles.bsub", toCycleCount(t.bsub_busy));
+        ARCHYTAS_COUNT_ADD("hw.cycles.mschur", toCycleCount(t.mschur_busy));
+        ARCHYTAS_COUNT_ADD("hw.cycles.marginalization",
+                           toCycleCount(t.marg_cycles));
+        ARCHYTAS_COUNT_ADD("hw.cycles.total", toCycleCount(t.total_cycles));
+        ARCHYTAS_INSTANT("hw", "hw.window_timing",
+                         {"iterations",
+                          static_cast<double>(t.iterations)},
+                         {"total_cycles", t.total_cycles},
+                         {"nls_cycles_per_iter", t.nls_cycles_per_iter},
+                         {"marg_cycles", t.marg_cycles});
+    }
     return t;
 }
 
@@ -77,6 +113,7 @@ Accelerator::executeSolve(const slam::NormalEquations &eq, double lambda,
                           linalg::Vector &dy, linalg::Vector &dx,
                           WindowTiming *timing) const
 {
+    ARCHYTAS_SPAN("hw", "hw.execute_solve");
     const std::size_t m = eq.u_diag.size();
     const std::size_t nk = eq.v.rows();
 

@@ -1,6 +1,7 @@
 #include "hw/host_interface.hh"
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 
 namespace archytas::hw {
 
@@ -61,6 +62,9 @@ HostInterface::windowTransaction(const slam::WindowWorkload &workload,
 {
     HostTransaction t = windowTransaction(workload, config_changed);
     const double nominal = t.total_seconds;
+    ARCHYTAS_COUNT_ADD("host.transactions", 1);
+    ARCHYTAS_COUNT_ADD("host.words",
+                       t.input_words + t.config_words + t.output_words);
 
     const FaultEvent *stall =
         faults.find(window_index, FaultKind::DmaStall);
@@ -94,9 +98,14 @@ HostInterface::windowTransaction(const slam::WindowWorkload &workload,
             t.status = attempt == 0
                            ? TransactionStatus::Ok
                            : TransactionStatus::RecoveredAfterRetry;
+            if (attempt > 0) {
+                ARCHYTAS_COUNT_ADD("host.retries", attempt);
+                ARCHYTAS_COUNT_ADD("host.recovered_transactions", 1);
+            }
             return t;
         }
         // Abandoned at the deadline, then back off before retrying.
+        ARCHYTAS_COUNT_ADD("host.deadline_misses", 1);
         elapsed += link_.deadline_s;
         if (attempt < link_.max_retries) {
             elapsed += backoff;
@@ -105,6 +114,8 @@ HostInterface::windowTransaction(const slam::WindowWorkload &workload,
     }
     t.total_seconds = elapsed;
     t.status = TransactionStatus::DeadlineExceeded;
+    ARCHYTAS_COUNT_ADD("host.retries", link_.max_retries);
+    ARCHYTAS_COUNT_ADD("host.timeout_transactions", 1);
     return t;
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 #include "slam/lm_solver.hh"
 
 namespace archytas::hw {
@@ -42,8 +43,10 @@ HwWindowSolver::solveWindow(slam::WindowProblem &problem,
                             const slam::LmOptions &options,
                             slam::HealthReport &health)
 {
+    ARCHYTAS_SPAN("hw", "hw.window");
     const std::size_t window = window_index_++;
     ++stats_.windows;
+    ARCHYTAS_COUNT_ADD("hw.windows", 1);
 
     slam::WindowWorkload workload;
     workload.keyframes = problem.keyframeCount();
@@ -67,10 +70,14 @@ HwWindowSolver::solveWindow(slam::WindowProblem &problem,
         health.hw_fallback = true;
         health.degraded = true;
         health.action = slam::RecoveryAction::SoftwareFallback;
+        ARCHYTAS_COUNT_ADD("hw.fallback_windows", 1);
+        ARCHYTAS_INSTANT("hw", "hw.software_fallback",
+                         {"window", static_cast<double>(window)});
         return slam::solveWindow(problem, options);
     }
 
     ++stats_.hw_windows;
+    ARCHYTAS_COUNT_ADD("hw.hw_windows", 1);
     const FaultEvent *flip = plan_.find(window, FaultKind::BitFlip);
     bool first_solve = true;
     const slam::LinearSolver solver =

@@ -1,6 +1,9 @@
 #include "runtime/controller.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 
 namespace archytas::runtime {
 
@@ -79,12 +82,28 @@ RuntimeController::onWindow(std::size_t feature_count)
 
     decision.iterations = current_iter_;
     decision.gated = currentConfig();
+
+    ARCHYTAS_COUNT_ADD("runtime.windows", 1);
+    if (decision.reconfigured)
+        ARCHYTAS_COUNT_ADD("runtime.reconfigurations", 1);
+    ARCHYTAS_GAUGE_SET("runtime.iter",
+                       static_cast<double>(decision.iterations));
+    ARCHYTAS_INSTANT("runtime", "runtime.decide",
+                     {"features", static_cast<double>(feature_count)},
+                     {"proposal", static_cast<double>(proposal)},
+                     {"iter", static_cast<double>(decision.iterations)},
+                     {"reconfigured", decision.reconfigured ? 1.0 : 0.0});
     return decision;
 }
 
 ControllerDecision
 RuntimeController::onDegradedWindow()
 {
+    ARCHYTAS_COUNT_ADD("runtime.windows", 1);
+    ARCHYTAS_COUNT_ADD("runtime.degraded_holds", 1);
+    ARCHYTAS_INSTANT("runtime", "runtime.hold",
+                     {"iter", static_cast<double>(std::min(
+                                  current_iter_, kDegradedIterClamp))});
     ++degraded_windows_;
     // Hold: keep the gated configuration, clamp Iter for this window
     // only, and reset the debounce so consecutive degraded windows

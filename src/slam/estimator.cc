@@ -4,10 +4,53 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/telemetry.hh"
 
 namespace archytas::slam {
 
 namespace {
+
+/**
+ * Mirrors a frame's HealthReport into the metrics registry so one
+ * telemetry snapshot covers both performance and robustness
+ * (docs/OBSERVABILITY.md). Counters only: integer sums keep the merge
+ * deterministic.
+ */
+void
+recordHealthMetrics(const HealthReport &health)
+{
+    if (!telemetry::enabled())
+        return;
+    if (health.dropped_frame)
+        ARCHYTAS_COUNT_ADD("health.dropped_frames", 1);
+    if (health.imu_gap)
+        ARCHYTAS_COUNT_ADD("health.imu_gaps", 1);
+    if (health.zero_features)
+        ARCHYTAS_COUNT_ADD("health.zero_feature_windows", 1);
+    if (health.dma_degraded)
+        ARCHYTAS_COUNT_ADD("health.dma_degraded_windows", 1);
+    if (health.nonfinite_step)
+        ARCHYTAS_COUNT_ADD("health.nonfinite_steps", 1);
+    if (health.solver_diverged)
+        ARCHYTAS_COUNT_ADD("health.solver_divergences", 1);
+    if (health.hw_fallback)
+        ARCHYTAS_COUNT_ADD("health.hw_fallbacks", 1);
+    if (health.degraded)
+        ARCHYTAS_COUNT_ADD("health.degraded_windows", 1);
+    switch (health.action) {
+      case RecoveryAction::None:
+        break;
+      case RecoveryAction::EscalatedDamping:
+        ARCHYTAS_COUNT_ADD("health.recovery.escalated_damping", 1);
+        break;
+      case RecoveryAction::ResetToPrior:
+        ARCHYTAS_COUNT_ADD("health.recovery.reset_to_prior", 1);
+        break;
+      case RecoveryAction::SoftwareFallback:
+        ARCHYTAS_COUNT_ADD("health.recovery.software_fallback", 1);
+        break;
+    }
+}
 
 /**
  * Midpoint two-ray triangulation. Returns the depth along the anchor
@@ -342,6 +385,7 @@ SlidingWindowEstimator::solveWithRecovery(WindowProblem &problem,
 FrameResult
 SlidingWindowEstimator::processFrame(const dataset::FrameData &frame)
 {
+    ARCHYTAS_SPAN("estimator", "estimator.frame");
     FrameResult result;
     if (bootstrapped_ && frame.observations.empty()) {
         // Camera frame lost (or the front-end delivered nothing): the
@@ -350,8 +394,11 @@ SlidingWindowEstimator::processFrame(const dataset::FrameData &frame)
         result.health.degraded = true;
     }
 
-    addFrame(frame, result.health);
-    initializeFeatureDepths();
+    {
+        ARCHYTAS_SPAN("estimator", "estimator.ingest");
+        addFrame(frame, result.health);
+        initializeFeatureDepths();
+    }
 
     result.timestamp = frame.timestamp;
     result.ground_truth = frame.ground_truth.pose;
@@ -395,6 +442,7 @@ SlidingWindowEstimator::processFrame(const dataset::FrameData &frame)
             lm.max_iterations = options_.forced_iterations;
         }
 
+        ARCHYTAS_SPAN("estimator", "estimator.solve");
         WindowProblem problem(camera_, keyframes_, features_, preints_,
                               prior_, options_.pixel_sigma,
                               options_.huber_delta);
@@ -410,10 +458,24 @@ SlidingWindowEstimator::processFrame(const dataset::FrameData &frame)
         rotationDistance(result.estimated.q, frame.ground_truth.pose.q);
 
     if (keyframes_.size() > options_.window_size) {
+        ARCHYTAS_SPAN("estimator", "estimator.marginalize");
         slideWindow();
         result.workload.marginalized_features = last_marginalized_features_;
     }
     pruneLostFeatures();
+
+    ARCHYTAS_COUNT_ADD("estimator.frames", 1);
+    ARCHYTAS_HIST_RECORD("estimator.window_features",
+                         static_cast<double>(result.workload.features));
+    if (result.optimized) {
+        ARCHYTAS_COUNT_ADD("estimator.windows_optimized", 1);
+        ARCHYTAS_COUNT_ADD("estimator.lm_iterations",
+                           result.lm_report.iterations);
+        ARCHYTAS_GAUGE_SET("estimator.final_cost",
+                           result.lm_report.final_cost);
+    }
+    ARCHYTAS_GAUGE_SET("estimator.position_error", result.position_error);
+    recordHealthMetrics(result.health);
     return result;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/telemetry.hh"
 #include "linalg/cholesky.hh"
 #include "linalg/kernels.hh"
 
@@ -25,30 +26,37 @@ solveBlockedSystem(const NormalEquations &eq, double lambda,
 
     // Reduced system: (V_damped - W U^{-1} W^T) dy = by - W U^{-1} bx.
     linalg::Matrix reduced = eq.v;
-    for (std::size_t i = 0; i < nk; ++i)
-        reduced(i, i) += lambda * eq.v(i, i) + 1e-12;
-
-    // W U^{-1}: scale columns.
-    linalg::Matrix wui = eq.w;
-    for (std::size_t f = 0; f < m; ++f) {
-        const double inv = 1.0 / u[f];
-        for (std::size_t r = 0; r < nk; ++r)
-            wui(r, f) *= inv;
-    }
-    // reduced -= wui W^T: (W U^{-1}) W^T is symmetric, so the kernel
-    // computes one triangle and mirrors (the dominant O(nk^2 m) step).
-    linalg::subtractSymmetricProduct(reduced, wui, eq.w);
-
     linalg::Vector rhs = eq.by;
-    linalg::subtractMultiply(rhs, wui, eq.bx);
+    {
+        ARCHYTAS_SPAN("solver", "solver.dschur");
+        for (std::size_t i = 0; i < nk; ++i)
+            reduced(i, i) += lambda * eq.v(i, i) + 1e-12;
 
-    const auto l = linalg::cholesky(reduced);
-    if (!l)
-        return false;
-    dy = linalg::backwardSubstitute(*l, linalg::forwardSubstitute(*l, rhs));
+        // W U^{-1}: scale columns.
+        linalg::Matrix wui = eq.w;
+        for (std::size_t f = 0; f < m; ++f) {
+            const double inv = 1.0 / u[f];
+            for (std::size_t r = 0; r < nk; ++r)
+                wui(r, f) *= inv;
+        }
+        // reduced -= wui W^T: (W U^{-1}) W^T is symmetric, so the kernel
+        // computes one triangle and mirrors (the dominant O(nk^2 m) step).
+        linalg::subtractSymmetricProduct(reduced, wui, eq.w);
+        linalg::subtractMultiply(rhs, wui, eq.bx);
+    }
+
+    {
+        ARCHYTAS_SPAN("solver", "solver.cholesky");
+        const auto l = linalg::cholesky(reduced);
+        if (!l)
+            return false;
+        dy = linalg::backwardSubstitute(*l,
+                                        linalg::forwardSubstitute(*l, rhs));
+    }
 
     // Back-substitute features: dx = U^{-1} (bx - W^T dy). Each feature
     // writes only dx[f], so the loop parallelizes deterministically.
+    ARCHYTAS_SPAN("solver", "solver.backsub");
     dx = linalg::Vector(m);
     parallel::parallelFor(0, m, [&](std::size_t f) {
         double acc = eq.bx[f];
@@ -63,6 +71,7 @@ LmReport
 solveWindow(WindowProblem &problem, const LmOptions &options,
             const LinearSolver &solver)
 {
+    ARCHYTAS_SPAN("solver", "solver.window");
     LmReport report;
     double lambda = options.lambda_init;
 
@@ -92,6 +101,7 @@ solveWindow(WindowProblem &problem, const LmOptions &options,
                                                          dx);
             if (!solved) {
                 ++report.cholesky_failures;
+                ARCHYTAS_COUNT_ADD("solver.cholesky_failures", 1);
                 lambda *= options.lambda_up;
                 continue;
             }
@@ -112,6 +122,7 @@ solveWindow(WindowProblem &problem, const LmOptions &options,
                 break;
             }
             problem.restore(snap);
+            ARCHYTAS_COUNT_ADD("solver.step_rejections", 1);
             lambda *= options.lambda_up;
         }
 
@@ -128,6 +139,8 @@ solveWindow(WindowProblem &problem, const LmOptions &options,
     }
 
     report.final_cost = cost;
+    ARCHYTAS_COUNT_ADD("solver.iterations", report.iterations);
+    ARCHYTAS_GAUGE_SET("solver.final_cost", cost);
     // Divergence: the accepted-step discipline above never raises the
     // cost, so this only fires when a corrupted inner solve (e.g. an
     // injected result bit-flip that slipped past step rejection) or a

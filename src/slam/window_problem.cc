@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/telemetry.hh"
 #include "linalg/kernels.hh"
 
 namespace archytas::slam {
@@ -40,6 +41,7 @@ WindowProblem::WindowProblem(
 NormalEquations
 WindowProblem::build() const
 {
+    ARCHYTAS_SPAN("solver", "solver.jacobian");
     const std::size_t m = features_.size();
     const std::size_t nk = keyframeDim();
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/stats.hh"
 
@@ -57,6 +58,31 @@ TEST(Stats, PercentileInterpolates)
     EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
 }
 
+TEST(Stats, PercentileDropsNanSamples)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    // NaN entries carry no rank; the percentile of the finite rest must
+    // come out as if they were never there.
+    std::vector<double> xs{nan, 5.0, nan, 1.0, 3.0, nan};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+}
+
+TEST(Stats, PercentileOfAllNanIsZero)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DOUBLE_EQ(percentile({nan, nan}, 50.0), 0.0);
+}
+
+#ifndef ARCHYTAS_DISABLE_CONTRACTS
+TEST(StatsDeath, PercentileRejectsOutOfRangeP)
+{
+    EXPECT_DEATH(percentile({1.0, 2.0}, -1.0), "p out of \\[0, 100\\]");
+    EXPECT_DEATH(percentile({1.0, 2.0}, 100.5), "p out of \\[0, 100\\]");
+}
+#endif
+
 TEST(RunningStats, AccumulatesMoments)
 {
     RunningStats rs;
@@ -85,6 +111,36 @@ TEST(RunningStats, SingleSampleHasZeroVariance)
     rs.add(42.0);
     EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
     EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+}
+
+TEST(RunningStats, NanSamplesCountedApart)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    RunningStats rs;
+    rs.add(1.0);
+    rs.add(nan);
+    rs.add(3.0);
+    rs.add(nan);
+    // The moments describe only the finite samples; the corrupt ones
+    // are tallied, not folded in.
+    EXPECT_EQ(rs.count(), 2u);
+    EXPECT_EQ(rs.nanCount(), 2u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 3.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 4.0);
+    EXPECT_TRUE(std::isfinite(rs.variance()));
+}
+
+TEST(RunningStats, AllNanLeavesMomentsUntouched)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    RunningStats rs;
+    rs.add(nan);
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_EQ(rs.nanCount(), 1u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
 }
 
 } // namespace

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Telemetry layer tests (docs/OBSERVABILITY.md): registry semantics,
+ * bucket layout, concurrent recording through the thread pool (the TSan
+ * job runs these), span nesting/ordering, and export round-trips of the
+ * Chrome-trace / metrics files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/parallel.hh"
+#include "common/telemetry.hh"
+
+namespace archytas::telemetry {
+namespace {
+
+/** Enables recording for one test; leaves the registry clean after. */
+class TelemetryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        reset();
+        setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        setEnabled(false);
+        reset();
+        parallel::setThreadCount(0);
+    }
+};
+
+const CounterValue *
+findCounter(const MetricsSnapshot &snap, const std::string &name)
+{
+    for (const auto &c : snap.counters)
+        if (c.name == name)
+            return &c;
+    return nullptr;
+}
+
+const HistogramValue *
+findHistogram(const MetricsSnapshot &snap, const std::string &name)
+{
+    for (const auto &h : snap.histograms)
+        if (h.name == name)
+            return &h;
+    return nullptr;
+}
+
+TEST_F(TelemetryTest, CounterAccumulatesAndResets)
+{
+    Counter &c = counter("test.counter");
+    c.add();
+    c.add(41);
+    const auto snap = snapshotMetrics();
+    const auto *v = findCounter(snap, "test.counter");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->value, 42u);
+
+    // reset() clears values but keeps the registration and handle.
+    reset();
+    c.add(7);
+    const auto snap2 = snapshotMetrics();
+    const auto *after = findCounter(snap2, "test.counter");
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(after->value, 7u);
+}
+
+TEST_F(TelemetryTest, LookupReturnsSameHandlePerName)
+{
+    EXPECT_EQ(&counter("test.same"), &counter("test.same"));
+    EXPECT_EQ(&gauge("test.same_gauge"), &gauge("test.same_gauge"));
+    EXPECT_EQ(&histogram("test.same_hist"), &histogram("test.same_hist"));
+}
+
+TEST_F(TelemetryTest, DisabledRecordingIsDropped)
+{
+    setEnabled(false);
+    counter("test.disabled").add(5);
+    gauge("test.disabled_gauge").set(1.0);
+    histogram("test.disabled_hist").record(1.0);
+    ARCHYTAS_SPAN("test", "test.disabled_span");
+    setEnabled(true);
+
+    const auto snap = snapshotMetrics();
+    const auto *c = findCounter(snap, "test.disabled");
+    ASSERT_NE(c, nullptr);   // Registered, but nothing recorded.
+    EXPECT_EQ(c->value, 0u);
+    for (const auto &g : snap.gauges) {
+        if (g.name == "test.disabled_gauge") {
+            EXPECT_FALSE(g.written);
+        }
+    }
+    EXPECT_TRUE(snapshotTrace().empty());
+}
+
+TEST_F(TelemetryTest, GaugeKeepsLastWrite)
+{
+    gauge("test.gauge").set(1.0);
+    gauge("test.gauge").set(-3.5);
+    const auto snap = snapshotMetrics();
+    bool found = false;
+    for (const auto &g : snap.gauges) {
+        if (g.name != "test.gauge")
+            continue;
+        found = true;
+        EXPECT_TRUE(g.written);
+        EXPECT_EQ(g.value, -3.5);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(TelemetryTest, HistogramBucketLayout)
+{
+    // Non-positive and sub-range values land in the underflow bucket.
+    EXPECT_EQ(Histogram::bucketIndex(0.0), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(-1.0), 0u);
+    EXPECT_EQ(Histogram::bucketIndex(1e-10), 0u);
+    // The bottom and top of the regular range.
+    EXPECT_EQ(Histogram::bucketIndex(1e-9), 1u);
+    EXPECT_EQ(Histogram::bucketIndex(9.99e12), kHistogramBuckets - 1);
+    EXPECT_EQ(Histogram::bucketIndex(1e15), kHistogramBuckets - 1);
+    // Every regular bucket's lower bound maps back into that bucket.
+    for (std::size_t b = 1; b + 1 < kHistogramBuckets; ++b) {
+        const double lo = Histogram::bucketLowerBound(b);
+        const std::size_t mapped = Histogram::bucketIndex(lo * 1.0001);
+        EXPECT_EQ(mapped, b) << "bucket " << b << " lower bound " << lo;
+    }
+    EXPECT_EQ(Histogram::bucketLowerBound(0), 0.0);
+}
+
+TEST_F(TelemetryTest, HistogramCountsNanApart)
+{
+    Histogram &h = histogram("test.hist");
+    h.record(1.0);
+    h.record(std::numeric_limits<double>::quiet_NaN());
+    h.record(100.0);
+    const auto snap = snapshotMetrics();
+    const auto *v = findHistogram(snap, "test.hist");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->count, 2u);
+    EXPECT_EQ(v->nan_count, 1u);
+    EXPECT_EQ(v->min, 1.0);
+    EXPECT_EQ(v->max, 100.0);
+    EXPECT_EQ(v->sum, 101.0);
+    EXPECT_DOUBLE_EQ(v->mean(), 50.5);
+}
+
+TEST_F(TelemetryTest, ConcurrentCountingUnderThreadPoolIsExact)
+{
+    parallel::setThreadCount(8);
+    constexpr std::size_t kItems = 20000;
+    // Per-thread shards: every add must land, none double-counted, and
+    // the snapshot (taken after the pool joined) must see them all.
+    parallel::parallelFor(0, kItems, [](std::size_t i) {
+        ARCHYTAS_COUNT_ADD("test.concurrent", 1);
+        ARCHYTAS_HIST_RECORD("test.concurrent_hist",
+                             static_cast<double>(i % 7) + 0.5);
+    });
+    const auto snap = snapshotMetrics();
+    const auto *c = findCounter(snap, "test.concurrent");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value, kItems);
+    const auto *h = findHistogram(snap, "test.concurrent_hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count, kItems);
+    EXPECT_EQ(h->min, 0.5);
+    EXPECT_EQ(h->max, 6.5);
+}
+
+TEST_F(TelemetryTest, ShardsSurviveThreadPoolResize)
+{
+    parallel::setThreadCount(4);
+    parallel::parallelFor(0, 1000, [](std::size_t) {
+        ARCHYTAS_COUNT_ADD("test.resize", 1);
+    });
+    // Shrinking the pool joins its workers; their shards must fold into
+    // the retired totals, not vanish.
+    parallel::setThreadCount(1);
+    parallel::parallelFor(0, 500, [](std::size_t) {
+        ARCHYTAS_COUNT_ADD("test.resize", 1);
+    });
+    const auto snap = snapshotMetrics();
+    const auto *c = findCounter(snap, "test.resize");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value, 1500u);
+}
+
+TEST_F(TelemetryTest, SpansNestAndSortByStartTime)
+{
+    {
+        ARCHYTAS_SPAN("test", "outer");
+        {
+            ARCHYTAS_SPAN("test", "inner");
+        }
+        ARCHYTAS_INSTANT("test", "marker", {"value", 3.0});
+    }
+    const auto events = snapshotTrace();
+    ASSERT_EQ(events.size(), 3u);
+    // Sorted by start time: outer opened first, then inner, then the
+    // instant after inner closed.
+    EXPECT_STREQ(events[0].name, "outer");
+    EXPECT_STREQ(events[1].name, "inner");
+    EXPECT_STREQ(events[2].name, "marker");
+    EXPECT_FALSE(events[0].instant);
+    EXPECT_TRUE(events[2].instant);
+    // The inner span lies fully within the outer one.
+    EXPECT_GE(events[1].start_ns, events[0].start_ns);
+    EXPECT_LE(events[1].start_ns + events[1].duration_ns,
+              events[0].start_ns + events[0].duration_ns);
+    // The instant carries its argument.
+    ASSERT_EQ(events[2].arg_count, 1u);
+    EXPECT_STREQ(events[2].args[0].name, "value");
+    EXPECT_EQ(events[2].args[0].value, 3.0);
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST_F(TelemetryTest, ExportRoundTrip)
+{
+    {
+        ARCHYTAS_SPAN("test", "test.export_span");
+    }
+    ARCHYTAS_INSTANT("test", "test.export_marker", {"iter", 4.0});
+    counter("test.export_counter").add(11);
+    gauge("test.export_gauge").set(2.25);
+    histogram("test.export_hist").record(0.5);
+
+    const std::string dir =
+        ::testing::TempDir() + "archytas_telemetry_export";
+    ASSERT_TRUE(exportAll(dir));
+
+    const std::string trace = slurp(dir + "/trace.json");
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("\"test.export_span\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(trace.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(trace.find("\"iter\": 4"), std::string::npos);
+
+    const std::string metrics = slurp(dir + "/metrics.json");
+    EXPECT_NE(metrics.find("\"archytas-metrics-v1\""), std::string::npos);
+    EXPECT_NE(metrics.find("\"test.export_counter\", \"value\": 11"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("\"test.export_gauge\""), std::string::npos);
+    EXPECT_NE(metrics.find("\"test.export_hist\""), std::string::npos);
+
+    const std::string csv = slurp(dir + "/metrics.csv");
+    EXPECT_NE(csv.find("kind,name,count,value,min,max,mean"),
+              std::string::npos);
+    EXPECT_NE(csv.find("counter,test.export_counter,11"),
+              std::string::npos);
+    EXPECT_NE(csv.find("gauge,test.export_gauge,1,2.25"),
+              std::string::npos);
+}
+
+TEST_F(TelemetryTest, SnapshotIsSortedByName)
+{
+    counter("test.z").add(1);
+    counter("test.a").add(1);
+    counter("test.m").add(1);
+    const auto snap = snapshotMetrics();
+    for (std::size_t i = 1; i < snap.counters.size(); ++i)
+        EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+}
+
+TEST_F(TelemetryTest, ScopedExportStripsFlagFromArgv)
+{
+    const std::string dir =
+        ::testing::TempDir() + "archytas_scoped_export";
+    std::string a0 = "prog", a1 = "--telemetry-out", a2 = dir,
+                a3 = "--other";
+    char *argv[] = {a0.data(), a1.data(), a2.data(), a3.data(), nullptr};
+    int argc = 4;
+    {
+        ScopedExport exporter(argc, argv);
+        EXPECT_TRUE(exporter.active());
+        EXPECT_EQ(exporter.dir(), dir);
+        // Downstream parsing must only see the remaining arguments.
+        ASSERT_EQ(argc, 2);
+        EXPECT_STREQ(argv[0], "prog");
+        EXPECT_STREQ(argv[1], "--other");
+        ARCHYTAS_COUNT_ADD("test.scoped", 1);
+    }
+    // Destruction exported the files.
+    std::ifstream trace(dir + "/trace.json");
+    EXPECT_TRUE(trace.good());
+    std::ifstream metrics(dir + "/metrics.json");
+    EXPECT_TRUE(metrics.good());
+}
+
+} // namespace
+} // namespace archytas::telemetry

@@ -1,0 +1,38 @@
+// lint-expect: direct-io
+// Library code writing straight to the process streams: invisible to the
+// telemetry export, unfilterable by log level, and it corrupts machine-
+// parsed stdout (bench --json). Route through common/logging.hh or the
+// telemetry registry instead.
+
+#include <cstdio>
+#include <iostream>
+
+namespace archytas {
+
+void
+leakDiagnostics(int window, double cost)
+{
+    std::cerr << "window " << window << " diverged\n";
+    std::cout << "cost=" << cost << "\n";
+    printf("window %d cost %f\n", window, cost);
+    fprintf(stderr, "retrying window %d\n", window);
+}
+
+// Near-misses that must NOT fire: formatting into a buffer is fine
+// (no stream involved), and identifiers merely ending in a banned name
+// are someone else's function.
+int
+formatLabel(char *buf, int n, int window)
+{
+    return snprintf(buf, static_cast<unsigned>(n), "w%d", window);
+}
+
+int debug_printf(const char *fmt);
+
+int
+forwardToSink(const char *fmt)
+{
+    return debug_printf(fmt);
+}
+
+} // namespace archytas

@@ -12,9 +12,11 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <string>
 
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/telemetry.hh"
 #include "dataset/sequence.hh"
 #include "slam/estimator.hh"
 #include "slam/window_problem.hh"
@@ -156,6 +158,87 @@ TEST(Determinism, EstimatorBitIdenticalAcrossThreadCounts)
         EXPECT_EQ(run1[i].position_error, run8[i].position_error) << i;
         EXPECT_EQ(run1[i].rotation_error, run8[i].rotation_error) << i;
         EXPECT_EQ(run1[i].optimized, run8[i].optimized) << i;
+    }
+}
+
+/** Ends a name with the wall-clock suffix exempt from bit-identity. */
+bool
+isWallClockMetric(const std::string &name)
+{
+    static constexpr const char kSuffix[] = "_ms";
+    const std::size_t n = sizeof(kSuffix) - 1;
+    return name.size() >= n &&
+           name.compare(name.size() - n, n, kSuffix) == 0;
+}
+
+telemetry::MetricsSnapshot
+runInstrumented(const dataset::Sequence &seq, const EstimatorOptions &opt,
+                std::size_t threads)
+{
+    parallel::setThreadCount(threads);
+    telemetry::reset();
+    telemetry::setEnabled(true);
+    SlidingWindowEstimator est(seq.camera(), opt);
+    (void)est.run(seq);
+    auto snap = telemetry::snapshotMetrics();
+    telemetry::setEnabled(false);
+    telemetry::reset();
+    return snap;
+}
+
+TEST(Determinism, TelemetryMetricsBitIdenticalAcrossThreadCounts)
+{
+    PoolSizeGuard guard;
+    dataset::SequenceConfig cfg;
+    cfg.duration = 6.0;
+    cfg.landmarks = 900;
+    cfg.max_features_per_frame = 50;
+    cfg.density_modulation = 0.0;
+    cfg.seed = 99;
+    const auto seq = dataset::makeKittiLikeSequence(cfg);
+
+    EstimatorOptions opt;
+    opt.window_size = 8;
+
+    const auto snap1 = runInstrumented(seq, opt, 1);
+    const auto snap8 = runInstrumented(seq, opt, 8);
+
+    // The metric *values* -- counts, gauges, histogram contents -- must
+    // match bitwise; only wall-clock (*_ms) metrics are exempt. Counter
+    // merges are integer sums, so shard order cannot perturb them.
+    ASSERT_EQ(snap1.counters.size(), snap8.counters.size());
+    for (std::size_t i = 0; i < snap1.counters.size(); ++i) {
+        ASSERT_EQ(snap1.counters[i].name, snap8.counters[i].name);
+        if (isWallClockMetric(snap1.counters[i].name))
+            continue;
+        EXPECT_EQ(snap1.counters[i].value, snap8.counters[i].value)
+            << snap1.counters[i].name;
+    }
+    ASSERT_EQ(snap1.gauges.size(), snap8.gauges.size());
+    for (std::size_t i = 0; i < snap1.gauges.size(); ++i) {
+        ASSERT_EQ(snap1.gauges[i].name, snap8.gauges[i].name);
+        if (isWallClockMetric(snap1.gauges[i].name))
+            continue;
+        EXPECT_EQ(snap1.gauges[i].written, snap8.gauges[i].written)
+            << snap1.gauges[i].name;
+        EXPECT_EQ(snap1.gauges[i].value, snap8.gauges[i].value)
+            << snap1.gauges[i].name;
+    }
+    ASSERT_EQ(snap1.histograms.size(), snap8.histograms.size());
+    for (std::size_t i = 0; i < snap1.histograms.size(); ++i) {
+        const auto &h1 = snap1.histograms[i];
+        const auto &h8 = snap8.histograms[i];
+        ASSERT_EQ(h1.name, h8.name);
+        if (isWallClockMetric(h1.name))
+            continue;
+        EXPECT_EQ(h1.count, h8.count) << h1.name;
+        EXPECT_EQ(h1.nan_count, h8.nan_count) << h1.name;
+        EXPECT_EQ(h1.sum, h8.sum) << h1.name;
+        EXPECT_EQ(h1.min, h8.min) << h1.name;
+        EXPECT_EQ(h1.max, h8.max) << h1.name;
+        for (std::size_t b = 0; b < telemetry::kHistogramBuckets; ++b)
+            EXPECT_EQ(h1.buckets[b], h8.buckets[b])
+                << h1.name << " bucket " << b;
     }
 }
 

@@ -24,6 +24,14 @@ Rules (each has a stable id used in waivers and the self-test fixtures):
                    ARCHYTAS_<PATH>_<FILE>_HH matching their path.
   hw-test-pairing  Every translation unit src/hw/<name>.cc has a matching
                    tests/hw/test_<name>.cc.
+  direct-io        No direct `std::cout`/`std::cerr`/printf-family output
+                   in library code under src/; route diagnostics through
+                   ARCHYTAS_INFORM/WARN (common/logging.hh) and telemetry
+                   through the metrics registry (common/telemetry.hh) so
+                   output stays filterable and machine-parseable. The
+                   logging and telemetry sinks themselves are exempt, as
+                   are bench/, examples/, and tests/ (their stdout is the
+                   product).
   nodiscard-status Functions declared in src/ headers that return a
                    status-carrying type by value (HostTransaction,
                    TransactionStatus, LmReport, SolveSummary,
@@ -63,6 +71,9 @@ BANNED_RANDOM_RE = re.compile(
 FLOAT_LOOP_RE = re.compile(
     r"for\s*\(\s*(?:const\s+)?(?:double|float)\s+\w+\s*=")
 RAW_THREAD_RE = re.compile(r"std\s*::\s*(?:thread|jthread|async)\b")
+DIRECT_IO_RE = re.compile(
+    r"std\s*::\s*c(?:out|err)\b|"
+    r"(?:^|[^\w:.])(?:std\s*::\s*)?(?:f?printf|puts|fputs)\s*\(")
 GUARD_IFNDEF_RE = re.compile(r"^#ifndef\s+(\w+)\s*$", re.MULTILINE)
 
 STATUS_TYPES = ("TransactionStatus", "HostTransaction", "LmReport",
@@ -177,8 +188,15 @@ def check_file(root, relpath, violations, waiver_count):
             return
         violations.append(Violation(rule, relpath, lineno, message))
 
-    in_rng = relpath.as_posix().startswith("src/common/rng")
-    in_pool = relpath.as_posix().startswith("src/common/parallel")
+    posix = relpath.as_posix()
+    in_rng = posix.startswith("src/common/rng")
+    in_pool = posix.startswith("src/common/parallel")
+    in_fixture_dir = FIXTURE_DIR in relpath.parents
+    # direct-io applies to library code only: bench/examples/tests print
+    # their results on purpose, and the two sinks own the streams.
+    io_checked = ((posix.startswith("src/") or in_fixture_dir)
+                  and not posix.startswith("src/common/logging")
+                  and not posix.startswith("src/common/telemetry"))
     for lineno, line in enumerate(clean_lines, start=1):
         if NAKED_NEW_RE.search(line):
             report("naked-new", lineno,
@@ -199,8 +217,13 @@ def check_file(root, relpath, violations, waiver_count):
                    "raw std::thread/std::async; route parallelism "
                    "through archytas::parallel (common/parallel.hh) so "
                    "results stay deterministic")
+        if io_checked and DIRECT_IO_RE.search(line):
+            report("direct-io", lineno,
+                   "direct stream/printf output in library code; use "
+                   "ARCHYTAS_INFORM/WARN (common/logging.hh) or the "
+                   "telemetry registry (common/telemetry.hh)")
 
-    in_fixtures = FIXTURE_DIR in relpath.parents
+    in_fixtures = in_fixture_dir
     if relpath.suffix == ".hh" and (relpath.parts[0] == "src" or
                                     in_fixtures):
         def has_nodiscard(idx):

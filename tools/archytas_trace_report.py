@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Summarize and validate an Archytas telemetry export.
+
+Input is the Chrome trace-event JSON written by --telemetry-out (see
+docs/OBSERVABILITY.md), plus optionally the metrics.json snapshot from
+the same directory. The report shows where the time went (top spans by
+total duration, per-phase p50/p95/p99) and what the run-time controller
+decided (decision table from the runtime.decide / runtime.hold instant
+events).
+
+`--check` turns the tool into a validator for CI: it verifies the trace
+schema event by event, that every category named via
+--require-categories contributed at least one event, and -- when
+--metrics is given -- that the metrics snapshot parses and carries at
+least one counter, gauge, and histogram. Exit code 0 on a valid export,
+1 otherwise.
+
+Usage:
+  archytas_trace_report.py <trace.json> [--metrics <metrics.json>]
+      [--top N] [--check] [--require-categories cat1,cat2,...]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def percentile(sorted_values, p):
+    """Nearest-rank percentile of an ascending list (p in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(p / 100.0 * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+def load_json(path, what):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f), []
+    except (OSError, json.JSONDecodeError) as err:
+        return None, ["%s %s: %s" % (what, path, err)]
+
+
+def validate_events(events, require_categories):
+    """Schema checks on the traceEvents list; returns error strings."""
+    errors = []
+    seen_categories = set()
+    for i, event in enumerate(events):
+        where = "event %d" % i
+        if not isinstance(event, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                errors.append("%s: missing key '%s'" % (where, key))
+        ph = event.get("ph")
+        if ph not in ("X", "i"):
+            errors.append("%s: unexpected phase %r" % (where, ph))
+        if ph == "X":
+            if not isinstance(event.get("dur"), (int, float)):
+                errors.append("%s: complete event without numeric dur"
+                              % where)
+            elif event["dur"] < 0:
+                errors.append("%s: negative duration" % where)
+        if not isinstance(event.get("ts"), (int, float)):
+            errors.append("%s: non-numeric timestamp" % where)
+        for arg_name, arg_value in event.get("args", {}).items():
+            if not isinstance(arg_value, (int, float, type(None))):
+                errors.append("%s: arg %r is not numeric"
+                              % (where, arg_name))
+        if "cat" in event:
+            seen_categories.add(event["cat"])
+    for category in require_categories:
+        if category not in seen_categories:
+            errors.append("required category '%s' contributed no events "
+                          "(saw: %s)"
+                          % (category,
+                             ", ".join(sorted(seen_categories)) or "none"))
+    return errors
+
+
+def validate_metrics(metrics):
+    errors = []
+    if metrics.get("schema") != "archytas-metrics-v1":
+        errors.append("metrics: unexpected schema %r"
+                      % metrics.get("schema"))
+    for kind in ("counters", "gauges", "histograms"):
+        entries = metrics.get(kind)
+        if not isinstance(entries, list):
+            errors.append("metrics: '%s' missing or not a list" % kind)
+            continue
+        if not entries:
+            errors.append("metrics: no %s recorded" % kind)
+        for entry in entries:
+            if "name" not in entry:
+                errors.append("metrics: unnamed entry in %s" % kind)
+    return errors
+
+
+def span_table(events, top):
+    """Aggregates complete events by name; returns report lines."""
+    durations = defaultdict(list)
+    for event in events:
+        if event.get("ph") == "X":
+            durations[event["name"]].append(event.get("dur", 0) / 1000.0)
+    rows = []
+    for name, values in durations.items():
+        values.sort()
+        total = sum(values)
+        rows.append((total, name, len(values), values))
+    rows.sort(reverse=True)
+
+    lines = ["top spans by total time:",
+             "  %-28s %8s %10s %10s %10s %10s"
+             % ("span", "count", "total ms", "p50 ms", "p95 ms",
+                "p99 ms")]
+    for total, name, count, values in rows[:top]:
+        lines.append("  %-28s %8d %10.3f %10.4f %10.4f %10.4f"
+                     % (name, count, total, percentile(values, 50),
+                        percentile(values, 95), percentile(values, 99)))
+    return lines
+
+
+def decision_table(events, top):
+    """Controller decisions from runtime.decide/runtime.hold instants."""
+    decisions = [e for e in events
+                 if e.get("ph") == "i" and
+                 e.get("name") in ("runtime.decide", "runtime.hold")]
+    if not decisions:
+        return ["controller decisions: none recorded"]
+    reconfigs = [e for e in decisions
+                 if e["name"] == "runtime.hold" or
+                 e.get("args", {}).get("reconfigured")]
+    lines = ["controller decisions: %d windows, %d shown "
+             "(reconfigurations and degraded holds):"
+             % (len(decisions), min(len(reconfigs), top)),
+             "  %-12s %10s %10s %6s  %s"
+             % ("t (ms)", "features", "proposal", "Iter", "kind")]
+    for event in reconfigs[:top]:
+        args = event.get("args", {})
+        if event["name"] == "runtime.hold":
+            kind, features, proposal = "degraded hold", "-", "-"
+        else:
+            kind = "reconfigure"
+            features = "%d" % args.get("features", 0)
+            proposal = "%d" % args.get("proposal", 0)
+        lines.append("  %-12.3f %10s %10s %6d  %s"
+                     % (event.get("ts", 0) / 1000.0, features, proposal,
+                        int(args.get("iter", 0)), kind))
+    return lines
+
+
+def metrics_summary(metrics):
+    lines = ["metrics snapshot: %d counters, %d gauges, %d histograms"
+             % (len(metrics.get("counters", [])),
+                len(metrics.get("gauges", [])),
+                len(metrics.get("histograms", [])))]
+    for counter in metrics.get("counters", []):
+        lines.append("  counter   %-34s %d"
+                     % (counter.get("name", "?"), counter.get("value", 0)))
+    for gauge in metrics.get("gauges", []):
+        if gauge.get("written"):
+            lines.append("  gauge     %-34s %g"
+                         % (gauge.get("name", "?"),
+                            gauge.get("value", 0.0)))
+    for hist in metrics.get("histograms", []):
+        count = hist.get("count", 0)
+        mean = hist.get("sum", 0.0) / count if count else 0.0
+        lines.append("  histogram %-34s n=%d mean=%g min=%g max=%g nan=%d"
+                     % (hist.get("name", "?"), count, mean,
+                        hist.get("min", 0.0), hist.get("max", 0.0),
+                        hist.get("nan", 0)))
+    return lines
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Summarize / validate an Archytas telemetry export")
+    parser.add_argument("trace", help="Chrome trace-event JSON "
+                        "(trace.json from --telemetry-out)")
+    parser.add_argument("--metrics", help="metrics.json from the same "
+                        "export directory")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows per table (default 15)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate instead of merely reporting; "
+                        "exit 1 on any schema violation")
+    parser.add_argument("--require-categories", default="",
+                        help="comma-separated categories that must have "
+                        "contributed events (with --check)")
+    args = parser.parse_args(argv)
+
+    trace, errors = load_json(args.trace, "trace")
+    events = []
+    if trace is not None:
+        events = trace.get("traceEvents")
+        if not isinstance(events, list):
+            errors.append("trace: 'traceEvents' missing or not a list")
+            events = []
+        elif not events:
+            errors.append("trace: no events recorded")
+
+    required = [c for c in args.require_categories.split(",") if c]
+    errors += validate_events(events, required)
+
+    metrics = None
+    if args.metrics:
+        metrics, metric_errors = load_json(args.metrics, "metrics")
+        errors += metric_errors
+        if metrics is not None:
+            errors += validate_metrics(metrics)
+
+    if args.check:
+        for error in errors:
+            print("CHECK FAIL: %s" % error, file=sys.stderr)
+        if errors:
+            return 1
+        print("telemetry export OK: %d events%s"
+              % (len(events),
+                 "" if metrics is None else
+                 ", %d counters / %d gauges / %d histograms"
+                 % (len(metrics.get("counters", [])),
+                    len(metrics.get("gauges", [])),
+                    len(metrics.get("histograms", [])))))
+        return 0
+
+    for line in span_table(events, args.top):
+        print(line)
+    print()
+    for line in decision_table(events, args.top):
+        print(line)
+    if metrics is not None:
+        print()
+        for line in metrics_summary(metrics):
+            print(line)
+    if errors:
+        print()
+        for error in errors:
+            print("warning: %s" % error, file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
