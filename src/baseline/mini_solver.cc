@@ -205,6 +205,10 @@ struct SolverImpl
             const std::size_t begin = c * kResidualGrain;
             accumulateRange(p, begin, std::min(n, begin + kResidualGrain),
                             acc);
+            // archytas-analyzer: allow(hot-path-alloc) -- per-chunk
+            // accumulator slots are the determinism pattern itself: each
+            // task fills its preallocated optional exactly once and the
+            // merge below runs in fixed chunk order.
             parts[c].emplace(std::move(acc));
         };
         if (num_threads <= 1) {

@@ -24,7 +24,7 @@
 #define ARCHYTAS_BASELINE_MSCKF_HH
 
 #include <deque>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "dataset/sequence.hh"
@@ -115,7 +115,10 @@ class MsckfEstimator
     // Error-state covariance (15 + 6 * clones square).
     linalg::Matrix cov_;
 
-    std::unordered_map<std::uint64_t, Track> tracks_;
+    // Ordered by track id: updateFromTracks applies sequential EKF
+    // updates in iteration order, so an unordered map would make the
+    // filter state depend on hash-bucket order across platforms.
+    std::map<std::uint64_t, Track> tracks_;
     bool bootstrapped_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 #include "common/telemetry.hh"
 #include "linalg/cholesky.hh"
@@ -116,6 +117,10 @@ Accelerator::executeSolve(const slam::NormalEquations &eq, double lambda,
     ARCHYTAS_SPAN("hw", "hw.execute_solve");
     const std::size_t m = eq.u_diag.size();
     const std::size_t nk = eq.v.rows();
+    ARCHYTAS_CHECK_DIM("Accelerator::executeSolve: square V", eq.v.cols(),
+                       nk);
+    ARCHYTAS_CHECK_DIM("Accelerator::executeSolve: by size", eq.by.size(),
+                       nk);
 
     // --- D-type Schur block: fold each feature into the reduced system.
     // Damped diagonal pivots, exactly as the software path.

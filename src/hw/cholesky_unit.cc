@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 #include "linalg/cholesky.hh"
 
@@ -77,6 +78,8 @@ CholeskyUnit::simulatedCycles(std::size_t m) const
 std::optional<CholeskyUnit::Result>
 CholeskyUnit::run(const linalg::Matrix &spd) const
 {
+    ARCHYTAS_CHECK_DIM("CholeskyUnit::run: square SPD input", spd.cols(),
+                       spd.rows());
     auto l = linalg::cholesky(spd);
     if (!l)
         return std::nullopt;

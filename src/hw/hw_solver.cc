@@ -1,7 +1,9 @@
 #include "hw/hw_solver.hh"
 
 #include <cstring>
+#include <limits>
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 #include "common/telemetry.hh"
 #include "slam/lm_solver.hh"
@@ -20,6 +22,9 @@ HwWindowSolver::corruptResult(const FaultEvent &event, linalg::Vector &dy,
 {
     Rng rng = plan_.rngFor(event);
     const std::size_t total = dy.size() + dx.size();
+    ARCHYTAS_DCHECK(
+        total <= static_cast<std::size_t>(std::numeric_limits<int>::max()),
+        "corruptResult: result too large for fault word indexing");
     if (total == 0)
         return;
     for (std::size_t k = 0; k < event.count; ++k) {

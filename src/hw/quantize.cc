@@ -25,6 +25,9 @@ quantize(double x, const FixedPointFormat &fmt)
 linalg::Matrix
 quantize(const linalg::Matrix &m, const FixedPointFormat &fmt)
 {
+    ARCHYTAS_DCHECK(fmt.fractional_bits >= 0 && fmt.integer_bits >= 2,
+                    "quantize(Matrix): bad fixed-point format Q",
+                    fmt.integer_bits, ".", fmt.fractional_bits);
     linalg::Matrix out = m;
     for (double &x : out.data())
         x = quantize(x, fmt);
@@ -34,6 +37,9 @@ quantize(const linalg::Matrix &m, const FixedPointFormat &fmt)
 linalg::Vector
 quantize(const linalg::Vector &v, const FixedPointFormat &fmt)
 {
+    ARCHYTAS_DCHECK(fmt.fractional_bits >= 0 && fmt.integer_bits >= 2,
+                    "quantize(Vector): bad fixed-point format Q",
+                    fmt.integer_bits, ".", fmt.fractional_bits);
     linalg::Vector out = v;
     for (double &x : out.data())
         x = quantize(x, fmt);

@@ -72,6 +72,7 @@ backwardSubstitute(const Matrix &l, const Vector &y)
 Vector
 choleskySolve(const Matrix &s, const Vector &b)
 {
+    ARCHYTAS_CHECK_DIM("choleskySolve: rhs size", b.size(), s.rows());
     auto l = cholesky(s);
     if (!l)
         ARCHYTAS_FATAL("choleskySolve: matrix is not positive definite");
@@ -81,6 +82,7 @@ choleskySolve(const Matrix &s, const Vector &b)
 Matrix
 choleskyInverse(const Matrix &s)
 {
+    ARCHYTAS_CHECK_DIM("choleskyInverse: square input", s.cols(), s.rows());
     auto l = cholesky(s);
     if (!l)
         ARCHYTAS_FATAL("choleskyInverse: matrix is not positive definite");

@@ -15,6 +15,9 @@ resizeMatrix(Matrix &out, std::size_t rows, std::size_t cols)
         out.setZero();
         return;
     }
+    // archytas-analyzer: allow(hot-path-alloc) -- shape-change slow path:
+    // allocates only when the destination does not already fit, which the
+    // steady-state solver loop never hits.
     out = Matrix(rows, cols);
 }
 
@@ -58,6 +61,8 @@ multiplyInto(Vector &out, const Matrix &a, const Vector &x)
                        a.cols());
     ARCHYTAS_DCHECK(&out != &x, "multiplyInto: destination aliases x");
     if (out.size() != a.rows())
+        // archytas-analyzer: allow(hot-path-alloc) -- shape-change slow
+        // path; steady-state calls reuse the destination's storage.
         out = Vector(a.rows());
     for (std::size_t r = 0; r < a.rows(); ++r) {
         double acc = 0.0;

@@ -360,6 +360,8 @@ operator*(const Matrix &a, const Vector &x)
 Matrix
 gramian(const Matrix &a)
 {
+    ARCHYTAS_DCHECK(a.rows() > 0 || a.cols() == 0,
+                    "gramian: matrix with columns but no rows");
     const std::size_t n = a.cols();
     Matrix g(n, n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -392,6 +394,8 @@ transposeApply(const Matrix &a, const Vector &x)
 Matrix
 outer(const Vector &x, const Vector &y)
 {
+    ARCHYTAS_DCHECK(x.size() > 0 && y.size() > 0,
+                    "outer: empty operand, ", x.size(), "x", y.size());
     Matrix m(x.size(), y.size());
     for (std::size_t r = 0; r < x.size(); ++r)
         for (std::size_t c = 0; c < y.size(); ++c)

@@ -90,6 +90,7 @@ QrFactorization::applyQt(const Vector &b) const
 std::optional<Vector>
 QrFactorization::solve(const Vector &b) const
 {
+    ARCHYTAS_CHECK_DIM("QrFactorization::solve: rhs size", b.size(), m_);
     const Vector y = applyQt(b);
     Vector x(n_);
     for (std::size_t ii = 0; ii < n_; ++ii) {
@@ -108,6 +109,8 @@ QrFactorization::solve(const Vector &b) const
 double
 QrFactorization::residualNorm(const Vector &b) const
 {
+    ARCHYTAS_CHECK_DIM("QrFactorization::residualNorm: rhs size", b.size(),
+                       m_);
     const Vector y = applyQt(b);
     double acc = 0.0;
     for (std::size_t i = n_; i < m_; ++i)

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/contracts.hh"
 #include "common/logging.hh"
 
 namespace archytas::linalg {
@@ -9,6 +10,8 @@ namespace archytas::linalg {
 CsrMatrix
 CsrMatrix::fromDense(const Matrix &dense, double tol)
 {
+    ARCHYTAS_DCHECK(tol >= 0.0, "CsrMatrix::fromDense: negative tolerance ",
+                    tol);
     CsrMatrix m;
     m.rows_ = dense.rows();
     m.cols_ = dense.cols();

@@ -1,6 +1,7 @@
 #include "mdfg/graph.hh"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -131,7 +132,10 @@ Graph::subgraphHash(NodeId root, bool include_shapes) const
 std::vector<std::vector<NodeId>>
 Graph::identicalSubgraphs(bool include_shapes) const
 {
-    std::unordered_map<std::uint64_t, std::vector<NodeId>> by_hash;
+    // Ordered map: group discovery order is hash-value order, never the
+    // hash table's bucket order, so downstream schedules are stable
+    // without relying on the final sort alone.
+    std::map<std::uint64_t, std::vector<NodeId>> by_hash;
     for (const Node &n : nodes_) {
         if (is_input_[n.id])
             continue;
@@ -149,10 +153,10 @@ Graph::identicalSubgraphs(bool include_shapes) const
     return groups;
 }
 
-std::unordered_map<NodeType, std::size_t>
+std::map<NodeType, std::size_t>
 Graph::typeHistogram() const
 {
-    std::unordered_map<NodeType, std::size_t> hist;
+    std::map<NodeType, std::size_t> hist;
     for (const Node &n : nodes_)
         if (!is_input_[n.id])
             ++hist[n.type];

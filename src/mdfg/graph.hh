@@ -11,8 +11,8 @@
 #define ARCHYTAS_MDFG_GRAPH_HH
 
 #include <functional>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "mdfg/node.hh"
@@ -73,8 +73,12 @@ class Graph
     std::vector<std::vector<NodeId>> identicalSubgraphs(
         bool include_shapes = true) const;
 
-    /** Count of nodes per type (inputs excluded). */
-    std::unordered_map<NodeType, std::size_t> typeHistogram() const;
+    /**
+     * Count of nodes per type (inputs excluded). Ordered so callers that
+     * print or export the histogram emit a stable, hash-independent
+     * sequence.
+     */
+    std::map<NodeType, std::size_t> typeHistogram() const;
 
     /** Graphviz dot rendering. */
     std::string toDot(const std::string &graph_name = "mdfg") const;

@@ -25,7 +25,7 @@
 #ifndef ARCHYTAS_MDFG_INTERPRETER_HH
 #define ARCHYTAS_MDFG_INTERPRETER_HH
 
-#include <unordered_map>
+#include <map>
 
 #include "linalg/matrix.hh"
 #include "mdfg/graph.hh"
@@ -57,7 +57,7 @@ class Interpreter
     linalg::Matrix evaluateNode(const Node &node);
 
     const Graph &graph_;
-    std::unordered_map<NodeId, linalg::Matrix> values_;
+    std::map<NodeId, linalg::Matrix> values_;
     bool ran_ = false;
 };
 

@@ -1,8 +1,8 @@
 #include "mdfg/scheduler.hh"
 
 #include <map>
+#include <set>
 #include <sstream>
-#include <unordered_set>
 
 #include "common/logging.hh"
 
@@ -112,9 +112,10 @@ scheduleGraph(const Graph &g)
 {
     Schedule sched;
 
-    // Pass 1: pattern detection.
-    std::unordered_set<NodeId> dschur_members;
-    std::unordered_set<NodeId> mschur_roots;
+    // Pass 1: pattern detection. Ordered sets: the schedule reaches the
+    // synthesized design, so membership structures stay hash-independent.
+    std::set<NodeId> dschur_members;
+    std::set<NodeId> mschur_roots;
     for (const Node &n : g.nodes()) {
         if (g.isInput(n.id))
             continue;
@@ -131,7 +132,7 @@ scheduleGraph(const Graph &g)
     // and marginalization's S' D-type Schur hash identically modulo
     // shapes).
     sched.shared_groups = g.identicalSubgraphs(/*include_shapes=*/false);
-    std::unordered_set<NodeId> shared_nodes;
+    std::set<NodeId> shared_nodes;
     for (const auto &group : sched.shared_groups)
         for (NodeId id : group)
             shared_nodes.insert(id);

@@ -13,8 +13,8 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "dataset/sequence.hh"
@@ -200,7 +200,9 @@ class SlidingWindowEstimator
     std::vector<KeyframeState> keyframes_;
     std::vector<std::shared_ptr<ImuPreintegration>> preints_;
     std::vector<Feature> features_;
-    std::unordered_map<std::uint64_t, std::size_t> feature_index_;
+    // Ordered map: never iterated today, but the feature index feeds
+    // window assembly, so it must stay hash-independent by construction.
+    std::map<std::uint64_t, std::size_t> feature_index_;
     PriorFactor prior_;
     bool bootstrapped_ = false;
     std::size_t last_marginalized_features_ = 0;

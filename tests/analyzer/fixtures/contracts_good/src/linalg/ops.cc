@@ -1,0 +1,26 @@
+// Fixture: contract-carrying functions keep the module at 100%.
+#include "common/contracts.hh"
+
+namespace archytas::linalg {
+
+Vector
+scale(const Vector &x, double s)
+{
+    ARCHYTAS_DCHECK(x.size() > 0, "scale: empty vector");
+    Vector y(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] = x[i] * s;
+    return y;
+}
+
+double
+traceOf(const Matrix &a)
+{
+    ARCHYTAS_CHECK_DIM("traceOf: square input", a.cols(), a.rows());
+    double t = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        t += a(i, i);
+    return t;
+}
+
+} // namespace archytas::linalg

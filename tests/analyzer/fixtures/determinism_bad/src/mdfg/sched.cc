@@ -1,0 +1,44 @@
+// Fixture: every determinism checker must fire exactly once per site.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+namespace archytas::mdfg {
+
+std::unordered_map<int, double> node_costs;
+
+double
+totalCost()
+{
+    double sum = 0.0;
+    for (const auto &entry : node_costs)
+        sum += entry.second;
+    return sum;
+}
+
+double
+jitter()
+{
+    return static_cast<double>(std::rand());
+}
+
+long
+stamp()
+{
+    return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+void
+accumulate(std::vector<double> &out)
+{
+    std::atomic<long> hits{0};
+    const auto body = [&](std::size_t i) {
+        hits.fetch_add(1);
+        out[i] = 1.0;
+    };
+    parallelFor(std::size_t{0}, out.size(), body);
+}
+
+} // namespace archytas::mdfg

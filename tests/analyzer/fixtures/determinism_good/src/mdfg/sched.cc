@@ -1,0 +1,45 @@
+// Fixture: the deterministic formulations stay quiet.
+#include <chrono>
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace archytas::mdfg {
+
+std::map<int, double> node_costs;
+
+double
+totalCost()
+{
+    double sum = 0.0;
+    for (const auto &entry : node_costs)
+        sum += entry.second;
+    return sum;
+}
+
+double
+jitter(Rng &rng)
+{
+    return rng.uniformReal(0.0, 1.0);
+}
+
+long
+tick()
+{
+    // steady_clock is fine: telemetry timing, never a result.
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+void
+accumulate(std::vector<double> &out)
+{
+    std::vector<long> hits(out.size(), 0);
+    const auto body = [&](std::size_t i) {
+        hits[i] += 1;
+        out[i] = 1.0;
+    };
+    parallelFor(std::size_t{0}, out.size(), body);
+}
+
+} // namespace archytas::mdfg

@@ -1,0 +1,31 @@
+// Fixture: kernels.cc is hot in its entirety; every allocation fires.
+#include <cstdlib>
+#include <vector>
+
+namespace archytas::linalg {
+
+void
+transposeInto(Matrix &out, const Matrix &a)
+{
+    ARCHYTAS_CHECK_DIM("transposeInto rows", out.rows(), a.cols());
+    out = Matrix(a.cols(), a.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            out(c, r) = a(r, c);
+}
+
+double
+gatherSum(const double *src, std::size_t n)
+{
+    std::vector<double> tmp;
+    for (std::size_t i = 0; i < n; ++i)
+        tmp.push_back(src[i]);
+    double *scratch = static_cast<double *>(std::malloc(n * sizeof(double)));
+    std::free(scratch);
+    double sum = 0.0;
+    for (double v : tmp)
+        sum += v;
+    return sum;
+}
+
+} // namespace archytas::linalg

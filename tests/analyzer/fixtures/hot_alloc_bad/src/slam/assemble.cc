@@ -1,0 +1,15 @@
+// Fixture: container growth inside a lambda handed to the pool fires.
+#include <vector>
+
+namespace archytas::slam {
+
+void
+assemble(std::vector<double> &rows)
+{
+    std::vector<double> scratch;
+    parallelFor(std::size_t{0}, rows.size(), [&](std::size_t i) {
+        scratch.push_back(rows[i]);
+    });
+}
+
+} // namespace archytas::slam

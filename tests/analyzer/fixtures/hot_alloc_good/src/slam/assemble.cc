@@ -1,0 +1,16 @@
+// Fixture: growth outside the pool lambda is fine; the lambda only
+// writes preallocated slots.
+#include <vector>
+
+namespace archytas::slam {
+
+void
+assemble(std::vector<double> &rows)
+{
+    std::vector<double> scratch(rows.size(), 0.0);
+    parallelFor(std::size_t{0}, rows.size(), [&](std::size_t i) {
+        scratch[i] = rows[i];
+    });
+}
+
+} // namespace archytas::slam

@@ -1,0 +1,11 @@
+// Fixture: dataset (rank 2) reaching up into slam (rank 3) fires.
+#ifndef FIXTURE_DATASET_SEQ_HH
+#define FIXTURE_DATASET_SEQ_HH
+
+#include "slam/state.hh"
+
+namespace archytas::dataset {
+slam::State firstState();
+} // namespace archytas::dataset
+
+#endif // FIXTURE_DATASET_SEQ_HH

@@ -1,0 +1,11 @@
+// Fixture: hw (rank 2) reaching sideways into mdfg (rank 2) fires.
+#ifndef FIXTURE_HW_UNIT_HH
+#define FIXTURE_HW_UNIT_HH
+
+#include "mdfg/types.hh"
+
+namespace archytas::hw {
+void schedule(const mdfg::NodeId id);
+} // namespace archytas::hw
+
+#endif // FIXTURE_HW_UNIT_HH

@@ -1,0 +1,11 @@
+// Fixture: linalg (rank 1) reaching up into mdfg (rank 2) fires.
+#ifndef FIXTURE_LINALG_SOLVE_HH
+#define FIXTURE_LINALG_SOLVE_HH
+
+#include "mdfg/graph.hh"
+
+namespace archytas::linalg {
+void solveGraph(const mdfg::Graph &g);
+} // namespace archytas::linalg
+
+#endif // FIXTURE_LINALG_SOLVE_HH

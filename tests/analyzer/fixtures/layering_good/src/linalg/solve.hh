@@ -1,0 +1,13 @@
+// Fixture: downward includes follow the DAG and stay quiet.
+#ifndef FIXTURE_LINALG_SOLVE_GOOD_HH
+#define FIXTURE_LINALG_SOLVE_GOOD_HH
+
+#include <vector>
+
+#include "common/contracts.hh"
+
+namespace archytas::linalg {
+double sum(const std::vector<double> &xs);
+} // namespace archytas::linalg
+
+#endif // FIXTURE_LINALG_SOLVE_GOOD_HH

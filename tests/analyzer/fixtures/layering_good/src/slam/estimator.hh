@@ -1,0 +1,14 @@
+// Fixture: slam (rank 3) may use linalg (rank 1), common (rank 0), and
+// its own module.
+#ifndef FIXTURE_SLAM_ESTIMATOR_GOOD_HH
+#define FIXTURE_SLAM_ESTIMATOR_GOOD_HH
+
+#include "common/logging.hh"
+#include "linalg/matrix.hh"
+#include "slam/state.hh"
+
+namespace archytas::slam {
+void estimate();
+} // namespace archytas::slam
+
+#endif // FIXTURE_SLAM_ESTIMATOR_GOOD_HH

@@ -1,0 +1,15 @@
+// Fixture: a by-value status return without [[nodiscard]] fires.
+#ifndef FIXTURE_STYLE_API_HH
+#define FIXTURE_STYLE_API_HH
+
+namespace archytas::slam {
+
+class Solver {
+  public:
+    LmReport solve();
+    const LmReport &lastReport() const;
+};
+
+} // namespace archytas::slam
+
+#endif // FIXTURE_STYLE_API_HH

@@ -1,0 +1,32 @@
+// Fixture: the ported lint rules (naked-new, raw-thread, direct-io).
+#include <cstdio>
+#include <thread>
+
+namespace archytas::slam {
+
+int *
+allocate(std::size_t n)
+{
+    return new int[n];
+}
+
+void
+release(int *p)
+{
+    delete[] p;
+}
+
+void
+launch()
+{
+    std::thread worker([] {});
+    worker.join();
+}
+
+void
+report(double cost)
+{
+    std::printf("cost=%f\n", cost);
+}
+
+} // namespace archytas::slam

@@ -1,0 +1,16 @@
+// Fixture: [[nodiscard]] status returns and reference accessors are
+// both fine.
+#ifndef FIXTURE_STYLE_API_GOOD_HH
+#define FIXTURE_STYLE_API_GOOD_HH
+
+namespace archytas::slam {
+
+class Solver {
+  public:
+    [[nodiscard]] LmReport solve();
+    const LmReport &lastReport() const;
+};
+
+} // namespace archytas::slam
+
+#endif // FIXTURE_STYLE_API_GOOD_HH

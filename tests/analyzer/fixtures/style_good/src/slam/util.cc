@@ -1,0 +1,29 @@
+// Fixture: RAII ownership, pool parallelism, and logging stay quiet.
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+
+namespace archytas::slam {
+
+std::unique_ptr<int[]>
+allocate(std::size_t n)
+{
+    return std::make_unique<int[]>(n);
+}
+
+void
+launch(std::vector<double> &xs)
+{
+    parallel::parallelFor(std::size_t{0}, xs.size(),
+                          [&](std::size_t i) { xs[i] = 0.0; });
+}
+
+void
+report(double cost)
+{
+    ARCHYTAS_INFORM("cost=", cost);
+}
+
+} // namespace archytas::slam

@@ -1,0 +1,15 @@
+// Fixture: typo'd, mis-categorized, and non-literal telemetry names.
+#include "common/telemetry.hh"
+
+namespace archytas::slam {
+
+void
+tick(const char *dynamic_name)
+{
+    ARCHYTAS_COUNT_ADD("estimator.frmaes", 1);
+    ARCHYTAS_SPAN("solver", "estimator.solve");
+    ARCHYTAS_GAUGE_SET(dynamic_name, 1.0);
+    ARCHYTAS_GAUGE_SET("solver.final_cost", 2.0);
+}
+
+} // namespace archytas::slam

@@ -1,0 +1,14 @@
+// Fixture: registered names with the right kinds and categories.
+#include "common/telemetry.hh"
+
+namespace archytas::slam {
+
+void
+tick()
+{
+    ARCHYTAS_COUNT_ADD("estimator.frames", 1);
+    ARCHYTAS_SPAN("estimator", "estimator.solve");
+    ARCHYTAS_GAUGE_SET("solver.final_cost", 2.0);
+}
+
+} // namespace archytas::slam

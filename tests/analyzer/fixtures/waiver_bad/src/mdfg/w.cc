@@ -1,0 +1,10 @@
+// Fixture: a waiver without a justification is itself a finding and
+// suppresses nothing.
+#include <unordered_set>
+
+namespace archytas::mdfg {
+
+// archytas-analyzer: allow(determinism-unordered)
+std::unordered_set<int> visited;
+
+} // namespace archytas::mdfg

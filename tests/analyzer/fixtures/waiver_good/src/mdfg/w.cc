@@ -1,0 +1,12 @@
+// Fixture: a well-formed waiver (wrapped justification included)
+// suppresses the finding it names.
+#include <unordered_set>
+
+namespace archytas::mdfg {
+
+// archytas-analyzer: allow(determinism-unordered) -- membership probes
+// only: nothing ever iterates this set, so bucket order cannot reach
+// results.
+std::unordered_set<int> visited;
+
+} // namespace archytas::mdfg

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Golden tests for archytas-analyzer (the `analyzer.fixtures` CTest).
+
+Each directory under tests/analyzer/fixtures is one case: a miniature
+repo tree (its `src/` subdirectory is what the analyzer scans) plus a
+committed golden `expected.txt` holding the analyzer's exact stdout.
+`*_bad` cases must exit 1 and reproduce their golden findings; `*_good`
+cases must exit 0 and stay quiet. A case with a `schema.txt` gets it
+passed as the telemetry schema; a case with an `expected.sarif` also has
+its SARIF output diffed against that golden.
+
+The suite also asserts that every rule in `--list-rules` fires in at
+least one golden, so adding a checker without fixture proof fails here.
+
+Regenerate goldens after an intentional output change with:
+    tests/analyzer/run_fixture_tests.py --analyzer <bin> \
+        --fixtures tests/analyzer/fixtures --update
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def run_case(analyzer, case, update):
+    """Returns a list of failure strings for one fixture case."""
+    cmd = [analyzer, "--root", str(case), "src"]
+    if (case / "schema.txt").exists():
+        cmd += ["--schema", "schema.txt"]
+    sarif_golden = case / "expected.sarif"
+    sarif_out = None
+    if sarif_golden.exists() or update:
+        sarif_out = pathlib.Path(tempfile.mkdtemp()) / "out.sarif"
+        cmd += ["--sarif", str(sarif_out)]
+
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    golden = case / "expected.txt"
+
+    if update:
+        golden.write_text(proc.stdout, encoding="utf-8")
+        # Only keep SARIF goldens where one was already committed.
+        if sarif_golden.exists() and sarif_out is not None:
+            sarif_golden.write_text(
+                sarif_out.read_text(encoding="utf-8"), encoding="utf-8")
+        return []
+
+    failures = []
+    if not golden.exists():
+        return [f"{case.name}: missing golden expected.txt"]
+    want = golden.read_text(encoding="utf-8")
+    if proc.stdout != want:
+        failures.append(
+            f"{case.name}: stdout differs from expected.txt\n"
+            f"--- expected ---\n{want}--- actual ---\n{proc.stdout}"
+            f"--- stderr ---\n{proc.stderr}")
+    want_exit = 1 if ": error: " in want else 0
+    if proc.returncode != want_exit:
+        failures.append(
+            f"{case.name}: exit {proc.returncode}, expected {want_exit}\n"
+            f"{proc.stderr}")
+    if sarif_golden.exists() and sarif_out is not None:
+        got = sarif_out.read_text(encoding="utf-8")
+        if got != sarif_golden.read_text(encoding="utf-8"):
+            failures.append(f"{case.name}: SARIF differs from "
+                            f"expected.sarif\n--- actual ---\n{got}")
+    return failures
+
+
+def check_rule_coverage(analyzer, cases):
+    """Every advertised rule must appear in some bad-case golden."""
+    proc = subprocess.run([analyzer, "--list-rules"],
+                          capture_output=True, text=True, check=True)
+    rules = [line.split()[0] for line in proc.stdout.splitlines() if line]
+    corpus = "".join((case / "expected.txt").read_text(encoding="utf-8")
+                     for case in cases if (case / "expected.txt").exists())
+    missing = [r for r in rules if f"[{r}]" not in corpus]
+    if missing:
+        return [f"rules with no firing fixture: {', '.join(missing)}"]
+    return []
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--analyzer", required=True)
+    ap.add_argument("--fixtures", required=True)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the goldens from current output")
+    args = ap.parse_args()
+
+    fixtures = pathlib.Path(args.fixtures)
+    cases = sorted(p for p in fixtures.iterdir() if p.is_dir())
+    if not cases:
+        print(f"no fixture cases under {fixtures}", file=sys.stderr)
+        return 1
+
+    failures = []
+    for case in cases:
+        failures += run_case(args.analyzer, case, args.update)
+    if not args.update:
+        failures += check_rule_coverage(args.analyzer, cases)
+
+    for f in failures:
+        print(f"FAIL {f}", file=sys.stderr)
+    verb = "updated" if args.update else "checked"
+    print(f"{verb} {len(cases)} fixture cases, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,14 +2,11 @@
 // Fixture: a violation carrying an explicit waiver comment must not be
 // reported; this file is expected to lint clean.
 
-struct Arena {
-    char *base;
-};
-
-Arena
-reserve()
+double
+rampSum()
 {
-    Arena a;
-    a.base = new char[1 << 20];   // lint:allow(naked-new)
-    return a;
+    double acc = 0.0;
+    for (double t = 0.0; t < 1.0; t += 0.25)   // lint:allow(float-loop-index)
+        acc += t;
+    return acc;
 }

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The checker catalogue of archytas-analyzer. Each checker enforces one
+ * project contract (docs/STATIC_ANALYSIS.md has the full catalogue):
+ *
+ *   determinism-unordered   no std::unordered_* in src/ library code
+ *   determinism-random      no unseeded randomness outside common/rng.hh
+ *   determinism-wall-clock  no wall-clock reads in result-bearing code
+ *   determinism-atomic-rmw  no atomic read-modify-write in pool lambdas
+ *   hot-path-alloc          no heap allocation in solver kernels or any
+ *                           lambda handed to the deterministic pool
+ *   layering                module includes must follow the DAG
+ *   contract-coverage       linalg/hw functions taking Matrix/Vector
+ *                           must carry dimension contracts (gated on a
+ *                           per-module coverage percentage)
+ *   telemetry-names         telemetry string literals must match the
+ *                           checked-in schema (typos, duplicates, stale)
+ *   naked-new               RAII ownership only (ported from the lint)
+ *   raw-thread              pool-only parallelism (ported)
+ *   nodiscard-status        status returns must be [[nodiscard]] (ported)
+ *   direct-io               no stream/printf output in library code
+ *                           (ported)
+ *   waiver-syntax           malformed waiver comments
+ */
+
+#ifndef ARCHYTAS_TOOLS_ANALYZER_CHECKS_HH
+#define ARCHYTAS_TOOLS_ANALYZER_CHECKS_HH
+
+#include <string>
+#include <vector>
+
+#include "model.hh"
+
+namespace archytas::analyzer {
+
+struct RuleMeta {
+    const char *id;
+    const char *description;
+};
+
+/** Stable rule catalogue, for SARIF metadata and --list-rules. */
+const std::vector<RuleMeta> &ruleCatalogue();
+
+/** Per-module contract coverage, filled by the contract checker. */
+struct CoverageRow {
+    std::string module;
+    std::size_t covered = 0;
+    std::size_t total = 0;
+    double percent() const
+    {
+        return total == 0 ? 100.0
+                          : 100.0 * static_cast<double>(covered) /
+                                static_cast<double>(total);
+    }
+};
+
+/** Runs every checker over the loaded context. */
+void runAllChecks(const AnalysisContext &ctx,
+                  std::vector<Finding> &findings,
+                  std::vector<CoverageRow> &coverage);
+
+} // namespace archytas::analyzer
+
+#endif // ARCHYTAS_TOOLS_ANALYZER_CHECKS_HH

@@ -1,0 +1,274 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace archytas::analyzer {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+const char *const kPuncts3[] = {"<<=", ">>=", "->*", "...", nullptr};
+const char *const kPuncts2[] = {"::", "->", "<<", ">>", "<=", ">=", "==",
+                                "!=", "&&", "||", "+=", "-=", "*=", "/=",
+                                "%=", "&=", "|=", "^=", "++", "--", "##",
+                                nullptr};
+
+} // namespace
+
+LexedSource
+lex(const std::string &text)
+{
+    LexedSource out;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    std::size_t line = 1;
+    std::size_t col = 1;
+    bool line_has_code = false;
+
+    const auto peek = [&](std::size_t k) -> char {
+        return i + k < n ? text[i + k] : '\0';
+    };
+    const auto advance = [&](std::size_t k) {
+        for (std::size_t j = 0; j < k && i < n; ++j, ++i) {
+            if (text[i] == '\n') {
+                ++line;
+                col = 1;
+                line_has_code = false;
+            } else {
+                ++col;
+            }
+        }
+    };
+    const auto push = [&](TokenKind kind, std::string tok_text,
+                          std::size_t tok_line, std::size_t tok_col) {
+        Token t;
+        t.kind = kind;
+        t.text = std::move(tok_text);
+        t.line = tok_line;
+        t.col = tok_col;
+        out.tokens.push_back(std::move(t));
+        line_has_code = true;
+    };
+
+    while (i < n) {
+        const char c = text[i];
+
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            advance(1);
+            continue;
+        }
+
+        // Preprocessor directive: '#' first non-whitespace on the line.
+        if (c == '#' && !line_has_code) {
+            Directive d;
+            d.line = line;
+            std::string body;
+            while (i < n) {
+                const char dc = text[i];
+                if (dc == '\\' && (peek(1) == '\n' ||
+                                   (peek(1) == '\r' && peek(2) == '\n'))) {
+                    body.push_back(' ');
+                    advance(peek(1) == '\n' ? 2 : 3);
+                    continue;
+                }
+                if (dc == '\n')
+                    break;
+                // Directive-embedded comments end the logical text.
+                if (dc == '/' && peek(1) == '/')
+                    break;
+                if (dc == '/' && peek(1) == '*') {
+                    advance(2);
+                    while (i < n && !(text[i] == '*' && peek(1) == '/'))
+                        advance(1);
+                    advance(2);
+                    body.push_back(' ');
+                    continue;
+                }
+                body.push_back(dc);
+                advance(1);
+            }
+            d.text = body;
+            // Parse `#include "x"` / `#include <x>`.
+            std::size_t p = 1;
+            while (p < body.size() &&
+                   std::isspace(static_cast<unsigned char>(body[p])))
+                ++p;
+            if (body.compare(p, 7, "include") == 0) {
+                p += 7;
+                while (p < body.size() &&
+                       std::isspace(static_cast<unsigned char>(body[p])))
+                    ++p;
+                if (p < body.size() &&
+                    (body[p] == '"' || body[p] == '<')) {
+                    const char close = body[p] == '"' ? '"' : '>';
+                    IncludeDirective inc;
+                    inc.line = d.line;
+                    inc.angled = close == '>';
+                    const std::size_t start = p + 1;
+                    const std::size_t end = body.find(close, start);
+                    if (end != std::string::npos) {
+                        inc.path = body.substr(start, end - start);
+                        out.includes.push_back(std::move(inc));
+                    }
+                }
+            }
+            out.directives.push_back(std::move(d));
+            continue;
+        }
+
+        // Comments.
+        if (c == '/' && peek(1) == '/') {
+            Comment cm;
+            cm.line = line;
+            cm.owns_line = !line_has_code;
+            advance(2);
+            while (i < n && text[i] != '\n') {
+                cm.text.push_back(text[i]);
+                advance(1);
+            }
+            cm.end_line = cm.line;
+            out.comments.push_back(std::move(cm));
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            Comment cm;
+            cm.line = line;
+            cm.owns_line = !line_has_code;
+            advance(2);
+            while (i < n && !(text[i] == '*' && peek(1) == '/')) {
+                cm.text.push_back(text[i]);
+                advance(1);
+            }
+            advance(2);
+            cm.end_line = line;
+            out.comments.push_back(std::move(cm));
+            continue;
+        }
+
+        // Raw string literal R"delim( ... )delim".
+        if (c == 'R' && peek(1) == '"' &&
+            (out.tokens.empty() ||
+             out.tokens.back().kind != TokenKind::Identifier ||
+             !identChar(c))) {
+            std::size_t p = i + 2;
+            std::string delim;
+            while (p < n && text[p] != '(' && delim.size() < 16)
+                delim.push_back(text[p++]);
+            if (p < n && text[p] == '(') {
+                const std::string close = ")" + delim + "\"";
+                const std::size_t body_start = p + 1;
+                const std::size_t end = text.find(close, body_start);
+                const std::size_t tok_line = line;
+                const std::size_t tok_col = col;
+                const std::size_t stop =
+                    end == std::string::npos ? n : end + close.size();
+                std::string contents = text.substr(
+                    body_start, (end == std::string::npos ? n : end) -
+                                    body_start);
+                advance(stop - i);
+                push(TokenKind::String, std::move(contents), tok_line,
+                     tok_col);
+                continue;
+            }
+        }
+
+        // String / char literals (with escape handling).
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            const std::size_t tok_line = line;
+            const std::size_t tok_col = col;
+            std::string contents;
+            advance(1);
+            while (i < n && text[i] != quote && text[i] != '\n') {
+                if (text[i] == '\\' && i + 1 < n) {
+                    contents.push_back(text[i]);
+                    contents.push_back(text[i + 1]);
+                    advance(2);
+                    continue;
+                }
+                contents.push_back(text[i]);
+                advance(1);
+            }
+            advance(1); // closing quote (or newline/EOF on malformed)
+            push(quote == '"' ? TokenKind::String : TokenKind::CharLit,
+                 std::move(contents), tok_line, tok_col);
+            continue;
+        }
+
+        // Identifiers / keywords.
+        if (identStart(c)) {
+            const std::size_t tok_line = line;
+            const std::size_t tok_col = col;
+            std::string id;
+            while (i < n && identChar(text[i])) {
+                id.push_back(text[i]);
+                advance(1);
+            }
+            push(TokenKind::Identifier, std::move(id), tok_line, tok_col);
+            continue;
+        }
+
+        // Numbers (good enough: digits, dots, exponents, suffixes).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(
+                             peek(1))))) {
+            const std::size_t tok_line = line;
+            const std::size_t tok_col = col;
+            std::string num;
+            while (i < n &&
+                   (identChar(text[i]) || text[i] == '.' ||
+                    ((text[i] == '+' || text[i] == '-') && !num.empty() &&
+                     (num.back() == 'e' || num.back() == 'E' ||
+                      num.back() == 'p' || num.back() == 'P')))) {
+                num.push_back(text[i]);
+                advance(1);
+            }
+            push(TokenKind::Number, std::move(num), tok_line, tok_col);
+            continue;
+        }
+
+        // Punctuation: longest match first.
+        {
+            const std::size_t tok_line = line;
+            const std::size_t tok_col = col;
+            std::string p3{c, peek(1), peek(2)};
+            std::string p2{c, peek(1)};
+            std::string matched;
+            for (const char *const *q = kPuncts3; *q; ++q)
+                if (p3 == *q) {
+                    matched = p3;
+                    break;
+                }
+            if (matched.empty())
+                for (const char *const *q = kPuncts2; *q; ++q)
+                    if (p2 == *q) {
+                        matched = p2;
+                        break;
+                    }
+            if (matched.empty())
+                matched = std::string(1, c);
+            advance(matched.size());
+            push(TokenKind::Punct, std::move(matched), tok_line, tok_col);
+        }
+    }
+
+    Token eof;
+    eof.kind = TokenKind::EndOfFile;
+    eof.line = line;
+    eof.col = col;
+    out.tokens.push_back(std::move(eof));
+    return out;
+}
+
+} // namespace archytas::analyzer

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Preprocessor-aware C++ lexer for archytas-analyzer. Produces a token
+ * stream with comments and string literals removed (but retained on the
+ * side: comments carry waivers, string literals carry telemetry names),
+ * and preprocessor directives lifted out of the stream so their contents
+ * (`#include <map>`, macro bodies' backslash continuations) cannot
+ * confuse the token-level checkers.
+ */
+
+#ifndef ARCHYTAS_TOOLS_ANALYZER_LEXER_HH
+#define ARCHYTAS_TOOLS_ANALYZER_LEXER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace archytas::analyzer {
+
+enum class TokenKind {
+    Identifier, // identifiers and keywords alike
+    Number,
+    String,  // text holds the literal's contents, quotes stripped
+    CharLit,
+    Punct,   // multi-char operators kept whole ("::", "->", "<<", ...)
+    EndOfFile,
+};
+
+struct Token {
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;
+    std::size_t line = 0; // 1-based
+    std::size_t col = 0;  // 1-based
+
+    bool is(const char *t) const { return text == t; }
+    bool ident(const char *t) const
+    {
+        return kind == TokenKind::Identifier && text == t;
+    }
+};
+
+struct Comment {
+    std::size_t line = 0;     // line the comment starts on
+    std::size_t end_line = 0; // last line (differs for block comments)
+    bool owns_line = false;   // no code before it on its line
+    std::string text;         // contents without the // or /* */
+};
+
+struct IncludeDirective {
+    std::size_t line = 0;
+    std::string path;   // as written between the delimiters
+    bool angled = false; // <...> rather than "..."
+};
+
+struct Directive {
+    std::size_t line = 0;
+    std::string text; // continuation-joined full directive, '#' included
+};
+
+/** One lexed translation unit. */
+struct LexedSource {
+    std::vector<Token> tokens; // terminated by an EndOfFile token
+    std::vector<Comment> comments;
+    std::vector<IncludeDirective> includes;
+    std::vector<Directive> directives;
+};
+
+/** Lexes `text`; never fails (unterminated constructs end at EOF). */
+LexedSource lex(const std::string &text);
+
+} // namespace archytas::analyzer
+
+#endif // ARCHYTAS_TOOLS_ANALYZER_LEXER_HH

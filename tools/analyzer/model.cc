@@ -1,0 +1,137 @@
+#include "model.hh"
+
+#include <cctype>
+
+namespace archytas::analyzer {
+
+int
+moduleRank(const std::string &module)
+{
+    if (module == "common")
+        return 0;
+    if (module == "linalg")
+        return 1;
+    if (module == "hw" || module == "mdfg" || module == "dataset")
+        return 2;
+    if (module == "slam" || module == "baseline")
+        return 3;
+    if (module == "synth" || module == "runtime")
+        return 4;
+    return -1;
+}
+
+namespace {
+
+/** Trims ASCII whitespace from both ends. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+std::string
+SourceFile::normalizedLine(std::size_t line) const
+{
+    if (line == 0 || line > raw_lines.size())
+        return "";
+    const std::string &raw = raw_lines[line - 1];
+    std::string out;
+    bool pending_space = false;
+    for (char c : raw) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            pending_space = !out.empty();
+            continue;
+        }
+        if (pending_space) {
+            out.push_back(' ');
+            pending_space = false;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+FileWaivers
+parseWaivers(const SourceFile &file, std::vector<Finding> &findings)
+{
+    FileWaivers out;
+    static const std::string kMarker = "archytas-analyzer:";
+    const std::vector<Comment> &comments = file.lex.comments;
+    for (std::size_t ci = 0; ci < comments.size(); ++ci) {
+        const Comment &cm = comments[ci];
+        const std::size_t at = cm.text.find(kMarker);
+        if (at == std::string::npos)
+            continue;
+        std::string rest = trim(cm.text.substr(at + kMarker.size()));
+        const auto fail = [&](const std::string &why) {
+            Finding f;
+            f.rule = "waiver-syntax";
+            f.file = file.path;
+            f.line = cm.line;
+            f.message = "malformed analyzer waiver: " + why +
+                        " (expected `archytas-analyzer: allow(<rule>) "
+                        "-- <justification>`)";
+            f.fingerprint = f.rule + "|" + f.file + "|" + cm.text;
+            findings.push_back(std::move(f));
+        };
+        if (rest.compare(0, 6, "allow(") != 0) {
+            fail("missing allow(...)");
+            continue;
+        }
+        const std::size_t close = rest.find(')');
+        if (close == std::string::npos) {
+            fail("unterminated allow(");
+            continue;
+        }
+        const std::string rules_text = rest.substr(6, close - 6);
+        const std::string tail = trim(rest.substr(close + 1));
+        if (tail.compare(0, 2, "--") != 0 ||
+            trim(tail.substr(2)).empty()) {
+            fail("missing ` -- <justification>` tail");
+            continue;
+        }
+        std::set<std::string> rules;
+        std::size_t pos = 0;
+        while (pos <= rules_text.size()) {
+            const std::size_t comma = rules_text.find(',', pos);
+            const std::string one =
+                trim(comma == std::string::npos
+                         ? rules_text.substr(pos)
+                         : rules_text.substr(pos, comma - pos));
+            if (!one.empty())
+                rules.insert(one);
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        if (rules.empty()) {
+            fail("empty rule list");
+            continue;
+        }
+        // A comment that owns its line(s) waives the next code line; a
+        // wrapped justification continues through contiguous own-line
+        // `//` comments. One appended to code waives the lines it spans.
+        std::size_t last = cm.end_line;
+        if (cm.owns_line)
+            for (std::size_t cj = ci + 1; cj < comments.size(); ++cj) {
+                const Comment &cont = comments[cj];
+                if (!cont.owns_line || cont.line != last + 1)
+                    break;
+                last = cont.end_line;
+            }
+        for (std::size_t l = cm.line; l <= last + 1; ++l)
+            for (const std::string &r : rules)
+                out.by_line[l].insert(r);
+    }
+    return out;
+}
+
+} // namespace archytas::analyzer

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared data model of archytas-analyzer: analyzed source files, the
+ * module layering table, findings, waivers, and the analysis context
+ * handed to every checker.
+ */
+
+#ifndef ARCHYTAS_TOOLS_ANALYZER_MODEL_HH
+#define ARCHYTAS_TOOLS_ANALYZER_MODEL_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+#include "scopes.hh"
+
+namespace archytas::analyzer {
+
+/** One file under analysis, path always repo-relative POSIX. */
+struct SourceFile {
+    std::string path;    // e.g. "src/linalg/kernels.cc"
+    std::string module;  // e.g. "linalg" ("" when not under src/)
+    bool is_header = false;
+    LexedSource lex;
+    ScopeInfo scopes;
+    std::vector<std::string> raw_lines; // for fingerprints and reports
+
+    /** Whitespace-collapsed source line, the fingerprint content key. */
+    std::string normalizedLine(std::size_t line) const;
+};
+
+enum class Severity { Error, Note };
+
+struct Finding {
+    std::string rule;
+    std::string file;
+    std::size_t line = 0;
+    std::size_t col = 0;
+    std::string message;
+    Severity severity = Severity::Error;
+    /**
+     * Stable identity for the committed baseline: rule|file|key where
+     * key is rule-specific content (an include path, a symbol, or the
+     * normalized source line) so entries survive unrelated line drift.
+     */
+    std::string fingerprint;
+};
+
+/**
+ * The module DAG from docs/STATIC_ANALYSIS.md:
+ *   common <- linalg <- {hw, mdfg, dataset} <- {slam, baseline}
+ *                                           <- {synth, runtime}
+ * A module may include itself and strictly lower ranks; upward and
+ * lateral includes are layering findings.
+ */
+int moduleRank(const std::string &module); // -1 for unknown modules
+
+struct Config {
+    std::string root;            // absolute repo root
+    std::string schema_path;     // telemetry schema (repo-relative)
+    double contract_threshold = 80.0; // min % covered per module
+    bool verbose = false;
+};
+
+struct AnalysisContext {
+    Config config;
+    std::vector<SourceFile> files;
+    /** Names declared anywhere with an unordered container type. */
+    std::set<std::string> unordered_names;
+    /** Names declared anywhere with std::atomic type. */
+    std::set<std::string> atomic_names;
+};
+
+/** rule -> waived line set, parsed from analyzer waiver comments. */
+struct FileWaivers {
+    // line -> rules waived on that line
+    std::map<std::size_t, std::set<std::string>> by_line;
+    bool waives(const std::string &rule, std::size_t line) const
+    {
+        const auto it = by_line.find(line);
+        return it != by_line.end() && it->second.count(rule) > 0;
+    }
+};
+
+/**
+ * Parses `// archytas-analyzer: allow(rule-a,rule-b) -- justification`
+ * comments. A comment that owns its line waives the next code line as
+ * well; one appended to code waives its own line. Waivers lacking the
+ * ` -- justification` tail are reported as `waiver-syntax` findings.
+ */
+FileWaivers parseWaivers(const SourceFile &file,
+                         std::vector<Finding> &findings);
+
+} // namespace archytas::analyzer
+
+#endif // ARCHYTAS_TOOLS_ANALYZER_MODEL_HH

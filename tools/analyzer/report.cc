@@ -1,0 +1,153 @@
+#include "report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+namespace archytas::analyzer {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+sortFindings(std::vector<Finding> &findings)
+{
+    std::stable_sort(
+        findings.begin(), findings.end(),
+        [](const Finding &a, const Finding &b) {
+            return std::tie(a.file, a.line, a.col, a.rule, a.message) <
+                   std::tie(b.file, b.line, b.col, b.rule, b.message);
+        });
+    findings.erase(
+        std::unique(findings.begin(), findings.end(),
+                    [](const Finding &a, const Finding &b) {
+                        return a.file == b.file && a.line == b.line &&
+                               a.col == b.col && a.rule == b.rule &&
+                               a.message == b.message;
+                    }),
+        findings.end());
+}
+
+std::string
+textReport(const std::vector<Finding> &findings)
+{
+    std::ostringstream out;
+    for (const Finding &f : findings) {
+        out << f.file << ":" << f.line << ":" << f.col << ": "
+            << (f.severity == Severity::Error ? "error" : "note")
+            << ": [" << f.rule << "] " << f.message << "\n";
+    }
+    return out.str();
+}
+
+std::string
+coverageReport(const std::vector<CoverageRow> &coverage)
+{
+    if (coverage.empty())
+        return "";
+    std::ostringstream out;
+    out << "contract coverage:";
+    for (const CoverageRow &row : coverage)
+        out << " " << row.module << " " << row.covered << "/"
+            << row.total << " (" << static_cast<int>(row.percent())
+            << "%)";
+    out << "\n";
+    return out.str();
+}
+
+std::string
+sarifReport(const std::vector<Finding> &findings)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"archytas-analyzer\",\n"
+        << "          \"informationUri\": "
+           "\"docs/STATIC_ANALYSIS.md\",\n"
+        << "          \"rules\": [\n";
+    const std::vector<RuleMeta> &rules = ruleCatalogue();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        out << "            {\"id\": \"" << rules[i].id
+            << "\", \"shortDescription\": {\"text\": \""
+            << jsonEscape(rules[i].description) << "\"}}"
+            << (i + 1 < rules.size() ? "," : "") << "\n";
+    }
+    out << "          ]\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"results\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        // SARIF regions are 1-based; clamp whole-file findings.
+        const std::size_t line = f.line == 0 ? 1 : f.line;
+        const std::size_t col = f.col == 0 ? 1 : f.col;
+        out << "        {\n"
+            << "          \"ruleId\": \"" << f.rule << "\",\n"
+            << "          \"level\": \""
+            << (f.severity == Severity::Error ? "error" : "note")
+            << "\",\n"
+            << "          \"message\": {\"text\": \""
+            << jsonEscape(f.message) << "\"},\n"
+            << "          \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \""
+            << jsonEscape(f.file)
+            << "\"}, \"region\": {\"startLine\": " << line
+            << ", \"startColumn\": " << col << "}}}],\n"
+            << "          \"partialFingerprints\": "
+               "{\"archytasFingerprint/v1\": \""
+            << jsonEscape(f.fingerprint) << "\"}\n"
+            << "        }" << (i + 1 < findings.size() ? "," : "")
+            << "\n";
+    }
+    out << "      ]\n"
+        << "    }\n"
+        << "  ]\n"
+        << "}\n";
+    return out.str();
+}
+
+} // namespace archytas::analyzer

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Report writers: the one-line-per-finding text report (what CI logs
+ * and the fixture goldens capture) and SARIF 2.1.0 for code-scanning
+ * upload.
+ */
+
+#ifndef ARCHYTAS_TOOLS_ANALYZER_REPORT_HH
+#define ARCHYTAS_TOOLS_ANALYZER_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "checks.hh"
+#include "model.hh"
+
+namespace archytas::analyzer {
+
+/** Sorts findings by (file, line, col, rule, message) in place. */
+void sortFindings(std::vector<Finding> &findings);
+
+/** `path:line:col: error|note: [rule] message`, one line each. */
+std::string textReport(const std::vector<Finding> &findings);
+
+/** One-line per-module coverage summary ("" when empty). */
+std::string coverageReport(const std::vector<CoverageRow> &coverage);
+
+/** Minimal SARIF 2.1.0 document with the rule catalogue as metadata. */
+std::string sarifReport(const std::vector<Finding> &findings);
+
+} // namespace archytas::analyzer
+
+#endif // ARCHYTAS_TOOLS_ANALYZER_REPORT_HH

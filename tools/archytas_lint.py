@@ -1,47 +1,27 @@
 #!/usr/bin/env python3
 """Repo-specific lint for Archytas, run as a CTest target (ctest -R lint).
 
-Rules (each has a stable id used in waivers and the self-test fixtures):
+Ownership split with archytas-analyzer (tools/analyzer/, the C++
+static-analysis engine; see docs/STATIC_ANALYSIS.md): the analyzer owns
+every token/scope-sensitive rule — determinism (unordered containers,
+randomness, wall-clock, atomic RMW), hot-path allocation, module
+layering, contract coverage, telemetry names, naked-new, raw-thread,
+nodiscard-status, and direct-io. This linter keeps only the file-level
+conventions that need no token stream:
 
-  naked-new        No naked `new`/`delete` in C++ sources; use containers,
-                   std::make_unique/std::make_shared, or value members.
-  banned-random    No `std::rand`/`srand`/`random_shuffle` and no argless
-                   wall-clock seeding (`time(NULL)`, `time(nullptr)`,
-                   `time(0)`) outside src/common/rng.hh; every stochastic
-                   component must draw from an explicitly seeded
-                   archytas::Rng so runs are reproducible.
   float-loop-index No `double`/`float` induction variables in C-style for
                    loops; accumulate t = start + i * step from an integer
                    index instead (float accumulation drifts and the trip
                    count becomes platform-dependent).
-  raw-thread       No `std::thread`/`std::jthread`/`std::async` outside
-                   src/common/parallel.*; all parallelism goes through the
-                   pool (archytas::parallel) whose fixed chunking and
-                   ordered merges keep results bit-identical at any
-                   thread count. Ad-hoc threads reintroduce scheduling-
-                   dependent floating-point merge orders.
   include-guard    Headers under src/ use include guards named
                    ARCHYTAS_<PATH>_<FILE>_HH matching their path.
   hw-test-pairing  Every translation unit src/hw/<name>.cc has a matching
                    tests/hw/test_<name>.cc.
-  direct-io        No direct `std::cout`/`std::cerr`/printf-family output
-                   in library code under src/; route diagnostics through
-                   ARCHYTAS_INFORM/WARN (common/logging.hh) and telemetry
-                   through the metrics registry (common/telemetry.hh) so
-                   output stays filterable and machine-parseable. The
-                   logging and telemetry sinks themselves are exempt, as
-                   are bench/, examples/, and tests/ (their stdout is the
-                   product).
-  nodiscard-status Functions declared in src/ headers that return a
-                   status-carrying type by value (HostTransaction,
-                   TransactionStatus, LmReport, SolveSummary,
-                   ControllerDecision) must be marked [[nodiscard]]:
-                   silently dropping one of these hides a failed DMA
-                   transaction, a diverged solve, or a controller
-                   decision. Reference-returning accessors are exempt.
 
 A line may carry an explicit waiver comment `// lint:allow(<rule-id>)`
 when a violation is intentional; waivers are counted and reported.
+Analyzer rules use the analyzer's own waiver syntax
+(`// archytas-analyzer: allow(<rule>) -- <justification>`), not this one.
 
 Exit status: 0 when clean, 1 when violations were found, 2 on usage error.
 
@@ -59,35 +39,14 @@ from pathlib import Path
 SOURCE_DIRS = ("src", "tests", "bench", "examples")
 CPP_SUFFIXES = {".cc", ".hh"}
 FIXTURE_DIR = Path("tests") / "lint" / "fixtures"
+# archytas-analyzer's golden fixtures are deliberately broken inputs.
+ANALYZER_FIXTURE_DIR = Path("tests") / "analyzer" / "fixtures"
 
 WAIVER_RE = re.compile(r"//\s*lint:allow\((?P<rule>[a-z-]+)\)")
 
-NAKED_NEW_RE = re.compile(r"(?:^|[^\w.])new\s+[A-Za-z_(]")
-NAKED_DELETE_RE = re.compile(r"(?:^|[^\w.])delete(?:\s*\[\s*\])?\s+[A-Za-z_(*]")
-BANNED_RANDOM_RE = re.compile(
-    r"std\s*::\s*rand\b|(?:^|[^\w:.])s?rand\s*\(|"
-    r"std\s*::\s*random_shuffle\b|"
-    r"(?:^|[^\w:.])(?:std\s*::\s*)?time\s*\(\s*(?:NULL|nullptr|0)?\s*\)")
 FLOAT_LOOP_RE = re.compile(
     r"for\s*\(\s*(?:const\s+)?(?:double|float)\s+\w+\s*=")
-RAW_THREAD_RE = re.compile(r"std\s*::\s*(?:thread|jthread|async)\b")
-DIRECT_IO_RE = re.compile(
-    r"std\s*::\s*c(?:out|err)\b|"
-    r"(?:^|[^\w:.])(?:std\s*::\s*)?(?:f?printf|puts|fputs)\s*\(")
 GUARD_IFNDEF_RE = re.compile(r"^#ifndef\s+(\w+)\s*$", re.MULTILINE)
-
-STATUS_TYPES = ("TransactionStatus", "HostTransaction", "LmReport",
-                "SolveSummary", "ControllerDecision")
-_STATUS = r"(?:\w+\s*::\s*)?(?:" + "|".join(STATUS_TYPES) + r")"
-# `LmReport solveWindow(...)` on one line: a status type returned by
-# value followed by the function name and its parameter list.
-STATUS_DECL_RE = re.compile(
-    r"(?:^|[(,;{]|\s)" + _STATUS + r"\s+(?!operator)\w+\s*\(")
-# Repo style splits long declarations: the return type ends one line and
-# the function name opens the next.
-STATUS_TAIL_RE = re.compile(r"(?:^|\s)" + _STATUS + r"\s*$")
-NEXT_NAME_RE = re.compile(r"^\s*\w+\s*\(")
-NODISCARD_RE = re.compile(r"\[\[\s*nodiscard\s*\]\]")
 
 
 class Violation:
@@ -188,62 +147,15 @@ def check_file(root, relpath, violations, waiver_count):
             return
         violations.append(Violation(rule, relpath, lineno, message))
 
-    posix = relpath.as_posix()
-    in_rng = posix.startswith("src/common/rng")
-    in_pool = posix.startswith("src/common/parallel")
     in_fixture_dir = FIXTURE_DIR in relpath.parents
-    # direct-io applies to library code only: bench/examples/tests print
-    # their results on purpose, and the two sinks own the streams.
-    io_checked = ((posix.startswith("src/") or in_fixture_dir)
-                  and not posix.startswith("src/common/logging")
-                  and not posix.startswith("src/common/telemetry"))
     for lineno, line in enumerate(clean_lines, start=1):
-        if NAKED_NEW_RE.search(line):
-            report("naked-new", lineno,
-                   "naked `new`; use std::make_unique/containers")
-        if NAKED_DELETE_RE.search(line):
-            report("naked-new", lineno,
-                   "naked `delete`; use RAII ownership")
-        if not in_rng and BANNED_RANDOM_RE.search(line):
-            report("banned-random", lineno,
-                   "unseeded randomness/wall-clock seeding; draw from an "
-                   "explicitly seeded archytas::Rng (common/rng.hh)")
         if FLOAT_LOOP_RE.search(line):
             report("float-loop-index", lineno,
                    "floating-point loop induction variable; iterate an "
                    "integer index and derive the value")
-        if not in_pool and RAW_THREAD_RE.search(line):
-            report("raw-thread", lineno,
-                   "raw std::thread/std::async; route parallelism "
-                   "through archytas::parallel (common/parallel.hh) so "
-                   "results stay deterministic")
-        if io_checked and DIRECT_IO_RE.search(line):
-            report("direct-io", lineno,
-                   "direct stream/printf output in library code; use "
-                   "ARCHYTAS_INFORM/WARN (common/logging.hh) or the "
-                   "telemetry registry (common/telemetry.hh)")
 
-    in_fixtures = in_fixture_dir
     if relpath.suffix == ".hh" and (relpath.parts[0] == "src" or
-                                    in_fixtures):
-        def has_nodiscard(idx):
-            """[[nodiscard]] on the declaration line or the one above."""
-            if NODISCARD_RE.search(clean_lines[idx]):
-                return True
-            return idx > 0 and NODISCARD_RE.search(clean_lines[idx - 1])
-
-        for idx, line in enumerate(clean_lines):
-            if "using " in line or "typedef " in line:
-                continue
-            split_decl = (STATUS_TAIL_RE.search(line)
-                          and idx + 1 < len(clean_lines)
-                          and NEXT_NAME_RE.match(clean_lines[idx + 1]))
-            if not split_decl and not STATUS_DECL_RE.search(line):
-                continue
-            if not has_nodiscard(idx):
-                report("nodiscard-status", idx + 1,
-                       "status-returning function lacks [[nodiscard]]; "
-                       "discarding the result hides a failure")
+                                    in_fixture_dir):
         m = GUARD_IFNDEF_RE.search(clean)
         want = expected_guard(relpath)
         if not m:
@@ -274,6 +186,8 @@ def iter_sources(root):
         for path in sorted(base.rglob("*")):
             rel = path.relative_to(root)
             if FIXTURE_DIR in (rel, *rel.parents):
+                continue
+            if ANALYZER_FIXTURE_DIR in (rel, *rel.parents):
                 continue
             if path.suffix in CPP_SUFFIXES and path.is_file():
                 yield rel

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compares a bench_kernels JSON export against the committed baseline.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+
+Both files are `archytas-bench-v1` documents (bench/bench_common.hh).
+For every benchmark present in both, the median_ms delta is reported;
+regressions beyond the threshold (default 5%) are flagged and the exit
+status is 1 so CI can surface them. Benchmarks present on only one side
+are reported but never fail the run (benches come and go with PRs; the
+committed baseline is refreshed whenever kernels intentionally change:
+`bench_kernels --json BENCH_kernels.json`).
+
+CI boxes are noisy, so the CI step runs this with continue-on-error —
+the check flags regressions in the job log and annotation rather than
+hard-failing the pipeline. Locally it is a quick pre-push sanity check.
+
+Exit status: 0 within threshold, 1 regressions found, 2 usage/format.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "archytas-bench-v1":
+        print(f"error: {path} is not an archytas-bench-v1 document",
+              file=sys.stderr)
+        sys.exit(2)
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=5.0,
+                    help="regression threshold in percent (default 5)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    regressions = 0
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            print(f"  new       {name}: {cur[name]['median_ms']:.3f} ms "
+                  "(no baseline)")
+            continue
+        if name not in cur:
+            print(f"  removed   {name} (was "
+                  f"{base[name]['median_ms']:.3f} ms)")
+            continue
+        b = base[name]["median_ms"]
+        c = cur[name]["median_ms"]
+        delta = 0.0 if b == 0 else 100.0 * (c - b) / b
+        if delta > args.threshold:
+            regressions += 1
+            tag = "REGRESSED"
+        elif delta < -args.threshold:
+            tag = "improved "
+        else:
+            tag = "ok       "
+        print(f"  {tag} {name}: {b:.3f} -> {c:.3f} ms ({delta:+.1f}%)")
+
+    if regressions:
+        print(f"bench_compare: {regressions} benchmark(s) regressed more "
+              f"than {args.threshold:.0f}% on median_ms")
+        return 1
+    print("bench_compare: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
