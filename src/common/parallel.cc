@@ -16,6 +16,9 @@ namespace archytas::parallel {
 namespace {
 
 /** Nesting depth of pool tasks on this thread. */
+// archytas-analyzer: allow(global-state) -- per-thread nesting marker;
+// it gates inline execution of nested regions (the mechanism that keeps
+// per-session numerics schedule-independent) and never reaches results.
 thread_local int region_depth = 0;
 
 /** RAII region marker used around every task invocation. */
@@ -55,6 +58,10 @@ class Pool
     static Pool &
     instance()
     {
+        // archytas-analyzer: allow(global-state) -- the one intentional
+        // process-wide pool: all sessions share these workers, and the
+        // disjoint-state contract (parallel.hh) makes results
+        // independent of which worker runs which task.
         static Pool pool;
         return pool;
     }

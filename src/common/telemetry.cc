@@ -97,6 +97,10 @@ struct Registry
 Registry &
 registry()
 {
+    // archytas-analyzer: allow(global-state) -- the process-wide metric
+    // registry is observability, not results: merges are
+    // order-independent integer sums, and _ms metrics are exempt from
+    // the bit-identity contract (docs/OBSERVABILITY.md).
     static Registry r;
     return r;
 }
@@ -150,6 +154,9 @@ struct Shard
 Shard &
 shard()
 {
+    // archytas-analyzer: allow(global-state) -- per-thread metric
+    // buffer: threads never share a shard, and snapshotMetrics() folds
+    // shards with order-independent sums.
     static thread_local Shard s;
     return s;
 }
@@ -199,6 +206,9 @@ jsonNumber(double v)
 std::string &
 envExportDir()
 {
+    // archytas-analyzer: allow(global-state) -- export destination of
+    // the atexit hook; written once during telemetry activation, read
+    // once at process exit, never on a result path.
     static std::string dir;
     return dir;
 }
@@ -405,6 +415,39 @@ snapshotMetrics()
     }
     // std::map iteration is already name-sorted.
     return snap;
+}
+
+double
+approxPercentile(const HistogramValue &h, double p)
+{
+    if (h.count == 0)
+        return 0.0;
+    const double clamped = std::min(std::max(p, 0.0), 100.0);
+    // Nearest-rank: the 1-based index of the percentile sample.
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::ceil(
+               clamped / 100.0 * static_cast<double>(h.count))));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+        const std::uint64_t n = h.buckets[b];
+        if (n == 0)
+            continue;
+        if (cum + n >= rank) {
+            const double lo = Histogram::bucketLowerBound(b);
+            const double hi = b + 1 < h.buckets.size()
+                                  ? Histogram::bucketLowerBound(b + 1)
+                                  : h.max;
+            // Samples are assumed uniform inside the bucket; place the
+            // rank at its midpoint offset to avoid biasing toward the
+            // bucket edges.
+            const double frac = (static_cast<double>(rank - cum) - 0.5) /
+                                static_cast<double>(n);
+            return std::min(std::max(lo + (hi - lo) * frac, h.min),
+                            h.max);
+        }
+        cum += n;
+    }
+    return h.max;
 }
 
 // --------------------------------------------------------------------

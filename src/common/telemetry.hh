@@ -187,6 +187,16 @@ struct MetricsSnapshot
  */
 MetricsSnapshot snapshotMetrics();
 
+/**
+ * Percentile estimate (p in [0, 100]) from a histogram's log-scale
+ * buckets: nearest-rank bucket selection, linear interpolation inside
+ * the winning bucket, clamped to the recorded [min, max]. Resolution is
+ * bounded by the bucket width (4 per decade), which is enough for
+ * latency tail reporting (p50/p95/p99). Returns 0 on an empty
+ * histogram.
+ */
+double approxPercentile(const HistogramValue &h, double p);
+
 // --------------------------------------------------------------------
 // Tracing
 // --------------------------------------------------------------------

@@ -19,6 +19,67 @@ transactionStatusName(TransactionStatus status)
     return "unknown";
 }
 
+std::size_t
+AttemptSchedule::failures() const
+{
+    std::size_t n = 0;
+    for (const AttemptOutcome &a : attempts)
+        if (!a.success)
+            ++n;
+    return n;
+}
+
+AttemptSchedule
+planAttempts(const HostLink &link, double nominal_seconds,
+             const FaultEvent *stall, const FaultEvent *timeout)
+{
+    // A stalled link slows every attempt of this window; a timeout
+    // makes the first `count` attempts miss the deadline outright. Both
+    // feed the same deadline / bounded-retry / exponential-backoff
+    // machinery, so a stall severe enough to blow the deadline on every
+    // attempt also exhausts the budget and forces the software
+    // fallback.
+    const double per_attempt =
+        stall != nullptr ? nominal_seconds * stall->magnitude
+                         : nominal_seconds;
+    const std::size_t forced_failures =
+        timeout != nullptr ? timeout->count : 0;
+
+    AttemptSchedule schedule;
+    double elapsed = 0.0;
+    double backoff = link.backoff_initial_s;
+    for (std::size_t attempt = 0; attempt <= link.max_retries;
+         ++attempt) {
+        AttemptOutcome outcome;
+        outcome.start_s = elapsed;
+        const bool fails = attempt < forced_failures ||
+                           per_attempt > link.deadline_s;
+        if (!fails) {
+            outcome.duration_s = per_attempt;
+            outcome.success = true;
+            elapsed += per_attempt;
+            schedule.attempts.push_back(outcome);
+            schedule.total_seconds = elapsed;
+            schedule.status = attempt == 0
+                                  ? TransactionStatus::Ok
+                                  : TransactionStatus::RecoveredAfterRetry;
+            return schedule;
+        }
+        // Abandoned at the deadline, then back off before retrying.
+        outcome.duration_s = link.deadline_s;
+        elapsed += link.deadline_s;
+        if (attempt < link.max_retries) {
+            outcome.backoff_s = backoff;
+            elapsed += backoff;
+            backoff *= link.backoff_factor;
+        }
+        schedule.attempts.push_back(outcome);
+    }
+    schedule.total_seconds = elapsed;
+    schedule.status = TransactionStatus::DeadlineExceeded;
+    return schedule;
+}
+
 HostInterface::HostInterface(const HostLink &link) : link_(link)
 {
     ARCHYTAS_ASSERT(link.bandwidth_bytes_per_s > 0.0 &&
@@ -73,49 +134,21 @@ HostInterface::windowTransaction(const slam::WindowWorkload &workload,
     if (stall == nullptr && timeout == nullptr)
         return t;
 
-    // A stalled link slows every attempt of this window; a timeout
-    // makes the first `count` attempts miss the deadline outright. Both
-    // feed the same deadline / bounded-retry / exponential-backoff
-    // machinery, so a stall severe enough to blow the deadline on every
-    // attempt also exhausts the budget and forces the software
-    // fallback.
-    const double per_attempt =
-        stall != nullptr ? nominal * stall->magnitude : nominal;
-    const std::size_t forced_failures =
-        timeout != nullptr ? timeout->count : 0;
+    const AttemptSchedule schedule =
+        planAttempts(link_, nominal, stall, timeout);
+    t.attempts = schedule.attempts.size();
+    t.total_seconds = schedule.total_seconds;
+    t.status = schedule.status;
 
-    double elapsed = 0.0;
-    double backoff = link_.backoff_initial_s;
-    t.attempts = 0;
-    for (std::size_t attempt = 0; attempt <= link_.max_retries;
-         ++attempt) {
-        ++t.attempts;
-        const bool fails =
-            attempt < forced_failures || per_attempt > link_.deadline_s;
-        if (!fails) {
-            elapsed += per_attempt;
-            t.total_seconds = elapsed;
-            t.status = attempt == 0
-                           ? TransactionStatus::Ok
-                           : TransactionStatus::RecoveredAfterRetry;
-            if (attempt > 0) {
-                ARCHYTAS_COUNT_ADD("host.retries", attempt);
-                ARCHYTAS_COUNT_ADD("host.recovered_transactions", 1);
-            }
-            return t;
-        }
-        // Abandoned at the deadline, then back off before retrying.
-        ARCHYTAS_COUNT_ADD("host.deadline_misses", 1);
-        elapsed += link_.deadline_s;
-        if (attempt < link_.max_retries) {
-            elapsed += backoff;
-            backoff *= link_.backoff_factor;
-        }
+    if (const std::size_t misses = schedule.failures(); misses > 0)
+        ARCHYTAS_COUNT_ADD("host.deadline_misses", misses);
+    if (t.status == TransactionStatus::RecoveredAfterRetry) {
+        ARCHYTAS_COUNT_ADD("host.retries", t.attempts - 1);
+        ARCHYTAS_COUNT_ADD("host.recovered_transactions", 1);
+    } else if (t.status == TransactionStatus::DeadlineExceeded) {
+        ARCHYTAS_COUNT_ADD("host.retries", link_.max_retries);
+        ARCHYTAS_COUNT_ADD("host.timeout_transactions", 1);
     }
-    t.total_seconds = elapsed;
-    t.status = TransactionStatus::DeadlineExceeded;
-    ARCHYTAS_COUNT_ADD("host.retries", link_.max_retries);
-    ARCHYTAS_COUNT_ADD("host.timeout_transactions", 1);
     return t;
 }
 

@@ -20,6 +20,8 @@
 #ifndef ARCHYTAS_HW_HOST_INTERFACE_HH
 #define ARCHYTAS_HW_HOST_INTERFACE_HH
 
+#include <vector>
+
 #include "common/fault.hh"
 #include "hw/config.hh"
 #include "slam/state.hh"
@@ -80,6 +82,46 @@ struct HostTransaction
         return total_seconds * 1e3;
     }
 };
+
+/** One DMA attempt inside a transaction's deterministic schedule. */
+struct AttemptOutcome
+{
+    double start_s = 0.0;    //!< Offset from transaction start.
+    double duration_s = 0.0; //!< Attempt time (deadline_s if abandoned).
+    double backoff_s = 0.0;  //!< Wait after abandoning; 0 otherwise.
+    bool success = false;
+};
+
+/**
+ * The full attempt timeline of one transaction under the deadline +
+ * bounded-retry + exponential-backoff policy. Computed up front from
+ * the link parameters and the fault plan, so the synchronous path
+ * (HostInterface::windowTransaction) and the event-driven async path
+ * (service/async_link.hh) replay the identical schedule -- same
+ * attempt count, same status, same total time.
+ */
+struct AttemptSchedule
+{
+    std::vector<AttemptOutcome> attempts;
+    double total_seconds = 0.0;
+    TransactionStatus status = TransactionStatus::Ok;
+
+    /** Attempts that missed the deadline. */
+    std::size_t failures() const;
+};
+
+/**
+ * Plans the attempt timeline for a transaction whose healthy single
+ * attempt takes nominal_seconds. Pure function of its arguments:
+ * deterministic in the fault plan, independent of wall clock.
+ *
+ * @param stall   Optional DmaStall event scaling every attempt.
+ * @param timeout Optional DmaTimeout event forcing the first `count`
+ *                attempts past the deadline.
+ */
+AttemptSchedule planAttempts(const HostLink &link, double nominal_seconds,
+                             const FaultEvent *stall,
+                             const FaultEvent *timeout);
 
 /** Models the per-window host-FPGA exchange. */
 class HostInterface

@@ -48,10 +48,7 @@ HwWindowSolver::solveWindow(slam::WindowProblem &problem,
                             const slam::LmOptions &options,
                             slam::HealthReport &health)
 {
-    ARCHYTAS_SPAN("hw", "hw.window");
     const std::size_t window = window_index_++;
-    ++stats_.windows;
-    ARCHYTAS_COUNT_ADD("hw.windows", 1);
 
     slam::WindowWorkload workload;
     workload.keyframes = problem.keyframeCount();
@@ -61,6 +58,19 @@ HwWindowSolver::solveWindow(slam::WindowProblem &problem,
     const HostTransaction txn = host_.windowTransaction(
         workload, !config_sent_, window, plan_);
     config_sent_ = true;
+    return completeWindow(problem, options, health, txn, window);
+}
+
+slam::LmReport
+HwWindowSolver::completeWindow(slam::WindowProblem &problem,
+                               const slam::LmOptions &options,
+                               slam::HealthReport &health,
+                               const HostTransaction &txn,
+                               std::size_t window)
+{
+    ARCHYTAS_SPAN("hw", "hw.window");
+    ++stats_.windows;
+    ARCHYTAS_COUNT_ADD("hw.windows", 1);
     stats_.link_seconds += txn.total_seconds;
 
     if (txn.status == TransactionStatus::RecoveredAfterRetry) {
@@ -78,7 +88,7 @@ HwWindowSolver::solveWindow(slam::WindowProblem &problem,
         ARCHYTAS_COUNT_ADD("hw.fallback_windows", 1);
         ARCHYTAS_INSTANT("hw", "hw.software_fallback",
                          {"window", static_cast<double>(window)});
-        return slam::solveWindow(problem, options);
+        return slam::solveWindow(problem, options, {}, scratch_);
     }
 
     ++stats_.hw_windows;
@@ -95,7 +105,7 @@ HwWindowSolver::solveWindow(slam::WindowProblem &problem,
             first_solve = false;
             return true;
         };
-    return slam::solveWindow(problem, options, solver);
+    return slam::solveWindow(problem, options, solver, scratch_);
 }
 
 void

@@ -63,6 +63,21 @@ class HwWindowSolver
                 slam::HealthReport &health);
 
     /**
+     * Async-path entry (service/async_link.hh): the caller already
+     * performed the window's host transaction -- e.g. as an async
+     * transaction on the service's simulated timeline -- and hands in
+     * its outcome plus the window index used to query the fault plan.
+     * Everything downstream of the transaction is identical to
+     * solveWindow: fallback on DeadlineExceeded, bit-flip injection,
+     * stats, telemetry.
+     */
+    [[nodiscard]] slam::LmReport
+    completeWindow(slam::WindowProblem &problem,
+                   const slam::LmOptions &options,
+                   slam::HealthReport &health,
+                   const HostTransaction &txn, std::size_t window);
+
+    /**
      * Installs this solver on an estimator. The solver must outlive the
      * estimator (the estimator keeps a non-owning reference).
      */
@@ -83,6 +98,10 @@ class HwWindowSolver
     HwSolveStats stats_;
     std::size_t window_index_ = 0;
     bool config_sent_ = false;
+    /** Per-solver LM buffers: reused across windows (both the hardware
+     *  LM loop and the software fallback), never shared between
+     *  solvers, so concurrent sessions stay reentrant. */
+    slam::SolverScratch scratch_;
 };
 
 } // namespace archytas::hw

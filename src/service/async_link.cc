@@ -1,0 +1,69 @@
+#include "service/async_link.hh"
+
+#include <utility>
+
+#include "common/contracts.hh"
+
+namespace archytas::service {
+
+AsyncTransaction::AsyncTransaction(PendingTransaction pending,
+                                   double issue_s)
+    : pending_(std::move(pending)), issue_s_(issue_s)
+{
+    ARCHYTAS_DCHECK(!pending_.schedule.attempts.empty(),
+                    "async transaction with an empty attempt schedule");
+}
+
+LinkPhase
+AsyncTransaction::phaseAt(double t) const
+{
+    if (doneBy(t))
+        return LinkPhase::Done;
+    const double rel = t - issue_s_;
+    for (const hw::AttemptOutcome &a : pending_.schedule.attempts) {
+        if (rel < a.start_s + a.duration_s)
+            return LinkPhase::Transfer;
+        if (rel < a.start_s + a.duration_s + a.backoff_s)
+            return LinkPhase::Backoff;
+    }
+    return LinkPhase::Done;
+}
+
+std::size_t
+AsyncTransaction::attemptsCompletedBy(double t) const
+{
+    const double rel = t - issue_s_;
+    std::size_t n = 0;
+    for (const hw::AttemptOutcome &a : pending_.schedule.attempts) {
+        if (rel >= a.start_s + a.duration_s)
+            ++n;
+    }
+    return n;
+}
+
+AsyncHostLink::AsyncHostLink(const hw::HostLink &link) : host_(link) {}
+
+PendingTransaction
+AsyncHostLink::begin(const slam::WindowWorkload &workload,
+                     bool config_changed, std::size_t window_index,
+                     const FaultPlan &faults) const
+{
+    PendingTransaction pending;
+    // The synchronous accounting: words, status, attempts, host.*
+    // counters -- byte-for-byte what a sync caller would record.
+    pending.txn = host_.windowTransaction(workload, config_changed,
+                                          window_index, faults);
+    // The timeline of those same attempts, from the shared planner; the
+    // healthy nominal time seeds it exactly as the sync path's does.
+    const double nominal =
+        host_.windowTransaction(workload, config_changed).total_seconds;
+    pending.schedule = hw::planAttempts(
+        host_.link(), nominal,
+        faults.find(window_index, FaultKind::DmaStall),
+        faults.find(window_index, FaultKind::DmaTimeout));
+    ARCHYTAS_DCHECK(pending.schedule.status == pending.txn.status,
+                    "async/sync transaction status diverged");
+    return pending;
+}
+
+} // namespace archytas::service

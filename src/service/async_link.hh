@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Asynchronous host-link transactions over the service's simulated
+ * timeline, layered on the PR-2 deadline / bounded-retry / exponential-
+ * backoff machinery (hw/host_interface.hh). The synchronous path blocks
+ * the caller for the transaction's whole duration; the async path splits
+ * the same transaction into two halves so a multi-session service can
+ * overlap link transfers with other sessions' work:
+ *
+ *  1. begin(): computes the transaction outcome -- words, status,
+ *     attempt count, and the full AttemptSchedule timeline. This is a
+ *     pure function of the workload and the fault plan (via
+ *     hw::planAttempts, the exact code the synchronous path runs), so
+ *     it can execute on a pool worker inside the session's numeric
+ *     step without touching shared state.
+ *  2. AsyncTransaction: places the schedule at an issue time on the
+ *     simulated timeline and answers time-indexed queries (phase,
+ *     attempts elapsed, completion). The service's serial scheduling
+ *     phase does this placement, which keeps the timeline deterministic
+ *     regardless of how the numeric steps were interleaved.
+ *
+ * Both halves replay the identical attempt schedule, so a fault plan
+ * produces the same retries, the same status, and the same total link
+ * time whether a window is driven synchronously or asynchronously.
+ */
+
+#ifndef ARCHYTAS_SERVICE_ASYNC_LINK_HH
+#define ARCHYTAS_SERVICE_ASYNC_LINK_HH
+
+#include "common/fault.hh"
+#include "hw/host_interface.hh"
+#include "slam/state.hh"
+
+namespace archytas::service {
+
+/** A transaction whose outcome is known but whose placement on the
+ *  simulated timeline is still pending. */
+struct PendingTransaction
+{
+    hw::HostTransaction txn;        //!< Words, status, total time.
+    hw::AttemptSchedule schedule;   //!< Attempt-by-attempt timeline.
+};
+
+/** Where an in-flight transaction is at a queried simulated time. */
+enum class LinkPhase
+{
+    Transfer,   //!< A DMA attempt is on the wire.
+    Backoff,    //!< Waiting out the backoff before the next attempt.
+    Done,       //!< Completed (successfully or budget-exhausted).
+};
+
+/** A pending transaction placed at an issue time. */
+class AsyncTransaction
+{
+  public:
+    AsyncTransaction() = default;
+    AsyncTransaction(PendingTransaction pending, double issue_s);
+
+    double issueTime() const { return issue_s_; }
+    /** Absolute completion time: issue + attempts + backoffs. */
+    double completionTime() const
+    {
+        return issue_s_ + pending_.schedule.total_seconds;
+    }
+    [[nodiscard]] hw::TransactionStatus status() const
+    {
+        return pending_.txn.status;
+    }
+    std::size_t attempts() const { return pending_.txn.attempts; }
+    const hw::HostTransaction &transaction() const { return pending_.txn; }
+    const hw::AttemptSchedule &schedule() const
+    {
+        return pending_.schedule;
+    }
+
+    bool doneBy(double t) const { return t >= completionTime(); }
+    /** Phase of the link at simulated time t (>= issue time). */
+    LinkPhase phaseAt(double t) const;
+    /** Attempts fully elapsed (success or abandonment) by time t. */
+    std::size_t attemptsCompletedBy(double t) const;
+
+  private:
+    PendingTransaction pending_;
+    double issue_s_ = 0.0;
+};
+
+/**
+ * Issues asynchronous window transactions for one session's host link.
+ * Metric accounting (host.* counters) matches the synchronous
+ * HostInterface path exactly, because begin() runs it.
+ */
+class AsyncHostLink
+{
+  public:
+    explicit AsyncHostLink(const hw::HostLink &link = {});
+
+    /**
+     * Starts a window transaction: performs the synchronous accounting
+     * (status, words, host.* counters) and computes the attempt
+     * timeline for later placement. Deterministic in the fault plan.
+     */
+    [[nodiscard]] PendingTransaction
+    begin(const slam::WindowWorkload &workload, bool config_changed,
+          std::size_t window_index, const FaultPlan &faults) const;
+
+    const hw::HostInterface &host() const { return host_; }
+
+  private:
+    hw::HostInterface host_;
+};
+
+} // namespace archytas::service
+
+#endif // ARCHYTAS_SERVICE_ASYNC_LINK_HH

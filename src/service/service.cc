@@ -1,0 +1,251 @@
+#include "service/service.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/contracts.hh"
+#include "common/parallel.hh"
+#include "common/stats.hh"
+#include "common/telemetry.hh"
+
+namespace archytas::service {
+
+namespace {
+
+/** Finalizes a session's report entry when its last frame completes. */
+void
+finishSession(SessionReport &sr, const RobotSession &session,
+              double completion_s)
+{
+    sr.completion_s = completion_s;
+    sr.frames = session.results().size();
+    double sq = 0.0;
+    for (const slam::FrameResult &r : session.results()) {
+        sq += r.position_error * r.position_error;
+        sr.max_error_m = std::max(sr.max_error_m, r.position_error);
+        if (r.health.degraded)
+            ++sr.degraded_frames;
+    }
+    sr.rmse_m = sr.frames
+                    ? std::sqrt(sq / static_cast<double>(sr.frames))
+                    : 0.0;
+    sr.hw = session.solver().stats();
+    ARCHYTAS_COUNT_ADD("service.sessions_completed", 1);
+    ARCHYTAS_INSTANT("service", "service.session_done",
+                     {"session", static_cast<double>(sr.id)},
+                     {"frames", static_cast<double>(sr.frames)});
+}
+
+} // namespace
+
+double
+ServiceReport::sessionsPerSecond() const
+{
+    if (sessions.empty() || makespan_s <= 0.0)
+        return 0.0;
+    return static_cast<double>(sessions.size()) / makespan_s;
+}
+
+double
+ServiceReport::latencyPercentileMs(double p) const
+{
+    std::vector<double> ms;
+    ms.reserve(traces.size());
+    for (const FrameTrace &t : traces)
+        ms.push_back(t.latency_s() * 1e3);
+    return percentile(std::move(ms), p);
+}
+
+LocalizationService::LocalizationService(const ServiceOptions &options)
+    : options_(options)
+{
+    ARCHYTAS_ASSERT(options.accelerator_slots > 0 &&
+                        options.max_active_sessions > 0,
+                    "bad service options");
+    ARCHYTAS_ASSERT(options.software_fallback_factor >= 1.0,
+                    "software fallback cannot be faster than hardware");
+}
+
+std::size_t
+LocalizationService::addSession(const SessionConfig &config)
+{
+    ARCHYTAS_ASSERT(!ran_, "addSession after run()");
+    const std::size_t id = sessions_.size();
+    sessions_.push_back(
+        std::make_unique<RobotSession>(id, config, options_.seed));
+    return id;
+}
+
+const RobotSession &
+LocalizationService::session(std::size_t id) const
+{
+    ARCHYTAS_CHECK_BOUNDS("LocalizationService::session", id,
+                          sessions_.size());
+    return *sessions_[id];
+}
+
+ServiceReport
+LocalizationService::run()
+{
+    ARCHYTAS_ASSERT(!ran_, "LocalizationService::run called twice");
+    ran_ = true;
+
+    AdmissionController admission(options_.max_active_sessions);
+    AcceleratorPool pool(options_.accelerator_slots);
+
+    ServiceReport report;
+    report.sessions.resize(sessions_.size());
+    for (std::size_t id = 0; id < sessions_.size(); ++id) {
+        SessionReport &sr = report.sessions[id];
+        sr.id = id;
+        sr.label = sessions_[id]->context().label;
+        sr.arrival_s = sessions_[id]->config().arrival_s;
+        admission.enqueue(id, sr.arrival_s);
+    }
+
+    /** A session holding an admission token. */
+    struct Active
+    {
+        std::size_t id = 0;
+        double admit_s = 0.0;
+        /** Completion of the session's previous frame (its own frames
+         *  are processed in order). */
+        double prev_complete_s = 0.0;
+    };
+    std::vector<Active> active;
+
+    const auto admitAvailable = [&]() {
+        while (const auto a = admission.admitNext()) {
+            active.push_back({a->session, a->admit_s, a->admit_s});
+            report.sessions[a->session].admit_s = a->admit_s;
+            ARCHYTAS_COUNT_ADD("service.sessions_started", 1);
+            ARCHYTAS_HIST_RECORD("service.admission_wait_ms",
+                                 a->wait_s() * 1e3);
+            ARCHYTAS_INSTANT(
+                "service", "service.session_admitted",
+                {"session", static_cast<double>(a->session)},
+                {"wait_ms", a->wait_s() * 1e3});
+        }
+    };
+    admitAvailable();
+
+    std::vector<SessionStep> steps;
+    while (!active.empty()) {
+        ARCHYTAS_GAUGE_SET("service.active_sessions",
+                           static_cast<double>(active.size()));
+
+        // Parallel numeric phase: one pool task per active session (the
+        // session shard). Sessions write disjoint state, and nested
+        // parallel regions run inline, so the trajectories cannot
+        // depend on the interleaving.
+        steps.assign(active.size(), SessionStep{});
+        parallel::runTasks(active.size(), [&](std::size_t i) {
+            steps[i] = sessions_[active[i].id]->stepFrame();
+        });
+
+        // Serial scheduling phase: place the stepped frames on the
+        // simulated timeline in (request time, session id) order so
+        // slot grants are deterministically fair.
+        const auto requestTime = [&](std::size_t i) {
+            return std::max(active[i].admit_s + steps[i].frame_offset_s,
+                            active[i].prev_complete_s);
+        };
+        std::vector<std::size_t> order(active.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      const double ra = requestTime(a);
+                      const double rb = requestTime(b);
+                      if (ra != rb)
+                          return ra < rb;
+                      return active[a].id < active[b].id;
+                  });
+
+        for (const std::size_t i : order) {
+            Active &s = active[i];
+            const SessionStep &step = steps[i];
+            const RobotSession &session = *sessions_[s.id];
+            const double available = s.admit_s + step.frame_offset_s;
+            const double request =
+                std::max(available, s.prev_complete_s);
+            double complete = request;
+
+            if (step.has_transaction) {
+                // Optimized window: async host-link transaction, then
+                // the solve -- on a shared accelerator slot, or on the
+                // host CPU after a DeadlineExceeded fallback.
+                const AsyncTransaction txn(step.transaction, request);
+                const double link_s =
+                    txn.completionTime() - txn.issueTime();
+                const bool hw_solved =
+                    txn.status() !=
+                    hw::TransactionStatus::DeadlineExceeded;
+                const hw::Accelerator &accel =
+                    session.solver().accelerator();
+                const double compute_s =
+                    accel.windowTiming(step.frame.workload,
+                                       step.frame.lm_report.iterations)
+                        .totalMs(accel.constants()) *
+                    1e-3;
+
+                FrameTrace trace;
+                trace.session = s.id;
+                trace.frame = session.frameIndex() - 1;
+                trace.available_s = available;
+                trace.request_s = request;
+                trace.link_s = link_s;
+                trace.hw_solved = hw_solved;
+                if (hw_solved) {
+                    const SlotGrant grant =
+                        pool.acquire(request, link_s + compute_s);
+                    trace.admission_wait_s = grant.wait_s;
+                    trace.compute_s = compute_s;
+                    complete = grant.start_s + link_s + compute_s;
+                } else {
+                    // The link burned its deadline + backoff budget;
+                    // the solve runs on the host CPU -- slower, but it
+                    // queues for no slot.
+                    trace.compute_s =
+                        compute_s * options_.software_fallback_factor;
+                    complete = request + link_s + trace.compute_s;
+                }
+                trace.complete_s = complete;
+                ARCHYTAS_HIST_RECORD("service.frame_latency_ms",
+                                     trace.latency_s() * 1e3);
+                ARCHYTAS_HIST_RECORD("service.slot_wait_ms",
+                                     trace.admission_wait_s * 1e3);
+                report.traces.push_back(trace);
+            }
+            s.prev_complete_s = complete;
+            ARCHYTAS_COUNT_ADD("service.frames", 1);
+        }
+
+        // Retire finished sessions -- releasing capacity in completion
+        // order so freed tokens carry the right timestamps -- then
+        // admit queued arrivals into the freed capacity.
+        std::vector<Active> still;
+        still.reserve(active.size());
+        std::vector<std::pair<double, std::size_t>> finished;
+        for (const Active &s : active) {
+            if (sessions_[s.id]->finished())
+                finished.emplace_back(s.prev_complete_s, s.id);
+            else
+                still.push_back(s);
+        }
+        std::sort(finished.begin(), finished.end());
+        for (const auto &[completion_s, id] : finished) {
+            finishSession(report.sessions[id], *sessions_[id],
+                          completion_s);
+            admission.release(completion_s);
+            report.makespan_s =
+                std::max(report.makespan_s, completion_s);
+        }
+        active = std::move(still);
+        admitAvailable();
+    }
+    return report;
+}
+
+} // namespace archytas::service

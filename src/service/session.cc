@@ -1,0 +1,142 @@
+#include "service/session.hh"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/contracts.hh"
+#include "common/telemetry.hh"
+#include "dataset/corruptor.hh"
+
+namespace archytas::service {
+
+namespace {
+
+dataset::Sequence
+makeSequence(const SessionConfig &config)
+{
+    return config.euroc_like
+               ? dataset::makeEurocLikeSequence(config.sequence)
+               : dataset::makeKittiLikeSequence(config.sequence);
+}
+
+std::string
+makeLabel(const SessionConfig &config, std::size_t id)
+{
+    if (!config.name.empty())
+        return config.name;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "session-%02zu", id);
+    return buf;
+}
+
+/**
+ * Independent per-session stream: a fixed odd multiplier spreads the
+ * session id across the seed space (splitmix-style), so neighbouring
+ * ids never yield correlated streams.
+ */
+Rng
+makeSessionRng(std::uint64_t service_seed, std::size_t id)
+{
+    return Rng(service_seed ^
+               (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(id) +
+                                         1)));
+}
+
+std::array<hw::HwConfig, runtime::kMaxIterations>
+gatedConfigsFor(const hw::HwConfig &built)
+{
+    // Gating does not change the datapath arithmetic, only the timing /
+    // power model, so running every Iter level on the built design is a
+    // valid (conservative) configuration set for a session.
+    std::array<hw::HwConfig, runtime::kMaxIterations> configs;
+    configs.fill(built);
+    return configs;
+}
+
+} // namespace
+
+RobotSession::RobotSession(std::size_t id, const SessionConfig &config,
+                           std::uint64_t service_seed)
+    : config_(config),
+      ctx_{id, makeLabel(config, id), config.faults,
+           makeSessionRng(service_seed, id)},
+      sequence_(makeSequence(config)),
+      frames_(config.faults.empty()
+                  ? sequence_.frames()
+                  : dataset::corruptFrames(sequence_, config.faults)),
+      estimator_(sequence_.camera(), config.estimator),
+      solver_(config.accel, config.link, config.faults),
+      controller_(config.iter_table, gatedConfigsFor(config.accel),
+                  config.accel),
+      link_(config.link)
+{
+    ARCHYTAS_ASSERT(!frames_.empty(), "session with an empty sequence");
+    results_.reserve(frames_.size());
+
+    if (config_.use_runtime_controller) {
+        estimator_.setIterationController([this](std::size_t features) {
+            return controller_.onWindow(features).iterations;
+        });
+    }
+    estimator_.setWindowSolver(
+        [this](slam::WindowProblem &problem,
+               const slam::LmOptions &options,
+               slam::HealthReport &health) {
+            return solveWindowAsync(problem, options, health);
+        });
+}
+
+slam::LmReport
+RobotSession::solveWindowAsync(slam::WindowProblem &problem,
+                               const slam::LmOptions &options,
+                               slam::HealthReport &health)
+{
+    slam::WindowWorkload workload;
+    workload.keyframes = problem.keyframeCount();
+    workload.features = problem.featureCount();
+    workload.observations = problem.observationCount();
+
+    const std::size_t window = window_index_++;
+    const bool config_changed = !config_sent_;
+    config_sent_ = true;
+
+    // Issue the transaction asynchronously: the outcome is computed
+    // here (pure in the fault plan, so safe on a pool worker); its
+    // placement on the service timeline happens in the serial
+    // scheduling phase.
+    pending_ = link_.begin(workload, config_changed, window, ctx_.faults);
+    has_pending_ = true;
+    pending_window_ = window;
+
+    return solver_.completeWindow(problem, options, health, pending_.txn,
+                                  window);
+}
+
+SessionStep
+RobotSession::stepFrame()
+{
+    ARCHYTAS_ASSERT(!finished(), "stepFrame on a finished session");
+    has_pending_ = false;
+
+    const dataset::FrameData &frame = frames_[next_frame_];
+    ++next_frame_;
+
+    SessionStep step;
+    step.frame = estimator_.processFrame(frame);
+    step.frame_offset_s = frame.timestamp - frames_.front().timestamp;
+    if (has_pending_) {
+        step.transaction = pending_;
+        step.has_transaction = true;
+        step.window = pending_window_;
+    }
+    results_.push_back(step.frame);
+
+    ARCHYTAS_COUNT_ADD("session.frames", 1);
+    if (step.frame.health.degraded)
+        ARCHYTAS_COUNT_ADD("session.degraded_frames", 1);
+    ARCHYTAS_HIST_RECORD("session.position_error",
+                         step.frame.position_error);
+    return step;
+}
+
+} // namespace archytas::service

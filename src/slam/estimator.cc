@@ -351,7 +351,7 @@ SlidingWindowEstimator::solveWithRecovery(WindowProblem &problem,
 
     LmReport report = window_solver_
                           ? window_solver_(problem, lm, health)
-                          : solveWindow(problem, lm);
+                          : solveWindow(problem, lm, {}, scratch_);
     health.nonfinite_step = health.nonfinite_step ||
                             report.non_finite_cost;
 
@@ -368,7 +368,7 @@ SlidingWindowEstimator::solveWithRecovery(WindowProblem &problem,
     problem.restore(prediction);
     LmOptions retry = lm;
     retry.lambda_init = lm.lambda_init * options_.recovery_lambda_boost;
-    const LmReport second = solveWindow(problem, retry);
+    const LmReport second = solveWindow(problem, retry, {}, scratch_);
     if (!second.diverged && windowFinite()) {
         health.action = RecoveryAction::EscalatedDamping;
         return second;

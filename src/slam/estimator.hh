@@ -206,6 +206,13 @@ class SlidingWindowEstimator
     PriorFactor prior_;
     bool bootstrapped_ = false;
     std::size_t last_marginalized_features_ = 0;
+    /**
+     * Per-estimator solver buffers (lm_solver.hh). Owned here -- not a
+     * translation-unit static -- so any number of estimators can solve
+     * concurrently without sharing mutable state; this is what lets a
+     * service host one estimator per robot session in one process.
+     */
+    SolverScratch scratch_;
 };
 
 } // namespace archytas::slam

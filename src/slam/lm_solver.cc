@@ -12,28 +12,36 @@ namespace archytas::slam {
 
 bool
 solveBlockedSystem(const NormalEquations &eq, double lambda,
-                   linalg::Vector &dy, linalg::Vector &dx)
+                   linalg::Vector &dy, linalg::Vector &dx,
+                   SolverScratch &scratch)
 {
     const std::size_t m = eq.u_diag.size();
     const std::size_t nk = eq.v.rows();
 
     // Damped diagonal feature block. Features with no informative
     // observations (u == 0) get a pure-damping pivot so the elimination
-    // stays well-defined and their increment is zero.
-    std::vector<double> u(m);
+    // stays well-defined and their increment is zero. The scratch
+    // buffers below copy-assign from the equations: std::vector
+    // assignment reuses the existing heap block whenever the window
+    // shape is unchanged, so steady-state solves allocate nothing.
+    std::vector<double> &u = scratch.u;
+    u.resize(m);
     for (std::size_t f = 0; f < m; ++f)
         u[f] = eq.u_diag[f] * (1.0 + lambda) + 1e-12;
 
     // Reduced system: (V_damped - W U^{-1} W^T) dy = by - W U^{-1} bx.
-    linalg::Matrix reduced = eq.v;
-    linalg::Vector rhs = eq.by;
+    linalg::Matrix &reduced = scratch.reduced;
+    reduced = eq.v;
+    linalg::Vector &rhs = scratch.rhs;
+    rhs = eq.by;
     {
         ARCHYTAS_SPAN("solver", "solver.dschur");
         for (std::size_t i = 0; i < nk; ++i)
             reduced(i, i) += lambda * eq.v(i, i) + 1e-12;
 
         // W U^{-1}: scale columns.
-        linalg::Matrix wui = eq.w;
+        linalg::Matrix &wui = scratch.wui;
+        wui = eq.w;
         for (std::size_t f = 0; f < m; ++f) {
             const double inv = 1.0 / u[f];
             for (std::size_t r = 0; r < nk; ++r)
@@ -67,9 +75,17 @@ solveBlockedSystem(const NormalEquations &eq, double lambda,
     return true;
 }
 
+bool
+solveBlockedSystem(const NormalEquations &eq, double lambda,
+                   linalg::Vector &dy, linalg::Vector &dx)
+{
+    SolverScratch scratch;
+    return solveBlockedSystem(eq, lambda, dy, dx, scratch);
+}
+
 LmReport
 solveWindow(WindowProblem &problem, const LmOptions &options,
-            const LinearSolver &solver)
+            const LinearSolver &solver, SolverScratch &scratch)
 {
     ARCHYTAS_SPAN("solver", "solver.window");
     LmReport report;
@@ -94,11 +110,12 @@ solveWindow(WindowProblem &problem, const LmOptions &options,
         bool accepted = false;
 
         for (std::size_t retry = 0; retry < options.max_retries; ++retry) {
-            linalg::Vector dy, dx;
+            linalg::Vector &dy = scratch.dy;
+            linalg::Vector &dx = scratch.dx;
             const bool solved = solver
                                     ? solver(eq, lambda, dy, dx)
                                     : solveBlockedSystem(eq, lambda, dy,
-                                                         dx);
+                                                         dx, scratch);
             if (!solved) {
                 ++report.cholesky_failures;
                 ARCHYTAS_COUNT_ADD("solver.cholesky_failures", 1);
@@ -150,6 +167,14 @@ solveWindow(WindowProblem &problem, const LmOptions &options,
         cost > report.initial_cost * options.divergence_cost_factor +
                    1e-12;
     return report;
+}
+
+LmReport
+solveWindow(WindowProblem &problem, const LmOptions &options,
+            const LinearSolver &solver)
+{
+    SolverScratch scratch;
+    return solveWindow(problem, options, solver, scratch);
 }
 
 } // namespace archytas::slam

@@ -71,11 +71,36 @@ using LinearSolver = std::function<bool(
     const NormalEquations &, double, linalg::Vector &, linalg::Vector &)>;
 
 /**
+ * Reusable buffers for the blocked solve. One instance per estimator
+ * (or per session, service/session.hh): the heavy Schur intermediates
+ * keep their heap storage across LM iterations, damping retries, and
+ * windows, so steady-state solves reallocate nothing. Never shared
+ * between concurrently-solving sessions -- ownership, not locking, is
+ * what keeps the solver reentrant.
+ */
+struct SolverScratch
+{
+    std::vector<double> u;  //!< Damped feature-diagonal pivots.
+    linalg::Matrix reduced; //!< Reduced keyframe system (Schur).
+    linalg::Matrix wui;     //!< W U^{-1}.
+    linalg::Vector rhs;     //!< Reduced right-hand side.
+    linalg::Vector dy;      //!< Keyframe increment of the current step.
+    linalg::Vector dx;      //!< Feature increment of the current step.
+};
+
+/**
  * Runs LM on the window problem, mutating its states in place.
  *
- * @param solver Optional replacement for the inner blocked solve; when
- *               empty, solveBlockedSystem is used.
+ * @param solver  Optional replacement for the inner blocked solve; when
+ *                empty, solveBlockedSystem is used.
+ * @param scratch Per-session solver buffers reused across iterations.
  */
+[[nodiscard]] LmReport solveWindow(WindowProblem &problem,
+                                   const LmOptions &options,
+                                   const LinearSolver &solver,
+                                   SolverScratch &scratch);
+
+/** Convenience overload owning a transient scratch. */
 [[nodiscard]] LmReport solveWindow(WindowProblem &problem,
                                    const LmOptions &options,
                                    const LinearSolver &solver = {});
@@ -88,8 +113,14 @@ using LinearSolver = std::function<bool(
  * @param lambda  LM damping added as lambda * diag(H).
  * @param dy      Output keyframe increment (15 b).
  * @param dx      Output feature increment (m).
+ * @param scratch Buffers reused across calls (per session, never shared).
  * @return false when the reduced system is not positive definite.
  */
+bool solveBlockedSystem(const NormalEquations &eq, double lambda,
+                        linalg::Vector &dy, linalg::Vector &dx,
+                        SolverScratch &scratch);
+
+/** Convenience overload owning a transient scratch. */
 bool solveBlockedSystem(const NormalEquations &eq, double lambda,
                         linalg::Vector &dy, linalg::Vector &dx);
 

@@ -1,0 +1,32 @@
+// Fixture: mutable static/thread_local variables fire global-state.
+#include <cstddef>
+#include <string>
+
+namespace archytas::slam {
+
+static std::size_t windows_solved = 0;
+
+thread_local double last_cost = 0.0;
+
+int
+nextId()
+{
+    static int counter = 0;
+    return ++counter;
+}
+
+std::string &
+scratchName()
+{
+    static thread_local std::string name;
+    return name;
+}
+
+void
+solveOne()
+{
+    ++windows_solved;
+    last_cost = 1.0;
+}
+
+} // namespace archytas::slam

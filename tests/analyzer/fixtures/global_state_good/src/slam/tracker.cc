@@ -1,0 +1,38 @@
+// Fixture: immutable statics, static functions/members, and a waived
+// singleton all stay quiet.
+#include <cstddef>
+
+namespace archytas::slam {
+
+static const double kTolerance = 1e-9;
+
+static constexpr std::size_t kWindow = 10;
+
+static double
+helper(double x)
+{
+    return x * kTolerance;
+}
+
+struct Pool
+{
+    static Pool &instance();
+    std::size_t used = 0;
+};
+
+Pool &
+Pool::instance()
+{
+    // archytas-analyzer: allow(global-state) -- the one process-wide
+    // pool; tasks own disjoint state so results cannot couple.
+    static Pool pool;
+    return pool;
+}
+
+double
+solveOne(double x)
+{
+    return helper(x) + static_cast<double>(kWindow);
+}
+
+} // namespace archytas::slam

@@ -283,6 +283,47 @@ TEST_F(TelemetryTest, SnapshotIsSortedByName)
         EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
 }
 
+TEST_F(TelemetryTest, ApproxPercentileFromLogBuckets)
+{
+    // Empty histogram: defined zero.
+    EXPECT_EQ(approxPercentile(HistogramValue{}, 50), 0.0);
+
+    // A single repeated value: every percentile clamps to it exactly.
+    Histogram &point = histogram("test.pct_point");
+    for (int i = 0; i < 10; ++i)
+        point.record(3.5);
+    const auto one = snapshotMetrics();
+    for (const HistogramValue &h : one.histograms)
+        if (h.name == "test.pct_point") {
+            EXPECT_EQ(approxPercentile(h, 0), 3.5);
+            EXPECT_EQ(approxPercentile(h, 50), 3.5);
+            EXPECT_EQ(approxPercentile(h, 100), 3.5);
+        }
+
+    // A spread: estimates are monotone in p, land within the recorded
+    // range, and hit the right decade (bucket resolution is 4/decade).
+    Histogram &spread = histogram("test.pct_spread");
+    for (int v = 1; v <= 100; ++v)
+        spread.record(static_cast<double>(v));
+    const auto snap = snapshotMetrics();
+    for (const HistogramValue &h : snap.histograms) {
+        if (h.name != "test.pct_spread")
+            continue;
+        const double p50 = approxPercentile(h, 50);
+        const double p95 = approxPercentile(h, 95);
+        const double p99 = approxPercentile(h, 99);
+        EXPECT_LE(p50, p95);
+        EXPECT_LE(p95, p99);
+        EXPECT_GE(p50, h.min);
+        EXPECT_LE(p99, h.max);
+        // Log-bucket resolution: one bucket spans a factor of
+        // 10^(1/4) ~ 1.78, so the estimate is within a bucket width.
+        EXPECT_GT(p50, 50.0 / 1.79);
+        EXPECT_LT(p50, 50.0 * 1.79);
+        EXPECT_GT(p99, 99.0 / 1.79);
+    }
+}
+
 TEST_F(TelemetryTest, ScopedExportStripsFlagFromArgv)
 {
     const std::string dir =

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Fault recovery at service granularity (docs/SERVICE.md): a 4-session
+ * service run where one session suffers link faults and an outlier
+ * burst. The contract has two halves: the faulted session must recover
+ * on its own (finite poses, bounded error inflation, recovery surfaced
+ * in its health reports), and the three healthy sessions must be
+ * completely unaffected -- their trajectories bit-identical to solo
+ * fault-free runs, because sessions share no mutable state.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.hh"
+#include "service/service.hh"
+
+namespace archytas::service {
+namespace {
+
+/**
+ * Error-inflation bound for the contaminated session, following the
+ * single-robot suite's contamination contract (docs/ROBUSTNESS.md).
+ * The slack is larger than that suite's: these sessions run 2 s
+ * sequences, so the outlier-burst transient amortizes over a quarter of
+ * the frames and dominates the RMSE where the 8 s suite averages it
+ * down. The bound still catches an unrecovered divergence (RMSE grows
+ * without bound once the prior is poisoned and never reset).
+ */
+constexpr double kContaminationRmseFactor = 25.0;
+constexpr double kContaminationRmseSlack = 1.5;
+
+constexpr std::uint64_t kServiceSeed = 2021;
+
+SessionConfig
+faultSuiteSession(std::size_t i)
+{
+    SessionConfig cfg;
+    cfg.euroc_like = (i % 2) == 1;
+    cfg.sequence.duration = 2.0;
+    cfg.sequence.landmarks = 500;
+    cfg.sequence.max_features_per_frame = 50;
+    cfg.sequence.density_modulation = 0.3;
+    cfg.sequence.seed = 300 + i;
+    cfg.estimator.window_size = 8;
+    cfg.arrival_s = 0.1 * static_cast<double>(i);
+    return cfg;
+}
+
+/** The injected scenario: link retries, an exhausted retry budget
+ *  (software fallback), and an outlier burst mid-sequence. */
+FaultPlan
+divergencePlan()
+{
+    return FaultPlan(
+        77, {FaultEvent{3, FaultKind::DmaTimeout, 2, 0.0},
+             FaultEvent{6, FaultKind::DmaTimeout, 10, 0.0},
+             FaultEvent{9, FaultKind::OutlierBurst, 1, 0.4}});
+}
+
+std::uint64_t
+bits(double v)
+{
+    std::uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+double
+rmse(const std::vector<slam::FrameResult> &results)
+{
+    double sq = 0.0;
+    for (const slam::FrameResult &r : results)
+        sq += r.position_error * r.position_error;
+    return results.empty()
+               ? 0.0
+               : std::sqrt(sq / static_cast<double>(results.size()));
+}
+
+/** Solo fault-free reference trajectory for session id. */
+std::vector<slam::FrameResult>
+soloRun(std::size_t id)
+{
+    RobotSession session(id, faultSuiteSession(id), kServiceSeed);
+    while (!session.finished())
+        (void)session.stepFrame();
+    return session.results();
+}
+
+TEST(ServiceFaultRecovery, FaultedSessionRecoversWithoutInterference)
+{
+    constexpr std::size_t kFaulted = 1;
+
+    ServiceOptions options;
+    options.accelerator_slots = 2;
+    options.max_active_sessions = 4;
+    options.seed = kServiceSeed;
+    LocalizationService svc(options);
+    for (std::size_t i = 0; i < 4; ++i) {
+        SessionConfig cfg = faultSuiteSession(i);
+        if (i == kFaulted)
+            cfg.faults = divergencePlan();
+        svc.addSession(cfg);
+    }
+    const ServiceReport report = svc.run();
+    ASSERT_EQ(report.sessions.size(), 4u);
+
+    // Every pose across every session stays finite.
+    for (std::size_t id = 0; id < 4; ++id)
+        for (const slam::FrameResult &r : svc.session(id).results()) {
+            EXPECT_TRUE(std::isfinite(r.estimated.p.x));
+            EXPECT_TRUE(std::isfinite(r.estimated.p.y));
+            EXPECT_TRUE(std::isfinite(r.estimated.p.z));
+            EXPECT_TRUE(std::isfinite(r.position_error));
+        }
+
+    // The healthy sessions are bit-identical to solo fault-free runs:
+    // the faulted neighbour shares no mutable state with them.
+    for (const std::size_t id : {0u, 2u, 3u}) {
+        const auto solo = soloRun(id);
+        const auto &hosted = svc.session(id).results();
+        ASSERT_EQ(solo.size(), hosted.size()) << "session " << id;
+        for (std::size_t i = 0; i < solo.size(); ++i) {
+            EXPECT_EQ(bits(solo[i].estimated.p.x),
+                      bits(hosted[i].estimated.p.x))
+                << "session " << id << " frame " << i;
+            EXPECT_EQ(bits(solo[i].estimated.p.y),
+                      bits(hosted[i].estimated.p.y))
+                << "session " << id << " frame " << i;
+            EXPECT_EQ(bits(solo[i].estimated.p.z),
+                      bits(hosted[i].estimated.p.z))
+                << "session " << id << " frame " << i;
+        }
+    }
+
+    // The faulted session recovered: error inflation stays within the
+    // contamination bound of its own fault-free baseline.
+    const double baseline = rmse(soloRun(kFaulted));
+    const double faulted = rmse(svc.session(kFaulted).results());
+    EXPECT_LE(faulted, kContaminationRmseFactor * baseline +
+                           kContaminationRmseSlack);
+
+    // The faults actually exercised the recovery machinery: the
+    // exhausted retry budget shows up as a software fallback in the
+    // session's solver stats, and the report surfaces the retries.
+    const SessionReport &sr = report.sessions[kFaulted];
+    EXPECT_GT(sr.hw.fallback_windows, 0u);
+    bool fallback_trace = false;
+    for (const FrameTrace &t : report.traces)
+        if (t.session == kFaulted && !t.hw_solved)
+            fallback_trace = true;
+    EXPECT_TRUE(fallback_trace);
+
+    // The healthy sessions saw no fallbacks.
+    for (const std::size_t id : {0u, 2u, 3u})
+        EXPECT_EQ(report.sessions[id].hw.fallback_windows, 0u);
+}
+
+} // namespace
+} // namespace archytas::service

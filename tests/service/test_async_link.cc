@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The async host-link contract (service/async_link.hh): begin() must
+ * replay exactly the schedule the synchronous HostInterface path runs
+ * under the same fault plan -- same status, same attempt count, same
+ * total time -- and AsyncTransaction's time-indexed queries must
+ * describe that schedule consistently.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/fault.hh"
+#include "hw/host_interface.hh"
+#include "service/async_link.hh"
+
+namespace archytas::service {
+namespace {
+
+slam::WindowWorkload
+testWorkload()
+{
+    slam::WindowWorkload w;
+    w.keyframes = 10;
+    w.features = 80;
+    w.observations = 400;
+    return w;
+}
+
+/** Stall, recoverable timeout, and budget-exhausting timeout events. */
+FaultPlan
+testPlan()
+{
+    return FaultPlan(
+        7, {FaultEvent{3, FaultKind::DmaStall, 1, 5.0},
+            FaultEvent{5, FaultKind::DmaTimeout, 2, 0.0},
+            FaultEvent{7, FaultKind::DmaTimeout, 10, 0.0}});
+}
+
+TEST(AsyncLink, MatchesSynchronousPathUnderFaults)
+{
+    const hw::HostLink link;
+    const hw::HostInterface sync(link);
+    const AsyncHostLink async(link);
+    const FaultPlan plan = testPlan();
+    const slam::WindowWorkload w = testWorkload();
+
+    for (std::size_t window = 0; window < 9; ++window) {
+        const bool config_changed = window == 0;
+        const hw::HostTransaction expect =
+            sync.windowTransaction(w, config_changed, window, plan);
+        const PendingTransaction got =
+            async.begin(w, config_changed, window, plan);
+        EXPECT_EQ(got.txn.status, expect.status) << "window " << window;
+        EXPECT_EQ(got.txn.attempts, expect.attempts)
+            << "window " << window;
+        EXPECT_EQ(got.txn.total_seconds, expect.total_seconds)
+            << "window " << window;
+        EXPECT_EQ(got.txn.input_words, expect.input_words);
+        EXPECT_EQ(got.schedule.status, expect.status);
+        EXPECT_EQ(got.schedule.attempts.size(), expect.attempts);
+        EXPECT_EQ(got.schedule.total_seconds, expect.total_seconds);
+    }
+}
+
+TEST(AsyncLink, HealthyTransactionPhases)
+{
+    const AsyncHostLink async;
+    const PendingTransaction pending =
+        async.begin(testWorkload(), true, 0, FaultPlan());
+    ASSERT_EQ(pending.txn.status, hw::TransactionStatus::Ok);
+    ASSERT_EQ(pending.schedule.attempts.size(), 1u);
+    EXPECT_TRUE(pending.schedule.attempts[0].success);
+    EXPECT_EQ(pending.schedule.failures(), 0u);
+
+    const AsyncTransaction txn(pending, 2.0);
+    EXPECT_EQ(txn.issueTime(), 2.0);
+    EXPECT_EQ(txn.completionTime(),
+              2.0 + pending.schedule.total_seconds);
+    EXPECT_EQ(txn.phaseAt(2.0), LinkPhase::Transfer);
+    EXPECT_EQ(txn.phaseAt(txn.completionTime()), LinkPhase::Done);
+    EXPECT_FALSE(txn.doneBy(2.0));
+    EXPECT_TRUE(txn.doneBy(txn.completionTime()));
+    EXPECT_EQ(txn.attemptsCompletedBy(2.0), 0u);
+    EXPECT_EQ(txn.attemptsCompletedBy(txn.completionTime()), 1u);
+}
+
+TEST(AsyncLink, RetriedTransactionWalksTransferBackoffPhases)
+{
+    const hw::HostLink link;
+    const AsyncHostLink async(link);
+    const FaultPlan plan =
+        FaultPlan(1, {FaultEvent{0, FaultKind::DmaTimeout, 2, 0.0}});
+    const PendingTransaction pending =
+        async.begin(testWorkload(), false, 0, plan);
+    ASSERT_EQ(pending.txn.status,
+              hw::TransactionStatus::RecoveredAfterRetry);
+    ASSERT_EQ(pending.schedule.attempts.size(), 3u);
+    EXPECT_EQ(pending.schedule.failures(), 2u);
+
+    const AsyncTransaction txn(pending, 0.0);
+    const hw::AttemptOutcome &first = pending.schedule.attempts[0];
+    EXPECT_EQ(first.duration_s, link.deadline_s);
+    EXPECT_EQ(first.backoff_s, link.backoff_initial_s);
+    // Mid-first-attempt: on the wire; just past its deadline: backoff.
+    EXPECT_EQ(txn.phaseAt(first.duration_s / 2), LinkPhase::Transfer);
+    EXPECT_EQ(txn.phaseAt(first.duration_s + first.backoff_s / 2),
+              LinkPhase::Backoff);
+    EXPECT_EQ(txn.attemptsCompletedBy(first.duration_s), 1u);
+
+    const hw::AttemptOutcome &second = pending.schedule.attempts[1];
+    EXPECT_EQ(second.start_s, first.duration_s + first.backoff_s);
+    EXPECT_EQ(second.backoff_s, link.backoff_initial_s *
+                                    link.backoff_factor);
+    EXPECT_EQ(txn.phaseAt(second.start_s + second.duration_s / 2),
+              LinkPhase::Transfer);
+
+    const hw::AttemptOutcome &last = pending.schedule.attempts[2];
+    EXPECT_TRUE(last.success);
+    EXPECT_EQ(last.backoff_s, 0.0);
+    EXPECT_EQ(txn.phaseAt(pending.schedule.total_seconds),
+              LinkPhase::Done);
+    EXPECT_EQ(txn.attemptsCompletedBy(pending.schedule.total_seconds),
+              3u);
+}
+
+TEST(AsyncLink, ExhaustedBudgetReportsDeadlineExceeded)
+{
+    const hw::HostLink link;
+    const AsyncHostLink async(link);
+    const FaultPlan plan =
+        FaultPlan(2, {FaultEvent{0, FaultKind::DmaTimeout, 10, 0.0}});
+    const PendingTransaction pending =
+        async.begin(testWorkload(), false, 0, plan);
+    EXPECT_EQ(pending.txn.status,
+              hw::TransactionStatus::DeadlineExceeded);
+    EXPECT_EQ(pending.txn.attempts, 1 + link.max_retries);
+    EXPECT_EQ(pending.schedule.attempts.size(), 1 + link.max_retries);
+    EXPECT_EQ(pending.schedule.failures(), 1 + link.max_retries);
+    for (const hw::AttemptOutcome &a : pending.schedule.attempts)
+        EXPECT_FALSE(a.success);
+    // No backoff after the final abandoned attempt.
+    EXPECT_EQ(pending.schedule.attempts.back().backoff_s, 0.0);
+
+    const AsyncTransaction txn(pending, 5.0);
+    EXPECT_EQ(txn.status(), hw::TransactionStatus::DeadlineExceeded);
+    EXPECT_EQ(txn.phaseAt(txn.completionTime()), LinkPhase::Done);
+}
+
+TEST(AsyncLink, StallSlowsEveryAttempt)
+{
+    const hw::HostLink link;
+    const hw::HostInterface sync(link);
+    const AsyncHostLink async(link);
+    const FaultPlan plan =
+        FaultPlan(3, {FaultEvent{0, FaultKind::DmaStall, 1, 3.0}});
+    const slam::WindowWorkload w = testWorkload();
+
+    const hw::HostTransaction healthy = sync.windowTransaction(w, false);
+    const PendingTransaction stalled = async.begin(w, false, 0, plan);
+    ASSERT_EQ(stalled.schedule.attempts.size(), 1u);
+    EXPECT_NEAR(stalled.schedule.attempts[0].duration_s,
+                3.0 * healthy.total_seconds,
+                1e-12 + 3.0 * healthy.total_seconds * 1e-12);
+}
+
+} // namespace
+} // namespace archytas::service

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The service scheduling layer (service/service.hh): deterministic
+ * admission control, earliest-free accelerator-slot grants with fixed
+ * tie-breaks, and the end-to-end service run -- reports, traces, and
+ * their run-to-run reproducibility.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "service/accel_pool.hh"
+#include "service/service.hh"
+
+namespace archytas::service {
+namespace {
+
+dataset::SequenceConfig
+tinySequence(std::uint64_t seed)
+{
+    dataset::SequenceConfig cfg;
+    cfg.duration = 1.4;
+    cfg.landmarks = 300;
+    cfg.max_features_per_frame = 40;
+    cfg.density_modulation = 0.3;
+    cfg.seed = seed;
+    return cfg;
+}
+
+SessionConfig
+tinySession(std::uint64_t seed, double arrival_s, bool euroc = false)
+{
+    SessionConfig cfg;
+    cfg.sequence = tinySequence(seed);
+    cfg.euroc_like = euroc;
+    cfg.estimator.window_size = 8;
+    cfg.arrival_s = arrival_s;
+    return cfg;
+}
+
+TEST(AdmissionController, AdmitsInArrivalOrderUpToCapacity)
+{
+    AdmissionController admission(2);
+    admission.enqueue(0, 0.0);
+    admission.enqueue(1, 0.0);
+    admission.enqueue(2, 0.5);
+    EXPECT_EQ(admission.queued(), 3u);
+
+    const auto a = admission.admitNext();
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->session, 0u);
+    EXPECT_EQ(a->admit_s, 0.0);
+    EXPECT_EQ(a->wait_s(), 0.0);
+
+    const auto b = admission.admitNext();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->session, 1u);
+    EXPECT_EQ(admission.active(), 2u);
+
+    // Capacity exhausted: the third session waits for a release.
+    EXPECT_FALSE(admission.admitNext().has_value());
+    admission.release(2.0);
+    const auto c = admission.admitNext();
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->session, 2u);
+    EXPECT_EQ(c->admit_s, 2.0);
+    EXPECT_EQ(c->wait_s(), 1.5);
+    EXPECT_EQ(admission.queued(), 0u);
+}
+
+TEST(AdmissionController, OrdersByArrivalThenId)
+{
+    AdmissionController admission(4);
+    admission.enqueue(3, 1.0);
+    admission.enqueue(1, 0.5);
+    admission.enqueue(2, 0.5);
+    ASSERT_EQ(admission.admitNext()->session, 1u);
+    ASSERT_EQ(admission.admitNext()->session, 2u);
+    ASSERT_EQ(admission.admitNext()->session, 3u);
+}
+
+TEST(AcceleratorPool, GrantsEarliestFreeSlotWithFixedTieBreak)
+{
+    AcceleratorPool pool(2);
+    const SlotGrant a = pool.acquire(0.0, 1.0);
+    EXPECT_EQ(a.slot, 0u);   // tie between empty slots: lowest index
+    EXPECT_EQ(a.start_s, 0.0);
+    EXPECT_EQ(a.wait_s, 0.0);
+
+    const SlotGrant b = pool.acquire(0.0, 2.0);
+    EXPECT_EQ(b.slot, 1u);
+    EXPECT_EQ(b.start_s, 0.0);
+
+    // Both busy: slot 0 frees first (t=1.0), so the request queues.
+    const SlotGrant c = pool.acquire(0.5, 1.0);
+    EXPECT_EQ(c.slot, 0u);
+    EXPECT_EQ(c.start_s, 1.0);
+    EXPECT_EQ(c.wait_s, 0.5);
+
+    // A request after every slot is free starts immediately.
+    const SlotGrant d = pool.acquire(5.0, 1.0);
+    EXPECT_EQ(d.start_s, 5.0);
+    EXPECT_EQ(d.wait_s, 0.0);
+}
+
+TEST(LocalizationService, RunsSessionsToCompletion)
+{
+    ServiceOptions options;
+    options.accelerator_slots = 1;
+    options.max_active_sessions = 2;
+    LocalizationService svc(options);
+    EXPECT_EQ(svc.addSession(tinySession(11, 0.0)), 0u);
+    EXPECT_EQ(svc.addSession(tinySession(12, 0.2, true)), 1u);
+    EXPECT_EQ(svc.addSession(tinySession(13, 0.4)), 2u);
+    ASSERT_EQ(svc.sessionCount(), 3u);
+
+    const ServiceReport report = svc.run();
+    ASSERT_EQ(report.sessions.size(), 3u);
+    for (const SessionReport &sr : report.sessions) {
+        EXPECT_EQ(sr.frames, svc.session(sr.id).frameCount());
+        EXPECT_GE(sr.admit_s, sr.arrival_s);
+        EXPECT_GT(sr.completion_s, sr.admit_s);
+        EXPECT_TRUE(std::isfinite(sr.rmse_m));
+        EXPECT_GT(sr.hw.windows, 0u);
+    }
+    EXPECT_EQ(report.sessions[0].label, "session-00");
+    EXPECT_FALSE(report.traces.empty());
+    EXPECT_GT(report.makespan_s, 0.0);
+    EXPECT_GT(report.sessionsPerSecond(), 0.0);
+
+    // The third session waited: capacity is 2 and arrivals overlap.
+    EXPECT_GT(report.sessions[2].admit_s, report.sessions[2].arrival_s);
+
+    // Every trace is internally consistent.
+    for (const FrameTrace &t : report.traces) {
+        EXPECT_GE(t.request_s, t.available_s);
+        EXPECT_GE(t.complete_s, t.request_s);
+        EXPECT_GE(t.latency_s(), 0.0);
+    }
+
+    // Percentiles are monotone in p.
+    const double p50 = report.latencyPercentileMs(50);
+    const double p95 = report.latencyPercentileMs(95);
+    const double p99 = report.latencyPercentileMs(99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_GT(p50, 0.0);
+}
+
+TEST(LocalizationService, ReportIsReproducibleRunToRun)
+{
+    const auto runOnce = [] {
+        ServiceOptions options;
+        options.accelerator_slots = 2;
+        options.max_active_sessions = 2;
+        LocalizationService svc(options);
+        svc.addSession(tinySession(21, 0.0));
+        svc.addSession(tinySession(22, 0.1, true));
+        svc.addSession(tinySession(23, 0.3));
+        return svc.run();
+    };
+    const ServiceReport a = runOnce();
+    const ServiceReport b = runOnce();
+
+    ASSERT_EQ(a.traces.size(), b.traces.size());
+    for (std::size_t i = 0; i < a.traces.size(); ++i) {
+        EXPECT_EQ(a.traces[i].session, b.traces[i].session);
+        EXPECT_EQ(a.traces[i].frame, b.traces[i].frame);
+        EXPECT_EQ(a.traces[i].request_s, b.traces[i].request_s);
+        EXPECT_EQ(a.traces[i].complete_s, b.traces[i].complete_s);
+        EXPECT_EQ(a.traces[i].hw_solved, b.traces[i].hw_solved);
+    }
+    ASSERT_EQ(a.sessions.size(), b.sessions.size());
+    for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+        EXPECT_EQ(a.sessions[i].rmse_m, b.sessions[i].rmse_m);
+        EXPECT_EQ(a.sessions[i].completion_s,
+                  b.sessions[i].completion_s);
+    }
+    EXPECT_EQ(a.makespan_s, b.makespan_s);
+}
+
+} // namespace
+} // namespace archytas::service

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The session-granularity determinism contract (docs/SERVICE.md): a
+ * robot session hosted in the multi-robot service -- its frames stepped
+ * from pool workers, interleaved with seven other sessions -- must
+ * produce a trajectory bit-identical to the same session run alone,
+ * serially, at ARCHYTAS_THREADS=1. That holds at every pool size
+ * because sessions own all their mutable state (estimator, solver
+ * scratch, fault plan, RNG stream) and nested parallel regions run
+ * inline on the stepping worker.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "service/service.hh"
+
+namespace archytas::service {
+namespace {
+
+/** Restores the ARCHYTAS_THREADS default when a test exits. */
+struct PoolSizeGuard
+{
+    ~PoolSizeGuard() { parallel::setThreadCount(0); }
+};
+
+std::uint64_t
+bits(double v)
+{
+    std::uint64_t b = 0;
+    std::memcpy(&b, &v, sizeof b);
+    return b;
+}
+
+/** Bit-level pose comparison: no tolerance, signbit-sensitive. */
+void
+expectBitIdentical(const std::vector<slam::FrameResult> &a,
+                   const std::vector<slam::FrameResult> &b,
+                   std::size_t session)
+{
+    ASSERT_EQ(a.size(), b.size()) << "session " << session;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const slam::Pose &pa = a[i].estimated;
+        const slam::Pose &pb = b[i].estimated;
+        EXPECT_EQ(bits(pa.p.x), bits(pb.p.x))
+            << "session " << session << " frame " << i;
+        EXPECT_EQ(bits(pa.p.y), bits(pb.p.y))
+            << "session " << session << " frame " << i;
+        EXPECT_EQ(bits(pa.p.z), bits(pb.p.z))
+            << "session " << session << " frame " << i;
+        EXPECT_EQ(bits(pa.q.w), bits(pb.q.w))
+            << "session " << session << " frame " << i;
+        EXPECT_EQ(bits(pa.q.x), bits(pb.q.x))
+            << "session " << session << " frame " << i;
+        EXPECT_EQ(bits(pa.q.y), bits(pb.q.y))
+            << "session " << session << " frame " << i;
+        EXPECT_EQ(bits(pa.q.z), bits(pb.q.z))
+            << "session " << session << " frame " << i;
+        EXPECT_EQ(bits(a[i].position_error), bits(b[i].position_error))
+            << "session " << session << " frame " << i;
+    }
+}
+
+/**
+ * Eight short mixed sessions: alternating KITTI-like / EuRoC-like
+ * traces, staggered arrivals, and two sessions with link faults so the
+ * contract is proven on the retry/fallback paths too.
+ */
+std::vector<SessionConfig>
+sessionMix()
+{
+    std::vector<SessionConfig> mix;
+    for (std::size_t i = 0; i < 8; ++i) {
+        SessionConfig cfg;
+        cfg.euroc_like = (i % 2) == 1;
+        cfg.sequence.duration = 1.2;
+        cfg.sequence.landmarks = 300;
+        cfg.sequence.max_features_per_frame = 40;
+        cfg.sequence.density_modulation = 0.3;
+        cfg.sequence.seed = 100 + i;
+        cfg.estimator.window_size = 8;
+        cfg.arrival_s = 0.15 * static_cast<double>(i);
+        if (i == 2)
+            cfg.faults = FaultPlan(
+                41, {FaultEvent{2, FaultKind::DmaTimeout, 2, 0.0},
+                     FaultEvent{5, FaultKind::DmaStall, 1, 6.0}});
+        if (i == 5)
+            cfg.faults = FaultPlan(
+                42, {FaultEvent{3, FaultKind::DmaTimeout, 10, 0.0}});
+        mix.push_back(cfg);
+    }
+    return mix;
+}
+
+constexpr std::uint64_t kServiceSeed = 2021;
+
+/** The reference: each session alone, stepped serially, single thread. */
+std::vector<std::vector<slam::FrameResult>>
+serialReference(const std::vector<SessionConfig> &mix)
+{
+    parallel::setThreadCount(1);
+    std::vector<std::vector<slam::FrameResult>> out;
+    for (std::size_t id = 0; id < mix.size(); ++id) {
+        RobotSession session(id, mix[id], kServiceSeed);
+        while (!session.finished())
+            (void)session.stepFrame();
+        out.push_back(session.results());
+    }
+    return out;
+}
+
+TEST(ServiceDeterminism, InterleavedSessionsMatchSerialAtEveryPoolSize)
+{
+    PoolSizeGuard guard;
+    const std::vector<SessionConfig> mix = sessionMix();
+    const auto reference = serialReference(mix);
+
+    for (std::size_t threads = 1; threads <= 8; ++threads) {
+        parallel::setThreadCount(threads);
+        ServiceOptions options;
+        options.accelerator_slots = 2;
+        options.max_active_sessions = 4;   // forces admission queueing
+        options.seed = kServiceSeed;
+        LocalizationService svc(options);
+        for (const SessionConfig &cfg : mix)
+            svc.addSession(cfg);
+        const ServiceReport report = svc.run();
+        ASSERT_EQ(report.sessions.size(), mix.size());
+        for (std::size_t id = 0; id < mix.size(); ++id) {
+            SCOPED_TRACE("threads=" + std::to_string(threads));
+            expectBitIdentical(reference[id],
+                               svc.session(id).results(), id);
+        }
+    }
+}
+
+TEST(ServiceDeterminism, TimelineIsIdenticalAcrossPoolSizes)
+{
+    PoolSizeGuard guard;
+    const std::vector<SessionConfig> mix = sessionMix();
+
+    const auto runAt = [&](std::size_t threads) {
+        parallel::setThreadCount(threads);
+        ServiceOptions options;
+        options.seed = kServiceSeed;
+        LocalizationService svc(options);
+        for (const SessionConfig &cfg : mix)
+            svc.addSession(cfg);
+        return svc.run();
+    };
+    const ServiceReport one = runAt(1);
+    const ServiceReport eight = runAt(8);
+
+    // The simulated timeline -- admission, slot grants, latencies -- is
+    // scheduled serially from values fixed by the numeric phase, so the
+    // pool size cannot move a single trace entry.
+    ASSERT_EQ(one.traces.size(), eight.traces.size());
+    for (std::size_t i = 0; i < one.traces.size(); ++i) {
+        EXPECT_EQ(one.traces[i].session, eight.traces[i].session);
+        EXPECT_EQ(bits(one.traces[i].request_s),
+                  bits(eight.traces[i].request_s));
+        EXPECT_EQ(bits(one.traces[i].complete_s),
+                  bits(eight.traces[i].complete_s));
+        EXPECT_EQ(bits(one.traces[i].admission_wait_s),
+                  bits(eight.traces[i].admission_wait_s));
+        EXPECT_EQ(one.traces[i].hw_solved, eight.traces[i].hw_solved);
+    }
+    EXPECT_EQ(bits(one.makespan_s), bits(eight.makespan_s));
+    for (std::size_t id = 0; id < one.sessions.size(); ++id) {
+        EXPECT_EQ(bits(one.sessions[id].admit_s),
+                  bits(eight.sessions[id].admit_s));
+        EXPECT_EQ(bits(one.sessions[id].completion_s),
+                  bits(eight.sessions[id].completion_s));
+        EXPECT_EQ(bits(one.sessions[id].rmse_m),
+                  bits(eight.sessions[id].rmse_m));
+    }
+}
+
+} // namespace
+} // namespace archytas::service

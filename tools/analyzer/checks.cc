@@ -337,8 +337,57 @@ checkLayering(const SourceFile &f, std::vector<Finding> &findings)
                 "' (rank " + std::to_string(rank) +
                 "); the module DAG is common <- linalg <- "
                 "{hw, mdfg, dataset} <- {slam, baseline} <- "
-                "{synth, runtime}",
+                "{synth, runtime} <- service",
             Severity::Error, "include:" + inc.path);
+    }
+}
+
+// ---------------------------------------------------------------------
+// global-state: mutable static/thread_local variables in src/. Every
+// estimator, solver, and session must be self-contained so concurrent
+// robot sessions (src/service/) stay bit-identical to serial runs; the
+// few intentional process-wide singletons carry inline waivers.
+// ---------------------------------------------------------------------
+
+void
+checkGlobalState(const SourceFile &f, std::vector<Finding> &findings)
+{
+    if (!inSrc(f))
+        return;
+    const std::vector<Token> &t = f.lex.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const bool is_static = t[i].ident("static");
+        if (!is_static && !t[i].ident("thread_local"))
+            continue;
+        // `static thread_local` reports once, at the first keyword.
+        if (i > 0 && (t[i - 1].ident("static") ||
+                      t[i - 1].ident("thread_local")))
+            continue;
+        // Scan the declaration head: reaching `(` first means a
+        // function (member declarations included), not a variable;
+        // a const/constexpr/constinit qualifier means immutable.
+        bool is_variable = false;
+        bool is_const = false;
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+            if (t[j].ident("const") || t[j].ident("constexpr") ||
+                t[j].ident("constinit")) {
+                is_const = true;
+            } else if (t[j].is("(")) {
+                break;
+            } else if (t[j].is(";") || t[j].is("=") || t[j].is("{")) {
+                is_variable = true;
+                break;
+            }
+        }
+        if (!is_variable || is_const)
+            continue;
+        add(findings, f, "global-state", t[i].line, t[i].col,
+            std::string("mutable `") + t[i].text +
+                "` variable: process-global state couples concurrent "
+                "sessions and breaks the reentrancy contract "
+                "(docs/SERVICE.md); move it into the owning object or "
+                "session context, or waive the intentional "
+                "process-wide singleton with a justification");
     }
 }
 
@@ -768,7 +817,12 @@ ruleCatalogue()
          "lambdas handed to parallelFor/parallelForChunks/runTasks"},
         {"layering",
          "Module includes must follow the DAG common <- linalg <- "
-         "{hw, mdfg, dataset} <- {slam, baseline} <- {synth, runtime}"},
+         "{hw, mdfg, dataset} <- {slam, baseline} <- {synth, runtime} "
+         "<- service (only bench/examples may depend on service)"},
+        {"global-state",
+         "No mutable static/thread_local variables in src/: "
+         "process-global state couples concurrent sessions; waived "
+         "sites (pool, telemetry) must carry a justification"},
         {"contract-coverage",
          "linalg/hw functions taking Matrix/Vector parameters must "
          "assert dimension contracts; coverage is gated per module"},
@@ -796,6 +850,7 @@ runAllChecks(const AnalysisContext &ctx, std::vector<Finding> &findings,
     for (const SourceFile &f : ctx.files) {
         checkDeterminism(ctx, f, findings);
         checkHotPathAlloc(f, findings);
+        checkGlobalState(f, findings);
         checkLayering(f, findings);
         checkStyle(f, findings);
         checkNodiscard(f, findings);

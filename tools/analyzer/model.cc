@@ -17,6 +17,8 @@ moduleRank(const std::string &module)
         return 3;
     if (module == "synth" || module == "runtime")
         return 4;
+    if (module == "service")
+        return 5;
     return -1;
 }
 
