@@ -11,6 +11,7 @@
  */
 
 #include <memory>
+#include <string>
 
 #include "bench_common.hh"
 #include "common/parallel.hh"
@@ -18,6 +19,7 @@
 #include "linalg/cholesky.hh"
 #include "linalg/kernels.hh"
 #include "linalg/schur.hh"
+#include "linalg/simd.hh"
 #include "linalg/smatrix.hh"
 #include "mdfg/builder.hh"
 #include "slam/window_problem.hh"
@@ -25,6 +27,22 @@
 using namespace archytas;
 
 namespace {
+
+/**
+ * Derived throughput metrics: GFLOP/s and effective GB/s from the
+ * analytic flop/byte counts of one repetition. "Effective bytes" counts
+ * each operand array once (compulsory traffic), so the number reads as
+ * achieved streaming bandwidth, not cache traffic.
+ */
+void
+rateMetrics(bench::BenchHarness &h, const std::string &name, double ms,
+            double flops, double bytes)
+{
+    if (ms <= 0.0)
+        return;
+    h.metric(name + ".gflops", flops / (ms * 1e6));
+    h.metric(name + ".gbytes_per_s", bytes / (ms * 1e6));
+}
 
 linalg::Matrix
 randomMatrix(std::size_t rows, std::size_t cols, Rng &rng)
@@ -53,16 +71,21 @@ benchLinalg(bench::BenchHarness &h, double &sink)
     const linalg::Matrix a = randomMatrix(n, n, rng);
     const linalg::Matrix b = randomMatrix(n, n, rng);
     linalg::Matrix out;
-    h.run("multiply_into_150", [&] {
+    const double nd = static_cast<double>(n);
+    double ms = h.run("multiply_into_150", [&] {
         linalg::multiplyInto(out, a, b);
         sink += out(0, 0);
     });
+    rateMetrics(h, "multiply_into_150", ms, 2.0 * nd * nd * nd,
+                3.0 * nd * nd * 8.0);
 
     const linalg::Matrix spd = randomSpd(n, rng);
-    h.run("cholesky_150", [&] {
+    ms = h.run("cholesky_150", [&] {
         const auto l = linalg::cholesky(spd);
         sink += l ? (*l)(0, 0) : 0.0;
     });
+    rateMetrics(h, "cholesky_150", ms, nd * nd * nd / 3.0,
+                2.0 * nd * nd * 8.0);
 
     // D-type Schur elimination: 100 features against a 150-dim keyframe
     // block (the shapes of a 10-keyframe window).
@@ -75,10 +98,17 @@ benchLinalg(bench::BenchHarness &h, double &sink)
         x = rng.uniform(-0.3, 0.3);
     const linalg::Matrix v = randomSpd(q, rng);
     linalg::Vector bx(p), by(q);
-    h.run("dschur_100x150", [&] {
+    const double pd = static_cast<double>(p);
+    const double qd = static_cast<double>(q);
+    ms = h.run("dschur_100x150", [&] {
         const auto r = linalg::dSchur(u, w, v, bx, by);
         sink += r.reduced(0, 0);
     });
+    // Column scaling + symmetric rank-k (one triangle, 2 flops/madd) +
+    // the reduced-rhs matvec.
+    rateMetrics(h, "dschur_100x150", ms,
+                qd * pd + qd * qd * pd + 2.0 * qd * pd,
+                (2.0 * qd * pd + 2.0 * qd * qd) * 8.0);
 
     linalg::CompactSMatrix s(15, 15);
     for (std::size_t i = 0; i < 15; ++i) {
@@ -176,19 +206,28 @@ benchWindowAssembly(bench::BenchHarness &h, double &sink)
     BenchWindow w = makeBenchWindow(10, 600, rng);
     slam::WindowProblem problem(w.camera, w.keyframes, w.features,
                                 w.preints, w.prior, /*pixel_sigma=*/1.0);
+    // The steady-state solver path: scratch-reusing, arena-backed build.
+    slam::NormalEquations eq;
+    slam::AssemblyScratch scratch;
+    const double obs =
+        static_cast<double>(problem.observationCount());
     double base_ms = 0.0;
     for (const std::size_t threads : {1, 2, 4}) {
         parallel::setThreadCount(threads);
         const double ms =
             h.run("window_assembly_t" + std::to_string(threads), [&] {
-                sink += problem.build().cost;
+                problem.build(eq, scratch, slam::BuildMode::kSolve);
+                sink += eq.cost;
             });
-        if (threads == 1)
+        if (threads == 1) {
             base_ms = ms;
-        else
+            if (ms > 0.0)
+                h.metric("window_assembly_obs_per_ms", obs / ms);
+        } else {
             h.metric("window_assembly_speedup_" +
                          std::to_string(threads) + "t",
                      base_ms / ms);
+        }
     }
     parallel::setThreadCount(0);   // Back to the ARCHYTAS_THREADS default.
 }
@@ -199,6 +238,10 @@ int
 main(int argc, char **argv)
 {
     bench::BenchHarness h(argc, argv);
+    // Which kernel backend this run measured (0 = scalar, 1 = avx2);
+    // CI runs the suite once per backend and archives both JSONs.
+    h.metric("kernels.backend",
+             static_cast<double>(linalg::simd::activeBackend()));
     // Folding a token of every result into the sink keeps the compiler
     // from discarding the benchmarked work.
     double sink = 0.0;

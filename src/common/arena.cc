@@ -1,0 +1,92 @@
+#include "common/arena.hh"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace archytas::common {
+
+namespace {
+
+/** First block size when the caller gave no hint. */
+constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+std::size_t
+alignUp(std::size_t bytes)
+{
+    const std::size_t a = Arena::kAlignment;
+    return (bytes + a - 1) / a * a;
+}
+
+} // namespace
+
+Arena::Arena(std::size_t initial_bytes)
+{
+    if (initial_bytes > 0)
+        grow(initial_bytes);
+}
+
+Arena::Block &
+Arena::grow(std::size_t bytes)
+{
+    // Geometric growth keeps the block count logarithmic in the peak
+    // footprint, so reset()+reuse converges after a handful of frames.
+    std::size_t size = blocks_.empty() ? kDefaultBlockBytes
+                                       : blocks_.back().size * 2;
+    size = std::max(size, alignUp(bytes));
+    Block block;
+    // make_unique value-initializes, so first-use memory reads as zero;
+    // reused memory keeps whatever the previous frame wrote.
+    block.data = std::make_unique<std::byte[]>(size);
+    block.size = size;
+    ++block_allocations_;
+    blocks_.push_back(std::move(block));
+    return blocks_.back();
+}
+
+void *
+Arena::allocate(std::size_t bytes)
+{
+    bytes = std::max(alignUp(bytes), kAlignment);
+    for (;;) {
+        while (active_ < blocks_.size()) {
+            Block &b = blocks_[active_];
+            // operator new[] only guarantees max_align_t alignment;
+            // re-align the bump pointer to kAlignment by hand.
+            std::byte *base = b.data.get();
+            const auto addr =
+                reinterpret_cast<std::uintptr_t>(base + b.used);
+            const std::size_t pad =
+                (kAlignment - addr % kAlignment) % kAlignment;
+            if (b.used + pad + bytes <= b.size) {
+                void *p = base + b.used + pad;
+                b.used += pad + bytes;
+                in_use_ += pad + bytes;
+                high_water_ = std::max(high_water_, in_use_);
+                return p;
+            }
+            ++active_;
+        }
+        grow(bytes + kAlignment);
+        active_ = blocks_.size() - 1;
+    }
+}
+
+void
+Arena::reset()
+{
+    for (Block &b : blocks_)
+        b.used = 0;
+    active_ = 0;
+    in_use_ = 0;
+}
+
+std::size_t
+Arena::capacity() const
+{
+    std::size_t total = 0;
+    for (const Block &b : blocks_)
+        total += b.size;
+    return total;
+}
+
+} // namespace archytas::common

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Bump-pointer arena for hot-path scratch memory (docs/PERFORMANCE.md).
+ *
+ * The solver's per-frame assembly needs transient buffers whose sizes
+ * depend on the window shape (shard partials, sparse-Schur segments).
+ * Allocating them from the heap every frame dominated the assembly
+ * profile; the arena instead hands out aligned slices of a few large
+ * blocks and is reset between frames. Blocks are retained across
+ * reset(), so a warmed-up arena serves every later frame with zero heap
+ * traffic -- `blockAllocations()` exposes the heap-hit count so tests
+ * can pin that down.
+ *
+ * Ownership rules: an arena belongs to exactly one scratch owner (an
+ * estimator / session's SolverScratch, a marginalization scratch). It is
+ * not thread-safe; parallel shards must carve their slices *before* the
+ * parallel region starts, or own separate arenas. Memory returned by
+ * allocate() is zero-initialized only on the first use of a block --
+ * callers that need zeros must clear their slice.
+ */
+
+#ifndef ARCHYTAS_COMMON_ARENA_HH
+#define ARCHYTAS_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace archytas::common {
+
+/** Growable bump allocator; see the file comment for ownership rules. */
+class Arena
+{
+  public:
+    /** SIMD-friendly default alignment of every returned pointer. */
+    static constexpr std::size_t kAlignment = 64;
+
+    Arena() = default;
+    /** Pre-sizes the first block (bytes may be 0). */
+    explicit Arena(std::size_t initial_bytes);
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Returns `bytes` of storage aligned to kAlignment. Falls back to a
+     * fresh block (geometric growth) only when the active blocks are
+     * exhausted; a steady-state caller that reset() between identical
+     * frames never grows.
+     */
+    void *allocate(std::size_t bytes);
+
+    /** Typed array helper; T must be trivially destructible. */
+    template <typename T>
+    T *
+    allocateArray(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory is never destructed");
+        return static_cast<T *>(allocate(n * sizeof(T)));
+    }
+
+    /**
+     * Rewinds every block to empty without releasing memory. Previously
+     * returned pointers become dangling.
+     */
+    void reset();
+
+    /** Bytes handed out since the last reset(). */
+    std::size_t bytesInUse() const { return in_use_; }
+    /** Total bytes owned across all blocks. */
+    std::size_t capacity() const;
+    /** Heap allocations performed over the arena's lifetime. */
+    std::size_t blockAllocations() const { return block_allocations_; }
+    /** Largest bytesInUse() ever observed (sizing diagnostics). */
+    std::size_t highWater() const { return high_water_; }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+        std::size_t used = 0;
+    };
+
+    /** Appends a block of at least `bytes` capacity. */
+    Block &grow(std::size_t bytes);
+
+    std::vector<Block> blocks_;
+    std::size_t active_ = 0; //!< Index of the block currently bumping.
+    std::size_t in_use_ = 0;
+    std::size_t high_water_ = 0;
+    std::size_t block_allocations_ = 0;
+};
+
+} // namespace archytas::common
+
+#endif // ARCHYTAS_COMMON_ARENA_HH

@@ -123,54 +123,23 @@ Accelerator::executeSolve(const slam::NormalEquations &eq, double lambda,
                        nk);
 
     // --- D-type Schur block: fold each feature into the reduced system.
-    // Damped diagonal pivots, exactly as the software path.
-    std::vector<double> u(m);
-    for (std::size_t f = 0; f < m; ++f)
-        u[f] = eq.u_diag[f] * (1.0 + lambda) + 1e-12;
-
-    linalg::Matrix reduced = eq.v;
-    for (std::size_t i = 0; i < nk; ++i)
-        reduced(i, i) += lambda * eq.v(i, i) + 1e-12;
-    linalg::Vector rhs = eq.by;
-
-    linalg::Matrix wui = eq.w;
-    for (std::size_t f = 0; f < m; ++f) {
-        const double inv = 1.0 / u[f];
-        for (std::size_t r = 0; r < nk; ++r)
-            wui(r, f) *= inv;
-    }
-    for (std::size_t i = 0; i < nk; ++i) {
-        for (std::size_t j = i; j < nk; ++j) {
-            double acc = 0.0;
-            for (std::size_t f = 0; f < m; ++f)
-                acc += wui(i, f) * eq.w(j, f);
-            reduced(i, j) -= acc;
-            if (j != i)
-                reduced(j, i) -= acc;
-        }
-        double acc = 0.0;
-        for (std::size_t f = 0; f < m; ++f)
-            acc += wui(i, f) * eq.bx[f];
-        rhs[i] -= acc;
-    }
+    // Shares formReducedSystem with the software solver so the datapath
+    // model and slam/lm_solver.cc produce bit-identical increments under
+    // every kernel backend (tests/hw/test_accelerator.cc checks ==).
+    slam::ReducedSystem rs;
+    formReducedSystem(eq, lambda, rs);
 
     // --- Cholesky block.
-    const auto chol = cholesky_.run(reduced);
+    const auto chol = cholesky_.run(rs.reduced);
     if (!chol)
         return false;
 
     // --- Back-substitution block.
     dy = linalg::backwardSubstitute(
-        chol->l, linalg::forwardSubstitute(chol->l, rhs));
+        chol->l, linalg::forwardSubstitute(chol->l, rs.rhs));
 
     // --- Feature recovery on the D-type Schur datapath.
-    dx = linalg::Vector(m);
-    for (std::size_t f = 0; f < m; ++f) {
-        double acc = eq.bx[f];
-        for (std::size_t r = 0; r < nk; ++r)
-            acc -= eq.w(r, f) * dy[r];
-        dx[f] = acc / u[f];
-    }
+    recoverFeatureIncrements(dx, eq, rs, dy);
 
     if (timing) {
         WindowTiming t;

@@ -1,63 +1,97 @@
 #include "linalg/cholesky.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/contracts.hh"
 #include "common/logging.hh"
+#include "linalg/simd.hh"
 
 namespace archytas::linalg {
 
 std::optional<Matrix>
 cholesky(const Matrix &s)
 {
+    Matrix l;
+    if (!choleskyInto(l, s))
+        return std::nullopt;
+    return l;
+}
+
+bool
+choleskyInto(Matrix &l, const Matrix &s)
+{
     ARCHYTAS_CHECK_DIM("cholesky: square matrix required", s.cols(),
                        s.rows());
     const std::size_t n = s.rows();
-    Matrix l(n, n);
+    if (l.rows() != n || l.cols() != n)
+        l = Matrix(n, n);
+    const simd::Ops &v = simd::ops();
     for (std::size_t j = 0; j < n; ++j) {
-        double diag = s(j, j);
-        for (std::size_t k = 0; k < j; ++k)
-            diag -= l(j, k) * l(j, k);
+        double *lj = l.rowPtr(j);
+        const double diag = s(j, j) - v.dot(lj, lj, j);
         if (diag <= 0.0)
-            return std::nullopt;
+            return false;
         const double ljj = std::sqrt(diag);
-        l(j, j) = ljj;
+        lj[j] = ljj;
+        // Keep the strict upper triangle zeroed so a reused destination
+        // matches a freshly allocated one bit-for-bit.
+        std::fill(lj + j + 1, lj + n, 0.0);
+        const double inv_ljj = 1.0 / ljj;
         for (std::size_t i = j + 1; i < n; ++i) {
-            double acc = s(i, j);
-            for (std::size_t k = 0; k < j; ++k)
-                acc -= l(i, k) * l(j, k);
-            l(i, j) = acc / ljj;
+            double *li = l.rowPtr(i);
+            li[j] = (s(i, j) - v.dot(li, lj, j)) * inv_ljj;
         }
     }
-    return l;
+    return true;
 }
 
 Vector
 forwardSubstitute(const Matrix &l, const Vector &b)
 {
+    Vector y;
+    forwardSubstituteInto(y, l, b);
+    return y;
+}
+
+void
+forwardSubstituteInto(Vector &y, const Matrix &l, const Vector &b)
+{
     ARCHYTAS_CHECK_DIM("forwardSubstitute: square L required", l.cols(),
                        l.rows());
     ARCHYTAS_CHECK_DIM("forwardSubstitute: rhs size", b.size(), l.rows());
+    ARCHYTAS_DCHECK(&y != &b, "forwardSubstituteInto: y aliases b");
     const std::size_t n = b.size();
-    Vector y(n);
+    if (y.size() != n)
+        y = Vector(n);
+    const simd::Ops &v = simd::ops();
+    double *yp = y.data().data();
     for (std::size_t i = 0; i < n; ++i) {
-        double acc = b[i];
-        for (std::size_t k = 0; k < i; ++k)
-            acc -= l(i, k) * y[k];
-        ARCHYTAS_ASSERT(l(i, i) != 0.0, "singular triangular matrix");
-        y[i] = acc / l(i, i);
+        const double *li = l.rowPtr(i);
+        const double acc = b[i] - v.dot(li, yp, i);
+        ARCHYTAS_ASSERT(li[i] != 0.0, "singular triangular matrix");
+        yp[i] = acc / li[i];
     }
-    return y;
 }
 
 Vector
 backwardSubstitute(const Matrix &l, const Vector &y)
 {
+    Vector x;
+    backwardSubstituteInto(x, l, y);
+    return x;
+}
+
+void
+backwardSubstituteInto(Vector &x, const Matrix &l, const Vector &y)
+{
     ARCHYTAS_CHECK_DIM("backwardSubstitute: square L required", l.cols(),
                        l.rows());
     ARCHYTAS_CHECK_DIM("backwardSubstitute: rhs size", y.size(), l.rows());
+    ARCHYTAS_DCHECK(&x != &y, "backwardSubstituteInto: x aliases y");
     const std::size_t n = y.size();
-    Vector x(n);
+    if (x.size() != n)
+        x = Vector(n);
     for (std::size_t ii = 0; ii < n; ++ii) {
         const std::size_t i = n - 1 - ii;
         double acc = y[i];
@@ -66,7 +100,6 @@ backwardSubstitute(const Matrix &l, const Vector &y)
         ARCHYTAS_ASSERT(l(i, i) != 0.0, "singular triangular matrix");
         x[i] = acc / l(i, i);
     }
-    return x;
 }
 
 Vector

@@ -23,11 +23,29 @@ namespace archytas::linalg {
  */
 std::optional<Matrix> cholesky(const Matrix &s);
 
+/**
+ * Destination-passing factorization: L (resized to S's shape, upper
+ * triangle zeroed) with S = L L^T. Returns false when S is not positive
+ * definite. The inner dot products run on the simd::ops() backend; the
+ * allocating cholesky() above is a thin wrapper, so the hardware
+ * Cholesky unit and the software solver factor bit-identically.
+ */
+bool choleskyInto(Matrix &l, const Matrix &s);
+
 /** Solves L y = b for lower-triangular L (forward substitution). */
 Vector forwardSubstitute(const Matrix &l, const Vector &b);
 
+/** Destination-passing forward substitution; y must not alias b. */
+void forwardSubstituteInto(Vector &y, const Matrix &l, const Vector &b);
+
 /** Solves L^T x = y for lower-triangular L (backward substitution). */
 Vector backwardSubstitute(const Matrix &l, const Vector &y);
+
+/**
+ * Destination-passing backward substitution; x must not alias y. The
+ * transposed access pattern is column-strided, so this stays scalar.
+ */
+void backwardSubstituteInto(Vector &x, const Matrix &l, const Vector &y);
 
 /**
  * Solves the SPD system S x = b via Cholesky + forward/backward

@@ -2,6 +2,7 @@
 
 #include "common/contracts.hh"
 #include "common/parallel.hh"
+#include "linalg/simd.hh"
 
 namespace archytas::linalg {
 
@@ -24,6 +25,44 @@ resizeMatrix(Matrix &out, std::size_t rows, std::size_t cols)
 /** Work threshold (multiply-adds) below which threading cannot pay. */
 constexpr std::size_t kParallelFlopThreshold = 64 * 1024;
 
+/**
+ * Span width below which the axpy call overhead beats the vector win;
+ * narrow blocks take a fixed-order scalar path instead. The branch is
+ * on shape, never data, so it cannot break per-backend determinism.
+ */
+constexpr std::size_t kNarrowSpan = 4;
+
+template <typename Dst>
+void
+addOuterProductTransposedImpl(Dst &h, std::size_t r0, std::size_t c0,
+                              const Matrix &a, const Matrix &b, double wt)
+{
+    const std::size_t rows = a.rows();
+    const std::size_t ac = a.cols();
+    const std::size_t bc = b.cols();
+    if (bc >= kNarrowSpan) {
+        const simd::Ops &v = simd::ops();
+        // Rank-1 per residual row: h_block(i, :) += (wt a(k, i)) b(k, :)
+        // streams contiguous rows of b and h.
+        for (std::size_t k = 0; k < rows; ++k) {
+            const double *arow = a.rowPtr(k);
+            const double *brow = b.rowPtr(k);
+            for (std::size_t i = 0; i < ac; ++i)
+                v.axpy(h.rowPtr(r0 + i) + c0, wt * arow[i], brow, bc);
+        }
+        return;
+    }
+    for (std::size_t i = 0; i < ac; ++i) {
+        double *hrow = h.rowPtr(r0 + i) + c0;
+        for (std::size_t j = 0; j < bc; ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < rows; ++k)
+                acc += a(k, i) * b(k, j);
+            hrow[j] += wt * acc;
+        }
+    }
+}
+
 } // namespace
 
 void
@@ -35,16 +74,18 @@ multiplyInto(Matrix &out, const Matrix &a, const Matrix &b)
     resizeMatrix(out, a.rows(), b.cols());
     const std::size_t inner = a.cols();
     const std::size_t cols = b.cols();
+    const simd::Ops &v = simd::ops();
     const auto rowProduct = [&](std::size_t i) {
         // i-k-j order keeps the inner loop streaming over contiguous
         // rows; every out(i, j) is owned by exactly one task, so the
         // schedule cannot change the result.
+        double *orow = out.rowPtr(i);
+        const double *arow = a.rowPtr(i);
         for (std::size_t k = 0; k < inner; ++k) {
-            const double av = a(i, k);
+            const double av = arow[k];
             if (av == 0.0)
                 continue;
-            for (std::size_t j = 0; j < cols; ++j)
-                out(i, j) += av * b(k, j);
+            v.axpy(orow, av, b.rowPtr(k), cols);
         }
     };
     if (a.rows() * inner * cols >= kParallelFlopThreshold)
@@ -64,12 +105,11 @@ multiplyInto(Vector &out, const Matrix &a, const Vector &x)
         // archytas-analyzer: allow(hot-path-alloc) -- shape-change slow
         // path; steady-state calls reuse the destination's storage.
         out = Vector(a.rows());
-    for (std::size_t r = 0; r < a.rows(); ++r) {
-        double acc = 0.0;
-        for (std::size_t c = 0; c < a.cols(); ++c)
-            acc += a(r, c) * x[c];
-        out[r] = acc;
-    }
+    const simd::Ops &v = simd::ops();
+    const double *xp = x.data().data();
+    double *op = out.data().data();
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        op[r] = v.dot(a.rowPtr(r), xp, a.cols());
 }
 
 void
@@ -79,12 +119,11 @@ subtractMultiply(Vector &out, const Matrix &a, const Vector &x)
                        a.cols());
     ARCHYTAS_CHECK_DIM("subtractMultiply rows", out.size(), a.rows());
     ARCHYTAS_DCHECK(&out != &x, "subtractMultiply: destination aliases x");
-    for (std::size_t r = 0; r < a.rows(); ++r) {
-        double acc = 0.0;
-        for (std::size_t c = 0; c < a.cols(); ++c)
-            acc += a(r, c) * x[c];
-        out[r] -= acc;
-    }
+    const simd::Ops &v = simd::ops();
+    const double *xp = x.data().data();
+    double *op = out.data().data();
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        op[r] -= v.dot(a.rowPtr(r), xp, a.cols());
 }
 
 void
@@ -99,17 +138,18 @@ subtractSymmetricProduct(Matrix &c, const Matrix &a, const Matrix &b)
     ARCHYTAS_DCHECK(&c != &a && &c != &b,
                     "subtractSymmetricProduct: destination aliases an "
                     "operand");
+    const simd::Ops &v = simd::ops();
     const auto rowUpdate = [&](std::size_t i) {
         // Upper triangle of row i plus the mirrored subtraction; the
         // mirror element c(j, i) is written only by the task owning row
         // i, so tasks write disjoint elements.
+        const double *ai = a.rowPtr(i);
+        double *ci = c.rowPtr(i);
         for (std::size_t j = i; j < n; ++j) {
-            double acc = 0.0;
-            for (std::size_t t = 0; t < k; ++t)
-                acc += a(i, t) * b(j, t);
-            c(i, j) -= acc;
+            const double acc = v.dot(ai, b.rowPtr(j), k);
+            ci[j] -= acc;
             if (j != i)
-                c(j, i) -= acc;
+                c.rowPtr(j)[i] -= acc;
         }
     };
     // Half the n^2 k multiply-adds of the full product.
@@ -130,13 +170,20 @@ addOuterProductTransposed(Matrix &h, std::size_t r0, std::size_t c0,
                     "addOuterProductTransposed: block [", r0, "+", a.cols(),
                     ", ", c0, "+", b.cols(), ") out of range for ",
                     h.rows(), "x", h.cols());
-    for (std::size_t i = 0; i < a.cols(); ++i)
-        for (std::size_t j = 0; j < b.cols(); ++j) {
-            double acc = 0.0;
-            for (std::size_t k = 0; k < a.rows(); ++k)
-                acc += a(k, i) * b(k, j);
-            h(r0 + i, c0 + j) += wt * acc;
-        }
+    addOuterProductTransposedImpl(h, r0, c0, a, b, wt);
+}
+
+void
+addOuterProductTransposed(MatrixView &h, std::size_t r0, std::size_t c0,
+                          const Matrix &a, const Matrix &b, double wt)
+{
+    ARCHYTAS_CHECK_DIM("addOuterProductTransposed: row counts", b.rows(),
+                       a.rows());
+    ARCHYTAS_DCHECK(r0 + a.cols() <= h.rows() && c0 + b.cols() <= h.cols(),
+                    "addOuterProductTransposed: block [", r0, "+", a.cols(),
+                    ", ", c0, "+", b.cols(), ") out of range for ",
+                    h.rows(), "x", h.cols());
+    addOuterProductTransposedImpl(h, r0, c0, a, b, wt);
 }
 
 void
@@ -146,12 +193,48 @@ subtractTransposeApplyScaled(Vector &g, std::size_t r0, const Matrix &a,
     ARCHYTAS_DCHECK(r0 + a.cols() <= g.size(),
                     "subtractTransposeApplyScaled: segment [", r0, "+",
                     a.cols(), ") out of range for size ", g.size());
-    for (std::size_t i = 0; i < a.cols(); ++i) {
+    subtractTransposeApplyScaled(g.data().data(), g.size(), r0, a, x, wt);
+}
+
+void
+subtractTransposeApplyScaled(double *g, std::size_t gsize, std::size_t r0,
+                             const Matrix &a, const double *x, double wt)
+{
+    ARCHYTAS_DCHECK(r0 + a.cols() <= gsize,
+                    "subtractTransposeApplyScaled: segment [", r0, "+",
+                    a.cols(), ") out of range for size ", gsize);
+    const std::size_t ac = a.cols();
+    if (ac >= kNarrowSpan) {
+        const simd::Ops &v = simd::ops();
+        // Rank-1 form: g_seg -= (wt x[k]) a(k, :) streams a's rows.
+        for (std::size_t k = 0; k < a.rows(); ++k)
+            v.axpy(g + r0, -(wt * x[k]), a.rowPtr(k), ac);
+        return;
+    }
+    for (std::size_t i = 0; i < ac; ++i) {
         double acc = 0.0;
         for (std::size_t k = 0; k < a.rows(); ++k)
             acc += a(k, i) * x[k];
         g[r0 + i] -= wt * acc;
     }
+}
+
+void
+addInto(Matrix &dst, const MatrixView &src)
+{
+    ARCHYTAS_CHECK_DIM("addInto rows", src.rows(), dst.rows());
+    ARCHYTAS_CHECK_DIM("addInto cols", src.cols(), dst.cols());
+    // alpha = 1.0 makes the FMA product exact, so this merge is
+    // bit-identical under every backend.
+    simd::ops().axpy(dst.data().data(), 1.0, src.data(),
+                     dst.rows() * dst.cols());
+}
+
+void
+addInto(Vector &dst, const double *src, std::size_t n)
+{
+    ARCHYTAS_CHECK_DIM("addInto size", n, dst.size());
+    simd::ops().axpy(dst.data().data(), 1.0, src, n);
 }
 
 } // namespace archytas::linalg

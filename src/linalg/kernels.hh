@@ -11,6 +11,11 @@
  * one task (row-parallel products) may use the pool internally; the
  * per-element arithmetic order is fixed, so they are deterministic at
  * any thread count (see common/parallel.hh).
+ *
+ * Inner loops run on the simd::ops() primitive table (linalg/simd.hh):
+ * scalar or AVX2/FMA, selected once at startup. Results are bit-identical
+ * at any thread count within a backend; across backends they agree to
+ * rounding tolerance only.
  */
 
 #ifndef ARCHYTAS_LINALG_KERNELS_HH
@@ -47,6 +52,11 @@ void subtractSymmetricProduct(Matrix &c, const Matrix &a, const Matrix &b);
 void addOuterProductTransposed(Matrix &h, std::size_t r0, std::size_t c0,
                                const Matrix &a, const Matrix &b, double wt);
 
+/** As above, accumulating into an arena-backed shard view. */
+void addOuterProductTransposed(MatrixView &h, std::size_t r0,
+                               std::size_t c0, const Matrix &a,
+                               const Matrix &b, double wt);
+
 /**
  * Gradient-side rhs accumulation: g[r0+i] -= wt * (a^T x)(i), with x a
  * raw residual pointer of a.rows() entries (residuals live in small
@@ -55,6 +65,17 @@ void addOuterProductTransposed(Matrix &h, std::size_t r0, std::size_t c0,
 void subtractTransposeApplyScaled(Vector &g, std::size_t r0,
                                   const Matrix &a, const double *x,
                                   double wt);
+
+/** As above into a raw segment of `gsize` entries (shard rhs). */
+void subtractTransposeApplyScaled(double *g, std::size_t gsize,
+                                  std::size_t r0, const Matrix &a,
+                                  const double *x, double wt);
+
+/** dst += src, element-wise; the ordered shard-merge primitive. */
+void addInto(Matrix &dst, const MatrixView &src);
+
+/** dst[i] += src[i] for i in [0, n); n must equal dst.size(). */
+void addInto(Vector &dst, const double *src, std::size_t n);
 
 } // namespace archytas::linalg
 

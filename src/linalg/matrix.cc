@@ -1,5 +1,6 @@
 #include "linalg/matrix.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
@@ -389,6 +390,12 @@ transposeApply(const Matrix &a, const Vector &x)
             y[c] += a(r, c) * xr;
     }
     return y;
+}
+
+void
+MatrixView::setZero()
+{
+    std::fill(data_, data_ + rows_ * cols_, 0.0);
 }
 
 Matrix

@@ -48,6 +48,21 @@ class Matrix
     const std::vector<double> &data() const { return data_; }
     std::vector<double> &data() { return data_; }
 
+    /** Pointer to row r's contiguous storage (SIMD kernel hot path). */
+    double *
+    rowPtr(std::size_t r)
+    {
+        ARCHYTAS_CHECK_BOUNDS("Matrix::rowPtr", r, rows_);
+        return data_.data() + r * cols_;
+    }
+
+    const double *
+    rowPtr(std::size_t r) const
+    {
+        ARCHYTAS_CHECK_BOUNDS("Matrix::rowPtr", r, rows_);
+        return data_.data() + r * cols_;
+    }
+
     void setZero();
     void setIdentity();
 
@@ -82,6 +97,66 @@ Matrix operator+(Matrix lhs, const Matrix &rhs);
 Matrix operator-(Matrix lhs, const Matrix &rhs);
 Matrix operator*(const Matrix &lhs, const Matrix &rhs);
 Matrix operator*(double s, Matrix m);
+
+/**
+ * Non-owning row-major matrix view over caller-owned storage (arena
+ * slices in the window-assembly shards). The caller guarantees the
+ * pointed-to buffer outlives the view and holds rows*cols doubles.
+ */
+class MatrixView
+{
+  public:
+    MatrixView() = default;
+
+    MatrixView(double *data, std::size_t rows, std::size_t cols)
+        : data_(data), rows_(rows), cols_(cols)
+    {
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+    double &
+    operator()(std::size_t r, std::size_t c)
+    {
+        ARCHYTAS_CHECK_BOUNDS("MatrixView row", r, rows_);
+        ARCHYTAS_CHECK_BOUNDS("MatrixView col", c, cols_);
+        return data_[r * cols_ + c];
+    }
+
+    double
+    operator()(std::size_t r, std::size_t c) const
+    {
+        ARCHYTAS_CHECK_BOUNDS("MatrixView row", r, rows_);
+        ARCHYTAS_CHECK_BOUNDS("MatrixView col", c, cols_);
+        return data_[r * cols_ + c];
+    }
+
+    double *
+    rowPtr(std::size_t r)
+    {
+        ARCHYTAS_CHECK_BOUNDS("MatrixView::rowPtr", r, rows_);
+        return data_ + r * cols_;
+    }
+
+    const double *
+    rowPtr(std::size_t r) const
+    {
+        ARCHYTAS_CHECK_BOUNDS("MatrixView::rowPtr", r, rows_);
+        return data_ + r * cols_;
+    }
+
+    double *data() { return data_; }
+    const double *data() const { return data_; }
+
+    void setZero();
+
+  private:
+    double *data_ = nullptr;
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+};
 
 /** Column vector as an nx1 matrix alias with helpers. */
 class Vector

@@ -1,9 +1,12 @@
 #include "linalg/schur.hh"
 
+#include <algorithm>
+
 #include "common/contracts.hh"
 #include "common/logging.hh"
 #include "linalg/cholesky.hh"
 #include "linalg/kernels.hh"
+#include "linalg/simd.hh"
 
 namespace archytas::linalg {
 
@@ -58,6 +61,89 @@ dSchurBackSubstitute(const Matrix &u, const Matrix &w, const Vector &bx,
         x[i] = rhs[i] / u(i, i);
     }
     return x;
+}
+
+void
+subtractBlockSparseSchur(Matrix &reduced, Vector &rhs, const Vector &bx,
+                         const double *inv_u, std::size_t block_dof,
+                         const std::vector<std::uint32_t> &support_offsets,
+                         const std::vector<std::uint32_t> &support_blocks,
+                         const std::vector<double> &w_blocks,
+                         common::Arena &arena)
+{
+    const std::size_t m =
+        support_offsets.empty() ? 0 : support_offsets.size() - 1;
+    const std::size_t d = block_dof;
+    ARCHYTAS_CHECK_DIM("sparse Schur: square reduced", reduced.cols(),
+                       reduced.rows());
+    ARCHYTAS_CHECK_DIM("sparse Schur: rhs size", rhs.size(),
+                       reduced.rows());
+    ARCHYTAS_CHECK_DIM("sparse Schur: bx size", bx.size(), m);
+    ARCHYTAS_CHECK_DIM("sparse Schur: w_blocks size", w_blocks.size(),
+                       support_blocks.size() * d);
+    if (m == 0)
+        return;
+
+    // One scratch buffer sized for the widest feature's scaled columns.
+    std::size_t max_blocks = 0;
+    for (std::size_t f = 0; f < m; ++f)
+        max_blocks = std::max<std::size_t>(
+            max_blocks, support_offsets[f + 1] - support_offsets[f]);
+    arena.reset();
+    double *wui_f = arena.allocateArray<double>(max_blocks * d);
+
+    const simd::Ops &v = simd::ops();
+    double *rhsd = rhs.data().data();
+    for (std::size_t f = 0; f < m; ++f) {
+        const std::size_t s0 = support_offsets[f];
+        const std::size_t nb = support_offsets[f + 1] - s0;
+        const double *wf = w_blocks.data() + s0 * d;
+        const double iu = inv_u[f];
+        const double bxf = bx[f];
+        for (std::size_t t = 0; t < nb * d; ++t)
+            wui_f[t] = wf[t] * iu;
+        for (std::size_t bi = 0; bi < nb; ++bi) {
+            const std::size_t rowi = support_blocks[s0 + bi] * d;
+            ARCHYTAS_DCHECK(bi == 0 || support_blocks[s0 + bi] >
+                                           support_blocks[s0 + bi - 1],
+                            "sparse Schur: support blocks of feature ", f,
+                            " not sorted unique");
+            ARCHYTAS_DCHECK(rowi + d <= reduced.rows(),
+                            "sparse Schur: block row ", rowi,
+                            " out of range for ", reduced.rows());
+            const double *wi = wf + bi * d;
+            const double *wui_i = wui_f + bi * d;
+
+            // rhs -= W U^{-1} bx, one block segment at a time.
+            v.axpy(rhsd + rowi, -bxf, wui_i, d);
+
+            // Diagonal block: upper triangle plus an exact mirror.
+            for (std::size_t r = 0; r < d; ++r) {
+                double *rrow = reduced.rowPtr(rowi + r) + rowi;
+                const double s = wui_i[r];
+                for (std::size_t c = r; c < d; ++c) {
+                    const double acc = s * wi[c];
+                    rrow[c] -= acc;
+                    if (c != r)
+                        reduced.rowPtr(rowi + c)[rowi + r] -= acc;
+                }
+            }
+
+            // Off-diagonal block pairs: the mirror uses the commuted
+            // product wj[c] * wui_i[r] == wui_i[r] * wj[c], so the
+            // reduced matrix stays exactly symmetric.
+            for (std::size_t bj = bi + 1; bj < nb; ++bj) {
+                const std::size_t rowj = support_blocks[s0 + bj] * d;
+                const double *wj = wf + bj * d;
+                for (std::size_t r = 0; r < d; ++r)
+                    v.axpy(reduced.rowPtr(rowi + r) + rowj, -wui_i[r], wj,
+                           d);
+                for (std::size_t c = 0; c < d; ++c)
+                    v.axpy(reduced.rowPtr(rowj + c) + rowi, -wj[c], wui_i,
+                           d);
+            }
+        }
+    }
 }
 
 MSchurResult

@@ -14,6 +14,10 @@
 #ifndef ARCHYTAS_LINALG_SCHUR_HH
 #define ARCHYTAS_LINALG_SCHUR_HH
 
+#include <cstdint>
+#include <vector>
+
+#include "common/arena.hh"
 #include "linalg/matrix.hh"
 
 namespace archytas::linalg {
@@ -43,6 +47,33 @@ DSchurResult dSchur(const Matrix &u, const Matrix &w, const Matrix &v,
  */
 Vector dSchurBackSubstitute(const Matrix &u, const Matrix &w,
                             const Vector &bx, const Vector &y);
+
+/**
+ * Block-sparse D-type Schur update keyed on feature-track support:
+ * reduced -= W U^{-1} W^T and rhs -= W U^{-1} bx using only the keyframe
+ * blocks each feature actually observes. The CSR-like inputs describe
+ * W's column f as the block_dof-long segments
+ * w_blocks[s * block_dof ..] for s in
+ * [support_offsets[f], support_offsets[f+1]), each sitting at block row
+ * support_blocks[s] * block_dof; block indices must be sorted and
+ * unique per feature. Features are processed serially in a fixed order,
+ * so the result is deterministic at any thread count, and each block
+ * pair is written with the commuted product of its mirror, so the
+ * subtraction stays exactly symmetric. The arena provides the single
+ * per-call scaled-column scratch (no heap traffic).
+ *
+ * @param reduced   q x q accumulator (V with damping already applied).
+ * @param rhs       q-dimensional accumulator (by).
+ * @param bx        Feature-side rhs (m entries).
+ * @param inv_u     Reciprocal damped pivots, m entries.
+ * @param block_dof Rows per keyframe block (15 for the window solver).
+ */
+void subtractBlockSparseSchur(
+    Matrix &reduced, Vector &rhs, const Vector &bx, const double *inv_u,
+    std::size_t block_dof,
+    const std::vector<std::uint32_t> &support_offsets,
+    const std::vector<std::uint32_t> &support_blocks,
+    const std::vector<double> &w_blocks, common::Arena &arena);
 
 /** Result of M-type Schur (marginalization prior, Sec. 3.1 step 3). */
 struct MSchurResult

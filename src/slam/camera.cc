@@ -25,15 +25,26 @@ PinholeCamera::projectUnchecked(const Vec3 &pc) const
 linalg::Matrix
 PinholeCamera::projectionJacobian(const Vec3 &pc) const
 {
+    linalg::Matrix j;
+    projectionJacobianInto(j, pc);
+    return j;
+}
+
+void
+PinholeCamera::projectionJacobianInto(linalg::Matrix &j, const Vec3 &pc)
+    const
+{
     ARCHYTAS_ASSERT(pc.z != 0.0, "Jacobian of a zero-depth point");
+    if (j.rows() != 2 || j.cols() != 3)
+        j = linalg::Matrix(2, 3);
     const double iz = 1.0 / pc.z;
     const double iz2 = iz * iz;
-    linalg::Matrix j(2, 3);
     j(0, 0) = fx * iz;
+    j(0, 1) = 0.0;
     j(0, 2) = -fx * pc.x * iz2;
+    j(1, 0) = 0.0;
     j(1, 1) = fy * iz;
     j(1, 2) = -fy * pc.y * iz2;
-    return j;
 }
 
 Vec3

@@ -54,6 +54,13 @@ struct PinholeCamera
      */
     linalg::Matrix projectionJacobian(const Vec3 &pc) const;
 
+    /**
+     * Destination-passing Jacobian: resizes j to 2 x 3 and overwrites
+     * every entry. Allocation-free once j is warmed up (assembly hot
+     * path); the allocating variant above wraps this one.
+     */
+    void projectionJacobianInto(linalg::Matrix &j, const Vec3 &pc) const;
+
     /** Back-projects a pixel to the unit-depth bearing [x, y, 1]. */
     Vec3 bearing(const Vec2 &px) const;
 };

@@ -298,7 +298,7 @@ SlidingWindowEstimator::slideWindow()
     MarginalizationResult marg = marginalizeOldestKeyframe(
         camera_, keyframes_, features_,
         preints_.empty() ? nullptr : preints_.front(), prior_,
-        options_.pixel_sigma);
+        options_.pixel_sigma, marg_scratch_);
     if (options_.prior_scale != 1.0 && !marg.prior.empty()) {
         linalg::Matrix h = marg.prior.information();
         h *= options_.prior_scale;

@@ -213,6 +213,8 @@ class SlidingWindowEstimator
      * service host one estimator per robot session in one process.
      */
     SolverScratch scratch_;
+    /** Per-estimator marginalization buffers (same ownership story). */
+    MarginalizationScratch marg_scratch_;
 };
 
 } // namespace archytas::slam

@@ -45,44 +45,63 @@ evaluateVisualFactor(const PinholeCamera &camera, const Pose &anchor,
                      double inv_depth, const Vec2 &measurement)
 {
     VisualFactorEval eval;
+    evaluateVisualFactorInto(eval, camera, anchor, target, bearing,
+                             inv_depth, measurement);
+    return eval;
+}
+
+void
+evaluateVisualFactorInto(VisualFactorEval &eval, const PinholeCamera &camera,
+                         const Pose &anchor, const Pose &target,
+                         const Vec3 &bearing, double inv_depth,
+                         const Vec2 &measurement)
+{
+    eval.valid = false;
     if (inv_depth <= 1e-6)
-        return eval;   // Behind or at infinity: uninformative.
+        return;   // Behind or at infinity: uninformative.
 
     // Point in the anchor camera, the world, then the target camera.
     const Vec3 p_anchor = bearing * (1.0 / inv_depth);
     const Vec3 p_world = anchor.transform(p_anchor);
     const Vec3 p_target = target.inverseTransform(p_world);
     if (p_target.z < camera.min_depth)
-        return eval;
+        return;
 
     const Vec2 predicted = camera.projectUnchecked(p_target);
     eval.residual = predicted - measurement;
 
-    const linalg::Matrix j_proj = camera.projectionJacobian(p_target);
+    camera.projectionJacobianInto(eval.j_proj, p_target);
+    const linalg::Matrix &j_proj = eval.j_proj;
     const Mat3 r_a = anchor.q.toRotationMatrix();
     const Mat3 r_t_inv = target.q.toRotationMatrix().transposed();
     const Mat3 r_ta = r_t_inv * r_a;
 
+    // Every entry of the reused Jacobians is overwritten below
+    // (composeInto covers both 2 x 3 halves), so stale storage cannot
+    // leak through.
+    if (eval.j_anchor.rows() != 2 || eval.j_anchor.cols() != 6)
+        eval.j_anchor = linalg::Matrix(2, 6);
+    if (eval.j_target.rows() != 2 || eval.j_target.cols() != 6)
+        eval.j_target = linalg::Matrix(2, 6);
+    if (eval.j_depth.rows() != 2 || eval.j_depth.cols() != 1)
+        eval.j_depth = linalg::Matrix(2, 1);
+
     // Pose tangent ordering is [d_theta(3), d_p(3)], rotation
     // right-perturbed, translation additive (see Pose::applyTangent).
-    eval.j_anchor = linalg::Matrix(2, 6);
     composeInto(eval.j_anchor, 0, j_proj, (r_ta * skew(p_anchor)) * -1.0);
     composeInto(eval.j_anchor, 3, j_proj, r_t_inv);
 
-    eval.j_target = linalg::Matrix(2, 6);
     composeInto(eval.j_target, 0, j_proj, skew(p_target));
     composeInto(eval.j_target, 3, j_proj, r_t_inv * -1.0);
 
     // d p_anchor / d inv_depth = -bearing / inv_depth^2.
     const Vec3 dp = r_ta * (bearing * (-1.0 / (inv_depth * inv_depth)));
-    eval.j_depth = linalg::Matrix(2, 1);
     eval.j_depth(0, 0) = j_proj(0, 0)*dp.x + j_proj(0, 1)*dp.y +
                          j_proj(0, 2)*dp.z;
     eval.j_depth(1, 0) = j_proj(1, 0)*dp.x + j_proj(1, 1)*dp.y +
                          j_proj(1, 2)*dp.z;
 
     eval.valid = true;
-    return eval;
 }
 
 ImuFactorEval

@@ -29,6 +29,10 @@ struct VisualFactorEval
     linalg::Matrix j_anchor;     //!< 2 x 6, w.r.t. anchor pose tangent.
     linalg::Matrix j_target;     //!< 2 x 6, w.r.t. target pose tangent.
     linalg::Matrix j_depth;      //!< 2 x 1, w.r.t. inverse depth.
+    /** 2 x 3 projection-Jacobian intermediate, kept as a member so a
+     *  reused eval evaluates without allocating. Meaningful only when
+     *  valid; stale matrices may linger after an invalid evaluation. */
+    linalg::Matrix j_proj;
 };
 
 /**
@@ -47,6 +51,18 @@ VisualFactorEval evaluateVisualFactor(const PinholeCamera &camera,
                                       const Pose &anchor, const Pose &target,
                                       const Vec3 &bearing, double inv_depth,
                                       const Vec2 &measurement);
+
+/**
+ * Destination-passing variant for the assembly hot path: writes into a
+ * caller-owned eval whose matrices are resized once and then reused, so
+ * steady-state evaluation allocates nothing. Produces bit-identical
+ * values to evaluateVisualFactor (which wraps this one).
+ */
+void evaluateVisualFactorInto(VisualFactorEval &eval,
+                              const PinholeCamera &camera,
+                              const Pose &anchor, const Pose &target,
+                              const Vec3 &bearing, double inv_depth,
+                              const Vec2 &measurement);
 
 /** Evaluation of one IMU factor between keyframes i and j. */
 struct ImuFactorEval

@@ -3,10 +3,9 @@
 #include <cmath>
 
 #include "common/logging.hh"
-#include "common/parallel.hh"
 #include "common/telemetry.hh"
 #include "linalg/cholesky.hh"
-#include "linalg/kernels.hh"
+#include "linalg/simd.hh"
 
 namespace archytas::slam {
 
@@ -15,63 +14,30 @@ solveBlockedSystem(const NormalEquations &eq, double lambda,
                    linalg::Vector &dy, linalg::Vector &dx,
                    SolverScratch &scratch)
 {
-    const std::size_t m = eq.u_diag.size();
-    const std::size_t nk = eq.v.rows();
-
-    // Damped diagonal feature block. Features with no informative
-    // observations (u == 0) get a pure-damping pivot so the elimination
-    // stays well-defined and their increment is zero. The scratch
-    // buffers below copy-assign from the equations: std::vector
-    // assignment reuses the existing heap block whenever the window
-    // shape is unchanged, so steady-state solves allocate nothing.
-    std::vector<double> &u = scratch.u;
-    u.resize(m);
-    for (std::size_t f = 0; f < m; ++f)
-        u[f] = eq.u_diag[f] * (1.0 + lambda) + 1e-12;
-
     // Reduced system: (V_damped - W U^{-1} W^T) dy = by - W U^{-1} bx.
-    linalg::Matrix &reduced = scratch.reduced;
-    reduced = eq.v;
-    linalg::Vector &rhs = scratch.rhs;
-    rhs = eq.by;
+    // Features with no informative observations (u == 0) get a
+    // pure-damping pivot so the elimination stays well-defined and
+    // their increment is zero. formReducedSystem is shared verbatim
+    // with the hardware datapath model (hw/accelerator.cc), which keeps
+    // the two paths bit-identical; it picks the block-sparse path when
+    // eq's support structure is sparse enough.
     {
         ARCHYTAS_SPAN("solver", "solver.dschur");
-        for (std::size_t i = 0; i < nk; ++i)
-            reduced(i, i) += lambda * eq.v(i, i) + 1e-12;
-
-        // W U^{-1}: scale columns.
-        linalg::Matrix &wui = scratch.wui;
-        wui = eq.w;
-        for (std::size_t f = 0; f < m; ++f) {
-            const double inv = 1.0 / u[f];
-            for (std::size_t r = 0; r < nk; ++r)
-                wui(r, f) *= inv;
-        }
-        // reduced -= wui W^T: (W U^{-1}) W^T is symmetric, so the kernel
-        // computes one triangle and mirrors (the dominant O(nk^2 m) step).
-        linalg::subtractSymmetricProduct(reduced, wui, eq.w);
-        linalg::subtractMultiply(rhs, wui, eq.bx);
+        formReducedSystem(eq, lambda, scratch.rsys);
     }
 
     {
         ARCHYTAS_SPAN("solver", "solver.cholesky");
-        const auto l = linalg::cholesky(reduced);
-        if (!l)
+        if (!linalg::choleskyInto(scratch.chol, scratch.rsys.reduced))
             return false;
-        dy = linalg::backwardSubstitute(*l,
-                                        linalg::forwardSubstitute(*l, rhs));
+        linalg::forwardSubstituteInto(scratch.chol_y, scratch.chol,
+                                      scratch.rsys.rhs);
+        linalg::backwardSubstituteInto(dy, scratch.chol, scratch.chol_y);
     }
 
-    // Back-substitute features: dx = U^{-1} (bx - W^T dy). Each feature
-    // writes only dx[f], so the loop parallelizes deterministically.
+    // Back-substitute features: dx = U^{-1} (bx - W^T dy).
     ARCHYTAS_SPAN("solver", "solver.backsub");
-    dx = linalg::Vector(m);
-    parallel::parallelFor(0, m, [&](std::size_t f) {
-        double acc = eq.bx[f];
-        for (std::size_t r = 0; r < nk; ++r)
-            acc -= eq.w(r, f) * dy[r];
-        dx[f] = acc / u[f];
-    });
+    recoverFeatureIncrements(dx, eq, scratch.rsys, dy);
     return true;
 }
 
@@ -88,10 +54,15 @@ solveWindow(WindowProblem &problem, const LmOptions &options,
             const LinearSolver &solver, SolverScratch &scratch)
 {
     ARCHYTAS_SPAN("solver", "solver.window");
+    // Re-published per solve (not only at backend selection) so metric
+    // snapshots taken after a registry reset still carry the backend.
+    ARCHYTAS_GAUGE_SET("kernels.backend",
+                       static_cast<long>(linalg::simd::activeBackend()));
     LmReport report;
     double lambda = options.lambda_init;
 
-    NormalEquations eq = problem.build();
+    problem.build(scratch.eq, scratch.assembly, BuildMode::kSolve);
+    NormalEquations &eq = scratch.eq;
     report.initial_cost = eq.cost;
     double cost = eq.cost;
 
@@ -151,7 +122,7 @@ solveWindow(WindowProblem &problem, const LmOptions &options,
         }
         if (report.converged)
             break;
-        eq = problem.build();
+        problem.build(scratch.eq, scratch.assembly, BuildMode::kSolve);
         cost = eq.cost;
     }
 

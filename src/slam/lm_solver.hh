@@ -80,12 +80,13 @@ using LinearSolver = std::function<bool(
  */
 struct SolverScratch
 {
-    std::vector<double> u;  //!< Damped feature-diagonal pivots.
-    linalg::Matrix reduced; //!< Reduced keyframe system (Schur).
-    linalg::Matrix wui;     //!< W U^{-1}.
-    linalg::Vector rhs;     //!< Reduced right-hand side.
-    linalg::Vector dy;      //!< Keyframe increment of the current step.
-    linalg::Vector dx;      //!< Feature increment of the current step.
+    NormalEquations eq;       //!< Linearized system of the current step.
+    AssemblyScratch assembly; //!< Arena-backed window-assembly buffers.
+    ReducedSystem rsys;       //!< Damped Schur reduction buffers.
+    linalg::Matrix chol;      //!< Cholesky factor of the reduced system.
+    linalg::Vector chol_y;    //!< Forward-substitution intermediate.
+    linalg::Vector dy;        //!< Keyframe increment of the current step.
+    linalg::Vector dx;        //!< Feature increment of the current step.
 };
 
 /**

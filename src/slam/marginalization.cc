@@ -1,5 +1,7 @@
 #include "slam/marginalization.hh"
 
+#include <algorithm>
+
 #include "common/contracts.hh"
 #include "common/logging.hh"
 #include "linalg/kernels.hh"
@@ -10,20 +12,45 @@ namespace archytas::slam {
 namespace {
 
 // Factor accumulation runs on the shared destination-passing kernels
-// (linalg/kernels.hh); aliases keep the call sites readable.
+// (linalg/kernels.hh); aliases keep the call sites readable. H lives in
+// the scratch arena as a view; g is a raw arena segment.
 
 void
-accumulateBlock(linalg::Matrix &h, std::size_t r0, std::size_t c0,
+accumulateBlock(linalg::MatrixView &h, std::size_t r0, std::size_t c0,
                 const linalg::Matrix &a, const linalg::Matrix &b, double wt)
 {
     linalg::addOuterProductTransposed(h, r0, c0, a, b, wt);
 }
 
 void
-accumulateRhs(linalg::Vector &g, std::size_t r0, const linalg::Matrix &a,
-              const double *res, double wt)
+accumulateRhs(double *g, std::size_t gsize, std::size_t r0,
+              const linalg::Matrix &a, const double *res, double wt)
 {
-    linalg::subtractTransposeApplyScaled(g, r0, a, res, wt);
+    linalg::subtractTransposeApplyScaled(g, gsize, r0, a, res, wt);
+}
+
+/** Copies a block of the arena-backed H into a reusable dense matrix. */
+void
+copyBlock(linalg::Matrix &dst, const linalg::MatrixView &src,
+          std::size_t r0, std::size_t c0, std::size_t rows,
+          std::size_t cols)
+{
+    if (dst.rows() != rows || dst.cols() != cols)
+        dst = linalg::Matrix(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const double *s = src.rowPtr(r0 + r) + c0;
+        std::copy(s, s + cols, dst.rowPtr(r));
+    }
+}
+
+/** Copies a segment of the arena-backed g into a reusable vector. */
+void
+copySegment(linalg::Vector &dst, const double *src, std::size_t off,
+            std::size_t n)
+{
+    if (dst.size() != n)
+        dst = linalg::Vector(n);
+    std::copy(src + off, src + off + n, dst.data().data());
 }
 
 } // namespace
@@ -33,7 +60,8 @@ marginalizeOldestKeyframe(const PinholeCamera &camera,
                           const std::vector<KeyframeState> &keyframes,
                           const std::vector<Feature> &features,
                           const std::shared_ptr<ImuPreintegration> &preint01,
-                          const PriorFactor &old_prior, double pixel_sigma)
+                          const PriorFactor &old_prior, double pixel_sigma,
+                          MarginalizationScratch &scratch)
 {
     const std::size_t b = keyframes.size();
     ARCHYTAS_DCHECK(b >= 2, "marginalizeOldestKeyframe needs at least two "
@@ -42,7 +70,8 @@ marginalizeOldestKeyframe(const PinholeCamera &camera,
 
     // Features anchored in keyframe 0 with at least one informative
     // observation get marginalized along with the keyframe.
-    std::vector<const Feature *> marg_features;
+    std::vector<const Feature *> &marg_features = scratch.marg_features;
+    marg_features.clear();
     for (const Feature &f : features)
         if (f.anchor_index == 0 && f.informativeObservations() > 0)
             marg_features.push_back(&f);
@@ -54,8 +83,12 @@ marginalizeOldestKeyframe(const PinholeCamera &camera,
         return am + kf * kKeyframeDof;
     };
 
-    linalg::Matrix h(dim, dim);
-    linalg::Vector g(dim);
+    scratch.arena.reset();
+    linalg::MatrixView h(scratch.arena.allocateArray<double>(dim * dim),
+                         dim, dim);
+    h.setZero();
+    double *g = scratch.arena.allocateArray<double>(dim);
+    std::fill(g, g + dim, 0.0);
 
     // Visual factors of the marginalized features.
     for (std::size_t fi = 0; fi < am; ++fi) {
@@ -63,9 +96,11 @@ marginalizeOldestKeyframe(const PinholeCamera &camera,
         for (const auto &obs : feat.observations) {
             if (obs.keyframe_index == feat.anchor_index)
                 continue;
-            const VisualFactorEval ev = evaluateVisualFactor(
-                camera, keyframes[0].pose, keyframes[obs.keyframe_index].pose,
-                feat.anchor_bearing, feat.inverse_depth, obs.pixel);
+            evaluateVisualFactorInto(
+                scratch.ev, camera, keyframes[0].pose,
+                keyframes[obs.keyframe_index].pose, feat.anchor_bearing,
+                feat.inverse_depth, obs.pixel);
+            const VisualFactorEval &ev = scratch.ev;
             if (!ev.valid)
                 continue;
             const double res[2] = {ev.residual.u, ev.residual.v};
@@ -90,9 +125,9 @@ marginalizeOldestKeyframe(const PinholeCamera &camera,
             accumulateBlock(h, rt, rt, ev.j_target, ev.j_target,
                             visual_weight);
 
-            accumulateRhs(g, fi, ev.j_depth, res, visual_weight);
-            accumulateRhs(g, ra, ev.j_anchor, res, visual_weight);
-            accumulateRhs(g, rt, ev.j_target, res, visual_weight);
+            accumulateRhs(g, dim, fi, ev.j_depth, res, visual_weight);
+            accumulateRhs(g, dim, ra, ev.j_anchor, res, visual_weight);
+            accumulateRhs(g, dim, rt, ev.j_target, res, visual_weight);
         }
     }
 
@@ -100,19 +135,18 @@ marginalizeOldestKeyframe(const PinholeCamera &camera,
     if (preint01 && preint01->sampleCount() > 0) {
         const ImuFactorEval ev =
             evaluateImuFactor(*preint01, keyframes[0], keyframes[1]);
-        linalg::Vector lr;
-        linalg::multiplyInto(lr, ev.information, ev.residual);
-        linalg::Matrix li, lj;
-        linalg::multiplyInto(li, ev.information, ev.j_i);
-        linalg::multiplyInto(lj, ev.information, ev.j_j);
+        linalg::multiplyInto(scratch.imu_lr, ev.information, ev.residual);
+        linalg::multiplyInto(scratch.imu_li, ev.information, ev.j_i);
+        linalg::multiplyInto(scratch.imu_lj, ev.information, ev.j_j);
+        const linalg::Vector &lr = scratch.imu_lr;
         const std::size_t r0 = kfOffset(0);
         const std::size_t r1 = kfOffset(1);
-        accumulateBlock(h, r0, r0, ev.j_i, li, 1.0);
-        accumulateBlock(h, r0, r1, ev.j_i, lj, 1.0);
-        accumulateBlock(h, r1, r0, ev.j_j, li, 1.0);
-        accumulateBlock(h, r1, r1, ev.j_j, lj, 1.0);
-        accumulateRhs(g, r0, ev.j_i, lr.data().data(), 1.0);
-        accumulateRhs(g, r1, ev.j_j, lr.data().data(), 1.0);
+        accumulateBlock(h, r0, r0, ev.j_i, scratch.imu_li, 1.0);
+        accumulateBlock(h, r0, r1, ev.j_i, scratch.imu_lj, 1.0);
+        accumulateBlock(h, r1, r0, ev.j_j, scratch.imu_li, 1.0);
+        accumulateBlock(h, r1, r1, ev.j_j, scratch.imu_lj, 1.0);
+        accumulateRhs(g, dim, r0, ev.j_i, lr.data().data(), 1.0);
+        accumulateRhs(g, dim, r1, ev.j_j, lr.data().data(), 1.0);
     }
 
     // Old prior (covers keyframes [0, old_prior.keyframes())).
@@ -131,19 +165,20 @@ marginalizeOldestKeyframe(const PinholeCamera &camera,
     // Split into marginalized (lambda block + kf0) and retained blocks.
     const std::size_t md = am + kKeyframeDof;
     const std::size_t rd = (b - 1) * kKeyframeDof;
-    linalg::Matrix m = h.block(0, 0, md, md);
-    const linalg::Matrix lambda = h.block(md, 0, rd, md);
-    const linalg::Matrix a = h.block(md, md, rd, rd);
-    const linalg::Vector bm = g.segment(0, md);
-    const linalg::Vector br = g.segment(md, rd);
+    copyBlock(scratch.m, h, 0, 0, md, md);
+    copyBlock(scratch.lambda, h, md, 0, rd, md);
+    copyBlock(scratch.a, h, md, md, rd, rd);
+    copySegment(scratch.bm, g, 0, md);
+    copySegment(scratch.br, g, md, rd);
 
     // Light Tikhonov regularization keeps M invertible when the departing
     // keyframe is weakly constrained.
     for (std::size_t i = 0; i < md; ++i)
-        m(i, i) += 1e-9;
+        scratch.m(i, i) += 1e-9;
 
     const linalg::MSchurResult schur =
-        linalg::mSchur(m, lambda, a, bm, br, /*diag_m11=*/am);
+        linalg::mSchur(scratch.m, scratch.lambda, scratch.a, scratch.bm,
+                       scratch.br, /*diag_m11=*/am);
 
     std::vector<KeyframeState> lin(keyframes.begin() + 1, keyframes.end());
 
@@ -152,6 +187,18 @@ marginalizeOldestKeyframe(const PinholeCamera &camera,
     out.marginalized_features = am;
     out.marginalized_dim = md;
     return out;
+}
+
+MarginalizationResult
+marginalizeOldestKeyframe(const PinholeCamera &camera,
+                          const std::vector<KeyframeState> &keyframes,
+                          const std::vector<Feature> &features,
+                          const std::shared_ptr<ImuPreintegration> &preint01,
+                          const PriorFactor &old_prior, double pixel_sigma)
+{
+    MarginalizationScratch scratch;
+    return marginalizeOldestKeyframe(camera, keyframes, features, preint01,
+                                     old_prior, pixel_sigma, scratch);
 }
 
 } // namespace archytas::slam

@@ -34,6 +34,23 @@ struct MarginalizationResult
 };
 
 /**
+ * Reusable marginalization buffers: the dense H / g accumulators live in
+ * the arena (reset each call) and the factor-evaluation and block-split
+ * temporaries keep their heap storage across frames. One instance per
+ * estimator; never shared between concurrently-marginalizing sessions.
+ */
+struct MarginalizationScratch
+{
+    common::Arena arena; //!< Backs the dense H and g accumulators.
+    std::vector<const Feature *> marg_features;
+    VisualFactorEval ev;           //!< Reused visual-factor evaluation.
+    linalg::Matrix imu_li, imu_lj; //!< Lambda J products.
+    linalg::Vector imu_lr;         //!< Lambda r product.
+    linalg::Matrix m, lambda, a;   //!< Block split of H.
+    linalg::Vector bm, br;         //!< Block split of g.
+};
+
+/**
  * Marginalizes keyframe 0 of the window.
  *
  * @param camera       Camera intrinsics.
@@ -45,7 +62,17 @@ struct MarginalizationResult
  * @param old_prior    Prior from the previous marginalization (may be
  *                     empty).
  * @param pixel_sigma  Visual noise for weighting.
+ * @param scratch      Buffers reused across frames.
  */
+MarginalizationResult marginalizeOldestKeyframe(
+    const PinholeCamera &camera,
+    const std::vector<KeyframeState> &keyframes,
+    const std::vector<Feature> &features,
+    const std::shared_ptr<ImuPreintegration> &preint01,
+    const PriorFactor &old_prior, double pixel_sigma,
+    MarginalizationScratch &scratch);
+
+/** Convenience overload owning a transient scratch. */
 MarginalizationResult marginalizeOldestKeyframe(
     const PinholeCamera &camera,
     const std::vector<KeyframeState> &keyframes,

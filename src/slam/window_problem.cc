@@ -1,21 +1,89 @@
 #include "slam/window_problem.hh"
 
+#include <algorithm>
+
+#include "common/contracts.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/telemetry.hh"
 #include "linalg/kernels.hh"
+#include "linalg/schur.hh"
+#include "linalg/simd.hh"
 
 namespace archytas::slam {
 
 namespace {
 
 /**
- * Features per accumulation chunk. Fixed (thread-count independent) so
- * the merge order of the floating-point partial sums -- and hence the
- * assembled system's bit pattern -- is the same at any thread count
- * (common/parallel.hh determinism contract).
+ * Target number of accumulation chunks. The old fixed grain of 16
+ * features produced ~40 chunks on a 600-feature window, and the per-
+ * chunk overhead (zeroing and merging two full nk x nk partials each)
+ * outweighed the parallel win -- assembly ran *slower* at 2 and 4
+ * threads than at 1. Sizing the grain so at most kAssemblyShards chunks
+ * exist bounds that overhead independently of the feature count.
  */
-constexpr std::size_t kFeatureGrain = 16;
+constexpr std::size_t kAssemblyShards = 8;
+
+/** Smallest chunk worth forking for (below this, merges dominate). */
+constexpr std::size_t kMinFeatureGrain = 32;
+
+/**
+ * Features per accumulation chunk. Depends only on the feature count --
+ * never on the thread count -- so the chunk boundaries and the merge
+ * order of the floating-point partial sums are identical at any thread
+ * count (common/parallel.hh determinism contract). build() and
+ * evaluateCost() share this so their costs agree bit-for-bit.
+ */
+std::size_t
+featureGrain(std::size_t m)
+{
+    const std::size_t target = (m + kAssemblyShards - 1) / kAssemblyShards;
+    return std::max(kMinFeatureGrain, target);
+}
+
+/** Reuses the destination's storage when the shape already matches. */
+void
+prepareMatrix(linalg::Matrix &out, std::size_t rows, std::size_t cols)
+{
+    if (out.rows() == rows && out.cols() == cols) {
+        out.setZero();
+        return;
+    }
+    out = linalg::Matrix(rows, cols);
+}
+
+void
+prepareVector(linalg::Vector &out, std::size_t n)
+{
+    if (out.size() == n) {
+        out.setZero();
+        return;
+    }
+    out = linalg::Vector(n);
+}
+
+/**
+ * Structure-only choice of the Schur elimination path: the sparse path
+ * wins when features observe few enough keyframe blocks. Values never
+ * enter the decision, so both solver paths (software and hardware
+ * model) take the same branch for the same window.
+ */
+constexpr double kSparseSchurFillThreshold = 0.75;
+
+bool
+useSparseSchur(const NormalEquations &eq)
+{
+    if (!eq.hasSupport())
+        return false;
+    const std::size_t m = eq.u_diag.size();
+    const std::size_t nblocks = eq.v.rows() / kKeyframeDof;
+    if (m == 0 || nblocks == 0)
+        return false;
+    const double fill = static_cast<double>(eq.support_blocks.size()) /
+                        (static_cast<double>(m) *
+                         static_cast<double>(nblocks));
+    return fill <= kSparseSchurFillThreshold;
+}
 
 } // namespace
 
@@ -41,152 +109,222 @@ WindowProblem::WindowProblem(
 NormalEquations
 WindowProblem::build() const
 {
+    NormalEquations eq;
+    AssemblyScratch scratch;
+    build(eq, scratch, BuildMode::kFull);
+    return eq;
+}
+
+void
+WindowProblem::build(NormalEquations &eq, AssemblyScratch &scratch,
+                     BuildMode mode) const
+{
     ARCHYTAS_SPAN("solver", "solver.jacobian");
     const std::size_t m = features_.size();
     const std::size_t nk = keyframeDim();
 
-    NormalEquations eq;
-    eq.u_diag = linalg::Vector(m);
-    eq.w = linalg::Matrix(nk, m);
-    eq.v = linalg::Matrix(nk, nk);
-    eq.bx = linalg::Vector(m);
-    eq.by = linalg::Vector(nk);
-    eq.v_camera = linalg::Matrix(nk, nk);
-    eq.v_imu = linalg::Matrix(nk, nk);
-    double cost = 0.0;
+    prepareVector(eq.u_diag, m);
+    prepareMatrix(eq.w, nk, m);
+    prepareMatrix(eq.v, nk, nk);
+    prepareVector(eq.bx, m);
+    prepareVector(eq.by, nk);
+    if (mode == BuildMode::kFull) {
+        prepareMatrix(eq.v_camera, nk, nk);
+        prepareMatrix(eq.v_imu, nk, nk);
+    } else {
+        eq.v_camera = linalg::Matrix();
+        eq.v_imu = linalg::Matrix();
+    }
 
-    // --- Visual factors (parallel per-feature) ---
-    // Feature f exclusively owns u_diag[f], bx[f], and column f of W, so
-    // chunk tasks write those into the shared system directly (disjoint
-    // writes). The keyframe-side blocks V / v_camera / by and the cost
-    // are shared sums: each chunk accumulates its own partial and the
-    // partials merge sequentially in chunk order.
-    struct VisualPartial
-    {
-        linalg::Matrix v;
-        linalg::Matrix v_camera;
-        linalg::Vector by;
-        double cost = 0.0;
-    };
-    parallel::mapReduceOrdered(
-        0, m, kFeatureGrain,
-        [&] {
-            VisualPartial p;
-            p.v = linalg::Matrix(nk, nk);
-            p.v_camera = linalg::Matrix(nk, nk);
-            p.by = linalg::Vector(nk);
-            return p;
-        },
-        [&](VisualPartial &p, std::size_t f) {
-            const Feature &feat = features_[f];
-            const std::size_t a_idx = feat.anchor_index;
-            ARCHYTAS_ASSERT(a_idx < keyframes_.size(),
-                            "feature anchored outside window");
-            for (const auto &obs : feat.observations) {
-                if (obs.keyframe_index == a_idx)
-                    continue;   // Anchor observation carries no information.
-                ARCHYTAS_ASSERT(obs.keyframe_index < keyframes_.size(),
-                                "observation outside window");
-                const VisualFactorEval ev = evaluateVisualFactor(
-                    camera_, keyframes_[a_idx].pose,
-                    keyframes_[obs.keyframe_index].pose,
-                    feat.anchor_bearing, feat.inverse_depth, obs.pixel);
-                if (!ev.valid)
-                    continue;
+    // --- Support pre-pass (serial) ---
+    // Records which keyframe blocks each feature's W column touches
+    // (anchor plus observed targets, sorted unique) so the Schur
+    // elimination can skip the zero blocks. Structure only; the numeric
+    // segments are copied after the parallel fill below.
+    eq.support_offsets.clear();
+    eq.support_blocks.clear();
+    eq.support_offsets.reserve(m + 1);
+    eq.support_offsets.push_back(0);
+    std::vector<std::uint32_t> &blocks = scratch.tmp_blocks;
+    for (std::size_t f = 0; f < m; ++f) {
+        const Feature &feat = features_[f];
+        ARCHYTAS_ASSERT(feat.anchor_index < keyframes_.size(),
+                        "feature anchored outside window");
+        blocks.clear();
+        blocks.push_back(static_cast<std::uint32_t>(feat.anchor_index));
+        for (const auto &obs : feat.observations) {
+            if (obs.keyframe_index == feat.anchor_index)
+                continue;
+            ARCHYTAS_ASSERT(obs.keyframe_index < keyframes_.size(),
+                            "observation outside window");
+            blocks.push_back(
+                static_cast<std::uint32_t>(obs.keyframe_index));
+        }
+        std::sort(blocks.begin(), blocks.end());
+        blocks.erase(std::unique(blocks.begin(), blocks.end()),
+                     blocks.end());
+        eq.support_blocks.insert(eq.support_blocks.end(), blocks.begin(),
+                                 blocks.end());
+        eq.support_offsets.push_back(
+            static_cast<std::uint32_t>(eq.support_blocks.size()));
+    }
+    eq.w_blocks.resize(eq.support_blocks.size() * kKeyframeDof);
 
-                const double res[2] = {ev.residual.u, ev.residual.v};
-                // Huber IRLS weight: quadratic inside delta, linear
-                // beyond.
-                double wt = visual_weight_;
-                if (huber_delta_ > 0.0) {
-                    const double norm = ev.residual.norm();
-                    if (norm > huber_delta_)
-                        wt *= huber_delta_ / norm;
+    // --- Shard carving (serial; the arena is not thread-safe) ---
+    const std::size_t grain = featureGrain(m);
+    const std::size_t nchunks = m == 0 ? 0 : (m + grain - 1) / grain;
+    if (scratch.shards.size() != nchunks)
+        scratch.shards.resize(nchunks);
+    scratch.arena.reset();
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        AssemblyShard &sh = scratch.shards[c];
+        sh.v = linalg::MatrixView(
+            scratch.arena.allocateArray<double>(nk * nk), nk, nk);
+        sh.by = scratch.arena.allocateArray<double>(nk);
+        sh.v.setZero();
+        std::fill(sh.by, sh.by + nk, 0.0);
+        sh.cost = 0.0;
+    }
+
+    // --- Visual factors (parallel per-feature chunk) ---
+    // Feature f exclusively owns u_diag[f], bx[f], column f of W, and
+    // its w_blocks segment, so chunk tasks write those into the shared
+    // system directly (disjoint writes). The keyframe-side block V, the
+    // rhs by, and the cost are shared sums: each chunk accumulates into
+    // its own arena-backed shard and the shards merge sequentially in
+    // chunk order below, so the result is bit-identical at any thread
+    // count.
+    parallel::parallelForChunks(
+        0, m, grain, [&](std::size_t b, std::size_t e) {
+            AssemblyShard &sh = scratch.shards[b / grain];
+            for (std::size_t f = b; f < e; ++f) {
+                const Feature &feat = features_[f];
+                const std::size_t a_idx = feat.anchor_index;
+                for (const auto &obs : feat.observations) {
+                    if (obs.keyframe_index == a_idx)
+                        continue; // Anchor observation: no information.
+                    evaluateVisualFactorInto(
+                        sh.ev, camera_, keyframes_[a_idx].pose,
+                        keyframes_[obs.keyframe_index].pose,
+                        feat.anchor_bearing, feat.inverse_depth,
+                        obs.pixel);
+                    const VisualFactorEval &ev = sh.ev;
+                    if (!ev.valid)
+                        continue;
+
+                    const double res[2] = {ev.residual.u, ev.residual.v};
+                    // Huber IRLS weight: quadratic inside delta, linear
+                    // beyond.
+                    double wt = visual_weight_;
+                    if (huber_delta_ > 0.0) {
+                        const double norm = ev.residual.norm();
+                        if (norm > huber_delta_)
+                            wt *= huber_delta_ / norm;
+                    }
+                    sh.cost +=
+                        0.5 * wt * (res[0] * res[0] + res[1] * res[1]);
+
+                    const std::size_t ra = a_idx * kKeyframeDof;
+                    const std::size_t rt =
+                        obs.keyframe_index * kKeyframeDof;
+
+                    // U (diagonal): j_depth^T j_depth.
+                    eq.u_diag[f] +=
+                        wt * (ev.j_depth(0, 0) * ev.j_depth(0, 0) +
+                              ev.j_depth(1, 0) * ev.j_depth(1, 0));
+                    // bx.
+                    eq.bx[f] -= wt * (ev.j_depth(0, 0) * res[0] +
+                                      ev.j_depth(1, 0) * res[1]);
+
+                    // W rows: anchor and target pose blocks (6 each).
+                    linalg::addOuterProductTransposed(eq.w, ra, f,
+                                                      ev.j_anchor,
+                                                      ev.j_depth, wt);
+                    linalg::addOuterProductTransposed(eq.w, rt, f,
+                                                      ev.j_target,
+                                                      ev.j_depth, wt);
+
+                    // V contributions: (a,a), (a,t), (t,a), (t,t).
+                    linalg::addOuterProductTransposed(sh.v, ra, ra,
+                                                      ev.j_anchor,
+                                                      ev.j_anchor, wt);
+                    linalg::addOuterProductTransposed(sh.v, ra, rt,
+                                                      ev.j_anchor,
+                                                      ev.j_target, wt);
+                    linalg::addOuterProductTransposed(sh.v, rt, ra,
+                                                      ev.j_target,
+                                                      ev.j_anchor, wt);
+                    linalg::addOuterProductTransposed(sh.v, rt, rt,
+                                                      ev.j_target,
+                                                      ev.j_target, wt);
+
+                    // by.
+                    linalg::subtractTransposeApplyScaled(sh.by, nk, ra,
+                                                         ev.j_anchor, res,
+                                                         wt);
+                    linalg::subtractTransposeApplyScaled(sh.by, nk, rt,
+                                                         ev.j_target, res,
+                                                         wt);
                 }
-                p.cost +=
-                    0.5 * wt * (res[0] * res[0] + res[1] * res[1]);
-
-                const std::size_t ra = a_idx * kKeyframeDof;
-                const std::size_t rt = obs.keyframe_index * kKeyframeDof;
-
-                // U (diagonal): j_depth^T j_depth.
-                eq.u_diag[f] += wt *
-                                (ev.j_depth(0, 0) * ev.j_depth(0, 0) +
-                                 ev.j_depth(1, 0) * ev.j_depth(1, 0));
-                // bx.
-                eq.bx[f] -= wt * (ev.j_depth(0, 0) * res[0] +
-                                  ev.j_depth(1, 0) * res[1]);
-
-                // W rows: anchor and target pose blocks (6 each).
-                linalg::addOuterProductTransposed(eq.w, ra, f, ev.j_anchor,
-                                                  ev.j_depth, wt);
-                linalg::addOuterProductTransposed(eq.w, rt, f, ev.j_target,
-                                                  ev.j_depth, wt);
-
-                // V camera contributions: (a,a), (a,t), (t,a), (t,t).
-                linalg::addOuterProductTransposed(p.v, ra, ra, ev.j_anchor,
-                                                  ev.j_anchor, wt);
-                linalg::addOuterProductTransposed(p.v, ra, rt, ev.j_anchor,
-                                                  ev.j_target, wt);
-                linalg::addOuterProductTransposed(p.v, rt, ra, ev.j_target,
-                                                  ev.j_anchor, wt);
-                linalg::addOuterProductTransposed(p.v, rt, rt, ev.j_target,
-                                                  ev.j_target, wt);
-                linalg::addOuterProductTransposed(p.v_camera, ra, ra,
-                                                  ev.j_anchor, ev.j_anchor,
-                                                  wt);
-                linalg::addOuterProductTransposed(p.v_camera, ra, rt,
-                                                  ev.j_anchor, ev.j_target,
-                                                  wt);
-                linalg::addOuterProductTransposed(p.v_camera, rt, ra,
-                                                  ev.j_target, ev.j_anchor,
-                                                  wt);
-                linalg::addOuterProductTransposed(p.v_camera, rt, rt,
-                                                  ev.j_target, ev.j_target,
-                                                  wt);
-
-                // by.
-                linalg::subtractTransposeApplyScaled(p.by, ra, ev.j_anchor,
-                                                     res, wt);
-                linalg::subtractTransposeApplyScaled(p.by, rt, ev.j_target,
-                                                     res, wt);
+                // Column f of W is final once its observations are done;
+                // gather its support segments for the sparse Schur path.
+                for (std::size_t s = eq.support_offsets[f];
+                     s < eq.support_offsets[f + 1]; ++s) {
+                    const std::size_t row0 =
+                        eq.support_blocks[s] * kKeyframeDof;
+                    double *dst = eq.w_blocks.data() + s * kKeyframeDof;
+                    for (std::size_t r = 0; r < kKeyframeDof; ++r)
+                        dst[r] = eq.w(row0 + r, f);
+                }
             }
-        },
-        [&](VisualPartial &&p) {
-            eq.v += p.v;
-            eq.v_camera += p.v_camera;
-            eq.by += p.by;
-            cost += p.cost;
         });
 
-    // --- IMU factors (adjacent keyframes only) ---
+    // --- Ordered merge (chunk order == ascending feature order) ---
+    double cost = 0.0;
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        const AssemblyShard &sh = scratch.shards[c];
+        linalg::addInto(eq.v, sh.v);
+        linalg::addInto(eq.by, sh.by, nk);
+        cost += sh.cost;
+        // The camera-only split receives exactly the visual-factor
+        // updates, which is precisely what the shards hold.
+        if (mode == BuildMode::kFull)
+            linalg::addInto(eq.v_camera, sh.v);
+    }
+
+    // --- IMU factors (adjacent keyframes only; serial, at most one per
+    // pair, with hoisted product scratch) ---
     for (std::size_t i = 0; i + 1 < keyframes_.size(); ++i) {
         if (!preints_[i] || preints_[i]->sampleCount() == 0)
             continue;
         const ImuFactorEval ev =
             evaluateImuFactor(*preints_[i], keyframes_[i], keyframes_[i+1]);
-        const linalg::Vector lr = ev.information * ev.residual;
+        linalg::multiplyInto(scratch.imu_lr, ev.information, ev.residual);
+        const linalg::Vector &lr = scratch.imu_lr;
         cost += 0.5 * ev.residual.dot(lr);
 
         const std::size_t ri = i * kKeyframeDof;
         const std::size_t rj = (i + 1) * kKeyframeDof;
 
         // H += J^T Lambda J for both state blocks.
-        linalg::Matrix li, lj;
+        linalg::Matrix &li = scratch.imu_li;
+        linalg::Matrix &lj = scratch.imu_lj;
         linalg::multiplyInto(li, ev.information, ev.j_i);
         linalg::multiplyInto(lj, ev.information, ev.j_j);
         linalg::addOuterProductTransposed(eq.v, ri, ri, ev.j_i, li, 1.0);
         linalg::addOuterProductTransposed(eq.v, ri, rj, ev.j_i, lj, 1.0);
         linalg::addOuterProductTransposed(eq.v, rj, ri, ev.j_j, li, 1.0);
         linalg::addOuterProductTransposed(eq.v, rj, rj, ev.j_j, lj, 1.0);
-        linalg::addOuterProductTransposed(eq.v_imu, ri, ri, ev.j_i, li,
-                                          1.0);
-        linalg::addOuterProductTransposed(eq.v_imu, ri, rj, ev.j_i, lj,
-                                          1.0);
-        linalg::addOuterProductTransposed(eq.v_imu, rj, ri, ev.j_j, li,
-                                          1.0);
-        linalg::addOuterProductTransposed(eq.v_imu, rj, rj, ev.j_j, lj,
-                                          1.0);
+        if (mode == BuildMode::kFull) {
+            linalg::addOuterProductTransposed(eq.v_imu, ri, ri, ev.j_i,
+                                              li, 1.0);
+            linalg::addOuterProductTransposed(eq.v_imu, ri, rj, ev.j_i,
+                                              lj, 1.0);
+            linalg::addOuterProductTransposed(eq.v_imu, rj, ri, ev.j_j,
+                                              li, 1.0);
+            linalg::addOuterProductTransposed(eq.v_imu, rj, rj, ev.j_j,
+                                              lj, 1.0);
+        }
 
         linalg::subtractTransposeApplyScaled(eq.by, ri, ev.j_i,
                                              lr.data().data(), 1.0);
@@ -199,7 +337,6 @@ WindowProblem::build() const
     cost += prior_.cost(keyframes_);
 
     eq.cost = cost;
-    return eq;
 }
 
 double
@@ -207,40 +344,114 @@ WindowProblem::evaluateCost() const
 {
     // Same fixed chunking and merge order as build(), so the two cost
     // paths agree bit-for-bit at any thread count.
+    struct CostPartial
+    {
+        double cost = 0.0;
+        VisualFactorEval ev;
+    };
     double cost = 0.0;
     parallel::mapReduceOrdered(
-        0, features_.size(), kFeatureGrain, [] { return 0.0; },
-        [&](double &partial, std::size_t f) {
+        0, features_.size(), featureGrain(features_.size()),
+        [] { return CostPartial{}; },
+        [&](CostPartial &p, std::size_t f) {
             const Feature &feat = features_[f];
             for (const auto &obs : feat.observations) {
                 if (obs.keyframe_index == feat.anchor_index)
                     continue;
-                const VisualFactorEval ev = evaluateVisualFactor(
-                    camera_, keyframes_[feat.anchor_index].pose,
+                evaluateVisualFactorInto(
+                    p.ev, camera_, keyframes_[feat.anchor_index].pose,
                     keyframes_[obs.keyframe_index].pose,
                     feat.anchor_bearing, feat.inverse_depth, obs.pixel);
-                if (!ev.valid)
+                if (!p.ev.valid)
                     continue;
                 double wt = visual_weight_;
                 if (huber_delta_ > 0.0) {
-                    const double norm = ev.residual.norm();
+                    const double norm = p.ev.residual.norm();
                     if (norm > huber_delta_)
                         wt *= huber_delta_ / norm;
                 }
-                partial += 0.5 * wt * (ev.residual.u * ev.residual.u +
-                                       ev.residual.v * ev.residual.v);
+                p.cost += 0.5 * wt * (p.ev.residual.u * p.ev.residual.u +
+                                      p.ev.residual.v * p.ev.residual.v);
             }
         },
-        [&](double &&partial) { cost += partial; });
+        [&](CostPartial &&p) { cost += p.cost; });
+    linalg::Vector lr;
     for (std::size_t i = 0; i + 1 < keyframes_.size(); ++i) {
         if (!preints_[i] || preints_[i]->sampleCount() == 0)
             continue;
         const ImuFactorEval ev =
             evaluateImuFactor(*preints_[i], keyframes_[i], keyframes_[i+1]);
-        cost += 0.5 * ev.residual.dot(ev.information * ev.residual);
+        linalg::multiplyInto(lr, ev.information, ev.residual);
+        cost += 0.5 * ev.residual.dot(lr);
     }
     cost += prior_.cost(keyframes_);
     return cost;
+}
+
+void
+formReducedSystem(const NormalEquations &eq, double lambda,
+                  ReducedSystem &rs)
+{
+    const std::size_t m = eq.u_diag.size();
+    const std::size_t nk = eq.v.rows();
+    ARCHYTAS_CHECK_DIM("formReducedSystem: square V", eq.v.cols(), nk);
+    ARCHYTAS_CHECK_DIM("formReducedSystem: W rows", eq.w.rows(), nk);
+    ARCHYTAS_CHECK_DIM("formReducedSystem: W cols", eq.w.cols(), m);
+    ARCHYTAS_CHECK_DIM("formReducedSystem: by size", eq.by.size(), nk);
+
+    // Damped feature pivots and their reciprocals.
+    rs.u.resize(m);
+    rs.inv_u.resize(m);
+    for (std::size_t f = 0; f < m; ++f) {
+        rs.u[f] = eq.u_diag[f] * (1.0 + lambda) + 1e-12;
+        rs.inv_u[f] = 1.0 / rs.u[f];
+    }
+
+    // Damped reduced system seed: V + lambda diag(V).
+    rs.reduced = eq.v;
+    for (std::size_t i = 0; i < nk; ++i)
+        rs.reduced(i, i) += lambda * eq.v(i, i) + 1e-12;
+    rs.rhs = eq.by;
+
+    if (useSparseSchur(eq)) {
+        linalg::subtractBlockSparseSchur(
+            rs.reduced, rs.rhs, eq.bx, rs.inv_u.data(), kKeyframeDof,
+            eq.support_offsets, eq.support_blocks, eq.w_blocks, rs.arena);
+        return;
+    }
+
+    // Dense fallback: W U^{-1} by row-wise diagonal scaling, then the
+    // symmetric rank-k subtraction.
+    if (rs.wui.rows() != nk || rs.wui.cols() != m)
+        rs.wui = linalg::Matrix(nk, m);
+    const linalg::simd::Ops &v = linalg::simd::ops();
+    for (std::size_t r = 0; r < nk; ++r)
+        v.mul(rs.wui.rowPtr(r), eq.w.rowPtr(r), rs.inv_u.data(), m);
+    linalg::subtractSymmetricProduct(rs.reduced, rs.wui, eq.w);
+    linalg::subtractMultiply(rs.rhs, rs.wui, eq.bx);
+}
+
+void
+recoverFeatureIncrements(linalg::Vector &dx, const NormalEquations &eq,
+                         const ReducedSystem &rs, const linalg::Vector &dy)
+{
+    const std::size_t m = eq.u_diag.size();
+    const std::size_t nk = eq.w.rows();
+    ARCHYTAS_CHECK_DIM("recoverFeatureIncrements: dy size", dy.size(), nk);
+    ARCHYTAS_CHECK_DIM("recoverFeatureIncrements: pivots", rs.u.size(), m);
+    if (dx.size() != m)
+        dx = linalg::Vector(m);
+    const double *wd = eq.w.data().data();
+    const double *dyd = dy.data().data();
+    double *dxd = dx.data().data();
+    // Each feature owns dx[f] and its arithmetic order is fixed, so the
+    // parallel split cannot change the bits.
+    parallel::parallelFor(0, m, [&](std::size_t f) {
+        double acc = eq.bx[f];
+        for (std::size_t r = 0; r < nk; ++r)
+            acc -= wd[r * m + f] * dyd[r];
+        dxd[f] = acc / rs.u[f];
+    });
 }
 
 void

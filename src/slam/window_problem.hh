@@ -18,9 +18,11 @@
 #ifndef ARCHYTAS_SLAM_WINDOW_PROBLEM_HH
 #define ARCHYTAS_SLAM_WINDOW_PROBLEM_HH
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/arena.hh"
 #include "linalg/matrix.hh"
 #include "linalg/smatrix.hh"
 #include "slam/factors.hh"
@@ -45,10 +47,108 @@ struct NormalEquations
     double cost = 0.0;
 
     /** Camera-only and IMU-only keyframe-block contributions (for the
-     *  Sec. 3.3 storage study; prior and damping excluded). */
+     *  Sec. 3.3 storage study; prior and damping excluded). Filled only
+     *  by BuildMode::kFull; empty in kSolve builds. */
     linalg::Matrix v_camera;
     linalg::Matrix v_imu;
+
+    /**
+     * CSR-like block support of W, keyed on feature-track structure:
+     * feature f touches the keyframe blocks
+     * support_blocks[support_offsets[f] .. support_offsets[f+1]) (sorted,
+     * unique: the anchor plus every observed target keyframe), and
+     * w_blocks stores the matching kKeyframeDof-long segments of W's
+     * column f, contiguously per feature. The Schur elimination uses
+     * this to skip the zero blocks of W (formReducedSystem). Empty for
+     * hand-assembled equations, which then take the dense path.
+     */
+    std::vector<std::uint32_t> support_offsets; //!< m + 1 entries.
+    std::vector<std::uint32_t> support_blocks;
+    std::vector<double> w_blocks;
+
+    /** True when the support structure above is populated for this W. */
+    bool
+    hasSupport() const
+    {
+        return !support_offsets.empty() &&
+               support_offsets.size() == u_diag.size() + 1 &&
+               w_blocks.size() == support_blocks.size() * kKeyframeDof;
+    }
 };
+
+/** What build() must fill (the storage-study splits cost extra work). */
+enum class BuildMode
+{
+    kSolve, //!< Solver outputs only; v_camera / v_imu left empty.
+    kFull,  //!< Also the Sec. 3.3 storage-study splits.
+};
+
+/**
+ * One parallel chunk's accumulators for build(). The keyframe-block
+ * partial and rhs live in the owning scratch's arena (carved serially
+ * before the parallel region; see common/arena.hh ownership rules); the
+ * factor-evaluation buffers keep their heap storage across frames.
+ */
+struct AssemblyShard
+{
+    linalg::MatrixView v;  //!< Keyframe-block partial (nk x nk).
+    double *by = nullptr;  //!< Keyframe rhs partial (nk entries).
+    double cost = 0.0;
+    VisualFactorEval ev;   //!< Reused per-observation evaluation.
+};
+
+/**
+ * Reusable window-assembly buffers: one instance per estimator/session,
+ * never shared between concurrently-building sessions. A warmed-up
+ * scratch makes build() heap-allocation-free on the per-observation
+ * path (the arena is reset and re-carved each build; only the bounded
+ * IMU-factor evaluations, at most one per keyframe pair, still
+ * allocate).
+ */
+struct AssemblyScratch
+{
+    common::Arena arena;                   //!< Backs the shard views.
+    std::vector<AssemblyShard> shards;
+    std::vector<std::uint32_t> tmp_blocks; //!< Support pre-pass buffer.
+    linalg::Matrix imu_li, imu_lj;         //!< Lambda J products.
+    linalg::Vector imu_lr;                 //!< Lambda r product.
+};
+
+/**
+ * Damped D-type Schur reduction: buffers plus outputs, shared verbatim
+ * by the software solver (slam/lm_solver.cc) and the hardware datapath
+ * model (hw/accelerator.cc) so the two paths produce bit-identical
+ * increments. One instance per solver scratch; reused across calls.
+ */
+struct ReducedSystem
+{
+    std::vector<double> u;     //!< Damped feature pivots.
+    std::vector<double> inv_u; //!< Reciprocal pivots (W U^{-1} scaling).
+    linalg::Matrix reduced;    //!< V_damped - W U^{-1} W^T.
+    linalg::Vector rhs;        //!< by - W U^{-1} bx.
+    linalg::Matrix wui;        //!< Dense-path W U^{-1} (sparse: unused).
+    common::Arena arena;       //!< Sparse-path per-feature scratch.
+};
+
+/**
+ * Forms the damped reduced keyframe system of one LM step into rs:
+ * reduced = V + lambda diag(V) - W U^{-1} W^T, rhs = by - W U^{-1} bx,
+ * with pivots u = u_diag (1 + lambda) + eps. Picks the block-sparse
+ * Schur path when eq carries support structure sparse enough to win
+ * (the choice depends only on structure, never values).
+ */
+void formReducedSystem(const NormalEquations &eq, double lambda,
+                       ReducedSystem &rs);
+
+/**
+ * Recovers the eliminated feature increments after the reduced solve:
+ * dx = U^{-1} (bx - W^T dy) with rs's damped pivots. Deterministic at
+ * any thread count (each feature owns its output element).
+ */
+void recoverFeatureIncrements(linalg::Vector &dx,
+                              const NormalEquations &eq,
+                              const ReducedSystem &rs,
+                              const linalg::Vector &dy);
 
 /**
  * A sliding window's states plus the factors connecting them. The problem
@@ -89,7 +189,17 @@ class WindowProblem
         return keyframes_.size() * kKeyframeDof;
     }
 
-    /** Builds the blocked normal equations at the current states. */
+    /**
+     * Builds the blocked normal equations at the current states into eq,
+     * reusing the scratch's arena and shard buffers (allocation-free on
+     * the per-observation path once warmed up). Deterministic at any
+     * thread count: chunk boundaries depend only on the feature count
+     * and the per-chunk shards merge in chunk order.
+     */
+    void build(NormalEquations &eq, AssemblyScratch &scratch,
+               BuildMode mode) const;
+
+    /** Convenience wrapper: transient scratch, BuildMode::kFull. */
     NormalEquations build() const;
 
     /** Evaluates the cost only (used for LM step acceptance). */

@@ -1,0 +1,20 @@
+// Fixture: the AVX2 backend TU is hot in its entirety, exactly like
+// the portable kernels.cc; any allocation fires.
+#include <cstdlib>
+#include <vector>
+
+namespace archytas::linalg::simd::detail {
+
+double
+avx2DotStaged(const double *a, const double *b, std::size_t n)
+{
+    std::vector<double> staged;
+    for (std::size_t i = 0; i < n; ++i)
+        staged.push_back(a[i] * b[i]);
+    double acc = 0.0;
+    for (double v : staged)
+        acc += v;
+    return acc;
+}
+
+} // namespace archytas::linalg::simd::detail

@@ -1,0 +1,20 @@
+// Fixture: a function taking a scratch Arena by reference is a hot
+// call-site; the arena exists so it never touches the heap, so a
+// container growing inside it fires.
+#include <vector>
+
+namespace archytas::slam {
+
+void
+eliminateFeature(double *out, std::size_t n, common::Arena &arena)
+{
+    double *scratch = arena.allocateArray<double>(n);
+    std::vector<double> overflow;
+    for (std::size_t i = 0; i < n; ++i) {
+        scratch[i] = out[i];
+        overflow.push_back(scratch[i]);
+    }
+    out[0] = overflow.empty() ? 0.0 : overflow[0];
+}
+
+} // namespace archytas::slam

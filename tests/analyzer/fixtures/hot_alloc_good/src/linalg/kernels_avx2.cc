@@ -1,0 +1,14 @@
+// Fixture: an allocation-free AVX2 kernel stays quiet even though the
+// whole backend TU is treated as hot.
+namespace archytas::linalg::simd::detail {
+
+double
+avx2Dot(const double *a, const double *b, std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+} // namespace archytas::linalg::simd::detail

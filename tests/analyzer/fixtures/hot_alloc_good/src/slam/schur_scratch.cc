@@ -1,0 +1,16 @@
+// Fixture: Arena carves (allocate/allocateArray) are bump-pointer
+// moves, not heap calls — a scratch consumer living entirely off its
+// arena stays quiet.
+namespace archytas::slam {
+
+void
+eliminateFeature(double *out, std::size_t n, common::Arena &arena)
+{
+    arena.reset();
+    double *scratch = arena.allocateArray<double>(n);
+    for (std::size_t i = 0; i < n; ++i)
+        scratch[i] = out[i] * 2.0;
+    out[0] = n > 0 ? scratch[0] : 0.0;
+}
+
+} // namespace archytas::slam

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/rng.hh"
 #include "linalg/cholesky.hh"
 #include "linalg/schur.hh"
@@ -193,6 +196,107 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_pair(1, 1), std::make_pair(20, 4),
                       std::make_pair(4, 20), std::make_pair(30, 15),
                       std::make_pair(50, 10)));
+
+/**
+ * A block-sparse W in the CSR-like support layout of
+ * subtractBlockSparseSchur: each feature column touches a sorted-unique
+ * subset of keyframe blocks; w_blocks stores the column segments.
+ */
+struct SparseW
+{
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint32_t> blocks;
+    std::vector<double> w_blocks;
+    Matrix dense;   //!< The same W as a dense (nk x m) matrix.
+};
+
+SparseW
+randomSparseW(std::size_t n_blocks, std::size_t d, std::size_t m, Rng &rng)
+{
+    SparseW w;
+    w.dense = Matrix(n_blocks * d, m);
+    w.offsets.push_back(0);
+    for (std::size_t f = 0; f < m; ++f) {
+        // 1-3 supported blocks, strictly increasing anchors.
+        std::size_t bi = f % n_blocks;
+        const std::size_t count = 1 + (f % 3);
+        for (std::size_t k = 0; k < count && bi < n_blocks; ++k, bi += 2) {
+            w.blocks.push_back(static_cast<std::uint32_t>(bi));
+            for (std::size_t r = 0; r < d; ++r) {
+                const double x = rng.uniform(-0.5, 0.5);
+                w.w_blocks.push_back(x);
+                w.dense(bi * d + r, f) = x;
+            }
+        }
+        w.offsets.push_back(static_cast<std::uint32_t>(w.blocks.size()));
+    }
+    return w;
+}
+
+TEST(BlockSparseSchur, MatchesDenseElimination)
+{
+    Rng rng(321);
+    const std::size_t n_blocks = 5, d = 3, m = 17;
+    const std::size_t nk = n_blocks * d;
+    const SparseW w = randomSparseW(n_blocks, d, m, rng);
+
+    Vector bx(m), inv_u(m);
+    for (std::size_t f = 0; f < m; ++f) {
+        bx[f] = rng.uniform(-1.0, 1.0);
+        inv_u[f] = 1.0 / rng.uniform(1.0, 4.0);
+    }
+
+    // Dense reference: reduced -= W diag(inv_u) W^T, rhs -= W inv_u bx.
+    Matrix want = randomSpd(nk, rng, static_cast<double>(nk));
+    Vector want_rhs(nk);
+    for (std::size_t i = 0; i < nk; ++i)
+        want_rhs[i] = rng.uniform(-1.0, 1.0);
+    Matrix reduced = want;
+    Vector rhs = want_rhs;
+    for (std::size_t f = 0; f < m; ++f)
+        for (std::size_t i = 0; i < nk; ++i) {
+            want_rhs[i] -= w.dense(i, f) * inv_u[f] * bx[f];
+            for (std::size_t j = 0; j < nk; ++j)
+                want(i, j) -= w.dense(i, f) * inv_u[f] * w.dense(j, f);
+        }
+
+    common::Arena arena;
+    subtractBlockSparseSchur(reduced, rhs, bx, inv_u.data().data(), d,
+                             w.offsets, w.blocks, w.w_blocks, arena);
+
+    double dmax = 0.0;
+    for (std::size_t i = 0; i < nk; ++i)
+        for (std::size_t j = 0; j < nk; ++j)
+            dmax = std::max(dmax, std::abs(reduced(i, j) - want(i, j)));
+    EXPECT_LT(dmax, 1e-12);
+    for (std::size_t i = 0; i < nk; ++i)
+        EXPECT_NEAR(rhs[i], want_rhs[i], 1e-12) << "rhs[" << i << "]";
+
+    // The commuted-mirror update keeps the result exactly symmetric.
+    for (std::size_t i = 0; i < nk; ++i)
+        for (std::size_t j = i + 1; j < nk; ++j)
+            EXPECT_EQ(reduced(i, j), reduced(j, i))
+                << "asymmetry at (" << i << "," << j << ")";
+}
+
+TEST(BlockSparseSchur, EmptySupportIsANoOp)
+{
+    Rng rng(322);
+    Matrix reduced = randomSpd(6, rng, 6.0);
+    const Matrix before = reduced;
+    Vector rhs(6);
+    for (std::size_t i = 0; i < 6; ++i)
+        rhs[i] = rng.uniform(-1.0, 1.0);
+    const Vector rhs_before = rhs;
+    common::Arena arena;
+    subtractBlockSparseSchur(reduced, rhs, Vector(), nullptr, 3, {}, {},
+                             {}, arena);
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(rhs[i], rhs_before[i]);
+        for (std::size_t j = 0; j < 6; ++j)
+            EXPECT_EQ(reduced(i, j), before(i, j));
+    }
+}
 
 } // namespace
 } // namespace archytas::linalg

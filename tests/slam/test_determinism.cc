@@ -18,6 +18,7 @@
 #include "common/rng.hh"
 #include "common/telemetry.hh"
 #include "dataset/sequence.hh"
+#include "linalg/simd.hh"
 #include "slam/estimator.hh"
 #include "slam/window_problem.hh"
 
@@ -125,6 +126,65 @@ TEST(Determinism, WindowBuildBitIdenticalAcrossThreadCounts)
     EXPECT_EQ(cost1, cost8);
     // build() and evaluateCost() share chunking, so they agree too.
     EXPECT_EQ(eq1.cost, cost1);
+}
+
+TEST(Determinism, WindowBuildBitIdenticalPerBackendAndThreadCount)
+{
+    // The per-backend contract: within either kernel backend, the
+    // scratch-reusing arena-backed assembly (the steady-state solver
+    // path) is bit-identical at every thread count, support structure
+    // included. Cross-backend equality is NOT asserted -- the AVX2
+    // reductions associate differently (see test_simd_backend.cc).
+    PoolSizeGuard guard;
+    const linalg::simd::Backend startup = linalg::simd::activeBackend();
+    Rng rng(43);
+    TestWindow w = makeWindow(8, 200, 0.5, rng);
+    WindowProblem problem(w.camera, w.keyframes, w.features, w.preints,
+                          w.prior, /*pixel_sigma=*/1.0);
+
+    std::vector<linalg::simd::Backend> backends{
+        linalg::simd::Backend::kScalar};
+    if (linalg::simd::avx2Compiled() && linalg::simd::avx2Supported())
+        backends.push_back(linalg::simd::Backend::kAvx2);
+
+    for (const linalg::simd::Backend backend : backends) {
+        linalg::simd::setBackendForTest(backend);
+        NormalEquations base;
+        AssemblyScratch base_scratch;
+        parallel::setThreadCount(1);
+        problem.build(base, base_scratch, BuildMode::kFull);
+        // A warm window must have its block-sparse support structure.
+        ASSERT_TRUE(base.hasSupport());
+
+        for (const std::size_t threads : {2, 5, 8}) {
+            parallel::setThreadCount(threads);
+            NormalEquations eq;
+            AssemblyScratch scratch;
+            // Build twice: the second pass runs on a warmed arena and
+            // must reproduce the first bit for bit.
+            problem.build(eq, scratch, BuildMode::kFull);
+            problem.build(eq, scratch, BuildMode::kFull);
+            const std::string what =
+                std::string(linalg::simd::backendName(backend)) + " @" +
+                std::to_string(threads) + "t";
+            EXPECT_EQ(maxAbsDiff(base.u_diag, eq.u_diag), 0.0) << what;
+            EXPECT_EQ(maxAbsDiff(base.bx, eq.bx), 0.0) << what;
+            EXPECT_EQ(maxAbsDiff(base.w, eq.w), 0.0) << what;
+            EXPECT_EQ(maxAbsDiff(base.v, eq.v), 0.0) << what;
+            EXPECT_EQ(maxAbsDiff(base.v_camera, eq.v_camera), 0.0)
+                << what;
+            EXPECT_EQ(maxAbsDiff(base.v_imu, eq.v_imu), 0.0) << what;
+            EXPECT_EQ(maxAbsDiff(base.by, eq.by), 0.0) << what;
+            EXPECT_EQ(base.cost, eq.cost) << what;
+            ASSERT_EQ(base.support_offsets, eq.support_offsets) << what;
+            ASSERT_EQ(base.support_blocks, eq.support_blocks) << what;
+            ASSERT_EQ(base.w_blocks.size(), eq.w_blocks.size()) << what;
+            for (std::size_t i = 0; i < base.w_blocks.size(); ++i)
+                ASSERT_EQ(base.w_blocks[i], eq.w_blocks[i])
+                    << what << " w_blocks[" << i << "]";
+        }
+    }
+    linalg::simd::setBackendForTest(startup);
 }
 
 TEST(Determinism, EstimatorBitIdenticalAcrossThreadCounts)

@@ -237,11 +237,31 @@ checkHotPathAlloc(const SourceFile &f, std::vector<Finding> &findings)
     const std::vector<Token> &t = f.lex.tokens;
 
     std::vector<TokenRange> hot;
-    if (f.path == "src/linalg/kernels.cc")
+    // The kernel TUs are hot in their entirety: the portable kernels,
+    // the AVX2 backend, and the backend-selection TU they dispatch
+    // through.
+    if (f.path == "src/linalg/kernels.cc" ||
+        f.path == "src/linalg/kernels_avx2.cc" ||
+        f.path == "src/linalg/simd.cc")
         hot.push_back({0, t.size()});
     for (const LambdaInfo &lam : f.scopes.lambdas)
         if (lam.hot)
             hot.push_back(lam.body);
+    // Functions taking a common::Arena by reference are per-frame
+    // scratch consumers: the arena exists precisely so they do not
+    // touch the heap, so their bodies are hot. Arena::allocate /
+    // allocateArray are bump-pointer carves, not heap calls, and are
+    // deliberately absent from the flagged-name lists below.
+    for (const FunctionDef &fn : f.scopes.functions) {
+        if (fn.is_declaration || fn.body.end == fn.body.begin)
+            continue;
+        for (std::size_t i = fn.params.begin; i < fn.params.end; ++i)
+            if (t[i].ident("Arena") && i + 1 < fn.params.end &&
+                t[i + 1].is("&")) {
+                hot.push_back(fn.body);
+                break;
+            }
+    }
     if (hot.empty())
         return;
     const auto inHot = [&](std::size_t idx) {
@@ -813,7 +833,8 @@ ruleCatalogue()
          "No atomic read-modify-write inside lambdas handed to the "
          "deterministic pool"},
         {"hot-path-alloc",
-         "No heap allocation in solver kernels (linalg/kernels.cc) or "
+         "No heap allocation in solver kernels (linalg/kernels.cc, "
+         "kernels_avx2.cc, simd.cc), functions taking an Arena&, or "
          "lambdas handed to parallelFor/parallelForChunks/runTasks"},
         {"layering",
          "Module includes must follow the DAG common <- linalg <- "

@@ -7,8 +7,10 @@
  *   determinism-random      no unseeded randomness outside common/rng.hh
  *   determinism-wall-clock  no wall-clock reads in result-bearing code
  *   determinism-atomic-rmw  no atomic read-modify-write in pool lambdas
- *   hot-path-alloc          no heap allocation in solver kernels or any
- *                           lambda handed to the deterministic pool
+ *   hot-path-alloc          no heap allocation in solver kernels (the
+ *                           portable and SIMD TUs), functions taking a
+ *                           scratch Arena by reference, or any lambda
+ *                           handed to the deterministic pool
  *   layering                module includes must follow the DAG
  *   contract-coverage       linalg/hw functions taking Matrix/Vector
  *                           must carry dimension contracts (gated on a
