@@ -10,12 +10,23 @@
  * the CI load-smoke step and production dashboards would, with the
  * exact trace-derived percentiles printed alongside as a cross-check.
  *
+ * SLO verdicts (docs/OBSERVABILITY.md): `--slo <spec>` installs a
+ * service-level-objective spec (default: a lenient smoke spec) that the
+ * service evaluates on the simulated timeline; verdicts print alongside
+ * the percentiles, export as `slo.*` telemetry for
+ * tools/archytas_slo_report.py, and surface as `slo_pass` /
+ * `slo_violations` harness metrics. `--flight-dump <dir>` dumps every
+ * session's flight-recorder ring as postmortem bundles at the end of
+ * the run.
+ *
  * Arguments: `--sessions <n>` and `--duration <s>` scale the load;
  * remaining arguments (`--json <path>`, `--telemetry-out <dir>`) go to
  * the shared bench harness.
  */
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -32,6 +43,11 @@ struct LoadOptions
 {
     std::size_t sessions = 8;
     double duration_s = 6.0;   //!< Per-session sequence length.
+    /** Lenient smoke-test objectives: wide enough that a healthy run
+     *  always passes, tight enough that a broken scheduler will not. */
+    std::string slo = "p99_ms=60000,fallback=0.9,divergence=0.5,"
+                      "reject=0.5,window=64";
+    std::string flight_dump;   //!< Postmortem bundle dir; empty = off.
 };
 
 /**
@@ -71,6 +87,8 @@ runLoad(const LoadOptions &load)
     service::ServiceOptions options;
     options.accelerator_slots = 2;
     options.max_active_sessions = 4;
+    options.slo = service::SloSpec::parse(load.slo);
+    options.flight_dump_dir = load.flight_dump;
     service::LocalizationService svc(options);
     for (const service::SessionConfig &cfg : makeSessionMix(load))
         svc.addSession(cfg);
@@ -104,6 +122,10 @@ main(int argc, char **argv)
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (arg == "--duration" && i + 1 < argc) {
             load.duration_s = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--slo" && i + 1 < argc) {
+            load.slo = argv[++i];
+        } else if (arg == "--flight-dump" && i + 1 < argc) {
+            load.flight_dump = argv[++i];
         } else {
             passthrough.push_back(argv[i]);
         }
@@ -146,6 +168,23 @@ main(int argc, char **argv)
                        ? 0.0
                        : hw_frames /
                              static_cast<double>(report.traces.size()));
+
+    // SLO verdicts: evaluated by the service on the simulated timeline
+    // (bit-identical at any thread count), printed here and exported as
+    // harness metrics so bench_compare / the CI slo-check gate see them.
+    std::uint64_t slo_violations = 0;
+    for (const service::SloVerdict &v : report.slo) {
+        slo_violations += v.violations;
+        std::printf("SLO %-16s bound %-10g worst %-12g %s "
+                    "(%llu/%llu windows violated)\n",
+                    v.objective.c_str(), v.bound, v.worst,
+                    v.pass() ? "PASS" : "FAIL",
+                    static_cast<unsigned long long>(v.violations),
+                    static_cast<unsigned long long>(v.evaluations));
+    }
+    harness.metric("slo_pass", report.sloPass() ? 1.0 : 0.0);
+    harness.metric("slo_violations",
+                   static_cast<double>(slo_violations));
 
     std::printf("%s\n",
                 bench::paperVsMeasured(

@@ -1,0 +1,161 @@
+#include "common/flight_recorder.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/contracts.hh"
+#include "common/telemetry.hh"
+
+namespace archytas::telemetry {
+
+const char *
+flightKindName(FlightKind kind)
+{
+    switch (kind) {
+    case FlightKind::SpanBegin:
+        return "span_begin";
+    case FlightKind::SpanEnd:
+        return "span_end";
+    case FlightKind::Count:
+        return "count";
+    case FlightKind::Instant:
+        return "instant";
+    case FlightKind::Decision:
+        return "decision";
+    case FlightKind::Timeline:
+        return "timeline";
+    case FlightKind::Fault:
+        return "fault";
+    }
+    return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity)
+{
+    ARCHYTAS_ASSERT(capacity > 0, "flight recorder needs capacity");
+}
+
+void
+FlightRecorder::carve()
+{
+    // One block, one carve: the Arena block discipline keeps the ring a
+    // single aligned slab, and the lazy carve keeps an idle recorder
+    // (telemetry disabled) free of heap traffic.
+    ring_ = arena_.allocateArray<FlightRecord>(capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i)
+        ring_[i] = FlightRecord{};
+}
+
+void
+FlightRecorder::record(FlightKind kind, const char *name,
+                       std::uint32_t frame, double value)
+{
+    if (ring_ == nullptr)
+        carve();
+    FlightRecord &slot = ring_[head_];
+    if (size_ == capacity_)
+        ++dropped_;
+    else
+        ++size_;
+    slot.seq = next_seq_++;
+    slot.kind = kind;
+    slot.frame = frame;
+    slot.name = name;
+    slot.value = value;
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+}
+
+const FlightRecord &
+FlightRecorder::entry(std::size_t i) const
+{
+    ARCHYTAS_CHECK_BOUNDS("FlightRecorder::entry", i, size_);
+    const std::size_t oldest =
+        size_ == capacity_ ? head_ : head_ - size_;
+    return ring_[(oldest + i) % capacity_];
+}
+
+void
+FlightRecorder::clear()
+{
+    head_ = 0;
+    size_ = 0;
+    dropped_ = 0;
+    next_seq_ = 0;
+}
+
+namespace {
+
+std::string
+jsonString(const char *s)
+{
+    std::string out = "\"";
+    for (const char *p = s; p != nullptr && *p != '\0'; ++p) {
+        if (*p == '"' || *p == '\\')
+            out.push_back('\\');
+        out.push_back(*p);
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+jsonDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+bool
+FlightRecorder::writePostmortem(const std::string &path,
+                                std::size_t session,
+                                const std::string &label,
+                                const char *trigger,
+                                std::uint32_t frame) const
+{
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "{\n  \"schema\": \"archytas-postmortem-v1\",\n"
+        << "  \"session\": " << session << ",\n"
+        << "  \"label\": " << jsonString(label.c_str()) << ",\n"
+        << "  \"trigger\": " << jsonString(trigger) << ",\n"
+        << "  \"frame\": " << frame << ",\n"
+        << "  \"dropped\": " << dropped_ << ",\n"
+        << "  \"records\": [\n";
+    for (std::size_t i = 0; i < size_; ++i) {
+        const FlightRecord &r = entry(i);
+        out << "    {\"seq\": " << r.seq << ", \"kind\": "
+            << jsonString(flightKindName(r.kind)) << ", \"frame\": "
+            << r.frame << ", \"name\": "
+            << jsonString(r.name != nullptr ? r.name : "")
+            << ", \"value\": " << jsonDouble(r.value) << "}"
+            << (i + 1 < size_ ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    if (!out.good())
+        return false;
+    ARCHYTAS_COUNT_ADD("flight.dumps", 1);
+    ARCHYTAS_INSTANT("flight", "flight.postmortem",
+                     {"session", static_cast<double>(session)},
+                     {"frame", static_cast<double>(frame)},
+                     {"records", static_cast<double>(size_)});
+    return true;
+}
+
+std::string
+postmortemPath(const std::string &dir, const std::string &label)
+{
+    return dir + "/postmortem_" + label + ".json";
+}
+
+} // namespace archytas::telemetry

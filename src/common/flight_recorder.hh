@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Per-session flight recorder (docs/OBSERVABILITY.md): a fixed-size,
+ * allocation-free ring buffer of the most recent observability events a
+ * robot session produced -- span begin/end markers, counter deltas,
+ * instant events (controller decisions), timeline placements, and fault
+ * markers. When something goes wrong mid-flight (the divergence
+ * watchdog trips, the hardware solver falls back, admission rejects a
+ * session) the ring is dumped as a postmortem bundle
+ * (`postmortem_<session>.json`), so the forensic record survives even
+ * though the full trace buffer may hold millions of unrelated events
+ * from thousands of healthy sessions.
+ *
+ * Determinism contract: records carry *no wall-clock values* -- only
+ * names, frame indices, deltas, and simulated-timeline seconds -- so a
+ * session's flight record is bit-identical at any ARCHYTAS_THREADS
+ * (the PR-3 contract extended to postmortems; tested by
+ * tests/service/test_service_determinism.cc).
+ *
+ * Storage discipline: the ring is carved once from an owned Arena block
+ * on first use (lazily, so an idle recorder costs nothing under
+ * ARCHYTAS_TELEMETRY=OFF) and never grows; older records are
+ * overwritten and tallied in dropped(). record() on the steady state
+ * touches no allocator.
+ *
+ * Threading: a recorder belongs to exactly one session, which is
+ * stepped by one pool worker at a time and scheduled serially, so no
+ * synchronization is needed (same ownership story as SolverScratch).
+ */
+
+#ifndef ARCHYTAS_COMMON_FLIGHT_RECORDER_HH
+#define ARCHYTAS_COMMON_FLIGHT_RECORDER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/arena.hh"
+
+namespace archytas::telemetry {
+
+/** What a flight record describes. */
+enum class FlightKind : std::uint8_t
+{
+    SpanBegin,   //!< A scoped span opened (value unused).
+    SpanEnd,     //!< The matching span closed (value unused: spans
+                 //!< carry no wall-clock duration here, by contract).
+    Count,       //!< A counter was bumped; value = delta.
+    Instant,     //!< An instant event fired; value = its first arg.
+    Decision,    //!< A controller/scheduler decision; value = choice.
+    Timeline,    //!< A simulated-timeline placement; value = seconds.
+    Fault,       //!< A fault / recovery marker; value = detail code.
+};
+
+/** Human-readable kind name (stable; used in the postmortem bundle). */
+const char *flightKindName(FlightKind kind);
+
+/** One ring entry. POD: names must be string literals (no copy). */
+struct FlightRecord
+{
+    std::uint64_t seq = 0;        //!< Monotonic per-recorder sequence.
+    FlightKind kind = FlightKind::SpanBegin;
+    std::uint32_t frame = 0;      //!< Session frame index when recorded.
+    const char *name = nullptr;   //!< String literal.
+    double value = 0.0;           //!< Kind-dependent payload.
+};
+
+/** Fixed-capacity ring of recent FlightRecords; see the file comment. */
+class FlightRecorder
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 512;
+
+    explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** Appends a record, overwriting the oldest when full. */
+    void record(FlightKind kind, const char *name, std::uint32_t frame,
+                double value = 0.0);
+
+    /** Records retained (<= capacity()). */
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return capacity_; }
+    /** Records overwritten since construction / the last clear(). */
+    std::uint64_t dropped() const { return dropped_; }
+    /** Total records ever pushed (seq of the next record). */
+    std::uint64_t sequence() const { return next_seq_; }
+
+    /** The i-th retained record, oldest first (i < size()). */
+    const FlightRecord &entry(std::size_t i) const;
+
+    /** Empties the ring (capacity and storage are retained). */
+    void clear();
+
+    /**
+     * Writes the ring as a postmortem bundle
+     * (`archytas-postmortem-v1`): session identity, the trigger that
+     * fired, and every retained record oldest-first. Returns false when
+     * the file cannot be written. Also publishes `flight.dumps` /
+     * `flight.postmortem` telemetry so dumps are visible in the metric
+     * snapshot.
+     */
+    bool writePostmortem(const std::string &path, std::size_t session,
+                         const std::string &label, const char *trigger,
+                         std::uint32_t frame) const;
+
+  private:
+    void carve();
+
+    common::Arena arena_;
+    FlightRecord *ring_ = nullptr;   //!< Carved lazily on first record.
+    std::size_t capacity_ = 0;
+    std::size_t head_ = 0;           //!< Next write slot.
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
+/**
+ * Composes the conventional bundle path for a session:
+ * `<dir>/postmortem_<label>.json`.
+ */
+std::string postmortemPath(const std::string &dir,
+                           const std::string &label);
+
+} // namespace archytas::telemetry
+
+#endif // ARCHYTAS_COMMON_FLIGHT_RECORDER_HH

@@ -11,8 +11,10 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <set>
 #include <utility>
 
+#include "common/flight_recorder.hh"
 #include "common/logging.hh"
 
 namespace archytas::telemetry {
@@ -92,6 +94,8 @@ struct Registry
 
     std::vector<Shard *> shards;
     std::uint32_t next_tid = 0;
+
+    std::string postmortem_dir;   //!< Auto-dump target; empty = off.
 };
 
 Registry &
@@ -159,6 +163,24 @@ shard()
     // shards with order-independent sums.
     static thread_local Shard s;
     return s;
+}
+
+/** The thread's active TraceContext (stack top) and whether one is
+ *  installed. */
+struct ContextSlot
+{
+    TraceContext ctx;
+    bool active = false;
+};
+
+ContextSlot &
+contextSlot()
+{
+    // archytas-analyzer: allow(global-state) -- per-thread causal
+    // context: deterministically derived from (session, frame), scoped
+    // with strict stack discipline, and never shared across threads.
+    static thread_local ContextSlot slot;
+    return slot;
 }
 
 std::int64_t
@@ -232,6 +254,7 @@ struct EnvActivation
         if (dir != nullptr && *dir != '\0') {
             envExportDir() = dir;
             setEnabled(true);
+            setPostmortemDir(dir);
             std::atexit(exportAtExit);
         }
     }
@@ -451,14 +474,111 @@ approxPercentile(const HistogramValue &h, double p)
 }
 
 // --------------------------------------------------------------------
+// Causal trace propagation
+// --------------------------------------------------------------------
+
+ScopedTraceContext::ScopedTraceContext(std::uint32_t session,
+                                       std::uint32_t frame,
+                                       FlightRecorder *recorder)
+{
+    ContextSlot &slot = contextSlot();
+    prev_ = slot.ctx;
+    had_prev_ = slot.active;
+    slot.ctx = TraceContext{session, frame, recorder};
+    slot.active = true;
+}
+
+ScopedTraceContext::~ScopedTraceContext()
+{
+    ContextSlot &slot = contextSlot();
+    slot.ctx = prev_;
+    slot.active = had_prev_;
+}
+
+const TraceContext *
+currentTraceContext()
+{
+    const ContextSlot &slot = contextSlot();
+    return slot.active ? &slot.ctx : nullptr;
+}
+
+namespace {
+
+/** Stamps the active context (if any) onto a trace event. */
+void
+tagContext(TraceEvent &e)
+{
+    const TraceContext *ctx = currentTraceContext();
+    if (ctx == nullptr)
+        return;
+    e.has_context = true;
+    e.session = ctx->session;
+    e.frame = ctx->frame;
+    e.flow_id = ctx->flowId();
+}
+
+} // namespace
+
+void
+flow(const char *category, const char *name, FlowPhase phase)
+{
+    if (!enabled() || phase == FlowPhase::None)
+        return;
+    const TraceContext *ctx = currentTraceContext();
+    if (ctx == nullptr)
+        return;   // Nothing to link to.
+    TraceEvent e;
+    e.name = name;
+    e.category = category;
+    e.flow = phase;
+    e.start_ns = nowNs();
+    e.has_context = true;
+    e.session = ctx->session;
+    e.frame = ctx->frame;
+    e.flow_id = ctx->flowId();
+    Shard &s = shard();
+    e.tid = s.tid;
+    s.events.push_back(e);
+}
+
+void
+flightNote(const char *name, double delta)
+{
+    const TraceContext *ctx = currentTraceContext();
+    if (ctx == nullptr || ctx->recorder == nullptr)
+        return;
+    ctx->recorder->record(FlightKind::Count, name, ctx->frame, delta);
+}
+
+void
+setPostmortemDir(const std::string &dir)
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    r.postmortem_dir = dir;
+}
+
+std::string
+postmortemDir()
+{
+    Registry &r = registry();
+    const std::lock_guard<std::mutex> lock(r.mu);
+    return r.postmortem_dir;
+}
+
+// --------------------------------------------------------------------
 // Tracing
 // --------------------------------------------------------------------
 
 SpanGuard::SpanGuard(const char *category, const char *name)
     : category_(category), name_(name), start_ns_(0), active_(enabled())
 {
-    if (active_)
-        start_ns_ = nowNs();
+    if (!active_)
+        return;
+    start_ns_ = nowNs();
+    const TraceContext *ctx = currentTraceContext();
+    if (ctx != nullptr && ctx->recorder != nullptr)
+        ctx->recorder->record(FlightKind::SpanBegin, name_, ctx->frame);
 }
 
 SpanGuard::~SpanGuard()
@@ -470,6 +590,12 @@ SpanGuard::~SpanGuard()
     e.category = category_;
     e.start_ns = start_ns_;
     e.duration_ns = nowNs() - start_ns_;
+    tagContext(e);
+    // Mirror the close into the flight ring with no duration: flight
+    // records carry no wall-clock values (bit-identity contract).
+    const TraceContext *ctx = currentTraceContext();
+    if (ctx != nullptr && ctx->recorder != nullptr)
+        ctx->recorder->record(FlightKind::SpanEnd, name_, ctx->frame);
     Shard &s = shard();
     e.tid = s.tid;
     s.events.push_back(e);
@@ -490,6 +616,12 @@ instant(const char *category, const char *name,
         if (e.arg_count >= kMaxTraceArgs)
             break;
         e.args[e.arg_count++] = a;
+    }
+    tagContext(e);
+    const TraceContext *ctx = currentTraceContext();
+    if (ctx != nullptr && ctx->recorder != nullptr) {
+        ctx->recorder->record(FlightKind::Instant, name, ctx->frame,
+                              e.arg_count > 0 ? e.args[0].value : 0.0);
     }
     Shard &s = shard();
     e.tid = s.tid;
@@ -519,24 +651,72 @@ snapshotTrace()
 
 namespace {
 
+/** Track id: context-tagged events render on a per-session track. */
+int
+eventPid(const TraceEvent &e)
+{
+    return e.has_context ? 100 + static_cast<int>(e.session) : 1;
+}
+
 void
 writeEventJson(std::ofstream &out, const TraceEvent &e)
 {
+    const char *ph = "X";
+    if (e.flow == FlowPhase::Start)
+        ph = "s";
+    else if (e.flow == FlowPhase::Step)
+        ph = "t";
+    else if (e.flow == FlowPhase::End)
+        ph = "f";
+    else if (e.instant)
+        ph = "i";
     out << "    {\"name\": \"" << jsonEscape(e.name) << "\", \"cat\": \""
-        << jsonEscape(e.category) << "\", \"ph\": \""
-        << (e.instant ? "i" : "X") << "\", \"ts\": "
+        << jsonEscape(e.category) << "\", \"ph\": \"" << ph
+        << "\", \"ts\": "
         << jsonNumber(static_cast<double>(e.start_ns) / 1e3);
-    if (e.instant)
+    if (e.flow != FlowPhase::None) {
+        char idbuf[24];
+        std::snprintf(idbuf, sizeof idbuf, "0x%llx",
+                      static_cast<unsigned long long>(e.flow_id));
+        out << ", \"id\": \"" << idbuf << "\"";
+        if (e.flow == FlowPhase::End)
+            out << ", \"bp\": \"e\"";
+    } else if (e.instant) {
         out << ", \"s\": \"t\"";
-    else
+    } else {
         out << ", \"dur\": "
             << jsonNumber(static_cast<double>(e.duration_ns) / 1e3);
-    out << ", \"pid\": 1, \"tid\": " << e.tid << ", \"args\": {";
-    for (std::uint32_t i = 0; i < e.arg_count; ++i) {
-        out << (i ? ", " : "") << "\"" << jsonEscape(e.args[i].name)
-            << "\": " << jsonNumber(e.args[i].value);
     }
+    out << ", \"pid\": " << eventPid(e) << ", \"tid\": " << e.tid
+        << ", \"args\": {";
+    bool first = true;
+    bool have_session = false;
+    bool have_frame = false;
+    for (std::uint32_t i = 0; i < e.arg_count; ++i) {
+        const std::string_view name(e.args[i].name);
+        have_session = have_session || name == "session";
+        have_frame = have_frame || name == "frame";
+        out << (first ? "" : ", ") << "\"" << jsonEscape(name)
+            << "\": " << jsonNumber(e.args[i].value);
+        first = false;
+    }
+    // Context tagging; explicit same-named args win (no duplicate keys).
+    if (e.has_context && !have_session) {
+        out << (first ? "" : ", ") << "\"session\": " << e.session;
+        first = false;
+    }
+    if (e.has_context && !have_frame)
+        out << (first ? "" : ", ") << "\"frame\": " << e.frame;
     out << "}}";
+}
+
+/** Names each per-session track (Chrome metadata, ph "M"). */
+void
+writeProcessNameJson(std::ofstream &out, int pid, const std::string &name)
+{
+    out << "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": "
+        << pid << ", \"tid\": 0, \"args\": {\"name\": \""
+        << jsonEscape(name) << "\"}}";
 }
 
 } // namespace
@@ -548,9 +728,22 @@ writeChromeTrace(const std::string &path)
     if (!out)
         return false;
     const auto events = snapshotTrace();
+    std::set<std::uint32_t> sessions;
+    for (const TraceEvent &e : events) {
+        if (e.has_context)
+            sessions.insert(e.session);
+    }
     out << "{\n  \"displayTimeUnit\": \"ms\",\n"
         << "  \"otherData\": {\"schema\": \"archytas-trace-v1\"},\n"
         << "  \"traceEvents\": [\n";
+    writeProcessNameJson(out, 1, "archytas");
+    out << (events.empty() && sessions.empty() ? "\n" : ",\n");
+    std::size_t meta_left = sessions.size();
+    for (const std::uint32_t session : sessions) {
+        writeProcessNameJson(out, 100 + static_cast<int>(session),
+                             "session " + std::to_string(session));
+        out << (--meta_left > 0 || !events.empty() ? ",\n" : "\n");
+    }
     for (std::size_t i = 0; i < events.size(); ++i) {
         writeEventJson(out, events[i]);
         out << (i + 1 < events.size() ? ",\n" : "\n");
@@ -676,8 +869,11 @@ ScopedExport::ScopedExport(int &argc, char **argv)
         if (env != nullptr && *env != '\0')
             dir_ = env;
     }
-    if (!dir_.empty())
+    if (!dir_.empty()) {
         setEnabled(true);
+        if (postmortemDir().empty())
+            setPostmortemDir(dir_);
+    }
 }
 
 ScopedExport::~ScopedExport()

@@ -44,6 +44,18 @@
  * host, runtime, health. Wall-time-valued metrics carry a `_ms` suffix
  * and are exempt from the bit-identity contract (they measure the
  * clock); every other metric must be bit-identical at any thread count.
+ *
+ * Causal trace propagation (fleet observability, docs/OBSERVABILITY.md
+ * section 6): a deterministic TraceContext -- session id, frame id, and
+ * a flow id derived from both -- is installed per scope with
+ * ARCHYTAS_TRACE_SCOPE. While a context is active, every span and
+ * instant recorded on the thread is tagged with it (exported on a
+ * per-session track), ARCHYTAS_FLOW_BEGIN/STEP/END emit Chrome
+ * trace-event flow arcs (`ph:"s"/"t"/"f"`) linking the frame's journey
+ * across threads and the async host-link boundary, and -- when the
+ * context carries a FlightRecorder -- span begin/end markers, counter
+ * deltas, and instants are mirrored into the session's postmortem ring
+ * (flight_recorder.hh).
  */
 
 #ifndef ARCHYTAS_COMMON_TELEMETRY_HH
@@ -210,18 +222,110 @@ struct TraceArg
 
 constexpr std::size_t kMaxTraceArgs = 6;
 
-/** One recorded span or instant event. */
+/** Flow-event phase (Chrome trace-event `ph:"s"/"t"/"f"`). */
+enum class FlowPhase : std::uint8_t
+{
+    None = 0,
+    Start,   //!< ph "s": the arc leaves the enclosing slice.
+    Step,    //!< ph "t": an intermediate hop.
+    End,     //!< ph "f" (bp "e"): the arc lands on the enclosing slice.
+};
+
+/** One recorded span, instant, or flow event. */
 struct TraceEvent
 {
     const char *name = nullptr;      //!< String literal.
     const char *category = nullptr;  //!< String literal (subsystem).
     bool instant = false;            //!< Instant event vs complete span.
+    FlowPhase flow = FlowPhase::None;
     std::int64_t start_ns = 0;       //!< Since the process trace epoch.
     std::int64_t duration_ns = 0;    //!< 0 for instant events.
     std::uint32_t tid = 0;           //!< Stable per-thread index.
     std::uint32_t arg_count = 0;
     std::array<TraceArg, kMaxTraceArgs> args{};
+    // Causal tagging (valid when has_context).
+    bool has_context = false;
+    std::uint32_t session = 0;
+    std::uint32_t frame = 0;
+    std::uint64_t flow_id = 0;
 };
+
+// --------------------------------------------------------------------
+// Causal trace propagation
+// --------------------------------------------------------------------
+
+class FlightRecorder;
+
+/**
+ * The causal identity of the work currently executing on a thread:
+ * which session and which frame. Deterministically derived (no global
+ * counter), so the same workload produces the same ids at any thread
+ * count. The optional recorder mirrors span/counter/instant activity
+ * into the session's flight ring.
+ */
+struct TraceContext
+{
+    std::uint32_t session = 0;
+    std::uint32_t frame = 0;
+    FlightRecorder *recorder = nullptr;
+
+    /** Flow id binding every hop of this frame's journey: unique per
+     *  (session, frame), monotone in frame within a session. */
+    std::uint64_t
+    flowId() const
+    {
+        return ((static_cast<std::uint64_t>(session) + 1) << 32) |
+               static_cast<std::uint64_t>(frame);
+    }
+};
+
+/**
+ * Installs a TraceContext on the current thread for its lifetime
+ * (stack discipline: the previous context is restored on destruction).
+ * Use through ARCHYTAS_TRACE_SCOPE so disabled builds compile it away.
+ */
+class ScopedTraceContext
+{
+  public:
+    ScopedTraceContext(std::uint32_t session, std::uint32_t frame,
+                       FlightRecorder *recorder = nullptr);
+    ~ScopedTraceContext();
+
+    ScopedTraceContext(const ScopedTraceContext &) = delete;
+    ScopedTraceContext &operator=(const ScopedTraceContext &) = delete;
+
+  private:
+    TraceContext prev_;
+    bool had_prev_;
+};
+
+/** The thread's active context, or nullptr outside any trace scope. */
+const TraceContext *currentTraceContext();
+
+/**
+ * Records a flow event at the current time on the current thread,
+ * carrying the active context's flow id. No-op without an active
+ * context (there is nothing to link). Begin/end hops must use the same
+ * name and category, or viewers will not join the arc.
+ */
+void flow(const char *category, const char *name, FlowPhase phase);
+
+/** Mirrors a counter delta into the active context's flight recorder
+ *  (no-op without one). Called by ARCHYTAS_COUNT_ADD. */
+void flightNote(const char *name, double delta);
+
+// --------------------------------------------------------------------
+// Postmortem destination
+// --------------------------------------------------------------------
+
+/**
+ * Directory where flight-recorder postmortem bundles are dumped when a
+ * trigger fires (watchdog trip, hw fallback, admission reject). Set
+ * explicitly, or implicitly by --telemetry-out / ARCHYTAS_TELEMETRY_OUT
+ * activation. Empty disables automatic dumps.
+ */
+void setPostmortemDir(const std::string &dir);
+std::string postmortemDir();
 
 /**
  * RAII span: records one complete trace event covering its lifetime.
@@ -325,13 +429,17 @@ class ScopedExport
         }                                                                    \
     } while (0)
 
-/** Counter add with a cached handle; `name` must be a string literal. */
+/** Counter add with a cached handle; `name` must be a string literal.
+ *  Also mirrors the delta into the active trace context's flight
+ *  recorder, so postmortem rings see every counter bump. */
 #define ARCHYTAS_COUNT_ADD(name, delta)                                      \
     do {                                                                     \
         if (::archytas::telemetry::enabled()) {                              \
             static ::archytas::telemetry::Counter &archytas_counter_ =       \
                 ::archytas::telemetry::counter(name);                        \
             archytas_counter_.add(delta);                                    \
+            ::archytas::telemetry::flightNote(                               \
+                name, static_cast<double>(delta));                           \
         }                                                                    \
     } while (0)
 
@@ -355,6 +463,26 @@ class ScopedExport
         }                                                                    \
     } while (0)
 
+/** Installs a causal TraceContext for the enclosing scope:
+ *  `ARCHYTAS_TRACE_SCOPE(session_id, frame_id, &recorder);`. */
+#define ARCHYTAS_TRACE_SCOPE(session, frame, recorder)                       \
+    const ::archytas::telemetry::ScopedTraceContext                          \
+        ARCHYTAS_TELEMETRY_CONCAT(archytas_trace_scope_, __LINE__)           \
+    {                                                                        \
+        session, frame, recorder                                             \
+    }
+
+/** Flow arc hops; category/name must match across BEGIN/STEP/END. */
+#define ARCHYTAS_FLOW_BEGIN(category, name)                                  \
+    ::archytas::telemetry::flow(category, name,                              \
+                                ::archytas::telemetry::FlowPhase::Start)
+#define ARCHYTAS_FLOW_STEP(category, name)                                   \
+    ::archytas::telemetry::flow(category, name,                              \
+                                ::archytas::telemetry::FlowPhase::Step)
+#define ARCHYTAS_FLOW_END(category, name)                                    \
+    ::archytas::telemetry::flow(category, name,                              \
+                                ::archytas::telemetry::FlowPhase::End)
+
 #else // !ARCHYTAS_TELEMETRY_ENABLED
 
 // The sizeof-based expansions keep operands syntactically alive without
@@ -364,6 +492,11 @@ class ScopedExport
 #define ARCHYTAS_COUNT_ADD(name, delta) static_cast<void>(sizeof(delta))
 #define ARCHYTAS_GAUGE_SET(name, value) static_cast<void>(sizeof(value))
 #define ARCHYTAS_HIST_RECORD(name, value) static_cast<void>(sizeof(value))
+#define ARCHYTAS_TRACE_SCOPE(session, frame, recorder)                       \
+    static_cast<void>(sizeof(session) + sizeof(frame) + sizeof(recorder))
+#define ARCHYTAS_FLOW_BEGIN(category, name) static_cast<void>(0)
+#define ARCHYTAS_FLOW_STEP(category, name) static_cast<void>(0)
+#define ARCHYTAS_FLOW_END(category, name) static_cast<void>(0)
 
 #endif // ARCHYTAS_TELEMETRY_ENABLED
 

@@ -36,16 +36,26 @@ AcceleratorPool::slotFreeTime(std::size_t slot) const
     return free_at_[slot];
 }
 
-AdmissionController::AdmissionController(std::size_t max_active)
-    : max_active_(max_active), tokens_(max_active, 0.0)
+AdmissionController::AdmissionController(std::size_t max_active,
+                                         std::size_t max_queued)
+    : max_active_(max_active), max_queued_(max_queued),
+      tokens_(max_active, 0.0)
 {
     ARCHYTAS_ASSERT(max_active > 0,
                     "admission needs at least 1 active session");
 }
 
-void
+bool
 AdmissionController::enqueue(std::size_t session, double arrival_s)
 {
+    // Bounded waiting room: announcements outstanding = active sessions
+    // plus the queue; the first max_active_ queued announcements are
+    // covered by admission capacity, the rest occupy the room.
+    if (max_queued_ > 0 &&
+        active_ + queue_.size() >= max_active_ + max_queued_) {
+        ++rejected_;
+        return false;
+    }
     Admission a;
     a.session = session;
     a.arrival_s = arrival_s;
@@ -57,6 +67,7 @@ AdmissionController::enqueue(std::size_t session, double arrival_s)
             return lhs.session < rhs.session;
         });
     queue_.insert(pos, a);
+    return true;
 }
 
 std::optional<AdmissionController::Admission>

@@ -59,11 +59,21 @@ class AcceleratorPool
  * Session-granularity admission control: at most max_active sessions
  * are live at once; later arrivals queue FIFO (ties broken by session
  * id) and are admitted as finishing sessions return capacity.
+ *
+ * With max_queued > 0 the waiting room is bounded: a session announced
+ * while max_active + max_queued announcements are already outstanding
+ * is rejected outright (enqueue returns false). The bound is measured
+ * at announcement time -- announce arrivals in (arrival, id) order --
+ * which keeps rejection a pure function of the arrival schedule,
+ * independent of completion times, so the timeline stays deterministic
+ * (the model is conservative: it never credits capacity a completion
+ * might have freed before the arrival).
  */
 class AdmissionController
 {
   public:
-    explicit AdmissionController(std::size_t max_active);
+    explicit AdmissionController(std::size_t max_active,
+                                 std::size_t max_queued = 0);
 
     /** One admission decision. */
     struct Admission
@@ -75,8 +85,12 @@ class AdmissionController
         double wait_s() const { return admit_s - arrival_s; }
     };
 
-    /** Queues a session arrival (kept sorted by arrival, then id). */
-    void enqueue(std::size_t session, double arrival_s);
+    /**
+     * Queues a session arrival (kept sorted by arrival, then id).
+     * Returns false -- and queues nothing -- when the bounded waiting
+     * room is full (see the class comment); always true when unbounded.
+     */
+    bool enqueue(std::size_t session, double arrival_s);
 
     /**
      * Admits the head of the queue if capacity remains; consumes one
@@ -90,10 +104,14 @@ class AdmissionController
 
     std::size_t active() const { return active_; }
     std::size_t queued() const { return queue_.size(); }
+    /** Sessions turned away by the bounded waiting room. */
+    std::size_t rejected() const { return rejected_; }
 
   private:
     std::size_t max_active_;
+    std::size_t max_queued_;   //!< 0 = unbounded waiting room.
     std::size_t active_ = 0;
+    std::size_t rejected_ = 0;
     /** Free capacity tokens; value = time the capacity became free. */
     std::vector<double> tokens_;
     std::deque<Admission> queue_;   //!< Sorted by (arrival_s, session).

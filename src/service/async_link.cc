@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/contracts.hh"
+#include "common/telemetry.hh"
 
 namespace archytas::service {
 
@@ -49,6 +50,9 @@ AsyncHostLink::begin(const slam::WindowWorkload &workload,
                      const FaultPlan &faults) const
 {
     PendingTransaction pending;
+    // Flow hop: the frame's arc passes through the async issue point,
+    // linking the session's numeric work to the transaction it spawned.
+    ARCHYTAS_FLOW_STEP("service", "trace.frame");
     // The synchronous accounting: words, status, attempts, host.*
     // counters -- byte-for-byte what a sync caller would record.
     pending.txn = host_.windowTransaction(workload, config_changed,

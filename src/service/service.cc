@@ -57,6 +57,16 @@ ServiceReport::latencyPercentileMs(double p) const
     return percentile(std::move(ms), p);
 }
 
+bool
+ServiceReport::sloPass() const
+{
+    for (const SloVerdict &v : slo) {
+        if (!v.pass())
+            return false;
+    }
+    return true;
+}
+
 LocalizationService::LocalizationService(const ServiceOptions &options)
     : options_(options)
 {
@@ -91,8 +101,10 @@ LocalizationService::run()
     ARCHYTAS_ASSERT(!ran_, "LocalizationService::run called twice");
     ran_ = true;
 
-    AdmissionController admission(options_.max_active_sessions);
+    AdmissionController admission(options_.max_active_sessions,
+                                  options_.max_queued_sessions);
     AcceleratorPool pool(options_.accelerator_slots);
+    SloEngine slo_engine(options_.slo);
 
     ServiceReport report;
     report.sessions.resize(sessions_.size());
@@ -101,7 +113,38 @@ LocalizationService::run()
         sr.id = id;
         sr.label = sessions_[id]->context().label;
         sr.arrival_s = sessions_[id]->config().arrival_s;
-        admission.enqueue(id, sr.arrival_s);
+    }
+
+    // Announce arrivals in (arrival, id) order so the bounded waiting
+    // room sees them the way the timeline would (accel_pool.hh).
+    std::vector<std::size_t> announce(sessions_.size());
+    for (std::size_t i = 0; i < announce.size(); ++i)
+        announce[i] = i;
+    std::sort(announce.begin(), announce.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const double aa = report.sessions[a].arrival_s;
+                  const double ab = report.sessions[b].arrival_s;
+                  if (aa != ab)
+                      return aa < ab;
+                  return a < b;
+              });
+    for (const std::size_t id : announce) {
+        SessionReport &sr = report.sessions[id];
+        if (admission.enqueue(id, sr.arrival_s))
+            continue;
+        sr.rejected = true;
+        slo_engine.recordAdmission(true);
+        ARCHYTAS_COUNT_ADD("service.admission_rejects", 1);
+        ARCHYTAS_INSTANT("service", "service.session_rejected",
+                         {"session", static_cast<double>(id)},
+                         {"arrival_s", sr.arrival_s});
+#if ARCHYTAS_TELEMETRY_ENABLED
+        if (telemetry::enabled()) {
+            sessions_[id]->flight().record(
+                telemetry::FlightKind::Fault, "admission_reject", 0);
+            sessions_[id]->dumpFlight("admission_reject");
+        }
+#endif
     }
 
     /** A session holding an admission token. */
@@ -119,6 +162,7 @@ LocalizationService::run()
         while (const auto a = admission.admitNext()) {
             active.push_back({a->session, a->admit_s, a->admit_s});
             report.sessions[a->session].admit_s = a->admit_s;
+            slo_engine.recordAdmission(false);
             ARCHYTAS_COUNT_ADD("service.sessions_started", 1);
             ARCHYTAS_HIST_RECORD("service.admission_wait_ms",
                                  a->wait_s() * 1e3);
@@ -166,7 +210,15 @@ LocalizationService::run()
         for (const std::size_t i : order) {
             Active &s = active[i];
             const SessionStep &step = steps[i];
-            const RobotSession &session = *sessions_[s.id];
+            RobotSession &session = *sessions_[s.id];
+            const auto frame_index =
+                static_cast<std::uint32_t>(session.frameIndex() - 1);
+            // Same causal identity the numeric phase used, so the
+            // scheduling span lands on the session's track and the flow
+            // arc opened in stepFrame closes here.
+            ARCHYTAS_TRACE_SCOPE(static_cast<std::uint32_t>(s.id),
+                                 frame_index, &session.flight());
+            ARCHYTAS_SPAN("service", "service.schedule_frame");
             const double available = s.admit_s + step.frame_offset_s;
             const double request =
                 std::max(available, s.prev_complete_s);
@@ -192,7 +244,7 @@ LocalizationService::run()
 
                 FrameTrace trace;
                 trace.session = s.id;
-                trace.frame = session.frameIndex() - 1;
+                trace.frame = frame_index;
                 trace.available_s = available;
                 trace.request_s = request;
                 trace.link_s = link_s;
@@ -203,6 +255,10 @@ LocalizationService::run()
                     trace.admission_wait_s = grant.wait_s;
                     trace.compute_s = compute_s;
                     complete = grant.start_s + link_s + compute_s;
+                    ARCHYTAS_INSTANT(
+                        "service", "service.slot_grant",
+                        {"slot", static_cast<double>(grant.slot)},
+                        {"wait_ms", grant.wait_s * 1e3});
                 } else {
                     // The link burned its deadline + backoff budget;
                     // the solve runs on the host CPU -- slower, but it
@@ -216,10 +272,19 @@ LocalizationService::run()
                                      trace.latency_s() * 1e3);
                 ARCHYTAS_HIST_RECORD("service.slot_wait_ms",
                                      trace.admission_wait_s * 1e3);
+                slo_engine.recordFrame(true, trace.latency_s() * 1e3,
+                                       hw_solved,
+                                       step.frame.health.solver_diverged);
                 report.traces.push_back(trace);
+            } else {
+                slo_engine.recordFrame(
+                    false, 0.0, true,
+                    step.frame.health.solver_diverged);
             }
             s.prev_complete_s = complete;
             ARCHYTAS_COUNT_ADD("service.frames", 1);
+            ARCHYTAS_FLOW_END("service", "trace.frame");
+            ARCHYTAS_COUNT_ADD("trace.frames_linked", 1);
         }
 
         // Retire finished sessions -- releasing capacity in completion
@@ -244,6 +309,16 @@ LocalizationService::run()
         }
         active = std::move(still);
         admitAvailable();
+    }
+
+    report.slo = slo_engine.verdicts();
+    slo_engine.publish();
+
+    // On-demand dump: one bundle per session, rejected ones included
+    // (their rings hold only the rejection marker).
+    if (!options_.flight_dump_dir.empty()) {
+        for (const auto &session : sessions_)
+            session->dumpFlight("on_demand", options_.flight_dump_dir);
     }
     return report;
 }

@@ -32,6 +32,7 @@
 
 #include "service/accel_pool.hh"
 #include "service/session.hh"
+#include "service/slo.hh"
 
 namespace archytas::service {
 
@@ -50,6 +51,24 @@ struct ServiceOptions
      * the datapath by roughly this factor (docs/SERVICE.md).
      */
     double software_fallback_factor = 4.0;
+    /**
+     * Bounded admission waiting room: arrivals announced beyond
+     * max_active_sessions + max_queued_sessions outstanding are
+     * rejected (accel_pool.hh). 0 keeps the room unbounded -- the
+     * pre-existing behavior.
+     */
+    std::size_t max_queued_sessions = 0;
+    /**
+     * Service-level objectives evaluated during the scheduling phase
+     * (slo.hh); the default (empty) spec disables evaluation.
+     */
+    SloSpec slo;
+    /**
+     * When non-empty, every session's flight ring is dumped here at the
+     * end of run() (trigger "on_demand") -- the --flight-dump path.
+     * Trigger-driven dumps use telemetry::postmortemDir() regardless.
+     */
+    std::string flight_dump_dir;
 };
 
 /** One optimized window placed on the simulated timeline. */
@@ -82,6 +101,8 @@ struct SessionReport
     double rmse_m = 0.0;         //!< Position RMSE over the trajectory.
     double max_error_m = 0.0;
     hw::HwSolveStats hw;         //!< The session's solver statistics.
+    /** Turned away by the bounded waiting room; never ran a frame. */
+    bool rejected = false;
 };
 
 /** Aggregate outcome of one service run. */
@@ -90,11 +111,16 @@ struct ServiceReport
     std::vector<SessionReport> sessions;
     std::vector<FrameTrace> traces;   //!< One per optimized window.
     double makespan_s = 0.0;          //!< Last completion on the timeline.
+    /** One verdict per enabled SLO objective (slo.hh); bit-identical
+     *  at any thread count -- the inputs are all simulated-timeline. */
+    std::vector<SloVerdict> slo;
 
     /** Sessions completed per simulated second. */
     double sessionsPerSecond() const;
     /** Frame-latency percentile (exact, from the traces) in ms. */
     double latencyPercentileMs(double p) const;
+    /** True when every enabled SLO objective passed (vacuously true). */
+    bool sloPass() const;
 };
 
 /**

@@ -119,7 +119,17 @@ RobotSession::stepFrame()
     has_pending_ = false;
 
     const dataset::FrameData &frame = frames_[next_frame_];
+    const auto frame_index = static_cast<std::uint32_t>(next_frame_);
     ++next_frame_;
+
+    // Causal scope: every span/counter/instant below -- including the
+    // estimator phases and the host-link transaction -- is tagged with
+    // (session, frame) and mirrored into the flight ring, and the flow
+    // arc opened here is closed by the service's scheduling phase.
+    ARCHYTAS_TRACE_SCOPE(static_cast<std::uint32_t>(ctx_.id),
+                         frame_index, &flight_);
+    ARCHYTAS_SPAN("session", "session.step");
+    ARCHYTAS_FLOW_BEGIN("service", "trace.frame");
 
     SessionStep step;
     step.frame = estimator_.processFrame(frame);
@@ -136,7 +146,47 @@ RobotSession::stepFrame()
         ARCHYTAS_COUNT_ADD("session.degraded_frames", 1);
     ARCHYTAS_HIST_RECORD("session.position_error",
                          step.frame.position_error);
+
+#if ARCHYTAS_TELEMETRY_ENABLED
+    // Postmortem triggers: capture the forensic ring the moment the
+    // divergence watchdog trips or the hw solver falls back, while the
+    // offending frame's records are still the freshest in the buffer.
+    if (telemetry::enabled()) {
+        if (step.frame.health.solver_diverged) {
+            flight_.record(telemetry::FlightKind::Fault, "watchdog",
+                           frame_index);
+            dumpFlight("watchdog");
+        } else if (step.frame.health.hw_fallback) {
+            flight_.record(telemetry::FlightKind::Fault, "hw_fallback",
+                           frame_index);
+            dumpFlight("hw_fallback");
+        }
+    }
+#endif
     return step;
+}
+
+bool
+RobotSession::dumpFlight(const char *trigger,
+                         const std::string &dir) const
+{
+#if ARCHYTAS_TELEMETRY_ENABLED
+    if (!telemetry::enabled())
+        return false;
+    const std::string target =
+        dir.empty() ? telemetry::postmortemDir() : dir;
+    if (target.empty())
+        return false;
+    const auto frame = static_cast<std::uint32_t>(
+        next_frame_ == 0 ? 0 : next_frame_ - 1);
+    return flight_.writePostmortem(
+        telemetry::postmortemPath(target, ctx_.label), ctx_.id,
+        ctx_.label, trigger, frame);
+#else
+    static_cast<void>(trigger);
+    static_cast<void>(dir);
+    return false;
+#endif
 }
 
 } // namespace archytas::service

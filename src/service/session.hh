@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/fault.hh"
+#include "common/flight_recorder.hh"
 #include "common/rng.hh"
 #include "dataset/sequence.hh"
 #include "hw/hw_solver.hh"
@@ -131,6 +132,19 @@ class RobotSession
     }
     const AsyncHostLink &link() const { return link_; }
 
+    /** The session's postmortem ring (empty while telemetry is off). */
+    const telemetry::FlightRecorder &flight() const { return flight_; }
+    telemetry::FlightRecorder &flight() { return flight_; }
+
+    /**
+     * Dumps the flight ring as `postmortem_<label>.json` under dir
+     * (telemetry::postmortemDir() when dir is empty; no-op when both
+     * are empty or telemetry is off). Returns true when a bundle was
+     * written.
+     */
+    bool dumpFlight(const char *trigger,
+                    const std::string &dir = std::string()) const;
+
   private:
     [[nodiscard]] slam::LmReport
     solveWindowAsync(slam::WindowProblem &problem,
@@ -156,6 +170,9 @@ class RobotSession
     bool has_pending_ = false;
     std::size_t pending_window_ = 0;
     std::vector<slam::FrameResult> results_;
+    /** Postmortem ring mirroring this session's spans/counters/instants
+     *  while its trace scope is active (common/flight_recorder.hh). */
+    telemetry::FlightRecorder flight_;
 };
 
 } // namespace archytas::service

@@ -1,0 +1,234 @@
+#include "service/slo.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/contracts.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "common/telemetry.hh"
+
+namespace archytas::service {
+
+bool
+SloSpec::any() const
+{
+    return frame_p99_ms > 0.0 || max_fallback_rate >= 0.0 ||
+           max_divergence_rate >= 0.0 || max_rejection_rate >= 0.0;
+}
+
+bool
+SloSpec::tryParse(const std::string &text, SloSpec &spec,
+                  std::string *error)
+{
+    const auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string item = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        const std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            return fail("slo spec item without '=': " + item);
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+        char *end = nullptr;
+        const double v = std::strtod(value.c_str(), &end);
+        if (value.empty() || end == nullptr || *end != '\0')
+            return fail("slo spec value not numeric: " + item);
+        if (key == "p99_ms") {
+            spec.frame_p99_ms = v;
+        } else if (key == "fallback") {
+            spec.max_fallback_rate = v;
+        } else if (key == "divergence") {
+            spec.max_divergence_rate = v;
+        } else if (key == "reject") {
+            spec.max_rejection_rate = v;
+        } else if (key == "window") {
+            if (v < 1.0)
+                return fail("slo window must be >= 1: " + item);
+            spec.window = static_cast<std::size_t>(v);
+        } else {
+            return fail("unknown slo spec key: " + key);
+        }
+    }
+    return true;
+}
+
+SloSpec
+SloSpec::parse(const std::string &text)
+{
+    SloSpec spec;
+    std::string error;
+    if (!tryParse(text, spec, &error))
+        ARCHYTAS_FATAL("bad --slo spec: ", error);
+    return spec;
+}
+
+std::string
+SloSpec::describe() const
+{
+    char buf[64];
+    std::string out;
+    const auto append = [&](const char *key, double v) {
+        std::snprintf(buf, sizeof buf, "%s%s=%g", out.empty() ? "" : ",",
+                      key, v);
+        out += buf;
+    };
+    if (frame_p99_ms > 0.0)
+        append("p99_ms", frame_p99_ms);
+    if (max_fallback_rate >= 0.0)
+        append("fallback", max_fallback_rate);
+    if (max_divergence_rate >= 0.0)
+        append("divergence", max_divergence_rate);
+    if (max_rejection_rate >= 0.0)
+        append("reject", max_rejection_rate);
+    append("window", static_cast<double>(window));
+    return out;
+}
+
+SloEngine::SloEngine(const SloSpec &spec) : spec_(spec)
+{
+    ARCHYTAS_ASSERT(spec.window > 0, "slo window must be >= 1");
+}
+
+namespace {
+
+/** Pushes into a sliding window, evicting the oldest past capacity. */
+template <typename T>
+void
+slide(std::deque<T> &window, T value, std::size_t capacity)
+{
+    window.push_back(value);
+    if (window.size() > capacity)
+        window.pop_front();
+}
+
+/** Fraction of set flags in a window (0 on an empty window). */
+double
+rate(const std::deque<std::uint8_t> &window)
+{
+    if (window.empty())
+        return 0.0;
+    std::size_t set = 0;
+    for (const std::uint8_t f : window)
+        set += f;
+    return static_cast<double>(set) /
+           static_cast<double>(window.size());
+}
+
+} // namespace
+
+void
+SloEngine::evaluateWindows()
+{
+    if (spec_.frame_p99_ms > 0.0 && !latencies_.empty()) {
+        std::vector<double> ms(latencies_.begin(), latencies_.end());
+        p99_.observe(percentile(std::move(ms), 99.0),
+                     spec_.frame_p99_ms);
+    }
+    if (spec_.max_fallback_rate >= 0.0 && !fallbacks_.empty())
+        fallback_.observe(rate(fallbacks_), spec_.max_fallback_rate);
+    if (spec_.max_divergence_rate >= 0.0 && !diverged_.empty())
+        divergence_.observe(rate(diverged_),
+                            spec_.max_divergence_rate);
+}
+
+void
+SloEngine::recordFrame(bool optimized, double latency_ms, bool hw_solved,
+                       bool diverged)
+{
+    if (!spec_.any())
+        return;
+    if (optimized) {
+        slide(latencies_, latency_ms, spec_.window);
+        slide<std::uint8_t>(fallbacks_, hw_solved ? 0 : 1,
+                            spec_.window);
+    }
+    slide<std::uint8_t>(diverged_, diverged ? 1 : 0, spec_.window);
+    evaluateWindows();
+}
+
+void
+SloEngine::recordAdmission(bool rejected)
+{
+    if (rejected)
+        ++rejections_;
+    else
+        ++admissions_;
+    if (spec_.max_rejection_rate >= 0.0) {
+        const std::uint64_t total = admissions_ + rejections_;
+        rejection_.observe(static_cast<double>(rejections_) /
+                               static_cast<double>(total),
+                           spec_.max_rejection_rate);
+    }
+}
+
+std::vector<SloVerdict>
+SloEngine::verdicts() const
+{
+    std::vector<SloVerdict> out;
+    const auto add = [&](const char *name, double bound,
+                         const Objective &o) {
+        SloVerdict v;
+        v.objective = name;
+        v.bound = bound;
+        v.worst = o.worst;
+        v.evaluations = o.evaluations;
+        v.violations = o.violations;
+        out.push_back(std::move(v));
+    };
+    if (spec_.frame_p99_ms > 0.0)
+        add("frame_p99_ms", spec_.frame_p99_ms, p99_);
+    if (spec_.max_fallback_rate >= 0.0)
+        add("fallback_rate", spec_.max_fallback_rate, fallback_);
+    if (spec_.max_divergence_rate >= 0.0)
+        add("divergence_rate", spec_.max_divergence_rate, divergence_);
+    if (spec_.max_rejection_rate >= 0.0)
+        add("rejection_rate", spec_.max_rejection_rate, rejection_);
+    return out;
+}
+
+bool
+SloEngine::allPass() const
+{
+    for (const SloVerdict &v : verdicts()) {
+        if (!v.pass())
+            return false;
+    }
+    return true;
+}
+
+void
+SloEngine::publish() const
+{
+    if (spec_.frame_p99_ms > 0.0)
+        ARCHYTAS_GAUGE_SET("slo.frame_p99_ms", p99_.worst);
+    if (spec_.max_fallback_rate >= 0.0)
+        ARCHYTAS_GAUGE_SET("slo.fallback_rate", fallback_.worst);
+    if (spec_.max_divergence_rate >= 0.0)
+        ARCHYTAS_GAUGE_SET("slo.divergence_rate", divergence_.worst);
+    if (spec_.max_rejection_rate >= 0.0)
+        ARCHYTAS_GAUGE_SET("slo.rejection_rate", rejection_.worst);
+    for (const SloVerdict &v : verdicts()) {
+        ARCHYTAS_COUNT_ADD("slo.evaluations", v.evaluations);
+        ARCHYTAS_COUNT_ADD("slo.violations", v.violations);
+        ARCHYTAS_INSTANT("slo", "slo.verdict",
+                         {"pass", v.pass() ? 1.0 : 0.0},
+                         {"bound", v.bound},
+                         {"observed", v.worst},
+                         {"violations",
+                          static_cast<double>(v.violations)});
+    }
+}
+
+} // namespace archytas::service

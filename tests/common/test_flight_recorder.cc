@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Flight-recorder tests (docs/OBSERVABILITY.md): ring semantics (wrap,
+ * drop accounting, oldest-first iteration), clear, and the postmortem
+ * bundle round-trip -- the JSON a tripped watchdog dumps must carry the
+ * schema, trigger, and every retained record in sequence order, because
+ * tools/archytas_slo_report.py --check validates exactly that.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/flight_recorder.hh"
+
+namespace archytas::telemetry {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(FlightRecorder, RecordsOldestFirstBelowCapacity)
+{
+    FlightRecorder rec(8);
+    EXPECT_EQ(rec.size(), 0u);
+    EXPECT_EQ(rec.capacity(), 8u);
+
+    rec.record(FlightKind::SpanBegin, "session.step", 0);
+    rec.record(FlightKind::Count, "session.frames", 0, 1.0);
+    rec.record(FlightKind::SpanEnd, "session.step", 0);
+    ASSERT_EQ(rec.size(), 3u);
+    EXPECT_EQ(rec.dropped(), 0u);
+    EXPECT_EQ(rec.sequence(), 3u);
+
+    EXPECT_EQ(rec.entry(0).kind, FlightKind::SpanBegin);
+    EXPECT_STREQ(rec.entry(0).name, "session.step");
+    EXPECT_EQ(rec.entry(0).seq, 0u);
+    EXPECT_EQ(rec.entry(1).kind, FlightKind::Count);
+    EXPECT_EQ(rec.entry(1).value, 1.0);
+    EXPECT_EQ(rec.entry(2).kind, FlightKind::SpanEnd);
+    EXPECT_EQ(rec.entry(2).seq, 2u);
+}
+
+TEST(FlightRecorder, WrapsOverwritingOldestAndCountsDrops)
+{
+    FlightRecorder rec(4);
+    for (std::uint32_t i = 0; i < 10; ++i)
+        rec.record(FlightKind::Timeline, "placement", i,
+                   static_cast<double>(i));
+    EXPECT_EQ(rec.size(), 4u);
+    EXPECT_EQ(rec.dropped(), 6u);
+    EXPECT_EQ(rec.sequence(), 10u);
+    // The retained window is the newest four, oldest first, with
+    // monotonically increasing sequence numbers.
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(rec.entry(i).seq, 6u + i);
+        EXPECT_EQ(rec.entry(i).frame, 6u + i);
+        EXPECT_EQ(rec.entry(i).value, static_cast<double>(6 + i));
+    }
+}
+
+TEST(FlightRecorder, ClearEmptiesButKeepsCapacity)
+{
+    FlightRecorder rec(4);
+    for (std::uint32_t i = 0; i < 6; ++i)
+        rec.record(FlightKind::Count, "n", i);
+    rec.clear();
+    EXPECT_EQ(rec.size(), 0u);
+    EXPECT_EQ(rec.dropped(), 0u);
+    EXPECT_EQ(rec.capacity(), 4u);
+    rec.record(FlightKind::Fault, "watchdog", 7, 1.0);
+    ASSERT_EQ(rec.size(), 1u);
+    EXPECT_EQ(rec.entry(0).kind, FlightKind::Fault);
+    EXPECT_STREQ(rec.entry(0).name, "watchdog");
+}
+
+TEST(FlightRecorder, KindNamesAreStable)
+{
+    // The postmortem schema (archytas-postmortem-v1) and
+    // tools/archytas_slo_report.py's RECORD_KINDS both bake these in.
+    EXPECT_STREQ(flightKindName(FlightKind::SpanBegin), "span_begin");
+    EXPECT_STREQ(flightKindName(FlightKind::SpanEnd), "span_end");
+    EXPECT_STREQ(flightKindName(FlightKind::Count), "count");
+    EXPECT_STREQ(flightKindName(FlightKind::Instant), "instant");
+    EXPECT_STREQ(flightKindName(FlightKind::Decision), "decision");
+    EXPECT_STREQ(flightKindName(FlightKind::Timeline), "timeline");
+    EXPECT_STREQ(flightKindName(FlightKind::Fault), "fault");
+}
+
+TEST(FlightRecorder, PostmortemPathComposition)
+{
+    EXPECT_EQ(postmortemPath("/tmp/out", "robot-3"),
+              "/tmp/out/postmortem_robot-3.json");
+}
+
+TEST(FlightRecorder, PostmortemBundleRoundTrip)
+{
+    FlightRecorder rec(8);
+    rec.record(FlightKind::SpanBegin, "session.step", 4);
+    rec.record(FlightKind::Count, "health.hw_fallbacks", 4, 1.0);
+    rec.record(FlightKind::Fault, "hw_fallback", 4, 0.0);
+
+    const std::string dir = ::testing::TempDir() + "archytas_postmortem";
+    const std::string path = postmortemPath(dir, "session-2");
+    ASSERT_TRUE(
+        rec.writePostmortem(path, /*session=*/2, "session-2",
+                            "hw_fallback", /*frame=*/4));
+
+    const std::string json = slurp(path);
+    EXPECT_NE(json.find("\"archytas-postmortem-v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"session\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"trigger\": \"hw_fallback\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"dropped\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"span_begin\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"count\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"fault\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"health.hw_fallbacks\""),
+              std::string::npos);
+    // Sequence numbers present and start from the oldest retained.
+    EXPECT_NE(json.find("\"seq\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"seq\": 2"), std::string::npos);
+}
+
+TEST(FlightRecorder, PostmortemCreatesMissingDirectory)
+{
+    FlightRecorder rec(4);
+    rec.record(FlightKind::Instant, "runtime.decide", 1, 3.0);
+    const std::string dir = ::testing::TempDir() +
+                            "archytas_postmortem_nested/deep";
+    const std::string path = postmortemPath(dir, "s0");
+    EXPECT_TRUE(rec.writePostmortem(path, 0, "s0", "on_demand", 1));
+    EXPECT_FALSE(slurp(path).empty());
+}
+
+} // namespace
+} // namespace archytas::telemetry

@@ -10,12 +10,14 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
 
+#include "common/flight_recorder.hh"
 #include "common/parallel.hh"
 #include "common/telemetry.hh"
 
@@ -159,6 +161,88 @@ TEST_F(TelemetryTest, HistogramCountsNanApart)
     EXPECT_DOUBLE_EQ(v->mean(), 50.5);
 }
 
+TEST_F(TelemetryTest, SingleSamplePercentilesClampToTheSample)
+{
+    Histogram &h = histogram("test.single_sample");
+    h.record(42.0);
+    const auto snap = snapshotMetrics();
+    const auto *v = findHistogram(snap, "test.single_sample");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->count, 1u);
+    EXPECT_EQ(v->min, 42.0);
+    EXPECT_EQ(v->max, 42.0);
+    EXPECT_DOUBLE_EQ(v->mean(), 42.0);
+    // Every percentile of a single sample is that sample: the estimate
+    // clamps to [min, max], which pin it exactly.
+    EXPECT_EQ(approxPercentile(*v, 0), 42.0);
+    EXPECT_EQ(approxPercentile(*v, 50), 42.0);
+    EXPECT_EQ(approxPercentile(*v, 99), 42.0);
+    EXPECT_EQ(approxPercentile(*v, 100), 42.0);
+}
+
+TEST_F(TelemetryTest, NanCountedApartAcrossShardMerges)
+{
+    // NaN samples recorded from different pool workers land in
+    // different shards; the merge must tally them apart without
+    // poisoning min/max/sum of the finite samples.
+    parallel::setThreadCount(8);
+    constexpr std::size_t kItems = 4096;
+    // Direct handle calls rather than the macro, so the merge contract
+    // is tested even in ARCHYTAS_TELEMETRY=OFF builds.
+    Histogram &h = histogram("test.nan_shards");
+    parallel::parallelFor(0, kItems, [&h](std::size_t i) {
+        const double v =
+            (i % 4 == 0) ? std::numeric_limits<double>::quiet_NaN()
+                         : static_cast<double>(i % 7 + 1);
+        h.record(v);
+    });
+    const auto snap = snapshotMetrics();
+    const auto *v = findHistogram(snap, "test.nan_shards");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->nan_count, kItems / 4);
+    EXPECT_EQ(v->count, kItems - kItems / 4);
+    EXPECT_TRUE(std::isfinite(v->sum));
+    EXPECT_GE(v->min, 1.0);
+    EXPECT_LE(v->max, 7.0);
+}
+
+TEST_F(TelemetryTest, ShardMergeIsOrderIndependent)
+{
+    // The same multiset of samples recorded under different pool sizes
+    // (different shard assignments, different merge order) must
+    // snapshot identically: counts exactly, and sum bit-identically --
+    // the samples are small integers, so every partial sum is exact in
+    // a double regardless of association order.
+    const auto run = [](std::size_t threads) {
+        reset();
+        parallel::setThreadCount(threads);
+        Histogram &h = histogram("test.merge_order");
+        Counter &c = counter("test.merge_order_count");
+        parallel::parallelFor(0, 3000, [&](std::size_t i) {
+            h.record(static_cast<double>(i % 11));
+            c.add(2);
+        });
+        return snapshotMetrics();
+    };
+    const auto wide = run(8);
+    const auto narrow = run(2);
+    const auto *hw = findHistogram(wide, "test.merge_order");
+    const auto *hn = findHistogram(narrow, "test.merge_order");
+    ASSERT_NE(hw, nullptr);
+    ASSERT_NE(hn, nullptr);
+    EXPECT_EQ(hw->count, hn->count);
+    EXPECT_EQ(hw->nan_count, hn->nan_count);
+    EXPECT_EQ(hw->min, hn->min);
+    EXPECT_EQ(hw->max, hn->max);
+    EXPECT_EQ(hw->sum, hn->sum);
+    EXPECT_EQ(hw->buckets, hn->buckets);
+    const auto *cw = findCounter(wide, "test.merge_order_count");
+    const auto *cn = findCounter(narrow, "test.merge_order_count");
+    ASSERT_NE(cw, nullptr);
+    ASSERT_NE(cn, nullptr);
+    EXPECT_EQ(cw->value, cn->value);
+}
+
 TEST_F(TelemetryTest, ConcurrentCountingUnderThreadPoolIsExact)
 {
     parallel::setThreadCount(8);
@@ -226,6 +310,95 @@ TEST_F(TelemetryTest, SpansNestAndSortByStartTime)
     EXPECT_STREQ(events[2].args[0].name, "value");
     EXPECT_EQ(events[2].args[0].value, 3.0);
 }
+
+// The trace-context suite depends on the instrumentation macros, which
+// ARCHYTAS_TELEMETRY=OFF compiles to no-ops.
+#if ARCHYTAS_TELEMETRY_ENABLED
+
+TEST_F(TelemetryTest, TraceContextTagsSpansInstantsAndRestores)
+{
+    {
+        ARCHYTAS_TRACE_SCOPE(3u, 7u, nullptr);
+        ASSERT_NE(currentTraceContext(), nullptr);
+        EXPECT_EQ(currentTraceContext()->session, 3u);
+        EXPECT_EQ(currentTraceContext()->frame, 7u);
+        {
+            // Nested scope shadows, then restores, the outer context.
+            ARCHYTAS_TRACE_SCOPE(9u, 1u, nullptr);
+            EXPECT_EQ(currentTraceContext()->session, 9u);
+        }
+        EXPECT_EQ(currentTraceContext()->session, 3u);
+        {
+            ARCHYTAS_SPAN("test", "test.ctx_span");
+        }
+        ARCHYTAS_INSTANT("test", "test.ctx_marker", {"value", 1.0});
+    }
+    EXPECT_EQ(currentTraceContext(), nullptr);
+
+    const auto events = snapshotTrace();
+    ASSERT_EQ(events.size(), 2u);
+    const std::uint64_t want_flow = (std::uint64_t{3 + 1} << 32) | 7u;
+    for (const TraceEvent &e : events) {
+        EXPECT_TRUE(e.has_context) << e.name;
+        EXPECT_EQ(e.session, 3u);
+        EXPECT_EQ(e.frame, 7u);
+        EXPECT_EQ(e.flow_id, want_flow);
+    }
+}
+
+TEST_F(TelemetryTest, FlowEventsCarryPhasesAndSharedId)
+{
+    // Outside any scope, flow hops have nothing to link: no event.
+    ARCHYTAS_FLOW_BEGIN("test", "test.flow");
+    EXPECT_TRUE(snapshotTrace().empty());
+
+    {
+        ARCHYTAS_TRACE_SCOPE(1u, 2u, nullptr);
+        ARCHYTAS_FLOW_BEGIN("test", "test.flow");
+        ARCHYTAS_FLOW_STEP("test", "test.flow");
+        ARCHYTAS_FLOW_END("test", "test.flow");
+    }
+    const auto events = snapshotTrace();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].flow, FlowPhase::Start);
+    EXPECT_EQ(events[1].flow, FlowPhase::Step);
+    EXPECT_EQ(events[2].flow, FlowPhase::End);
+    const std::uint64_t want_flow = (std::uint64_t{1 + 1} << 32) | 2u;
+    for (const TraceEvent &e : events) {
+        EXPECT_TRUE(e.has_context);
+        EXPECT_EQ(e.flow_id, want_flow);
+        EXPECT_STREQ(e.name, "test.flow");
+    }
+}
+
+TEST_F(TelemetryTest, FlightRecorderMirrorsScopedActivity)
+{
+    FlightRecorder rec(16);
+    {
+        ARCHYTAS_TRACE_SCOPE(0u, 5u, &rec);
+        {
+            ARCHYTAS_SPAN("test", "test.mirror_span");
+            ARCHYTAS_COUNT_ADD("test.mirror_count", 3);
+        }
+        ARCHYTAS_INSTANT("test", "test.mirror_marker", {"value", 2.5});
+    }
+    // Counter deltas recorded outside any scope go nowhere.
+    ARCHYTAS_COUNT_ADD("test.mirror_count", 100);
+
+    ASSERT_EQ(rec.size(), 4u);
+    EXPECT_EQ(rec.entry(0).kind, FlightKind::SpanBegin);
+    EXPECT_STREQ(rec.entry(0).name, "test.mirror_span");
+    EXPECT_EQ(rec.entry(1).kind, FlightKind::Count);
+    EXPECT_STREQ(rec.entry(1).name, "test.mirror_count");
+    EXPECT_EQ(rec.entry(1).value, 3.0);
+    EXPECT_EQ(rec.entry(2).kind, FlightKind::SpanEnd);
+    EXPECT_EQ(rec.entry(3).kind, FlightKind::Instant);
+    EXPECT_EQ(rec.entry(3).value, 2.5);
+    for (std::size_t i = 0; i < rec.size(); ++i)
+        EXPECT_EQ(rec.entry(i).frame, 5u);
+}
+
+#endif // ARCHYTAS_TELEMETRY_ENABLED
 
 std::string
 slurp(const std::string &path)

@@ -12,10 +12,16 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "common/fault.hh"
+#include "common/flight_recorder.hh"
+#include "common/telemetry.hh"
 #include "service/service.hh"
 
 namespace archytas::service {
@@ -157,6 +163,141 @@ TEST(ServiceFaultRecovery, FaultedSessionRecoversWithoutInterference)
     // The healthy sessions saw no fallbacks.
     for (const std::size_t id : {0u, 2u, 3u})
         EXPECT_EQ(report.sessions[id].hw.fallback_windows, 0u);
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * The forensic half of the fault contract (docs/OBSERVABILITY.md): when
+ * the hardware path gives up on a session mid-flight, its flight ring is
+ * dumped as a postmortem bundle without anyone asking, and the bundle
+ * carries enough to reconstruct the session's last frames.
+ */
+TEST(ServiceFaultRecovery, TrippedSessionDumpsPostmortemBundle)
+{
+#if !ARCHYTAS_TELEMETRY_ENABLED
+    GTEST_SKIP() << "postmortem dumps compiled out "
+                    "(ARCHYTAS_TELEMETRY=OFF)";
+#endif
+    constexpr std::size_t kFaulted = 1;
+    const std::string dir =
+        ::testing::TempDir() + "archytas_fault_postmortem";
+    std::filesystem::remove_all(dir);   // No stale bundles.
+
+    // Save/restore rather than reset: under ARCHYTAS_TELEMETRY_OUT the
+    // whole binary's registry is exported at exit, and wiping it here
+    // would erase every other test's events from that export.
+    const bool was_enabled = telemetry::enabled();
+    const std::string prev_dir = telemetry::postmortemDir();
+    telemetry::setEnabled(true);
+    telemetry::setPostmortemDir(dir);
+
+    ServiceOptions options;
+    options.accelerator_slots = 2;
+    options.max_active_sessions = 4;
+    options.seed = kServiceSeed;
+    LocalizationService svc(options);
+    for (std::size_t i = 0; i < 4; ++i) {
+        SessionConfig cfg = faultSuiteSession(i);
+        if (i == kFaulted)
+            cfg.faults = divergencePlan();
+        svc.addSession(cfg);
+    }
+    const ServiceReport report = svc.run();
+    ASSERT_GT(report.sessions[kFaulted].hw.fallback_windows, 0u);
+
+    // The faulted session's bundle exists and is structurally sound:
+    // right schema, right trigger family, records in sequence order.
+    const std::string path =
+        telemetry::postmortemPath(dir, report.sessions[kFaulted].label);
+    const std::string json = slurp(path);
+    ASSERT_FALSE(json.empty()) << path;
+    EXPECT_NE(json.find("\"archytas-postmortem-v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"session\": 1"), std::string::npos);
+    EXPECT_TRUE(json.find("\"trigger\": \"hw_fallback\"") !=
+                    std::string::npos ||
+                json.find("\"trigger\": \"watchdog\"") !=
+                    std::string::npos)
+        << json.substr(0, 200);
+    EXPECT_NE(json.find("\"kind\": \"fault\""), std::string::npos);
+    EXPECT_NE(json.find("\"records\""), std::string::npos);
+
+    // The ring kept recording after the dump (it wraps, by design), so
+    // the fault marker lives in the bundle, not necessarily in the
+    // final in-memory window; the bundle assertions above cover it.
+    EXPECT_GT(svc.session(kFaulted).flight().sequence(), 0u);
+
+    telemetry::setPostmortemDir(prev_dir);
+    telemetry::setEnabled(was_enabled);
+}
+
+/**
+ * Bounded waiting room (docs/SERVICE.md): with max_queued_sessions set,
+ * late arrivals beyond active+queued capacity are turned away at
+ * announcement time -- deterministically, with the rejection surfaced
+ * in the report, the SLO engine, and a postmortem bundle.
+ */
+TEST(ServiceFaultRecovery, OverloadedWaitingRoomRejectsDeterministically)
+{
+    const std::string dir =
+        ::testing::TempDir() + "archytas_reject_postmortem";
+    std::filesystem::remove_all(dir);   // No stale bundles.
+
+    const bool was_enabled = telemetry::enabled();
+    const std::string prev_dir = telemetry::postmortemDir();
+    telemetry::setEnabled(true);
+    telemetry::setPostmortemDir(dir);
+
+    ServiceOptions options;
+    options.accelerator_slots = 1;
+    options.max_active_sessions = 1;
+    options.max_queued_sessions = 1;   // Room for one waiter only.
+    options.seed = kServiceSeed;
+    SloSpec::tryParse("reject=0.10", options.slo);
+    LocalizationService svc(options);
+    for (std::size_t i = 0; i < 6; ++i) {
+        SessionConfig cfg = faultSuiteSession(i);
+        cfg.arrival_s = 0.0;   // Everyone at the door at once.
+        svc.addSession(cfg);
+    }
+    const ServiceReport report = svc.run();
+    ASSERT_EQ(report.sessions.size(), 6u);
+
+    std::size_t rejected = 0;
+    for (const SessionReport &sr : report.sessions) {
+        if (!sr.rejected)
+            continue;
+        ++rejected;
+        // A rejected session never stepped a frame, and its bundle
+        // records the admission rejection.
+        EXPECT_TRUE(svc.session(sr.id).results().empty());
+#if ARCHYTAS_TELEMETRY_ENABLED
+        const std::string json =
+            slurp(telemetry::postmortemPath(dir, sr.label));
+        ASSERT_FALSE(json.empty()) << sr.label;
+        EXPECT_NE(json.find("\"trigger\": \"admission_reject\""),
+                  std::string::npos);
+#endif
+    }
+    // 1 active + 1 queued admitted at arrival; the rest turned away.
+    EXPECT_EQ(rejected, 4u);
+
+    // The rejection-rate objective (bound 0.10, observed 4/6) failed,
+    // and says so in the verdicts.
+    ASSERT_EQ(report.slo.size(), 1u);
+    EXPECT_EQ(report.slo[0].objective, "rejection_rate");
+    EXPECT_FALSE(report.slo[0].pass());
+    EXPECT_FALSE(report.sloPass());
+
+    telemetry::setPostmortemDir(prev_dir);
+    telemetry::setEnabled(was_enabled);
 }
 
 } // namespace

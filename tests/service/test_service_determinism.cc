@@ -12,11 +12,16 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/flight_recorder.hh"
 #include "common/parallel.hh"
+#include "common/telemetry.hh"
 #include "service/service.hh"
 
 namespace archytas::service {
@@ -178,6 +183,78 @@ TEST(ServiceDeterminism, TimelineIsIdenticalAcrossPoolSizes)
         EXPECT_EQ(bits(one.sessions[id].rmse_m),
                   bits(eight.sessions[id].rmse_m));
     }
+}
+
+TEST(ServiceDeterminism, SloVerdictsAndFlightRingsMatchAcrossPoolSizes)
+{
+#if !ARCHYTAS_TELEMETRY_ENABLED
+    GTEST_SKIP() << "flight mirroring compiled out "
+                    "(ARCHYTAS_TELEMETRY=OFF)";
+#endif
+    // The observability extension of the contract (docs/OBSERVABILITY.md):
+    // SLO verdicts are computed from simulated-timeline numbers in the
+    // serial scheduling phase, and flight records carry no wall-clock
+    // values, so both must reproduce bit-identically at any pool size.
+    PoolSizeGuard guard;
+    const std::vector<SessionConfig> mix = sessionMix();
+
+    telemetry::reset();
+    telemetry::setEnabled(true);
+
+    const auto runAt = [&](std::size_t threads) {
+        parallel::setThreadCount(threads);
+        ServiceOptions options;
+        options.accelerator_slots = 2;
+        options.max_active_sessions = 4;
+        options.seed = kServiceSeed;
+        SloSpec::tryParse(
+            "p99_ms=60000,fallback=0.9,divergence=0.5,reject=0.5,"
+            "window=16",
+            options.slo);
+        auto svc = std::make_unique<LocalizationService>(options);
+        for (const SessionConfig &cfg : mix)
+            svc->addSession(cfg);
+        ServiceReport report = svc->run();
+        return std::make_pair(std::move(svc), std::move(report));
+    };
+    auto [one_svc, one] = runAt(1);
+    auto [eight_svc, eight] = runAt(8);
+
+    // SLO verdicts: field-by-field, bounds and worsts bitwise.
+    ASSERT_FALSE(one.slo.empty());
+    ASSERT_EQ(one.slo.size(), eight.slo.size());
+    for (std::size_t i = 0; i < one.slo.size(); ++i) {
+        EXPECT_EQ(one.slo[i].objective, eight.slo[i].objective);
+        EXPECT_EQ(bits(one.slo[i].bound), bits(eight.slo[i].bound));
+        EXPECT_EQ(bits(one.slo[i].worst), bits(eight.slo[i].worst))
+            << one.slo[i].objective;
+        EXPECT_EQ(one.slo[i].evaluations, eight.slo[i].evaluations);
+        EXPECT_EQ(one.slo[i].violations, eight.slo[i].violations);
+    }
+
+    // Flight rings: every retained record identical in order, kind,
+    // name, frame, and value, for every session.
+    for (std::size_t id = 0; id < mix.size(); ++id) {
+        const telemetry::FlightRecorder &a = one_svc->session(id).flight();
+        const telemetry::FlightRecorder &b =
+            eight_svc->session(id).flight();
+        ASSERT_EQ(a.size(), b.size()) << "session " << id;
+        EXPECT_EQ(a.dropped(), b.dropped()) << "session " << id;
+        EXPECT_EQ(a.sequence(), b.sequence()) << "session " << id;
+        EXPECT_GT(a.sequence(), 0u) << "session " << id;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            SCOPED_TRACE("session " + std::to_string(id) + " record " +
+                         std::to_string(i));
+            EXPECT_EQ(a.entry(i).seq, b.entry(i).seq);
+            EXPECT_EQ(a.entry(i).kind, b.entry(i).kind);
+            EXPECT_STREQ(a.entry(i).name, b.entry(i).name);
+            EXPECT_EQ(a.entry(i).frame, b.entry(i).frame);
+            EXPECT_EQ(bits(a.entry(i).value), bits(b.entry(i).value));
+        }
+    }
+
+    telemetry::setEnabled(false);
+    telemetry::reset();
 }
 
 } // namespace

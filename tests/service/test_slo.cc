@@ -1,0 +1,186 @@
+/**
+ * @file
+ * SLO engine unit tests (docs/OBSERVABILITY.md): spec parsing and
+ * round-trip, sliding-window evaluation, worst-value tracking,
+ * violation counting, and the admission-rejection objective.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/slo.hh"
+
+namespace archytas::service {
+namespace {
+
+TEST(SloSpec, ParsesEveryKey)
+{
+    SloSpec spec;
+    std::string error;
+    ASSERT_TRUE(SloSpec::tryParse(
+        "p99_ms=250,fallback=0.10,divergence=0.05,reject=0.25,window=32",
+        spec, &error))
+        << error;
+    EXPECT_EQ(spec.frame_p99_ms, 250.0);
+    EXPECT_EQ(spec.max_fallback_rate, 0.10);
+    EXPECT_EQ(spec.max_divergence_rate, 0.05);
+    EXPECT_EQ(spec.max_rejection_rate, 0.25);
+    EXPECT_EQ(spec.window, 32u);
+    EXPECT_TRUE(spec.any());
+}
+
+TEST(SloSpec, OmittedObjectivesStayDisabled)
+{
+    SloSpec spec;
+    ASSERT_TRUE(SloSpec::tryParse("p99_ms=100", spec));
+    EXPECT_EQ(spec.frame_p99_ms, 100.0);
+    EXPECT_LT(spec.max_fallback_rate, 0.0);
+    EXPECT_LT(spec.max_divergence_rate, 0.0);
+    EXPECT_LT(spec.max_rejection_rate, 0.0);
+
+    SloSpec empty;
+    ASSERT_TRUE(SloSpec::tryParse("", empty));
+    EXPECT_FALSE(empty.any());
+}
+
+TEST(SloSpec, RejectsMalformedInput)
+{
+    SloSpec spec;
+    std::string error;
+    EXPECT_FALSE(SloSpec::tryParse("p99_ms", spec, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(SloSpec::tryParse("nosuchkey=1", spec));
+    EXPECT_FALSE(SloSpec::tryParse("p99_ms=abc", spec));
+    EXPECT_FALSE(SloSpec::tryParse("window=0.5x", spec));
+}
+
+TEST(SloSpec, DescribeRoundTrips)
+{
+    SloSpec spec;
+    ASSERT_TRUE(SloSpec::tryParse(
+        "p99_ms=250,fallback=0.1,divergence=0.05,reject=0.25,window=16",
+        spec));
+    SloSpec again;
+    ASSERT_TRUE(SloSpec::tryParse(spec.describe(), again));
+    EXPECT_EQ(again.frame_p99_ms, spec.frame_p99_ms);
+    EXPECT_EQ(again.max_fallback_rate, spec.max_fallback_rate);
+    EXPECT_EQ(again.max_divergence_rate, spec.max_divergence_rate);
+    EXPECT_EQ(again.max_rejection_rate, spec.max_rejection_rate);
+    EXPECT_EQ(again.window, spec.window);
+}
+
+TEST(SloEngine, EmptySpecYieldsNoVerdicts)
+{
+    SloEngine engine{SloSpec{}};
+    engine.recordFrame(true, 10.0, true, false);
+    EXPECT_TRUE(engine.verdicts().empty());
+    EXPECT_TRUE(engine.allPass());
+}
+
+TEST(SloEngine, LatencyWithinBoundPasses)
+{
+    SloSpec spec;
+    ASSERT_TRUE(SloSpec::tryParse("p99_ms=100,window=8", spec));
+    SloEngine engine(spec);
+    for (int i = 0; i < 32; ++i)
+        engine.recordFrame(true, 50.0, true, false);
+    const auto verdicts = engine.verdicts();
+    ASSERT_EQ(verdicts.size(), 1u);
+    EXPECT_EQ(verdicts[0].objective, "frame_p99_ms");
+    EXPECT_EQ(verdicts[0].bound, 100.0);
+    EXPECT_EQ(verdicts[0].worst, 50.0);
+    EXPECT_GT(verdicts[0].evaluations, 0u);
+    EXPECT_EQ(verdicts[0].violations, 0u);
+    EXPECT_TRUE(engine.allPass());
+}
+
+TEST(SloEngine, LatencySpikeViolatesAndTracksWorst)
+{
+    SloSpec spec;
+    ASSERT_TRUE(SloSpec::tryParse("p99_ms=100,window=4", spec));
+    SloEngine engine(spec);
+    for (int i = 0; i < 8; ++i)
+        engine.recordFrame(true, 50.0, true, false);
+    engine.recordFrame(true, 500.0, true, false);   // The spike.
+    for (int i = 0; i < 8; ++i)
+        engine.recordFrame(true, 50.0, true, false);
+    const auto verdicts = engine.verdicts();
+    ASSERT_EQ(verdicts.size(), 1u);
+    // The worst window holds the spike; its interpolated p99 sits just
+    // under the spike value, far above the healthy 50 ms windows.
+    EXPECT_GE(verdicts[0].worst, 400.0);
+    EXPECT_LE(verdicts[0].worst, 500.0);
+    EXPECT_GT(verdicts[0].violations, 0u);
+    EXPECT_FALSE(verdicts[0].pass());
+    EXPECT_FALSE(engine.allPass());
+}
+
+TEST(SloEngine, FallbackRateOverWindow)
+{
+    SloSpec spec;
+    ASSERT_TRUE(SloSpec::tryParse("fallback=0.25,window=4", spec));
+    SloEngine engine(spec);
+    // 2 fallbacks out of every 4 optimized frames: rate 0.5 > 0.25.
+    for (int i = 0; i < 16; ++i)
+        engine.recordFrame(true, 10.0, /*hw_solved=*/(i % 2) == 0,
+                           false);
+    const auto verdicts = engine.verdicts();
+    ASSERT_EQ(verdicts.size(), 1u);
+    EXPECT_EQ(verdicts[0].objective, "fallback_rate");
+    EXPECT_GT(verdicts[0].violations, 0u);
+    EXPECT_GE(verdicts[0].worst, 0.5);
+}
+
+TEST(SloEngine, DivergenceCountsEveryFrame)
+{
+    SloSpec spec;
+    ASSERT_TRUE(SloSpec::tryParse("divergence=0.5,window=4", spec));
+    SloEngine engine(spec);
+    // Non-optimized frames count toward divergence too (the watchdog
+    // can trip on any frame); all healthy here.
+    for (int i = 0; i < 8; ++i)
+        engine.recordFrame(i % 2 == 0, 5.0, true, /*diverged=*/false);
+    EXPECT_TRUE(engine.allPass());
+
+    for (int i = 0; i < 8; ++i)
+        engine.recordFrame(false, 0.0, true, /*diverged=*/true);
+    EXPECT_FALSE(engine.allPass());
+}
+
+TEST(SloEngine, RejectionRateOverWholeRun)
+{
+    SloSpec spec;
+    ASSERT_TRUE(SloSpec::tryParse("reject=0.25", spec));
+    SloEngine engine(spec);
+    engine.recordAdmission(false);
+    engine.recordAdmission(false);
+    engine.recordAdmission(false);
+    EXPECT_TRUE(engine.allPass());
+    engine.recordAdmission(true);   // 1/4 = 0.25: at the bound, passes.
+    EXPECT_TRUE(engine.allPass());
+    engine.recordAdmission(true);   // 2/5 = 0.4 > 0.25.
+    const auto verdicts = engine.verdicts();
+    ASSERT_EQ(verdicts.size(), 1u);
+    EXPECT_EQ(verdicts[0].objective, "rejection_rate");
+    EXPECT_FALSE(verdicts[0].pass());
+}
+
+TEST(SloEngine, VerdictOrderIsStable)
+{
+    SloSpec spec;
+    ASSERT_TRUE(SloSpec::tryParse(
+        "p99_ms=100,fallback=0.5,divergence=0.5,reject=0.5", spec));
+    SloEngine engine(spec);
+    engine.recordFrame(true, 10.0, true, false);
+    engine.recordAdmission(false);
+    const auto verdicts = engine.verdicts();
+    ASSERT_EQ(verdicts.size(), 4u);
+    EXPECT_EQ(verdicts[0].objective, "frame_p99_ms");
+    EXPECT_EQ(verdicts[1].objective, "fallback_rate");
+    EXPECT_EQ(verdicts[2].objective, "divergence_rate");
+    EXPECT_EQ(verdicts[3].objective, "rejection_rate");
+}
+
+} // namespace
+} // namespace archytas::service

@@ -4,26 +4,43 @@
 Input is the Chrome trace-event JSON written by --telemetry-out (see
 docs/OBSERVABILITY.md), plus optionally the metrics.json snapshot from
 the same directory. The report shows where the time went (top spans by
-total duration, per-phase p50/p95/p99) and what the run-time controller
+total duration, per-phase p50/p95/p99), what the run-time controller
 decided (decision table from the runtime.decide / runtime.hold instant
-events).
+events), and how many causal flow arcs (`ph:"s"/"t"/"f"`) link frames
+across the async boundary.
 
 `--check` turns the tool into a validator for CI: it verifies the trace
 schema event by event, that every category named via
---require-categories contributed at least one event, and -- when
---metrics is given -- that the metrics snapshot parses and carries at
-least one counter, gauge, and histogram. Exit code 0 on a valid export,
-1 otherwise.
+--require-categories contributed at least one event, that every flow
+arc is matched start-to-finish when --require-flows is given, and --
+when --metrics is given -- that the metrics snapshot parses and carries
+at least one counter, gauge, and histogram.
+
+Exit codes under --check:
+  0  valid export
+  1  schema violation (malformed events, missing categories, ...)
+  2  degenerate export: no events at all, or no complete span carries a
+     positive duration (instant-only / zero-duration sets) -- reported
+     distinctly so callers can tell "broken" from "empty"
 
 Usage:
   archytas_trace_report.py <trace.json> [--metrics <metrics.json>]
       [--top N] [--check] [--require-categories cat1,cat2,...]
+      [--require-flows]
 """
 
 import argparse
 import json
 import sys
 from collections import defaultdict
+
+EXIT_OK = 0
+EXIT_INVALID = 1
+EXIT_DEGENERATE = 2
+
+#: Phases the exporter emits: complete spans, instants, flow
+#: start/step/finish, and metadata (process names).
+KNOWN_PHASES = ("X", "i", "s", "t", "f", "M")
 
 
 def percentile(sorted_values, p):
@@ -33,6 +50,17 @@ def percentile(sorted_values, p):
     rank = max(0, min(len(sorted_values) - 1,
                       int(round(p / 100.0 * (len(sorted_values) - 1)))))
     return sorted_values[rank]
+
+
+def as_number(value, default=0):
+    """Coerces a JSON value to a number; null / junk become default."""
+    return value if isinstance(value, (int, float)) else default
+
+
+def event_args(event):
+    """The event's args dict; non-dict args degrade to empty."""
+    args = event.get("args")
+    return args if isinstance(args, dict) else {}
 
 
 def load_json(path, what):
@@ -52,21 +80,35 @@ def validate_events(events, require_categories):
         if not isinstance(event, dict):
             errors.append("%s: not an object" % where)
             continue
+        ph = event.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append("%s: unexpected phase %r" % (where, ph))
+            continue
+        if ph == "M":
+            # Metadata (process_name etc.): no cat / ts by design.
+            for key in ("name", "pid"):
+                if key not in event:
+                    errors.append("%s: metadata missing key '%s'"
+                                  % (where, key))
+            continue
         for key in ("name", "cat", "ph", "ts", "pid", "tid"):
             if key not in event:
                 errors.append("%s: missing key '%s'" % (where, key))
-        ph = event.get("ph")
-        if ph not in ("X", "i"):
-            errors.append("%s: unexpected phase %r" % (where, ph))
         if ph == "X":
             if not isinstance(event.get("dur"), (int, float)):
                 errors.append("%s: complete event without numeric dur"
                               % where)
             elif event["dur"] < 0:
                 errors.append("%s: negative duration" % where)
+        if ph in ("s", "t", "f") and not event.get("id"):
+            errors.append("%s: flow event without an id" % where)
         if not isinstance(event.get("ts"), (int, float)):
             errors.append("%s: non-numeric timestamp" % where)
-        for arg_name, arg_value in event.get("args", {}).items():
+        args = event.get("args", {})
+        if not isinstance(args, dict):
+            errors.append("%s: args is not an object" % where)
+            args = {}
+        for arg_name, arg_value in args.items():
             if not isinstance(arg_value, (int, float, type(None))):
                 errors.append("%s: arg %r is not numeric"
                               % (where, arg_name))
@@ -79,6 +121,49 @@ def validate_events(events, require_categories):
                           % (category,
                              ", ".join(sorted(seen_categories)) or "none"))
     return errors
+
+
+def flow_arcs(events):
+    """Maps flow id -> set of phases seen ('s'/'t'/'f')."""
+    arcs = defaultdict(set)
+    for event in events:
+        if isinstance(event, dict) and event.get("ph") in ("s", "t", "f"):
+            arcs[event.get("id")].add(event["ph"])
+    return arcs
+
+
+def validate_flows(events):
+    """Every flow arc must have both its start and its finish."""
+    arcs = flow_arcs(events)
+    errors = []
+    if not arcs:
+        errors.append("--require-flows: no flow events recorded")
+        return errors
+    unstarted = sorted(i for i, phs in arcs.items() if "s" not in phs)
+    unfinished = sorted(i for i, phs in arcs.items() if "f" not in phs)
+    for flow_id in unstarted[:10]:
+        errors.append("flow %s has no start event" % flow_id)
+    for flow_id in unfinished[:10]:
+        errors.append("flow %s has no finish event" % flow_id)
+    if len(unstarted) > 10 or len(unfinished) > 10:
+        errors.append("... %d unmatched flows in total"
+                      % len(set(unstarted) | set(unfinished)))
+    return errors
+
+
+def degenerate_reason(events):
+    """Why the export is empty-ish, or None when it has real spans."""
+    if not events:
+        return "no events recorded"
+    spans = [e for e in events
+             if isinstance(e, dict) and e.get("ph") == "X"]
+    if not spans:
+        return ("no complete spans recorded (%d events, all "
+                "instant/flow/metadata)" % len(events))
+    if all(as_number(e.get("dur"), 0) <= 0 for e in spans):
+        return ("all %d complete spans have zero duration (clock "
+                "resolution or a stubbed exporter?)" % len(spans))
+    return None
 
 
 def validate_metrics(metrics):
@@ -104,7 +189,11 @@ def span_table(events, top):
     durations = defaultdict(list)
     for event in events:
         if event.get("ph") == "X":
-            durations[event["name"]].append(event.get("dur", 0) / 1000.0)
+            durations[event["name"]].append(
+                as_number(event.get("dur"), 0) / 1000.0)
+    if not durations:
+        return ["top spans by total time: none recorded "
+                "(instant-only or empty trace)"]
     rows = []
     for name, values in durations.items():
         values.sort()
@@ -123,6 +212,17 @@ def span_table(events, top):
     return lines
 
 
+def flow_table(events):
+    """One-line flow-arc summary (matched/unmatched counts)."""
+    arcs = flow_arcs(events)
+    if not arcs:
+        return ["flow arcs: none recorded"]
+    matched = sum(1 for phs in arcs.values()
+                  if "s" in phs and "f" in phs)
+    return ["flow arcs: %d total, %d matched start-to-finish, "
+            "%d unmatched" % (len(arcs), matched, len(arcs) - matched)]
+
+
 def decision_table(events, top):
     """Controller decisions from runtime.decide/runtime.hold instants."""
     decisions = [e for e in events
@@ -132,23 +232,24 @@ def decision_table(events, top):
         return ["controller decisions: none recorded"]
     reconfigs = [e for e in decisions
                  if e["name"] == "runtime.hold" or
-                 e.get("args", {}).get("reconfigured")]
+                 event_args(e).get("reconfigured")]
     lines = ["controller decisions: %d windows, %d shown "
              "(reconfigurations and degraded holds):"
              % (len(decisions), min(len(reconfigs), top)),
              "  %-12s %10s %10s %6s  %s"
              % ("t (ms)", "features", "proposal", "Iter", "kind")]
     for event in reconfigs[:top]:
-        args = event.get("args", {})
+        args = event_args(event)
         if event["name"] == "runtime.hold":
             kind, features, proposal = "degraded hold", "-", "-"
         else:
             kind = "reconfigure"
-            features = "%d" % args.get("features", 0)
-            proposal = "%d" % args.get("proposal", 0)
+            features = "%d" % as_number(args.get("features"), 0)
+            proposal = "%d" % as_number(args.get("proposal"), 0)
         lines.append("  %-12.3f %10s %10s %6d  %s"
-                     % (event.get("ts", 0) / 1000.0, features, proposal,
-                        int(args.get("iter", 0)), kind))
+                     % (as_number(event.get("ts"), 0) / 1000.0, features,
+                        proposal, int(as_number(args.get("iter"), 0)),
+                        kind))
     return lines
 
 
@@ -159,19 +260,21 @@ def metrics_summary(metrics):
                 len(metrics.get("histograms", [])))]
     for counter in metrics.get("counters", []):
         lines.append("  counter   %-34s %d"
-                     % (counter.get("name", "?"), counter.get("value", 0)))
+                     % (counter.get("name", "?"),
+                        as_number(counter.get("value"), 0)))
     for gauge in metrics.get("gauges", []):
         if gauge.get("written"):
             lines.append("  gauge     %-34s %g"
                          % (gauge.get("name", "?"),
-                            gauge.get("value", 0.0)))
+                            as_number(gauge.get("value"), 0.0)))
     for hist in metrics.get("histograms", []):
-        count = hist.get("count", 0)
-        mean = hist.get("sum", 0.0) / count if count else 0.0
+        count = as_number(hist.get("count"), 0)
+        mean = as_number(hist.get("sum"), 0.0) / count if count else 0.0
         lines.append("  histogram %-34s n=%d mean=%g min=%g max=%g nan=%d"
                      % (hist.get("name", "?"), count, mean,
-                        hist.get("min", 0.0), hist.get("max", 0.0),
-                        hist.get("nan", 0)))
+                        as_number(hist.get("min"), 0.0),
+                        as_number(hist.get("max"), 0.0),
+                        as_number(hist.get("nan"), 0)))
     return lines
 
 
@@ -186,10 +289,15 @@ def main(argv):
                         help="rows per table (default 15)")
     parser.add_argument("--check", action="store_true",
                         help="validate instead of merely reporting; "
-                        "exit 1 on any schema violation")
+                        "exit 1 on a schema violation, 2 on an "
+                        "empty/degenerate export")
     parser.add_argument("--require-categories", default="",
                         help="comma-separated categories that must have "
                         "contributed events (with --check)")
+    parser.add_argument("--require-flows", action="store_true",
+                        help="with --check: fail unless at least one "
+                        "flow arc exists and every arc is matched "
+                        "start-to-finish")
     args = parser.parse_args(argv)
 
     trace, errors = load_json(args.trace, "trace")
@@ -199,11 +307,11 @@ def main(argv):
         if not isinstance(events, list):
             errors.append("trace: 'traceEvents' missing or not a list")
             events = []
-        elif not events:
-            errors.append("trace: no events recorded")
 
     required = [c for c in args.require_categories.split(",") if c]
     errors += validate_events(events, required)
+    if args.require_flows:
+        errors += validate_flows(events)
 
     metrics = None
     if args.metrics:
@@ -212,11 +320,18 @@ def main(argv):
         if metrics is not None:
             errors += validate_metrics(metrics)
 
+    degenerate = degenerate_reason(events)
+
     if args.check:
         for error in errors:
             print("CHECK FAIL: %s" % error, file=sys.stderr)
         if errors:
-            return 1
+            return EXIT_INVALID
+        if degenerate is not None:
+            # Distinct from a schema violation: the export is well
+            # formed but carries nothing worth gating on.
+            print("CHECK DEGENERATE: %s" % degenerate, file=sys.stderr)
+            return EXIT_DEGENERATE
         print("telemetry export OK: %d events%s"
               % (len(events),
                  "" if metrics is None else
@@ -224,9 +339,14 @@ def main(argv):
                  % (len(metrics.get("counters", [])),
                     len(metrics.get("gauges", [])),
                     len(metrics.get("histograms", [])))))
-        return 0
+        return EXIT_OK
 
+    if degenerate is not None:
+        print("note: %s" % degenerate)
     for line in span_table(events, args.top):
+        print(line)
+    print()
+    for line in flow_table(events):
         print(line)
     print()
     for line in decision_table(events, args.top):
@@ -239,7 +359,7 @@ def main(argv):
         print()
         for error in errors:
             print("warning: %s" % error, file=sys.stderr)
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -1,16 +1,28 @@
 #!/usr/bin/env python3
-"""Compares a bench_kernels JSON export against the committed baseline.
+"""Compares an archytas-bench JSON export against a committed baseline.
 
 Usage:
     tools/bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
 
-Both files are `archytas-bench-v1` documents (bench/bench_common.hh).
-For every benchmark present in both, the median_ms delta is reported;
-regressions beyond the threshold (default 5%) are flagged and the exit
-status is 1 so CI can surface them. Benchmarks present on only one side
-are reported but never fail the run (benches come and go with PRs; the
-committed baseline is refreshed whenever kernels intentionally change:
-`bench_kernels --json BENCH_kernels.json`).
+Both files are `archytas-bench-v1` documents (bench/bench_common.hh):
+a `benchmarks` array (median_ms per benchmark) plus a `metrics` array
+(named scalar metrics such as GFLOP/s, GB/s, latency percentiles).
+
+For every benchmark and metric present in BOTH files, the delta is
+reported and regressions beyond the threshold (default 5%) are flagged
+with exit status 1 so CI can surface them. Keys present on only one
+side -- a stale baseline missing the GFLOP/s and GB/s metrics newer
+benches emit, or a bench retired by a PR -- are WARNINGS, never
+failures: baselines are refreshed whenever kernels intentionally
+change (`bench_kernels --json BENCH_kernels.json`).
+
+Metric direction is inferred from the name: throughput-style markers
+(`gflops`, `per_s`, `per_ms`, `per_sec`, `speedup`, `fraction`) mean
+higher-is-better and a *drop* beyond the threshold regresses; wall-time
+names (`_ms` / `_s` suffix, checked only after the throughput markers
+so `gbytes_per_s` classifies correctly) mean lower-is-better; anything
+else is report-only (e.g. `kernels.backend`, `frames_traced` -- value
+identities, not performance).
 
 CI boxes are noisy, so the CI step runs this with continue-on-error —
 the check flags regressions in the job log and annotation rather than
@@ -22,6 +34,13 @@ Exit status: 0 within threshold, 1 regressions found, 2 usage/format.
 import argparse
 import json
 import sys
+
+#: Higher-is-better markers; checked BEFORE the _ms/_s suffixes so that
+#: e.g. "gbytes_per_s" (ends in "_s") classifies as throughput.
+HIGHER_BETTER_MARKERS = ("gflops", "gbytes", "per_s", "per_ms",
+                         "per_sec", "speedup", "fraction")
+#: Lower-is-better (wall time) suffixes.
+LOWER_BETTER_SUFFIXES = ("_ms", "_s", "_ns", "_us")
 
 
 def load(path):
@@ -35,7 +54,94 @@ def load(path):
         print(f"error: {path} is not an archytas-bench-v1 document",
               file=sys.stderr)
         sys.exit(2)
-    return {b["name"]: b for b in doc.get("benchmarks", [])}
+    benchmarks = {b["name"]: b for b in doc.get("benchmarks", [])}
+    metrics = {m["name"]: m.get("value")
+               for m in doc.get("metrics", [])
+               if isinstance(m, dict) and "name" in m}
+    return benchmarks, metrics
+
+
+def metric_direction(name):
+    """'higher', 'lower', or None (report-only) for a metric name."""
+    lowered = name.lower()
+    if any(marker in lowered for marker in HIGHER_BETTER_MARKERS):
+        return "higher"
+    if lowered.endswith(LOWER_BETTER_SUFFIXES):
+        return "lower"
+    return None
+
+
+def compare_benchmarks(base, cur, threshold):
+    """Median-ms comparison; returns (regressions, warnings)."""
+    regressions = 0
+    warnings = 0
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            warnings += 1
+            print(f"  warning   {name}: {cur[name]['median_ms']:.3f} ms "
+                  "(no baseline entry; refresh the baseline)")
+            continue
+        if name not in cur:
+            warnings += 1
+            print(f"  warning   {name} missing from current run (was "
+                  f"{base[name]['median_ms']:.3f} ms)")
+            continue
+        b = base[name]["median_ms"]
+        c = cur[name]["median_ms"]
+        delta = 0.0 if b == 0 else 100.0 * (c - b) / b
+        if delta > threshold:
+            regressions += 1
+            tag = "REGRESSED"
+        elif delta < -threshold:
+            tag = "improved "
+        else:
+            tag = "ok       "
+        print(f"  {tag} {name}: {b:.3f} -> {c:.3f} ms ({delta:+.1f}%)")
+    return regressions, warnings
+
+
+def compare_metrics(base, cur, threshold):
+    """Named-metric comparison; returns (regressions, warnings)."""
+    regressions = 0
+    warnings = 0
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            warnings += 1
+            print(f"  warning   metric {name} has no baseline entry "
+                  f"(current: {cur[name]:g}; stale baseline?)")
+            continue
+        if name not in cur:
+            warnings += 1
+            print(f"  warning   metric {name} missing from current run "
+                  f"(baseline: {base[name]:g})")
+            continue
+        b, c = base[name], cur[name]
+        if not isinstance(b, (int, float)) or \
+                not isinstance(c, (int, float)):
+            warnings += 1
+            print(f"  warning   metric {name}: non-numeric value")
+            continue
+        direction = metric_direction(name)
+        delta = 0.0 if b == 0 else 100.0 * (c - b) / b
+        if direction == "higher":
+            regressed = delta < -threshold
+            improved = delta > threshold
+        elif direction == "lower":
+            regressed = delta > threshold
+            improved = delta < -threshold
+        else:
+            regressed = improved = False
+        if regressed:
+            regressions += 1
+            tag = "REGRESSED"
+        elif improved:
+            tag = "improved "
+        elif direction is None:
+            tag = "info     "
+        else:
+            tag = "ok       "
+        print(f"  {tag} metric {name}: {b:g} -> {c:g} ({delta:+.1f}%)")
+    return regressions, warnings
 
 
 def main():
@@ -46,34 +152,22 @@ def main():
                     help="regression threshold in percent (default 5)")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base_benchmarks, base_metrics = load(args.baseline)
+    cur_benchmarks, cur_metrics = load(args.current)
 
-    regressions = 0
-    for name in sorted(set(base) | set(cur)):
-        if name not in base:
-            print(f"  new       {name}: {cur[name]['median_ms']:.3f} ms "
-                  "(no baseline)")
-            continue
-        if name not in cur:
-            print(f"  removed   {name} (was "
-                  f"{base[name]['median_ms']:.3f} ms)")
-            continue
-        b = base[name]["median_ms"]
-        c = cur[name]["median_ms"]
-        delta = 0.0 if b == 0 else 100.0 * (c - b) / b
-        if delta > args.threshold:
-            regressions += 1
-            tag = "REGRESSED"
-        elif delta < -args.threshold:
-            tag = "improved "
-        else:
-            tag = "ok       "
-        print(f"  {tag} {name}: {b:.3f} -> {c:.3f} ms ({delta:+.1f}%)")
+    regressions, warnings = compare_benchmarks(
+        base_benchmarks, cur_benchmarks, args.threshold)
+    metric_regressions, metric_warnings = compare_metrics(
+        base_metrics, cur_metrics, args.threshold)
+    regressions += metric_regressions
+    warnings += metric_warnings
 
+    if warnings:
+        print(f"bench_compare: {warnings} key(s) present on only one "
+              "side (warned, not failed)")
     if regressions:
-        print(f"bench_compare: {regressions} benchmark(s) regressed more "
-              f"than {args.threshold:.0f}% on median_ms")
+        print(f"bench_compare: {regressions} key(s) regressed more "
+              f"than {args.threshold:.0f}%")
         return 1
     print("bench_compare: within threshold")
     return 0
